@@ -1,0 +1,317 @@
+//! Centralized pipeline drivers for the composition experiment (Fig 8).
+//!
+//! Both drivers run against the same FractOS
+//! [`PipelineStage`](fractos_services::pipeline::PipelineStage) services as
+//! the distributed chain driver, but keep the application centralized:
+//!
+//! * [`StarDriver`] — centralized application *and* data ("star"): the
+//!   client copies the data to each stage and receives it back, stage by
+//!   stage (e.g. rCUDA-style designs, Fig 1 top-left);
+//! * [`FastStarDriver`] — centralized control, direct data ("fast-star"):
+//!   stages forward data directly to the next stage's buffer, but control
+//!   returns to the client after every hop (e.g. LegoOS-style designs,
+//!   Fig 1 bottom-left).
+
+use fractos_cap::{Cid, Perms};
+use fractos_core::prelude::*;
+use fractos_core::types::Syscall;
+use fractos_devices::proto::imm;
+use fractos_services::pipeline::TAG_PIPE_REPLY;
+use fractos_sim::{SimDuration, SimTime};
+
+/// Common handle-fetching state for centralized drivers.
+struct Handles {
+    stage_reqs: Vec<Cid>,
+    stage_bufs: Vec<Cid>,
+    client_buf: Option<Cid>,
+}
+
+impl Handles {
+    fn new() -> Self {
+        Handles {
+            stage_reqs: Vec::new(),
+            stage_bufs: Vec::new(),
+            client_buf: None,
+        }
+    }
+}
+
+/// The fully centralized (star) driver.
+pub struct StarDriver {
+    /// Number of stages.
+    pub stages: usize,
+    /// Bytes streamed per iteration.
+    pub size: u64,
+    /// Iterations to run.
+    pub iterations: u64,
+    handles: Handles,
+    current_stage: usize,
+    started_at: SimTime,
+    remaining: u64,
+    /// Completed iteration latencies.
+    pub latencies: Vec<SimDuration>,
+}
+
+impl StarDriver {
+    /// Creates the driver.
+    pub fn new(stages: usize, size: u64, iterations: u64) -> Self {
+        StarDriver {
+            stages,
+            size,
+            iterations,
+            handles: Handles::new(),
+            current_stage: 0,
+            started_at: SimTime::ZERO,
+            remaining: iterations,
+            latencies: Vec::new(),
+        }
+    }
+
+    fn fetch(&mut self, i: usize, fos: &Fos<Self>) {
+        if i == self.stages {
+            let size = self.size;
+            let addr = fos.mem_alloc(size);
+            fos.memory_create(addr, size, Perms::RW, |s: &mut Self, res, fos| {
+                s.handles.client_buf = Some(res.cid());
+                s.iterate(fos);
+            });
+            return;
+        }
+        fos.call(
+            Syscall::KvGet {
+                key: format!("pipe.{i}.req"),
+            },
+            move |s: &mut Self, res, fos| {
+                s.handles.stage_reqs.push(res.cid());
+                fos.call(
+                    Syscall::KvGet {
+                        key: format!("pipe.{i}.buf"),
+                    },
+                    move |s: &mut Self, res, fos| {
+                        s.handles.stage_bufs.push(res.cid());
+                        s.fetch(i + 1, fos);
+                    },
+                );
+            },
+        );
+    }
+
+    fn iterate(&mut self, fos: &Fos<Self>) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        self.started_at = fos.now();
+        self.current_stage = 0;
+        self.hop(fos);
+    }
+
+    /// One star hop: copy data to the stage, invoke it with the client as
+    /// destination, wait for its completion invoke.
+    fn hop(&mut self, fos: &Fos<Self>) {
+        let i = self.current_stage;
+        if i == self.stages {
+            self.latencies
+                .push(fos.now().duration_since(self.started_at));
+            self.iterate(fos);
+            return;
+        }
+        let client_buf = self.handles.client_buf.expect("allocated");
+        let stage_buf = self.handles.stage_bufs[i];
+        let stage_req = self.handles.stage_reqs[i];
+        let size = self.size;
+        // Data transfer 1: client → stage.
+        fos.call(
+            Syscall::MemoryDiminish {
+                cid: stage_buf,
+                offset: 0,
+                size,
+                drop_perms: Perms::NONE,
+            },
+            move |_s: &mut Self, res, fos| {
+                let SyscallResult::NewCid(stage_view) = res else {
+                    return;
+                };
+                fos.memory_copy(client_buf, stage_view, move |_s: &mut Self, res, fos| {
+                    fos.call_ignore(Syscall::CapRevoke { cid: stage_view });
+                    debug_assert_eq!(res, SyscallResult::Ok);
+                    // Control: invoke the stage; data transfer 2 happens
+                    // inside it (stage → client).
+                    fos.request_create_new(
+                        TAG_PIPE_REPLY,
+                        vec![],
+                        vec![],
+                        move |_s: &mut Self, res, fos| {
+                            let reply = res.cid();
+                            fos.request_derive(
+                                stage_req,
+                                vec![imm(size)],
+                                vec![client_buf, reply],
+                                |_s, res, fos| {
+                                    fos.request_invoke(res.cid(), |_, res, _| {
+                                        debug_assert!(res.is_ok())
+                                    });
+                                },
+                            );
+                        },
+                    );
+                });
+            },
+        );
+    }
+}
+
+impl Service for StarDriver {
+    fn on_start(&mut self, fos: &Fos<Self>) {
+        self.fetch(0, fos);
+    }
+
+    fn on_request(&mut self, req: IncomingRequest, fos: &Fos<Self>) {
+        if req.tag != TAG_PIPE_REPLY {
+            return;
+        }
+        self.current_stage += 1;
+        self.hop(fos);
+    }
+}
+
+/// The centralized-control, direct-data (fast-star) driver.
+pub struct FastStarDriver {
+    /// Number of stages.
+    pub stages: usize,
+    /// Bytes streamed per iteration.
+    pub size: u64,
+    /// Iterations to run.
+    pub iterations: u64,
+    handles: Handles,
+    current_stage: usize,
+    started_at: SimTime,
+    remaining: u64,
+    /// Completed iteration latencies.
+    pub latencies: Vec<SimDuration>,
+}
+
+impl FastStarDriver {
+    /// Creates the driver.
+    pub fn new(stages: usize, size: u64, iterations: u64) -> Self {
+        FastStarDriver {
+            stages,
+            size,
+            iterations,
+            handles: Handles::new(),
+            current_stage: 0,
+            started_at: SimTime::ZERO,
+            remaining: iterations,
+            latencies: Vec::new(),
+        }
+    }
+
+    fn fetch(&mut self, i: usize, fos: &Fos<Self>) {
+        if i == self.stages {
+            let size = self.size;
+            let addr = fos.mem_alloc(size);
+            fos.memory_create(addr, size, Perms::RW, |s: &mut Self, res, fos| {
+                s.handles.client_buf = Some(res.cid());
+                s.iterate(fos);
+            });
+            return;
+        }
+        fos.call(
+            Syscall::KvGet {
+                key: format!("pipe.{i}.req"),
+            },
+            move |s: &mut Self, res, fos| {
+                s.handles.stage_reqs.push(res.cid());
+                fos.call(
+                    Syscall::KvGet {
+                        key: format!("pipe.{i}.buf"),
+                    },
+                    move |s: &mut Self, res, fos| {
+                        s.handles.stage_bufs.push(res.cid());
+                        s.fetch(i + 1, fos);
+                    },
+                );
+            },
+        );
+    }
+
+    fn iterate(&mut self, fos: &Fos<Self>) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        self.started_at = fos.now();
+        self.current_stage = 0;
+        // Seed: data into stage 0's buffer (one transfer).
+        let client_buf = self.handles.client_buf.expect("allocated");
+        let stage0 = self.handles.stage_bufs[0];
+        let size = self.size;
+        fos.call(
+            Syscall::MemoryDiminish {
+                cid: stage0,
+                offset: 0,
+                size,
+                drop_perms: Perms::NONE,
+            },
+            move |_s: &mut Self, res, fos| {
+                let SyscallResult::NewCid(view) = res else {
+                    return;
+                };
+                fos.memory_copy(client_buf, view, move |s: &mut Self, res, fos| {
+                    fos.call_ignore(Syscall::CapRevoke { cid: view });
+                    debug_assert_eq!(res, SyscallResult::Ok);
+                    s.hop(fos);
+                });
+            },
+        );
+    }
+
+    /// One fast-star hop: invoke stage `i`, destination = stage `i+1`'s
+    /// buffer (or client sink), control back to us.
+    fn hop(&mut self, fos: &Fos<Self>) {
+        let i = self.current_stage;
+        if i == self.stages {
+            self.latencies
+                .push(fos.now().duration_since(self.started_at));
+            self.iterate(fos);
+            return;
+        }
+        let dst = if i + 1 == self.stages {
+            self.handles.client_buf.expect("allocated")
+        } else {
+            self.handles.stage_bufs[i + 1]
+        };
+        let stage_req = self.handles.stage_reqs[i];
+        let size = self.size;
+        fos.request_create_new(
+            TAG_PIPE_REPLY,
+            vec![],
+            vec![],
+            move |_s: &mut Self, res, fos| {
+                let reply = res.cid();
+                fos.request_derive(
+                    stage_req,
+                    vec![imm(size)],
+                    vec![dst, reply],
+                    |_s, res, fos| {
+                        fos.request_invoke(res.cid(), |_, res, _| debug_assert!(res.is_ok()));
+                    },
+                );
+            },
+        );
+    }
+}
+
+impl Service for FastStarDriver {
+    fn on_start(&mut self, fos: &Fos<Self>) {
+        self.fetch(0, fos);
+    }
+
+    fn on_request(&mut self, req: IncomingRequest, fos: &Fos<Self>) {
+        if req.tag != TAG_PIPE_REPLY {
+            return;
+        }
+        self.current_stage += 1;
+        self.hop(fos);
+    }
+}

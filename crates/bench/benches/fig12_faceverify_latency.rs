@@ -1,0 +1,42 @@
+//! Fig 12: end-to-end latency of a face-verification request vs image
+//! batch size.
+//!
+//! FractOS (CPU and sNIC Controller deployments) against the
+//! NFS + NVMe-oF + rCUDA baseline. The paper's baseline moves the data
+//! over the network three times; FractOS once (NVMe → GPU) plus the query
+//! upload, which shows as lower latency at every batch size.
+
+use fractos_bench::apps::{baseline_faceverify, fractos_faceverify, FvDeploy};
+use fractos_bench::report::{ratio, us, Table};
+
+const IMG: u64 = 4096;
+const REQS: u64 = 12;
+
+fn main() {
+    let mut t = Table::new(
+        "Fig 12: end-to-end face-verification latency (usec)",
+        &[
+            "batch",
+            "FractOS@CPU",
+            "FractOS@sNIC",
+            "baseline",
+            "base/CPU",
+        ],
+    );
+    for &batch in &[1u64, 4, 8, 16, 32, 64] {
+        let cpu = fractos_faceverify(FvDeploy::Cpu, IMG, batch, REQS, 1);
+        let snic = fractos_faceverify(FvDeploy::Snic, IMG, batch, REQS, 1);
+        let base = baseline_faceverify(IMG, batch, REQS, 1);
+        assert!(cpu.ok && snic.ok && base.ok, "verification must succeed");
+        t.row(&[
+            batch.to_string(),
+            us(cpu.lat_mean),
+            us(snic.lat_mean),
+            us(base.lat_mean),
+            ratio(base.lat_mean, cpu.lat_mean),
+        ]);
+    }
+    t.print();
+    println!("  (paper: FractOS below the baseline for both deployments at all");
+    println!("   batch sizes — one data transfer instead of three)");
+}

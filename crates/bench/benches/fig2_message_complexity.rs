@@ -1,0 +1,75 @@
+//! Fig 2 / §2.1: message complexity of the centralized vs distributed
+//! application models, measured on the inference (face-verification)
+//! pipeline and checked against the analytic model.
+//!
+//! Paper claims for the Fig 2 scenario: the distributed design has 2.5×
+//! fewer data transfers and 1.6× fewer messages overall; §6.5 counts eight
+//! baseline control messages vs five for FractOS; §2.1 derives 2N vs N+1
+//! messages for N services and a 2·N/L bound for service trees.
+
+use fractos_bench::apps::{baseline_faceverify_opts, fractos_faceverify_opts, FvDeploy};
+use fractos_bench::report::Table;
+use fractos_core::msgmodel;
+
+const IMG: u64 = 4096;
+const BATCH: u64 = 8;
+const REQS: u64 = 16;
+
+fn main() {
+    // The full Fig 2 scenario: read → GPU → write output via the FS.
+    let fos = fractos_faceverify_opts(FvDeploy::Cpu, IMG, BATCH, REQS, 1, true);
+    let base = baseline_faceverify_opts(IMG, BATCH, REQS, 1, true);
+    assert!(fos.ok && base.ok);
+
+    // Note: these are *transport-level* counts (every fabric message,
+    // including RDMA chunk transfers and acks); the paper's Fig 2 counts
+    // application-level interactions, reported by the analytic model below.
+    let mut t = Table::new(
+        "Fig 2: measured transport-level network traffic per request",
+        &["model", "msgs/req", "data msgs/req", "bytes/req"],
+    );
+    t.row(&[
+        "distributed (FractOS)".into(),
+        format!("{:.1}", fos.net_msgs as f64 / REQS as f64),
+        format!("{:.1}", fos.data_msgs as f64 / REQS as f64),
+        format!("{:.0}", fos.net_bytes as f64 / REQS as f64),
+    ]);
+    t.row(&[
+        "centralized (baseline)".into(),
+        format!("{:.1}", base.net_msgs as f64 / REQS as f64),
+        format!("{:.1}", base.data_msgs as f64 / REQS as f64),
+        format!("{:.0}", base.net_bytes as f64 / REQS as f64),
+    ]);
+    t.row(&[
+        "reduction".into(),
+        format!("{:.2}x", base.net_msgs as f64 / fos.net_msgs as f64),
+        format!("{:.2}x", base.data_msgs as f64 / fos.data_msgs as f64),
+        format!("{:.2}x", base.net_bytes as f64 / fos.net_bytes as f64),
+    ]);
+    t.print();
+    println!("  (paper, Fig 2: 2.5x fewer data transfers, 1.6x fewer messages)");
+
+    let mut t = Table::new(
+        "§2.1 analytic model: steady-state messages for N services",
+        &["N", "star (2N)", "chain (N+1)", "reduction"],
+    );
+    for &n in &[2u64, 3, 4, 8, 16] {
+        t.row(&[
+            n.to_string(),
+            msgmodel::star_messages(n).to_string(),
+            msgmodel::chain_messages(n).to_string(),
+            format!("{:.2}x", msgmodel::flat_reduction(n)),
+        ]);
+    }
+    t.print();
+
+    println!(
+        "\n  service-tree bound (§2.1): app→FS→SSD (N=3, L=1) allows up to {:.1}x;",
+        msgmodel::tree_reduction_bound(3, 1)
+    );
+    println!(
+        "  control messages per request (§6.5): {} baseline vs {} FractOS",
+        msgmodel::FACEVERIF_BASELINE_CONTROL_MSGS,
+        msgmodel::FACEVERIF_FRACTOS_CONTROL_MSGS
+    );
+}

@@ -1,0 +1,31 @@
+//! Fig 6: latency of a two-way Request invocation (RPC) between Processes
+//! on one or two nodes, for CPU and sNIC Controller deployments, across
+//! argument sizes.
+//!
+//! Paper decomposition: Request handling adds 1.41 µs (CPU) / 5.11 µs
+//! (sNIC) both ways; crossing the network adds a further 4.41 µs (CPU) /
+//! 12.21 µs (sNIC) of (de)serialization; immediate-argument cost tracks
+//! memory-copy throughput.
+
+use fractos_bench::micro::rpc_latency;
+use fractos_bench::report::{us, Table};
+
+fn main() {
+    let args: &[usize] = &[0, 64, 1024, 4 * 1024, 16 * 1024, 64 * 1024];
+    let mut t = Table::new(
+        "Fig 6: two-way Request (RPC) latency (usec)",
+        &["arg size", "1x CPU", "2x CPU", "1x sNIC", "2x sNIC"],
+    );
+    for &arg in args {
+        t.row(&[
+            format!("{arg}B"),
+            us(rpc_latency(false, false, arg)),
+            us(rpc_latency(true, false, arg)),
+            us(rpc_latency(false, true, arg)),
+            us(rpc_latency(true, true, arg)),
+        ]);
+    }
+    t.print();
+    println!("  (paper: CPU request handling +1.41 usec both ways; crossing the");
+    println!("   network adds +4.41 usec; sNIC +5.11 and +12.21 usec respectively)");
+}

@@ -1,0 +1,42 @@
+//! Fig 8: Request latency for processing pipelines under the three designs
+//! of Figure 1 — star (centralized, e.g. rCUDA), fast-star (centralized
+//! control with direct data, e.g. LegoOS), and chain (fully distributed,
+//! FractOS).
+//!
+//! Paper anchors: at 64 KiB on CPUs, star → fast-star ≈ 1.6×; at 4 KiB,
+//! fast-star → chain ≈ 1.45× and star → fast-star ≈ 1.4×.
+
+use fractos_bench::apps::{pipeline_latency, PipelineKind};
+use fractos_bench::report::{ratio, us, Table};
+
+fn main() {
+    for &stages in &[2usize, 4, 8] {
+        let mut t = Table::new(
+            &format!("Fig 8: {stages}-stage pipeline latency (usec)"),
+            &[
+                "size",
+                "star",
+                "fast-star",
+                "chain",
+                "star/fast",
+                "fast/chain",
+            ],
+        );
+        for &size in &[4u64 * 1024, 16 * 1024, 64 * 1024, 256 * 1024] {
+            let star = pipeline_latency(PipelineKind::Star, stages, size);
+            let fast = pipeline_latency(PipelineKind::FastStar, stages, size);
+            let chain = pipeline_latency(PipelineKind::Chain, stages, size);
+            t.row(&[
+                format!("{}KiB", size / 1024),
+                us(star),
+                us(fast),
+                us(chain),
+                ratio(star, fast),
+                ratio(fast, chain),
+            ]);
+        }
+        t.print();
+    }
+    println!("  (paper, 4 stages on CPUs: star/fast-star = 1.6x at 64 KiB;");
+    println!("   fast-star/chain = 1.45x and star/fast-star = 1.4x at 4 KiB)");
+}

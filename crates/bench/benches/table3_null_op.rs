@@ -1,0 +1,35 @@
+//! Table 3: latency of a null FractOS operation, compared to raw loopback.
+//!
+//! Paper values: raw loopback 2.42 µs (CPU) / 3.68 µs (sNIC); FractOS
+//! 3.00 µs (CPU) / 4.50 µs (sNIC).
+
+use fractos_bench::micro::{null_op_rtt, raw_loopback_rtt};
+use fractos_bench::report::{us, Table};
+
+fn main() {
+    let mut t = Table::new(
+        "Table 3: null-operation latency (usec)",
+        &["configuration", "measured", "paper"],
+    );
+    t.row(&[
+        "Raw loopback w/ server @ CPU".into(),
+        us(raw_loopback_rtt(false)),
+        "2.42".into(),
+    ]);
+    t.row(&[
+        "Raw loopback w/ server @ sNIC".into(),
+        us(raw_loopback_rtt(true)),
+        "3.68".into(),
+    ]);
+    t.row(&[
+        "FractOS @ CPU".into(),
+        us(null_op_rtt(false)),
+        "3.00".into(),
+    ]);
+    t.row(&[
+        "FractOS @ sNIC".into(),
+        us(null_op_rtt(true)),
+        "4.50".into(),
+    ]);
+    t.print();
+}

@@ -1,0 +1,1224 @@
+//! Runners for the application-level experiments (Figs 8–13, Fig 2, and
+//! the headline claims).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use fractos_baselines::faceverify::{deploy_baseline, BaselineClient, Start};
+use fractos_baselines::pipeline::{FastStarDriver, StarDriver};
+use fractos_baselines::raw::{raw_send, Peer};
+use fractos_baselines::storage::{NfsOp, NfsReply, NfsServer, NvmeOfTarget};
+use fractos_cap::{Cid, Perms};
+use fractos_core::prelude::*;
+use fractos_devices::proto::{imm, imm_at};
+use fractos_devices::{BlockAdaptor, GpuAdaptor, GpuParams, NvmeParams};
+use fractos_net::{Fabric, NetParams, Topology, TrafficClass};
+use fractos_services::deploy::deploy_faceverify;
+use fractos_services::faceverify::FvClient;
+use fractos_services::fs::{FsMode, FsService};
+use fractos_services::pipeline::{ChainDriver, PipelineStage};
+use fractos_services::{FvConfig, FACE_VERIFY_KERNEL};
+use fractos_sim::{Actor, Ctx, Msg, Sim, SimDuration, SimTime};
+
+/// Result of one application run.
+#[derive(Debug, Clone, Copy)]
+pub struct AppResult {
+    /// Mean per-request latency in µs.
+    pub lat_mean: f64,
+    /// Wall-clock (virtual) time of the measured phase in µs.
+    pub wall_us: f64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Network bytes during the measured phase.
+    pub net_bytes: u64,
+    /// Network messages during the measured phase.
+    pub net_msgs: u64,
+    /// Network data-plane messages.
+    pub data_msgs: u64,
+    /// All results verified correct.
+    pub ok: bool,
+}
+
+impl AppResult {
+    /// Requests per second.
+    pub fn throughput(&self) -> f64 {
+        self.completed as f64 / (self.wall_us / 1e6)
+    }
+}
+
+/// Deployment flavour for the FractOS face-verification app.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FvDeploy {
+    /// One Controller per node on host CPUs.
+    Cpu,
+    /// One Controller per node on the SmartNICs.
+    Snic,
+    /// A single shared Controller on the frontend node ("Shared HAL").
+    SharedHal,
+}
+
+/// Runs the FractOS face-verification app (Figs 12–13).
+pub fn fractos_faceverify(
+    deploy: FvDeploy,
+    img: u64,
+    batch: u64,
+    requests: u64,
+    in_flight: u64,
+) -> AppResult {
+    fractos_faceverify_opts(deploy, img, batch, requests, in_flight, false)
+}
+
+/// As [`fractos_faceverify`], optionally running the full Fig 2 ring
+/// (results stored on the output SSD through the composed FS).
+pub fn fractos_faceverify_opts(
+    deploy: FvDeploy,
+    img: u64,
+    batch: u64,
+    requests: u64,
+    in_flight: u64,
+    store_results: bool,
+) -> AppResult {
+    fractos_faceverify_with(
+        deploy,
+        img,
+        batch,
+        requests,
+        in_flight,
+        store_results,
+        |_| {},
+    )
+}
+
+/// As [`fractos_faceverify_opts`] with a fabric-parameter tweak applied
+/// before the run (ablation studies).
+pub fn fractos_faceverify_with(
+    deploy: FvDeploy,
+    img: u64,
+    batch: u64,
+    requests: u64,
+    in_flight: u64,
+    store_results: bool,
+    tweak: impl FnOnce(&mut NetParams),
+) -> AppResult {
+    let mut tb = Testbed::paper(61);
+    tweak(tb.fabric.borrow_mut().params_mut());
+    let ctrls = match deploy {
+        FvDeploy::Cpu => tb.controllers_per_node(false),
+        FvDeploy::Snic => tb.controllers_per_node(true),
+        FvDeploy::SharedHal => tb.shared_controller(NodeId(2)),
+    };
+    let cfg = FvConfig {
+        img_bytes: img,
+        max_batch: batch.max(64),
+        store_results,
+        ..FvConfig::default()
+    };
+    deploy_faceverify(&mut tb, &ctrls, cfg, 256);
+    tb.reset_traffic();
+    let mut client_svc = FvClient::new(img, batch, requests, in_flight);
+    client_svc.expect_stored = store_results;
+    let client = tb.add_process("client", cpu(2), ctrls[2], client_svc);
+    tb.start_process(client);
+    let t0 = tb.now();
+    tb.run();
+    let wall_us = tb.now().duration_since(t0).as_micros_f64();
+    let (lat_mean, completed, ok) = tb.with_service::<FvClient, _>(client, |c| {
+        let mean = c
+            .samples
+            .iter()
+            .map(|s| s.latency().as_micros_f64())
+            .sum::<f64>()
+            / c.samples.len().max(1) as f64;
+        (
+            mean,
+            c.samples.len() as u64,
+            !c.samples.is_empty() && c.samples.iter().all(|s| s.all_matched),
+        )
+    });
+    let t = tb.traffic();
+    AppResult {
+        lat_mean,
+        wall_us,
+        completed,
+        net_bytes: t.network_bytes(),
+        net_msgs: t.network_msgs(),
+        data_msgs: t.network_data_msgs(),
+        ok,
+    }
+}
+
+/// Runs the §6.5 baseline face-verification stack.
+pub fn baseline_faceverify(img: u64, batch: u64, requests: u64, in_flight: u64) -> AppResult {
+    baseline_faceverify_opts(img, batch, requests, in_flight, false)
+}
+
+/// As [`baseline_faceverify`], optionally writing results back through NFS
+/// (the full Fig 2 star).
+pub fn baseline_faceverify_opts(
+    img: u64,
+    batch: u64,
+    requests: u64,
+    in_flight: u64,
+    store_results: bool,
+) -> AppResult {
+    let mut sim = Sim::new(61);
+    let fabric = Rc::new(RefCell::new(Fabric::new(
+        Topology::paper_testbed(),
+        NetParams::paper(),
+    )));
+    let dep = deploy_baseline(&mut sim, &fabric, img, 256);
+    if store_results {
+        sim.with_actor::<fractos_baselines::faceverify::BaselineFrontend, _>(dep.frontend, |f| {
+            f.store_results = true
+        });
+    }
+    let client = sim.add_actor(
+        "client",
+        Box::new(BaselineClient::new(
+            fractos_net::Endpoint::cpu(NodeId(2)),
+            dep.frontend_peer,
+            Rc::clone(&fabric),
+            img,
+            batch,
+            requests,
+            in_flight,
+        )),
+    );
+    sim.post(SimDuration::ZERO, client, Start);
+    let t0 = sim.now();
+    sim.run();
+    let wall_us = sim.now().duration_since(t0).as_micros_f64();
+    let (lat_mean, completed, ok) = sim.with_actor::<BaselineClient, _>(client, |c| {
+        let mean = c
+            .samples
+            .iter()
+            .map(|s| s.latency().as_micros_f64())
+            .sum::<f64>()
+            / c.samples.len().max(1) as f64;
+        (
+            mean,
+            c.samples.len() as u64,
+            !c.samples.is_empty() && c.samples.iter().all(|s| s.all_matched),
+        )
+    });
+    let t = fabric.borrow().stats().clone();
+    AppResult {
+        lat_mean,
+        wall_us,
+        completed,
+        net_bytes: t.network_bytes(),
+        net_msgs: t.network_msgs(),
+        data_msgs: t.network_data_msgs(),
+        ok,
+    }
+}
+
+/// Pipeline driver kind (Fig 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelineKind {
+    /// Centralized app & data.
+    Star,
+    /// Centralized control, direct data.
+    FastStar,
+    /// Fully distributed.
+    Chain,
+}
+
+/// Mean per-iteration latency of an N-stage pipeline streaming `size`
+/// bytes (Fig 8), in µs.
+pub fn pipeline_latency(kind: PipelineKind, stages: usize, size: u64) -> f64 {
+    let iterations = 8u64;
+    let mut tb = Testbed::paper(71);
+    let ctrls = tb.controllers_per_node(false);
+    for i in 0..stages {
+        // Consecutive stages on different nodes (§6.2).
+        let node = (i % 3) as u32;
+        let p = tb.add_process(
+            &format!("stage{i}"),
+            cpu(node),
+            ctrls[node as usize],
+            PipelineStage::new(i, size),
+        );
+        tb.start_process(p);
+        tb.run();
+    }
+    let mean = |lat: &[SimDuration]| {
+        lat.iter().map(|l| l.as_micros_f64()).sum::<f64>() / lat.len().max(1) as f64
+    };
+    match kind {
+        PipelineKind::Star => {
+            let d = tb.add_process(
+                "star",
+                cpu(0),
+                ctrls[0],
+                StarDriver::new(stages, size, iterations),
+            );
+            tb.start_process(d);
+            tb.run();
+            tb.with_service::<StarDriver, _>(d, |s| mean(&s.latencies))
+        }
+        PipelineKind::FastStar => {
+            let d = tb.add_process(
+                "faststar",
+                cpu(0),
+                ctrls[0],
+                FastStarDriver::new(stages, size, iterations),
+            );
+            tb.start_process(d);
+            tb.run();
+            tb.with_service::<FastStarDriver, _>(d, |s| mean(&s.latencies))
+        }
+        PipelineKind::Chain => {
+            let d = tb.add_process(
+                "chain",
+                cpu(0),
+                ctrls[0],
+                ChainDriver::new(stages, size, iterations),
+            );
+            tb.start_process(d);
+            tb.run();
+            tb.with_service::<ChainDriver, _>(d, |s| mean(&s.latencies))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fig 9: the GPU service in isolation
+// ---------------------------------------------------------------------
+
+/// A client of the bare GPU service: upload batch images, run the kernel,
+/// download results. Mirrors §6.3 (face-verification kernel on a remote
+/// GPU).
+pub struct GpuBenchClient {
+    img: u64,
+    batch: u64,
+    requests: u64,
+    in_flight: u64,
+    // Bootstrap handles.
+    alloc_req: Option<Cid>,
+    load_req: Option<Cid>,
+    // Per-slot artifacts.
+    slots: Vec<GpuSlot>,
+    building: usize,
+    issued: u64,
+    /// Completion stamps.
+    pub done_at: Vec<SimTime>,
+    issue_at: Vec<(usize, SimTime)>,
+    /// Per-request latencies (µs).
+    pub latencies: Vec<f64>,
+}
+
+struct GpuSlot {
+    in_mem: Cid,
+    out_mem: Cid,
+    kernel_req: Cid,
+    local_addr: u64,
+    local_mem: Cid,
+    busy: bool,
+}
+
+const TAG_GB: u64 = 0x7100;
+
+impl GpuBenchClient {
+    /// Creates the client.
+    pub fn new(img: u64, batch: u64, requests: u64, in_flight: u64) -> Self {
+        GpuBenchClient {
+            img,
+            batch,
+            requests,
+            in_flight: in_flight.max(1),
+            alloc_req: None,
+            load_req: None,
+            slots: Vec::new(),
+            building: 0,
+            issued: 0,
+            done_at: Vec::new(),
+            issue_at: Vec::new(),
+            latencies: Vec::new(),
+        }
+    }
+
+    fn issue(&mut self, fos: &Fos<Self>) {
+        if self.issued >= self.requests {
+            return;
+        }
+        let Some(slot) = self.slots.iter().position(|s| !s.busy) else {
+            return;
+        };
+        self.issued += 1;
+        self.slots[slot].busy = true;
+        self.issue_at.push((slot, fos.now()));
+        let (local_mem, in_mem, kernel_req) = {
+            let s = &self.slots[slot];
+            (s.local_mem, s.in_mem, s.kernel_req)
+        };
+        let _ = local_mem;
+        // Upload (third-party copy local → GPU), then invoke the kernel.
+        fos.memory_copy(local_mem, in_mem, move |_s: &mut Self, res, fos| {
+            debug_assert_eq!(res, SyscallResult::Ok);
+            fos.request_invoke(kernel_req, |_, res, _| debug_assert!(res.is_ok()));
+        });
+    }
+}
+
+impl Service for GpuBenchClient {
+    fn on_start(&mut self, fos: &Fos<Self>) {
+        // gpu.init → per-context alloc/load → per-slot buffers + kernel.
+        fos.kv_get("gpu.init", |_s, res, fos| {
+            let init = res.cid();
+            fos.request_create_new(
+                TAG_GB,
+                vec![imm(0)],
+                vec![],
+                move |_s: &mut Self, res, fos| {
+                    let cont = res.cid();
+                    fos.request_derive(init, vec![], vec![cont], |_s, res, fos| {
+                        fos.request_invoke(res.cid(), |_, res, _| debug_assert!(res.is_ok()));
+                    });
+                },
+            );
+        });
+    }
+
+    fn on_request(&mut self, req: IncomingRequest, fos: &Fos<Self>) {
+        let phase = imm_at(&req.imms, 0).unwrap_or(u64::MAX);
+        match phase {
+            // init reply: [alloc, load]; start building slot 0.
+            0 => {
+                self.alloc_req = Some(req.caps[0]);
+                self.load_req = Some(req.caps[1]);
+                self.build_slot(fos);
+            }
+            // alloc input reply.
+            1 => {
+                let in_mem = req.caps[0];
+                self.slots.push(GpuSlot {
+                    in_mem,
+                    out_mem: Cid(u32::MAX),
+                    kernel_req: Cid(u32::MAX),
+                    local_addr: 0,
+                    local_mem: Cid(u32::MAX),
+                    busy: false,
+                });
+                let alloc = self.alloc_req.unwrap();
+                let batch = self.batch;
+                fos.request_create_new(
+                    TAG_GB,
+                    vec![imm(2)],
+                    vec![],
+                    move |_s: &mut Self, res, fos| {
+                        let cont = res.cid();
+                        fos.request_derive(alloc, vec![imm(batch)], vec![cont], |_s, res, fos| {
+                            fos.request_invoke(res.cid(), |_, res, _| debug_assert!(res.is_ok()));
+                        });
+                    },
+                );
+            }
+            // alloc output reply.
+            2 => {
+                let slot = self.slots.len() - 1;
+                self.slots[slot].out_mem = req.caps[0];
+                let load = self.load_req.unwrap();
+                fos.request_create_new(
+                    TAG_GB,
+                    vec![imm(3)],
+                    vec![],
+                    move |_s: &mut Self, res, fos| {
+                        let cont = res.cid();
+                        fos.request_derive(
+                            load,
+                            vec![imm(FACE_VERIFY_KERNEL)],
+                            vec![cont],
+                            |_s, res, fos| {
+                                fos.request_invoke(res.cid(), |_, res, _| {
+                                    debug_assert!(res.is_ok())
+                                });
+                            },
+                        );
+                    },
+                );
+            }
+            // kernel-load reply: derive the per-slot invoke Request.
+            3 => {
+                let slot = self.slots.len() - 1;
+                let invoke_base = req.caps[0];
+                let (batch, img) = (self.batch, self.img);
+                let in_mem = self.slots[slot].in_mem;
+                let out_mem = self.slots[slot].out_mem;
+                // Local source buffer with the batch images (query+ref
+                // halves both from the client here — the storage side is
+                // measured separately in Figs 10–12).
+                let local_addr = fos.mem_alloc(2 * batch * img);
+                let mut data = Vec::new();
+                for i in 0..batch {
+                    data.extend(fractos_services::synth_face(i, img as usize, 1));
+                }
+                for i in 0..batch {
+                    data.extend(fractos_services::synth_face(i, img as usize, 0));
+                }
+                fos.mem_write(local_addr, 0, &data).unwrap();
+                self.slots[slot].local_addr = local_addr;
+                fos.memory_create(
+                    local_addr,
+                    2 * batch * img,
+                    Perms::RW,
+                    move |s: &mut Self, res, fos| {
+                        let SyscallResult::NewCid(local_mem) = res else {
+                            return;
+                        };
+                        s.slots[slot].local_mem = local_mem;
+                        // Success/error continuations + kernel Request.
+                        fos.request_create_new(
+                            TAG_GB,
+                            vec![imm(10 + slot as u64)],
+                            vec![],
+                            move |_s: &mut Self, res, fos| {
+                                let done = res.cid();
+                                fos.request_create_new(
+                                    TAG_GB,
+                                    vec![imm(99)],
+                                    vec![],
+                                    move |_s: &mut Self, res, fos| {
+                                        let err = res.cid();
+                                        fos.request_derive(
+                                            invoke_base,
+                                            vec![imm(batch), imm(img)],
+                                            vec![in_mem, out_mem, done, err],
+                                            move |s: &mut Self, res, fos| {
+                                                let SyscallResult::NewCid(kreq) = res else {
+                                                    return;
+                                                };
+                                                s.slots[slot].kernel_req = kreq;
+                                                s.building += 1;
+                                                if (s.building as u64) < s.in_flight {
+                                                    s.build_slot(fos);
+                                                } else {
+                                                    // All slots ready; go.
+                                                    for _ in 0..s.in_flight {
+                                                        s.issue(fos);
+                                                    }
+                                                }
+                                            },
+                                        );
+                                    },
+                                );
+                            },
+                        );
+                    },
+                );
+            }
+            99 => panic!("GPU kernel error"),
+            // Kernel completion for slot (phase - 10).
+            p if p >= 10 => {
+                let slot = (p - 10) as usize;
+                self.done_at.push(fos.now());
+                if let Some(i) = self.issue_at.iter().position(|(sl, _)| *sl == slot) {
+                    let (_, t0) = self.issue_at.swap_remove(i);
+                    self.latencies
+                        .push(fos.now().duration_since(t0).as_micros_f64());
+                }
+                self.slots[slot].busy = false;
+                self.issue(fos);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl GpuBenchClient {
+    fn build_slot(&mut self, fos: &Fos<Self>) {
+        let alloc = self.alloc_req.unwrap();
+        let (batch, img) = (self.batch, self.img);
+        fos.request_create_new(
+            TAG_GB,
+            vec![imm(1)],
+            vec![],
+            move |_s: &mut Self, res, fos| {
+                let cont = res.cid();
+                fos.request_derive(
+                    alloc,
+                    vec![imm(2 * batch * img)],
+                    vec![cont],
+                    |_s, res, fos| {
+                        fos.request_invoke(res.cid(), |_, res, _| debug_assert!(res.is_ok()));
+                    },
+                );
+            },
+        );
+    }
+}
+
+/// FractOS GPU-service result for Fig 9.
+pub fn gpu_service_fractos(
+    img: u64,
+    batch: u64,
+    requests: u64,
+    in_flight: u64,
+    snic: bool,
+) -> (f64, f64) {
+    let mut tb = Testbed::paper(31);
+    let ctrls = tb.controllers_per_node(snic);
+    let gpu_proc = tb.add_process(
+        "gpu-adaptor",
+        cpu(1),
+        ctrls[1],
+        GpuAdaptor::new(GpuParams::default(), gpu(1), "gpu")
+            .with_kernel(FACE_VERIFY_KERNEL, fractos_services::FaceVerifyKernel),
+    );
+    tb.start_process(gpu_proc);
+    tb.run();
+
+    let client = tb.add_process(
+        "client",
+        cpu(2),
+        ctrls[2],
+        GpuBenchClient::new(img, batch, requests, in_flight),
+    );
+    tb.start_process(client);
+    tb.run();
+    tb.with_service::<GpuBenchClient, _>(client, |c| {
+        assert_eq!(c.latencies.len() as u64, requests, "all kernels completed");
+        let mean = c.latencies.iter().sum::<f64>() / c.latencies.len() as f64;
+        let span = c
+            .done_at
+            .last()
+            .unwrap()
+            .duration_since(*c.done_at.first().unwrap())
+            .as_micros_f64()
+            .max(1.0);
+        let tput = (c.done_at.len() as f64 - 1.0) / (span / 1e6);
+        (mean, tput)
+    })
+}
+
+/// rCUDA GPU-service result for Fig 9: `(mean latency µs, req/s)`.
+pub fn gpu_service_rcuda(img: u64, batch: u64, requests: u64, in_flight: u64) -> (f64, f64) {
+    use fractos_baselines::rcuda::{DriverCall, DriverReply, RcudaClient, RcudaServer};
+
+    /// Minimal rCUDA driver running the interposed H2D → (runtime chatter)
+    /// → launch → sync → D2H sequence, like the §6.5 baseline frontend.
+    struct Driver {
+        client: RcudaClient,
+        img: u64,
+        batch: u64,
+        requests: u64,
+        in_flight: u64,
+        issued: u64,
+        /// token → (request, phase, t0); phases 0 = H2D, 1..=C = chatter,
+        /// C+1 = launch, C+2 = sync, C+3 = D2H.
+        phase_of: std::collections::HashMap<u64, (u64, u8, SimTime)>,
+        pub done_at: Vec<SimTime>,
+        pub latencies: Vec<f64>,
+    }
+    const CHATTER: u8 = fractos_baselines::faceverify::INTERPOSITION_CALLS as u8;
+    struct Go;
+    impl Driver {
+        fn issue(&mut self, ctx: &mut Ctx<'_>) {
+            if self.issued >= self.requests {
+                return;
+            }
+            let req = self.issued;
+            self.issued += 1;
+            let t0 = ctx.now();
+            let data = vec![0x55u8; (2 * self.batch * self.img) as usize];
+            let token = self.client.call(ctx, |reply| DriverCall::MemcpyH2D {
+                offset: 0,
+                data,
+                reply,
+            });
+            self.phase_of.insert(token, (req, 0, t0));
+        }
+    }
+    impl Actor for Driver {
+        fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+            if msg.downcast_ref::<Go>().is_some() {
+                for _ in 0..self.in_flight.min(self.requests) {
+                    self.issue(ctx);
+                }
+                return;
+            }
+            let reply = msg.downcast::<DriverReply>().expect("driver reply");
+            let Some((req, phase, t0)) = self.phase_of.remove(&reply.token) else {
+                return;
+            };
+            let (batch, img) = (self.batch, self.img);
+            match phase {
+                // Interposition chatter after the H2D, then launch.
+                p if p < CHATTER => {
+                    let token = self
+                        .client
+                        .call(ctx, |reply| DriverCall::Synchronize { reply });
+                    self.phase_of.insert(token, (req, p + 1, t0));
+                }
+                p if p == CHATTER => {
+                    let token = self.client.call(ctx, |reply| DriverCall::Launch {
+                        kernel: FACE_VERIFY_KERNEL,
+                        params: vec![batch, img],
+                        input: (0, 2 * batch * img),
+                        out_offset: 2 * batch * img,
+                        reply,
+                    });
+                    self.phase_of.insert(token, (req, CHATTER + 1, t0));
+                }
+                p if p == CHATTER + 1 => {
+                    let token = self
+                        .client
+                        .call(ctx, |reply| DriverCall::Synchronize { reply });
+                    self.phase_of.insert(token, (req, CHATTER + 2, t0));
+                }
+                p if p == CHATTER + 2 => {
+                    let token = self.client.call(ctx, |reply| DriverCall::MemcpyD2H {
+                        offset: 2 * batch * img,
+                        len: batch,
+                        reply,
+                    });
+                    self.phase_of.insert(token, (req, CHATTER + 3, t0));
+                }
+                _ => {
+                    self.latencies
+                        .push(ctx.now().duration_since(t0).as_micros_f64());
+                    self.done_at.push(ctx.now());
+                    self.issue(ctx);
+                }
+            }
+        }
+    }
+
+    let mut sim = Sim::new(32);
+    let fabric = Rc::new(RefCell::new(Fabric::new(
+        Topology::paper_testbed(),
+        NetParams::paper(),
+    )));
+    let server_ep = fractos_net::Endpoint::cpu(NodeId(1));
+    let server = sim.add_actor(
+        "rcuda",
+        Box::new(
+            RcudaServer::new(
+                server_ep,
+                Rc::clone(&fabric),
+                GpuParams::default(),
+                64 << 20,
+            )
+            .with_kernel(FACE_VERIFY_KERNEL, fractos_services::FaceVerifyKernel),
+        ),
+    );
+    let driver = sim.add_actor(
+        "driver",
+        Box::new(Driver {
+            client: RcudaClient::new(
+                fractos_net::Endpoint::cpu(NodeId(2)),
+                Peer {
+                    actor: server,
+                    endpoint: server_ep,
+                },
+                Rc::clone(&fabric),
+            ),
+            img,
+            batch,
+            requests,
+            in_flight: in_flight.max(1),
+            issued: 0,
+            phase_of: std::collections::HashMap::new(),
+            done_at: Vec::new(),
+            latencies: Vec::new(),
+        }),
+    );
+    sim.post(SimDuration::ZERO, driver, Go);
+    sim.run();
+    sim.with_actor::<Driver, _>(driver, |d| {
+        assert_eq!(d.latencies.len() as u64, requests);
+        let mean = d.latencies.iter().sum::<f64>() / d.latencies.len() as f64;
+        let span = d
+            .done_at
+            .last()
+            .unwrap()
+            .duration_since(*d.done_at.first().unwrap())
+            .as_micros_f64()
+            .max(1.0);
+        let tput = (d.done_at.len() as f64 - 1.0) / (span / 1e6);
+        (mean, tput)
+    })
+}
+
+// ---------------------------------------------------------------------
+// Figs 10–11: the storage stack
+// ---------------------------------------------------------------------
+
+/// FractOS storage client: create a file, then issue timed I/Os.
+///
+/// Works against both the mediated/composed FS handles (two Requests for
+/// the whole file) and DAX handles (one read + one write Request per
+/// extent): with DAX it selects the extent's Requests and uses
+/// extent-local offsets, exactly like a DAX-aware application.
+struct StorageClient {
+    io: u64,
+    count: u64,
+    in_flight: u64,
+    write: bool,
+    seq: bool,
+    /// Mediated: `[read, write]`. DAX: `[r0, w0, r1, w1, ...]`.
+    handles: Vec<Cid>,
+    extent_size: u64,
+    bufs: Vec<(u64, Cid)>,
+    issued: u64,
+    issue_at: Vec<(u64, SimTime)>,
+    pub latencies: Vec<f64>,
+    pub done_at: Vec<SimTime>,
+    rng_state: u64,
+}
+
+const TAG_SB: u64 = 0x7200;
+/// File size used by the storage benchmarks (many extents, so that random
+/// access defeats caches like the paper's 500 GB device does).
+pub const STORAGE_FILE: u64 = 128 << 20;
+
+impl StorageClient {
+    fn new(io: u64, count: u64, in_flight: u64, write: bool, seq: bool) -> Self {
+        StorageClient {
+            io,
+            count,
+            in_flight: in_flight.max(1),
+            write,
+            seq,
+            handles: Vec::new(),
+            extent_size: 0,
+            bufs: Vec::new(),
+            issued: 0,
+            issue_at: Vec::new(),
+            latencies: Vec::new(),
+            done_at: Vec::new(),
+            rng_state: 0xDEAD_BEEF,
+        }
+    }
+
+    fn next_offset(&mut self) -> u64 {
+        let slots = STORAGE_FILE / self.io;
+        if self.seq {
+            (self.issued % slots) * self.io
+        } else {
+            self.rng_state = self
+                .rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (self.rng_state >> 16) % slots * self.io
+        }
+    }
+
+    fn issue(&mut self, fos: &Fos<Self>) {
+        if self.issued >= self.count {
+            return;
+        }
+        let Some((addr, buf)) = self.bufs.pop() else {
+            return;
+        };
+        let seq_no = self.issued;
+        let offset = self.next_offset();
+        self.issued += 1;
+        if self.write {
+            fos.mem_write(addr, 0, &vec![(seq_no % 256) as u8; self.io as usize])
+                .unwrap();
+        }
+        self.issue_at.push((seq_no, fos.now()));
+        // Mediated handles take file offsets; DAX handles are per extent.
+        let dax = self.handles.len() > 2;
+        let (req, op_offset) = if dax {
+            let ext = (offset / self.extent_size) as usize;
+            let idx = 2 * ext + usize::from(self.write);
+            (self.handles[idx], offset % self.extent_size)
+        } else {
+            (self.handles[usize::from(self.write)], offset)
+        };
+        let io = self.io;
+        fos.request_create_new(
+            TAG_SB,
+            vec![imm(1), imm(seq_no), imm(addr), imm(buf.0 as u64)],
+            vec![],
+            move |_s: &mut Self, res, fos| {
+                let ok = res.cid();
+                fos.request_create_new(
+                    TAG_SB,
+                    vec![imm(9)],
+                    vec![],
+                    move |_s: &mut Self, res, fos| {
+                        let err = res.cid();
+                        fos.request_derive(
+                            req,
+                            vec![imm(op_offset), imm(io)],
+                            vec![buf, ok, err],
+                            |_s, res, fos| {
+                                fos.request_invoke(res.cid(), |_, res, _| {
+                                    debug_assert!(res.is_ok())
+                                });
+                            },
+                        );
+                    },
+                );
+            },
+        );
+    }
+}
+
+impl Service for StorageClient {
+    fn on_start(&mut self, fos: &Fos<Self>) {
+        fos.kv_get("fs.create", |s: &mut Self, res, fos| {
+            let create = res.cid();
+            let _ = s;
+            fos.request_create_new(
+                TAG_SB,
+                vec![imm(0)],
+                vec![],
+                move |_s: &mut Self, res, fos| {
+                    let cont = res.cid();
+                    fos.request_derive(
+                        create,
+                        vec![imm(STORAGE_FILE)],
+                        vec![cont],
+                        |_s, res, fos| {
+                            fos.request_invoke(res.cid(), |_, res, _| debug_assert!(res.is_ok()));
+                        },
+                    );
+                },
+            );
+        });
+    }
+
+    fn on_request(&mut self, req: IncomingRequest, fos: &Fos<Self>) {
+        match imm_at(&req.imms, 0).unwrap_or(u64::MAX) {
+            0 => {
+                self.handles = req.caps.clone();
+                self.extent_size = imm_at(&req.imms, 2).unwrap_or(u64::MAX);
+                // Register one buffer per in-flight slot, then go.
+                let n = self.in_flight;
+                let io = self.io;
+                fn mk(s: &mut StorageClient, left: u64, io: u64, fos: &Fos<StorageClient>) {
+                    if left == 0 {
+                        for _ in 0..s.in_flight {
+                            s.issue(fos);
+                        }
+                        return;
+                    }
+                    let addr = fos.mem_alloc(io);
+                    fos.memory_create(
+                        addr,
+                        io,
+                        Perms::RW,
+                        move |s: &mut StorageClient, res, fos| {
+                            let SyscallResult::NewCid(cid) = res else {
+                                return;
+                            };
+                            s.bufs.push((addr, cid));
+                            mk(s, left - 1, io, fos);
+                        },
+                    );
+                }
+                mk(self, n, io, fos);
+            }
+            1 => {
+                // I/O complete.
+                let seq_no = imm_at(&req.imms, 1).unwrap();
+                let addr = imm_at(&req.imms, 2).unwrap();
+                let buf_cid = imm_at(&req.imms, 3).unwrap();
+                if let Some(i) = self.issue_at.iter().position(|(s, _)| *s == seq_no) {
+                    let (_, t0) = self.issue_at.swap_remove(i);
+                    self.latencies
+                        .push(fos.now().duration_since(t0).as_micros_f64());
+                }
+                self.done_at.push(fos.now());
+                self.bufs.push((addr, Cid(buf_cid as u32)));
+                self.issue(fos);
+            }
+            9 => panic!("storage benchmark I/O error"),
+            _ => {}
+        }
+    }
+}
+
+/// FractOS storage run (Figs 10–11): returns `(mean µs, MB/s)`.
+pub fn storage_fractos(
+    mode: FsMode,
+    io: u64,
+    count: u64,
+    in_flight: u64,
+    write: bool,
+    seq: bool,
+    snic: bool,
+) -> (f64, f64) {
+    storage_run(mode, io, count, in_flight, write, seq, snic, false)
+}
+
+/// §6.4 "Disaggregated Baseline": the same FractOS FS service over an
+/// in-kernel NVMe-oF block tier whose page cache absorbs writes and
+/// read-ahead accelerates sequential reads. Returns `(mean µs, MB/s)`.
+pub fn storage_disagg_baseline(
+    io: u64,
+    count: u64,
+    in_flight: u64,
+    write: bool,
+    seq: bool,
+) -> (f64, f64) {
+    storage_run(
+        FsMode::Mediated,
+        io,
+        count,
+        in_flight,
+        write,
+        seq,
+        false,
+        true,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn storage_run(
+    mode: FsMode,
+    io: u64,
+    count: u64,
+    in_flight: u64,
+    write: bool,
+    seq: bool,
+    snic: bool,
+    kernel_cache: bool,
+) -> (f64, f64) {
+    let mut tb = Testbed::paper(41);
+    if std::env::var("FRACTOS_PROBE_NOPROC").is_ok() {
+        tb.fabric.borrow_mut().params_mut().memcopy_proc_cpu = fractos_sim::SimDuration::ZERO;
+    }
+    let ctrls = tb.controllers_per_node(snic);
+    // SSD + adaptor on node 0, FS service on node 1, client on node 2
+    // (two-tiered remote storage, §6.4–§6.5).
+    let blk_adaptor = if kernel_cache {
+        BlockAdaptor::new(NvmeParams::default(), nvme(0), "blk").with_kernel_cache()
+    } else {
+        BlockAdaptor::new(NvmeParams::default(), nvme(0), "blk")
+    };
+    let blk = tb.add_process("blk", cpu(0), ctrls[0], blk_adaptor);
+    tb.start_process(blk);
+    tb.run();
+    let fs = tb.add_process("fs", cpu(1), ctrls[1], FsService::new(mode, "fs", "blk"));
+    tb.start_process(fs);
+    tb.run();
+    let client = tb.add_process(
+        "client",
+        cpu(2),
+        ctrls[2],
+        StorageClient::new(io, count, in_flight, write, seq),
+    );
+    tb.start_process(client);
+    tb.run();
+    tb.with_service::<StorageClient, _>(client, |c| {
+        assert_eq!(c.latencies.len() as u64, count, "all I/Os completed");
+        let mean = c.latencies.iter().sum::<f64>() / c.latencies.len() as f64;
+        // Steady-state throughput: skip the ramp-up burst of the first
+        // `in_flight` completions.
+        let skip = (in_flight as usize).min(c.done_at.len() - 1);
+        let span = c
+            .done_at
+            .last()
+            .unwrap()
+            .duration_since(c.done_at[skip])
+            .as_micros_f64()
+            .max(1.0);
+        let tput = ((c.done_at.len() - 1 - skip) as f64 * io as f64) / (span / 1e6) / 1e6;
+        (mean, tput)
+    })
+}
+
+/// Disaggregated-baseline storage run (kernel FS + NVMe-oF): returns
+/// `(mean µs, MB/s)`.
+pub fn storage_baseline(io: u64, count: u64, in_flight: u64, write: bool, seq: bool) -> (f64, f64) {
+    struct RawClient {
+        endpoint: fractos_net::Endpoint,
+        server: Peer,
+        fabric: Rc<RefCell<Fabric>>,
+        io: u64,
+        count: u64,
+        in_flight: u64,
+        write: bool,
+        seq: bool,
+        issued: u64,
+        next_token: u64,
+        issue_at: std::collections::HashMap<u64, SimTime>,
+        pub latencies: Vec<f64>,
+        pub done_at: Vec<SimTime>,
+        rng_state: u64,
+    }
+    struct Go;
+    impl RawClient {
+        fn next_offset(&mut self) -> u64 {
+            let slots = STORAGE_FILE / self.io;
+            if self.seq {
+                (self.issued % slots) * self.io
+            } else {
+                self.rng_state = self
+                    .rng_state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (self.rng_state >> 16) % slots * self.io
+            }
+        }
+        fn issue(&mut self, ctx: &mut Ctx<'_>) {
+            if self.issued >= self.count {
+                return;
+            }
+            let offset = self.next_offset();
+            self.issued += 1;
+            let token = self.next_token;
+            self.next_token += 1;
+            self.issue_at.insert(token, ctx.now());
+            let me = Peer {
+                actor: ctx.self_id(),
+                endpoint: self.endpoint,
+            };
+            let fabric = Rc::clone(&self.fabric);
+            let op = if self.write {
+                NfsOp::Write {
+                    offset,
+                    data: vec![0xEE; self.io as usize],
+                    reply: (me, token),
+                }
+            } else {
+                NfsOp::Read {
+                    offset,
+                    len: self.io,
+                    reply: (me, token),
+                }
+            };
+            let size = if self.write { self.io } else { 64 };
+            raw_send(
+                ctx,
+                &fabric,
+                self.endpoint,
+                self.server,
+                size,
+                if self.write {
+                    TrafficClass::Data
+                } else {
+                    TrafficClass::Control
+                },
+                fractos_baselines::storage::NFS_CLIENT_OVERHEAD,
+                op,
+            );
+        }
+    }
+    impl Actor for RawClient {
+        fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+            if msg.downcast_ref::<Go>().is_some() {
+                for _ in 0..self.in_flight.min(self.count) {
+                    self.issue(ctx);
+                }
+                return;
+            }
+            if let Ok(reply) = msg.downcast::<NfsReply>() {
+                if let Some(t0) = self.issue_at.remove(&reply.token) {
+                    self.latencies
+                        .push(ctx.now().duration_since(t0).as_micros_f64());
+                }
+                self.done_at.push(ctx.now());
+                self.issue(ctx);
+            }
+        }
+    }
+
+    let mut sim = Sim::new(42);
+    let fabric = Rc::new(RefCell::new(Fabric::new(
+        Topology::paper_testbed(),
+        NetParams::paper(),
+    )));
+    // Target on node 0, kernel-FS server on node 1, client on node 2.
+    let target_ep = fractos_net::Endpoint::cpu(NodeId(0));
+    let target = sim.add_actor(
+        "nvmeof",
+        Box::new(NvmeOfTarget::new(
+            target_ep,
+            Rc::clone(&fabric),
+            NvmeParams::default(),
+            STORAGE_FILE,
+        )),
+    );
+    let nfs_ep = fractos_net::Endpoint::cpu(NodeId(1));
+    let nfs = sim.add_actor(
+        "nfs",
+        Box::new(NfsServer::new(
+            nfs_ep,
+            Rc::clone(&fabric),
+            Peer {
+                actor: target,
+                endpoint: target_ep,
+            },
+        )),
+    );
+    let client = sim.add_actor(
+        "client",
+        Box::new(RawClient {
+            endpoint: fractos_net::Endpoint::cpu(NodeId(2)),
+            server: Peer {
+                actor: nfs,
+                endpoint: nfs_ep,
+            },
+            fabric: Rc::clone(&fabric),
+            io,
+            count,
+            in_flight: in_flight.max(1),
+            write,
+            seq,
+            issued: 0,
+            next_token: 0,
+            issue_at: std::collections::HashMap::new(),
+            latencies: Vec::new(),
+            done_at: Vec::new(),
+            rng_state: 0xDEAD_BEEF,
+        }),
+    );
+    sim.post(SimDuration::ZERO, client, Go);
+    sim.run();
+    sim.with_actor::<RawClient, _>(client, |c| {
+        assert_eq!(c.latencies.len() as u64, count);
+        let mean = c.latencies.iter().sum::<f64>() / c.latencies.len() as f64;
+        let skip = (in_flight as usize).min(c.done_at.len() - 1);
+        let span = c
+            .done_at
+            .last()
+            .unwrap()
+            .duration_since(c.done_at[skip])
+            .as_micros_f64()
+            .max(1.0);
+        let tput = ((c.done_at.len() - 1 - skip) as f64 * io as f64) / (span / 1e6) / 1e6;
+        (mean, tput)
+    })
+}
+
+/// Debug helper: traced 2-in-flight mediated run (temporary).
+#[doc(hidden)]
+pub fn storage_fractos_traced() {
+    let io = 1u64 << 20;
+    let mut tb = Testbed::paper(41);
+    let ctrls = tb.controllers_per_node(false);
+    let blk = tb.add_process(
+        "blk",
+        cpu(0),
+        ctrls[0],
+        BlockAdaptor::new(NvmeParams::default(), nvme(0), "blk"),
+    );
+    tb.start_process(blk);
+    tb.run();
+    let fs = tb.add_process(
+        "fs",
+        cpu(1),
+        ctrls[1],
+        FsService::new(FsMode::Mediated, "fs", "blk"),
+    );
+    tb.start_process(fs);
+    tb.run();
+    tb.sim.enable_trace();
+    let client = tb.add_process(
+        "client",
+        cpu(2),
+        ctrls[2],
+        StorageClient::new(io, 4, 2, false, false),
+    );
+    tb.start_process(client);
+    tb.run();
+    for e in tb.sim.take_trace() {
+        println!("{:>12} {}", e.time.to_string(), e.label);
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type for capability operations.
+
+use core::fmt;
+
+use crate::ids::{Cid, ObjectId};
+
+/// Errors raised by the capability layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapError {
+    /// No object with this id exists at this Controller (never created, or
+    /// already cleaned up after revocation).
+    NoSuchObject(ObjectId),
+    /// The object exists but has been revoked (invalidated at its owner).
+    Revoked(ObjectId),
+    /// The capability's epoch predates the Controller's current epoch: the
+    /// Controller rebooted since the capability was minted, so the
+    /// capability is implicitly revoked (§3.6 failure translation).
+    StaleEpoch(ObjectId),
+    /// The capability space index is empty or out of range.
+    BadCid(Cid),
+    /// The capability space is full.
+    SpaceExhausted,
+    /// The operation requires permissions the capability lacks.
+    PermissionDenied,
+    /// `monitor_delegate` requires the capability to have no children yet
+    /// (paper, §3.6 footnote).
+    HasChildren(ObjectId),
+    /// The object already carries a monitor of this kind.
+    AlreadyMonitored(ObjectId),
+}
+
+impl fmt::Display for CapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapError::NoSuchObject(id) => write!(f, "no such object: {id}"),
+            CapError::Revoked(id) => write!(f, "object revoked: {id}"),
+            CapError::StaleEpoch(id) => write!(f, "stale capability epoch for {id}"),
+            CapError::BadCid(cid) => write!(f, "bad capability index: {cid}"),
+            CapError::SpaceExhausted => write!(f, "capability space exhausted"),
+            CapError::PermissionDenied => write!(f, "permission denied"),
+            CapError::HasChildren(id) => {
+                write!(f, "monitor_delegate requires childless capability: {id}")
+            }
+            CapError::AlreadyMonitored(id) => write!(f, "object already monitored: {id}"),
+        }
+    }
+}
+
+impl std::error::Error for CapError {}
+
+/// Convenience alias.
+pub type Result<T> = core::result::Result<T, CapError>;

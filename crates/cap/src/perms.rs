@@ -1,0 +1,121 @@
+//! Permission bits carried by Memory capabilities.
+//!
+//! `memory_diminish` may only *drop* permissions (Table 1), so the type
+//! exposes monotone operations and no way to add bits to an existing set
+//! other than explicit construction.
+
+use core::fmt;
+use core::ops::{BitAnd, BitOr};
+
+/// A small permission bitset for Memory objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Perms(u8);
+
+impl Perms {
+    /// No permissions.
+    pub const NONE: Perms = Perms(0);
+    /// Permission to read the memory.
+    pub const READ: Perms = Perms(1);
+    /// Permission to write the memory.
+    pub const WRITE: Perms = Perms(2);
+    /// Both read and write.
+    pub const RW: Perms = Perms(3);
+
+    /// Builds from raw bits, masking unknown bits off.
+    pub const fn from_bits(bits: u8) -> Perms {
+        Perms(bits & Self::RW.0)
+    }
+
+    /// Raw bit representation.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Whether every permission in `other` is present in `self`.
+    pub const fn contains(self, other: Perms) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether the set is empty.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `self` without the permissions in `drop`.
+    pub const fn diminish(self, drop: Perms) -> Perms {
+        Perms(self.0 & !drop.0)
+    }
+
+    /// Whether reading is allowed.
+    pub const fn can_read(self) -> bool {
+        self.contains(Perms::READ)
+    }
+
+    /// Whether writing is allowed.
+    pub const fn can_write(self) -> bool {
+        self.contains(Perms::WRITE)
+    }
+}
+
+impl BitOr for Perms {
+    type Output = Perms;
+    fn bitor(self, rhs: Perms) -> Perms {
+        Perms(self.0 | rhs.0)
+    }
+}
+
+impl BitAnd for Perms {
+    type Output = Perms;
+    fn bitand(self, rhs: Perms) -> Perms {
+        Perms(self.0 & rhs.0)
+    }
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}",
+            if self.can_read() { "r" } else { "-" },
+            if self.can_write() { "w" } else { "-" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_and_diminish() {
+        assert!(Perms::RW.contains(Perms::READ));
+        assert!(!Perms::READ.contains(Perms::WRITE));
+        assert_eq!(Perms::RW.diminish(Perms::WRITE), Perms::READ);
+        assert_eq!(Perms::READ.diminish(Perms::READ), Perms::NONE);
+        // Diminishing a missing bit is a no-op.
+        assert_eq!(Perms::READ.diminish(Perms::WRITE), Perms::READ);
+    }
+
+    #[test]
+    fn diminish_is_monotone() {
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                let before = Perms::from_bits(a);
+                let after = before.diminish(Perms::from_bits(b));
+                assert!(before.contains(after), "{before} -> {after} grew");
+            }
+        }
+    }
+
+    #[test]
+    fn from_bits_masks_garbage() {
+        assert_eq!(Perms::from_bits(0xFF), Perms::RW);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Perms::RW.to_string(), "rw");
+        assert_eq!(Perms::READ.to_string(), "r-");
+        assert_eq!(Perms::NONE.to_string(), "--");
+    }
+}

@@ -1,0 +1,1778 @@
+//! The FractOS Controller: the trusted OS layer (§3, §4).
+//!
+//! Controllers implement every trusted mechanism — capability tables, RPC
+//! routing, address translation, memory copies, revocation, monitors and
+//! failure translation. They run on host CPUs or SmartNICs as isolated
+//! actors; Processes and peer Controllers reach them only through messages
+//! on the simulated fabric.
+//!
+//! Protocol summary (owner-centric, §3.5):
+//!
+//! * every object lives at exactly one Controller (its owner);
+//! * derivation (`memory_diminish`, Request refinement, `cap_create_revtree`)
+//!   executes at the owner, keeping revocation subtrees local;
+//! * delegation is registered at the owner with a single message, minting a
+//!   separately revocable child when a `monitor_delegate` is armed;
+//! * `request_invoke` is forwarded to the Request's owner, which is always
+//!   the provider's Controller;
+//! * revocation is an immediate local invalidation at the owner plus an
+//!   out-of-critical-path cleanup broadcast;
+//! * data movement (`memory_copy`) is one-sided RDMA through memory windows
+//!   checked at access time — revoking memory invalidates its window at the
+//!   owner, so no delegation tracking is needed.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use fractos_cap::{CapRef, CapSpace, Cid, ControllerAddr, MonitorEvent, ObjectTable, Watcher};
+use fractos_net::{ComputeDomain, Endpoint, Fabric, TrafficClass};
+use fractos_sim::{Actor, Ctx, Msg, SimDuration, SimTime};
+
+use crate::directory::Directory;
+use crate::memstore::MemoryStore;
+use crate::messages::{
+    syscall_msg_size, CtrlMsg, CtrlToProc, DeriveOp, MonitorKind, PeerOp, ProcMsg,
+};
+use crate::types::{
+    Arg, CapArg, FosError, IncomingRequest, MemoryDesc, MonitorCb, ObjPayload, ProcId, RequestDesc,
+    Syscall, SyscallResult,
+};
+
+/// Delay before the revocation cleanup broadcast goes out (§3.5: "outside
+/// the critical path").
+pub const CLEANUP_DELAY: SimDuration = SimDuration::from_micros(100);
+
+fn peer_op_name(op: &PeerOp) -> &'static str {
+    match op {
+        PeerOp::Invoke { .. } => "invoke",
+        PeerOp::InvokeAck { .. } => "invoke-ack",
+        PeerOp::Derive { .. } => "derive",
+        PeerOp::DeriveAck { .. } => "derive-ack",
+        PeerOp::Delegate { .. } => "delegate",
+        PeerOp::DelegateAck { .. } => "delegate-ack",
+        PeerOp::Revoke { .. } => "revoke",
+        PeerOp::RevokeAck { .. } => "revoke-ack",
+        PeerOp::Monitor { .. } => "monitor",
+        PeerOp::MonitorAck { .. } => "monitor-ack",
+        PeerOp::MonitorEvent { .. } => "monitor-event",
+        PeerOp::Cleanup { .. } => "cleanup",
+        PeerOp::FailProcess { .. } => "fail-process",
+        PeerOp::KvPut { .. } => "kv-put",
+        PeerOp::KvPutAck { .. } => "kv-put-ack",
+        PeerOp::KvGet { .. } => "kv-get",
+        PeerOp::KvGetAck { .. } => "kv-get-ack",
+    }
+}
+
+/// Values carried by peer acks.
+#[derive(Debug)]
+enum AckVal {
+    None,
+    Cap(CapArg),
+    Count(u64),
+}
+
+type PendingCont = Box<dyn FnOnce(&mut ControllerActor, Result<AckVal, FosError>, &mut Ctx<'_>)>;
+
+/// Continuation of a multi-capability delegation fan-in.
+type DelegateDone =
+    Box<dyn FnOnce(&mut ControllerActor, Result<Vec<CapArg>, FosError>, &mut Ctx<'_>)>;
+
+struct Pending {
+    target: ControllerAddr,
+    cont: PendingCont,
+}
+
+/// The Controller actor.
+pub struct ControllerActor {
+    addr: ControllerAddr,
+    endpoint: Endpoint,
+    domain: ComputeDomain,
+    registry: ControllerAddr,
+    table: ObjectTable<ObjPayload>,
+    spaces: HashMap<ProcId, CapSpace>,
+    snaps: HashMap<(ProcId, Cid), MemoryDesc>,
+    dead_procs: HashSet<ProcId>,
+    peers_dead: HashSet<ControllerAddr>,
+    pending: HashMap<u64, Pending>,
+    next_token: u64,
+    kv: HashMap<String, CapArg>,
+    busy_until: SimTime,
+    dir: Rc<RefCell<Directory>>,
+    fabric: Rc<RefCell<Fabric>>,
+    mem: Rc<RefCell<MemoryStore>>,
+    dead: bool,
+}
+
+impl ControllerActor {
+    /// Creates a Controller. `registry` names the Controller hosting the
+    /// bootstrap key/value service (usually address 0).
+    pub fn new(
+        addr: ControllerAddr,
+        endpoint: Endpoint,
+        domain: ComputeDomain,
+        registry: ControllerAddr,
+        dir: Rc<RefCell<Directory>>,
+        fabric: Rc<RefCell<Fabric>>,
+        mem: Rc<RefCell<MemoryStore>>,
+    ) -> Self {
+        ControllerActor {
+            addr,
+            endpoint,
+            domain,
+            registry,
+            table: ObjectTable::new(addr),
+            spaces: HashMap::new(),
+            snaps: HashMap::new(),
+            dead_procs: HashSet::new(),
+            peers_dead: HashSet::new(),
+            pending: HashMap::new(),
+            next_token: 0,
+            kv: HashMap::new(),
+            busy_until: SimTime::ZERO,
+            dir,
+            fabric,
+            mem,
+            dead: false,
+        }
+    }
+
+    /// This Controller's address.
+    pub fn addr(&self) -> ControllerAddr {
+        self.addr
+    }
+
+    /// Registers a Process as managed by this Controller (testbed wiring).
+    pub fn adopt(&mut self, proc: ProcId) {
+        self.spaces.insert(proc, CapSpace::new());
+    }
+
+    /// Caps the Process's capability space at `quota` slots (§4: "a set
+    /// amount of memory for the capability space … can be capped via
+    /// quotas"). Only effective before the Process holds capabilities.
+    pub fn set_capspace_quota(&mut self, proc: ProcId, quota: usize) {
+        if self.spaces.get(&proc).is_some_and(|s| s.is_empty()) {
+            self.spaces.insert(proc, CapSpace::with_quota(quota));
+        }
+    }
+
+    /// Read access to the object table (tests and harnesses).
+    pub fn table(&self) -> &ObjectTable<ObjPayload> {
+        &self.table
+    }
+
+    /// Live entries in a Process's capability space (tests).
+    pub fn capspace_len(&self, proc: ProcId) -> usize {
+        self.spaces.get(&proc).map_or(0, |s| s.len())
+    }
+
+    /// Estimated memory footprint of this Controller in bytes, using the
+    /// prototype's published numbers (§4): 64 MB of RoCE buffers per
+    /// managed Process, 64 MB per connected peer Controller, the capability
+    /// spaces, and 24 B per revocation-tree object.
+    pub fn memory_footprint(&self) -> u64 {
+        const ROCE_PER_PROC: u64 = 64 << 20;
+        const ROCE_PER_PEER: u64 = 64 << 20;
+        const CAP_ENTRY: u64 = 24; // cid slot + reference
+        const REVTREE_OBJ: u64 = 24; // "24 B per revocation tree object"
+        let peers = self
+            .dir
+            .borrow()
+            .all_ctrls()
+            .into_iter()
+            .filter(|&a| a != self.addr)
+            .count() as u64;
+        let caps: u64 = self.spaces.values().map(|s| s.len() as u64).sum();
+        self.spaces.len() as u64 * ROCE_PER_PROC
+            + peers * ROCE_PER_PEER
+            + caps * CAP_ENTRY
+            + self.table.len() as u64 * REVTREE_OBJ
+    }
+
+    // ------------------------------------------------------------------
+    // Cost model helpers
+    // ------------------------------------------------------------------
+
+    /// Charges `cost` of processing on this Controller's (serial) cores and
+    /// returns the delay from `now` until the work completes. In
+    /// interrupt mode (§4), a Controller that has been idle longer than the
+    /// polling window pays the wake-up latency first.
+    fn charge(&mut self, now: SimTime, cost: SimDuration) -> SimDuration {
+        let params = self.fabric.borrow().params().clone();
+        let mut start = self.busy_until.max(now);
+        if params.controller_interrupts
+            && now > self.busy_until
+            && now.duration_since(self.busy_until) > params.poll_window
+        {
+            start += params.interrupt_wakeup;
+        }
+        let done = start + cost;
+        self.busy_until = done;
+        done.duration_since(now)
+    }
+
+    fn handling(&self) -> SimDuration {
+        self.fabric.borrow().params().fractos_handling(self.domain)
+    }
+
+    fn invoke_handling(&self) -> SimDuration {
+        self.fabric.borrow().params().request_handling(self.domain) / 2
+    }
+
+    fn serialize_cost(&self, op: &PeerOp, crossing: bool) -> SimDuration {
+        if !crossing {
+            return SimDuration::ZERO;
+        }
+        let params = self.fabric.borrow().params().clone();
+        match op {
+            PeerOp::Invoke { .. } => params.request_serialize(self.domain) / 2,
+            _ => params.cap_serialize(self.domain) / 2 * op.cap_count(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Messaging helpers
+    // ------------------------------------------------------------------
+
+    fn send_proc(&mut self, ctx: &mut Ctx<'_>, proc: ProcId, msg: CtrlToProc, extra: SimDuration) {
+        let (actor, ep, alive) = {
+            let dir = self.dir.borrow();
+            let Some(pe) = dir.proc(proc) else { return };
+            (pe.actor, pe.endpoint, pe.alive)
+        };
+        if !alive || self.dead_procs.contains(&proc) {
+            return;
+        }
+        let size = msg.wire_size();
+        // `extra` is processing time before the message departs; compute
+        // the fabric traversal from the departure instant so it does not
+        // double-queue behind this operation's own link reservations.
+        let depart = ctx.now() + extra;
+        let delay = self.fabric.borrow_mut().send(
+            depart,
+            ctx.rng(),
+            self.endpoint,
+            ep,
+            size,
+            TrafficClass::Control,
+        );
+        ctx.send_after(extra + delay, actor, ProcMsg::FromCtrl(msg));
+    }
+
+    fn reply(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        proc: ProcId,
+        token: u64,
+        result: SyscallResult,
+        extra: SimDuration,
+    ) {
+        self.send_proc(ctx, proc, CtrlToProc::Reply { token, result }, extra);
+    }
+
+    fn peer_send(&mut self, ctx: &mut Ctx<'_>, to: ControllerAddr, op: PeerOp, extra: SimDuration) {
+        if to == self.addr {
+            // Loopback peer op (e.g. registry co-located): handle directly
+            // after the extra delay.
+            let self_actor = ctx.self_id();
+            ctx.send_after(extra, self_actor, CtrlMsg::FromPeer { from: to, op });
+            return;
+        }
+        let (actor, ep, alive) = {
+            let dir = self.dir.borrow();
+            let Some(ce) = dir.ctrl(to) else { return };
+            (ce.actor, ce.endpoint, ce.alive)
+        };
+        if !alive || self.peers_dead.contains(&to) {
+            // Fail any pending continuation waiting on this op's ack.
+            self.fail_ops_to(ctx, to);
+            return;
+        }
+        let crossing = ep.node != self.endpoint.node;
+        let ser = self.serialize_cost(&op, crossing);
+        let size = op.wire_size();
+        // Bulk payloads riding the control plane (e.g. large immediates in
+        // a refinement) count as data traffic.
+        let class = if size > 1024 {
+            TrafficClass::Data
+        } else {
+            TrafficClass::Control
+        };
+        let depart = ctx.now() + extra + ser;
+        let delay =
+            self.fabric
+                .borrow_mut()
+                .send(depart, ctx.rng(), self.endpoint, ep, size, class);
+        ctx.send_after(
+            extra + ser + delay,
+            actor,
+            CtrlMsg::FromPeer {
+                from: self.addr,
+                op,
+            },
+        );
+    }
+
+    fn await_ack(&mut self, target: ControllerAddr, cont: PendingCont) -> u64 {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending.insert(token, Pending { target, cont });
+        token
+    }
+
+    fn complete_ack(&mut self, ctx: &mut Ctx<'_>, token: u64, result: Result<AckVal, FosError>) {
+        if let Some(p) = self.pending.remove(&token) {
+            (p.cont)(self, result, ctx);
+        }
+    }
+
+    fn fail_ops_to(&mut self, ctx: &mut Ctx<'_>, target: ControllerAddr) {
+        let tokens: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.target == target)
+            .map(|(t, _)| *t)
+            .collect();
+        for t in tokens {
+            self.complete_ack(ctx, t, Err(FosError::ControllerUnreachable));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Capability-space helpers
+    // ------------------------------------------------------------------
+
+    fn resolve_cid(
+        &self,
+        proc: ProcId,
+        cid: Cid,
+    ) -> Result<(CapRef, Option<MemoryDesc>), FosError> {
+        let space = self
+            .spaces
+            .get(&proc)
+            .ok_or(FosError::Cap(fractos_cap::CapError::BadCid(cid)))?;
+        let cap = space.get(cid)?;
+        Ok((cap, self.snaps.get(&(proc, cid)).cloned()))
+    }
+
+    fn install_cap(&mut self, proc: ProcId, ca: CapArg) -> Result<Cid, FosError> {
+        let space = self.spaces.get_mut(&proc).ok_or(FosError::ProcessFailed)?;
+        let cid = space.insert(ca.cap)?;
+        if let Some(m) = ca.mem {
+            self.snaps.insert((proc, cid), m);
+        } else {
+            self.snaps.remove(&(proc, cid));
+        }
+        Ok(cid)
+    }
+
+    // ------------------------------------------------------------------
+    // Local (owner-side) object operations
+    // ------------------------------------------------------------------
+
+    fn snapshot_of(&self, cap: CapRef) -> Option<MemoryDesc> {
+        self.table
+            .resolve(cap)
+            .ok()
+            .and_then(|p| p.as_memory().cloned())
+    }
+
+    fn do_local_delegate(&mut self, cap: CapRef, to: ProcId) -> Result<CapArg, FosError> {
+        self.table.check(cap)?;
+        let new_ref = self.table.delegate(cap.object, to.token())?;
+        let mem = self.snapshot_of(cap);
+        if new_ref != cap {
+            // A monitored-delegation child was minted; give it its own
+            // memory window so revoking it cuts exactly this delegatee off.
+            if let Some(desc) = &mem {
+                self.mem.borrow_mut().register_window(new_ref, desc.clone());
+            }
+        }
+        Ok(CapArg { cap: new_ref, mem })
+    }
+
+    fn do_local_diminish(
+        &mut self,
+        cap: CapRef,
+        creator: ProcId,
+        offset: u64,
+        size: u64,
+        drop_perms: fractos_cap::Perms,
+    ) -> Result<CapArg, FosError> {
+        self.table.check(cap)?;
+        let src = self
+            .table
+            .resolve(cap)?
+            .as_memory()
+            .cloned()
+            .ok_or(FosError::WrongObjectKind)?;
+        if offset + size > src.size {
+            return Err(FosError::OutOfBounds);
+        }
+        let desc = MemoryDesc {
+            proc: src.proc,
+            location: src.location,
+            addr: src.addr,
+            view_off: src.view_off + offset,
+            size,
+            perms: src.perms.diminish(drop_perms),
+        };
+        let new_ref = self.table.derive(
+            cap.object,
+            creator.token(),
+            ObjPayload::Memory(desc.clone()),
+        )?;
+        self.mem.borrow_mut().register_window(new_ref, desc.clone());
+        Ok(CapArg {
+            cap: new_ref,
+            mem: Some(desc),
+        })
+    }
+
+    fn do_local_revtree(&mut self, cap: CapRef, creator: ProcId) -> Result<CapArg, FosError> {
+        self.table.check(cap)?;
+        let new_ref = self
+            .table
+            .create_revtree_node(cap.object, creator.token())?;
+        let mem = self.snapshot_of(cap);
+        if let Some(desc) = &mem {
+            self.mem.borrow_mut().register_window(new_ref, desc.clone());
+        }
+        Ok(CapArg { cap: new_ref, mem })
+    }
+
+    fn do_local_revoke(&mut self, ctx: &mut Ctx<'_>, cap: CapRef) -> Result<u64, FosError> {
+        self.table.check(cap)?;
+        let outcome = self.table.revoke(cap.object)?;
+        let epoch = self.table.epoch();
+        {
+            let mut mem = self.mem.borrow_mut();
+            for id in &outcome.revoked {
+                mem.invalidate_window(CapRef {
+                    ctrl: self.addr,
+                    epoch,
+                    object: *id,
+                });
+            }
+        }
+        self.dispatch_monitor_events(ctx, &outcome.events);
+        // Out-of-critical-path cleanup broadcast: peers drop dangling
+        // capabilities referencing the invalidated objects.
+        let refs: Vec<CapRef> = outcome
+            .revoked
+            .iter()
+            .map(|id| CapRef {
+                ctrl: self.addr,
+                epoch,
+                object: *id,
+            })
+            .collect();
+        let peers = self.dir.borrow().all_ctrls();
+        for peer in peers {
+            if peer != self.addr && !self.peers_dead.contains(&peer) {
+                self.peer_send(
+                    ctx,
+                    peer,
+                    PeerOp::Cleanup { objs: refs.clone() },
+                    CLEANUP_DELAY,
+                );
+            }
+        }
+        // Local cleanup of the owner's own bookkeeping.
+        self.scrub_capspaces(&refs);
+        Ok(outcome.nodes_visited() as u64)
+    }
+
+    fn scrub_capspaces(&mut self, revoked: &[CapRef]) {
+        let dead: HashSet<CapRef> = revoked.iter().copied().collect();
+        for (proc, space) in self.spaces.iter_mut() {
+            let victims: Vec<Cid> = space
+                .iter()
+                .filter(|(_, cap)| dead.contains(cap))
+                .map(|(cid, _)| cid)
+                .collect();
+            for cid in victims {
+                let _ = space.remove(cid);
+                self.snaps.remove(&(*proc, cid));
+            }
+        }
+        self.kv.retain(|_, ca| !dead.contains(&ca.cap));
+    }
+
+    fn dispatch_monitor_events(&mut self, ctx: &mut Ctx<'_>, events: &[MonitorEvent]) {
+        for ev in events {
+            let (watcher, cb) = match ev {
+                MonitorEvent::DelegateDrained(w) => (
+                    *w,
+                    MonitorCb::DelegateDrained {
+                        callback_id: w.callback_id,
+                    },
+                ),
+                MonitorEvent::Receive(w) => (
+                    *w,
+                    MonitorCb::Receive {
+                        callback_id: w.callback_id,
+                    },
+                ),
+            };
+            let proc = ProcId(watcher.process.0 as u32);
+            let managed_here = self.spaces.contains_key(&proc);
+            if managed_here {
+                let h = self.handling();
+                let extra = self.charge(ctx.now(), h);
+                self.send_proc(ctx, proc, CtrlToProc::Monitor(cb), extra);
+            } else {
+                let ctrl = self.dir.borrow().proc(proc).map(|p| p.ctrl);
+                if let Some(ctrl) = ctrl {
+                    self.peer_send(
+                        ctx,
+                        ctrl,
+                        PeerOp::MonitorEvent { proc, cb },
+                        SimDuration::ZERO,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Registers delegation of `caps` to Process `to` (local mints inline,
+    /// remote owners contacted in parallel), then runs `done` with the
+    /// delegated capability arguments in their original order.
+    fn delegate_seq(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        caps: Vec<CapArg>,
+        _acc: Vec<CapArg>,
+        to: ProcId,
+        done: DelegateDone,
+    ) {
+        let n = caps.len();
+        // Shared fan-in state: result slots plus the final continuation.
+        type Done =
+            Box<dyn FnOnce(&mut ControllerActor, Result<Vec<CapArg>, FosError>, &mut Ctx<'_>)>;
+        struct FanIn {
+            slots: Vec<Option<CapArg>>,
+            outstanding: usize,
+            failed: Option<FosError>,
+            done: Option<Done>,
+        }
+        impl FanIn {
+            fn settle(state: &Rc<RefCell<FanIn>>, this: &mut ControllerActor, ctx: &mut Ctx<'_>) {
+                let finished = {
+                    let s = state.borrow();
+                    s.outstanding == 0
+                };
+                if !finished {
+                    return;
+                }
+                let (done, failed, slots) = {
+                    let mut s = state.borrow_mut();
+                    (s.done.take(), s.failed.take(), std::mem::take(&mut s.slots))
+                };
+                let Some(done) = done else { return };
+                match failed {
+                    Some(e) => done(this, Err(e), ctx),
+                    None => done(
+                        this,
+                        Ok(slots.into_iter().map(|s| s.expect("filled")).collect()),
+                        ctx,
+                    ),
+                }
+            }
+        }
+
+        let state = Rc::new(RefCell::new(FanIn {
+            slots: vec![None; n],
+            outstanding: 0,
+            failed: None,
+            done: Some(done),
+        }));
+
+        // First pass: resolve local delegations inline and launch remote
+        // ones in parallel.
+        for (i, ca) in caps.into_iter().enumerate() {
+            if ca.cap.ctrl == self.addr {
+                match self.do_local_delegate(ca.cap, to) {
+                    Ok(d) => state.borrow_mut().slots[i] = Some(d),
+                    Err(e) => {
+                        let mut s = state.borrow_mut();
+                        if s.failed.is_none() {
+                            s.failed = Some(e);
+                        }
+                    }
+                }
+                continue;
+            }
+            let owner = ca.cap.ctrl;
+            state.borrow_mut().outstanding += 1;
+            let st = Rc::clone(&state);
+            let token = self.await_ack(
+                owner,
+                Box::new(move |this, res, ctx| {
+                    {
+                        let mut s = st.borrow_mut();
+                        s.outstanding -= 1;
+                        match res {
+                            Ok(AckVal::Cap(d)) => s.slots[i] = Some(d),
+                            Ok(_) => {
+                                if s.failed.is_none() {
+                                    s.failed = Some(FosError::WrongObjectKind);
+                                }
+                            }
+                            Err(e) => {
+                                if s.failed.is_none() {
+                                    s.failed = Some(e);
+                                }
+                            }
+                        }
+                    }
+                    FanIn::settle(&st, this, ctx);
+                }),
+            );
+            self.peer_send(
+                ctx,
+                owner,
+                PeerOp::Delegate {
+                    obj: ca.cap,
+                    to,
+                    reply_to: self.addr,
+                    token,
+                },
+                SimDuration::ZERO,
+            );
+        }
+        FanIn::settle(&state, self, ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Syscall handling
+    // ------------------------------------------------------------------
+
+    fn handle_syscall(&mut self, ctx: &mut Ctx<'_>, proc: ProcId, token: u64, sc: Syscall) {
+        ctx.metrics().incr(&format!("ctrl.ops.{}", sc.name()));
+        if self.dead_procs.contains(&proc) {
+            return;
+        }
+        match sc {
+            Syscall::Null => {
+                let h = self.handling();
+                let extra = self.charge(ctx.now(), h * 2);
+                self.reply(ctx, proc, token, SyscallResult::Ok, extra);
+            }
+            Syscall::MemoryCreate { addr, size, perms } => {
+                let h = self.handling();
+                let extra = self.charge(ctx.now(), h * 2);
+                let result = self.sc_memory_create(proc, addr, size, perms);
+                self.reply(ctx, proc, token, result, extra);
+            }
+            Syscall::MemoryDiminish {
+                cid,
+                offset,
+                size,
+                drop_perms,
+            } => {
+                let h = self.handling();
+                let extra = self.charge(ctx.now(), h * 2);
+                match self.resolve_cid(proc, cid) {
+                    Err(e) => self.reply(ctx, proc, token, SyscallResult::Err(e), extra),
+                    Ok((cap, _)) if cap.ctrl == self.addr => {
+                        let result =
+                            match self.do_local_diminish(cap, proc, offset, size, drop_perms) {
+                                Ok(ca) => match self.install_cap(proc, ca) {
+                                    Ok(cid) => SyscallResult::NewCid(cid),
+                                    Err(e) => SyscallResult::Err(e),
+                                },
+                                Err(e) => SyscallResult::Err(e),
+                            };
+                        self.reply(ctx, proc, token, result, extra);
+                    }
+                    Ok((cap, _)) => {
+                        let owner = cap.ctrl;
+                        let ptoken = self.await_ack(
+                            owner,
+                            Box::new(move |this, res, ctx| {
+                                let result = match res {
+                                    Ok(AckVal::Cap(ca)) => match this.install_cap(proc, ca) {
+                                        Ok(cid) => SyscallResult::NewCid(cid),
+                                        Err(e) => SyscallResult::Err(e),
+                                    },
+                                    Ok(_) => SyscallResult::Err(FosError::WrongObjectKind),
+                                    Err(e) => SyscallResult::Err(e),
+                                };
+                                this.reply(ctx, proc, token, result, SimDuration::ZERO);
+                            }),
+                        );
+                        self.peer_send(
+                            ctx,
+                            owner,
+                            PeerOp::Derive {
+                                obj: cap,
+                                op: DeriveOp::Diminish {
+                                    offset,
+                                    size,
+                                    drop_perms,
+                                },
+                                creator: proc,
+                                reply_to: self.addr,
+                                token: ptoken,
+                            },
+                            extra,
+                        );
+                    }
+                }
+            }
+            Syscall::MemoryCopy { src, dst } => self.sc_memory_copy(ctx, proc, token, src, dst),
+            Syscall::RequestCreate {
+                base,
+                tag,
+                imms,
+                caps,
+            } => self.sc_request_create(ctx, proc, token, base, tag, imms, caps),
+            Syscall::RequestInvoke { cid } => self.sc_request_invoke(ctx, proc, token, cid),
+            Syscall::CapCreateRevtree { cid } => {
+                let h = self.handling();
+                let extra = self.charge(ctx.now(), h * 2);
+                match self.resolve_cid(proc, cid) {
+                    Err(e) => self.reply(ctx, proc, token, SyscallResult::Err(e), extra),
+                    Ok((cap, _)) if cap.ctrl == self.addr => {
+                        let result = match self.do_local_revtree(cap, proc) {
+                            Ok(ca) => match self.install_cap(proc, ca) {
+                                Ok(cid) => SyscallResult::NewCid(cid),
+                                Err(e) => SyscallResult::Err(e),
+                            },
+                            Err(e) => SyscallResult::Err(e),
+                        };
+                        self.reply(ctx, proc, token, result, extra);
+                    }
+                    Ok((cap, _)) => {
+                        let owner = cap.ctrl;
+                        let ptoken = self.await_ack(
+                            owner,
+                            Box::new(move |this, res, ctx| {
+                                let result = match res {
+                                    Ok(AckVal::Cap(ca)) => match this.install_cap(proc, ca) {
+                                        Ok(cid) => SyscallResult::NewCid(cid),
+                                        Err(e) => SyscallResult::Err(e),
+                                    },
+                                    Ok(_) => SyscallResult::Err(FosError::WrongObjectKind),
+                                    Err(e) => SyscallResult::Err(e),
+                                };
+                                this.reply(ctx, proc, token, result, SimDuration::ZERO);
+                            }),
+                        );
+                        self.peer_send(
+                            ctx,
+                            owner,
+                            PeerOp::Derive {
+                                obj: cap,
+                                op: DeriveOp::Revtree,
+                                creator: proc,
+                                reply_to: self.addr,
+                                token: ptoken,
+                            },
+                            extra,
+                        );
+                    }
+                }
+            }
+            Syscall::CapRevoke { cid } => {
+                let h = self.handling();
+                let extra = self.charge(ctx.now(), h * 2);
+                match self.resolve_cid(proc, cid) {
+                    Err(e) => self.reply(ctx, proc, token, SyscallResult::Err(e), extra),
+                    Ok((cap, _)) if cap.ctrl == self.addr => {
+                        let result = match self.do_local_revoke(ctx, cap) {
+                            Ok(n) => SyscallResult::Value(n),
+                            Err(e) => SyscallResult::Err(e),
+                        };
+                        self.reply(ctx, proc, token, result, extra);
+                    }
+                    Ok((cap, _)) => {
+                        let owner = cap.ctrl;
+                        let ptoken = self.await_ack(
+                            owner,
+                            Box::new(move |this, res, ctx| {
+                                let result = match res {
+                                    Ok(AckVal::Count(n)) => SyscallResult::Value(n),
+                                    Ok(_) => SyscallResult::Ok,
+                                    Err(e) => SyscallResult::Err(e),
+                                };
+                                this.reply(ctx, proc, token, result, SimDuration::ZERO);
+                            }),
+                        );
+                        self.peer_send(
+                            ctx,
+                            owner,
+                            PeerOp::Revoke {
+                                obj: cap,
+                                reply_to: self.addr,
+                                token: ptoken,
+                            },
+                            extra,
+                        );
+                    }
+                }
+            }
+            Syscall::MonitorDelegate { cid, callback_id } => {
+                self.sc_monitor(ctx, proc, token, cid, MonitorKind::Delegate, callback_id)
+            }
+            Syscall::MonitorReceive { cid, callback_id } => {
+                self.sc_monitor(ctx, proc, token, cid, MonitorKind::Receive, callback_id)
+            }
+            Syscall::MemoryStat { cid } => {
+                let h = self.handling();
+                let extra = self.charge(ctx.now(), h * 2);
+                let result = match self.resolve_cid(proc, cid) {
+                    Err(e) => SyscallResult::Err(e),
+                    Ok((_, None)) => SyscallResult::Err(FosError::WrongObjectKind),
+                    Ok((_, Some(desc))) => {
+                        if desc.proc == proc {
+                            SyscallResult::Stat {
+                                addr: desc.addr,
+                                off: desc.view_off,
+                                size: desc.size,
+                            }
+                        } else {
+                            // Only the backing Process may learn raw
+                            // addresses.
+                            SyscallResult::Err(FosError::PermissionDenied)
+                        }
+                    }
+                };
+                self.reply(ctx, proc, token, result, extra);
+            }
+            Syscall::KvPut { key, cid } => {
+                let h = self.handling();
+                let extra = self.charge(ctx.now(), h * 2);
+                match self.resolve_cid(proc, cid) {
+                    Err(e) => self.reply(ctx, proc, token, SyscallResult::Err(e), extra),
+                    Ok((cap, mem)) => {
+                        let ca = CapArg { cap, mem };
+                        if self.addr == self.registry {
+                            self.kv.insert(key, ca);
+                            self.reply(ctx, proc, token, SyscallResult::Ok, extra);
+                        } else {
+                            let reg = self.registry;
+                            let ptoken = self.await_ack(
+                                reg,
+                                Box::new(move |this, res, ctx| {
+                                    let result = match res {
+                                        Ok(_) => SyscallResult::Ok,
+                                        Err(e) => SyscallResult::Err(e),
+                                    };
+                                    this.reply(ctx, proc, token, result, SimDuration::ZERO);
+                                }),
+                            );
+                            self.peer_send(
+                                ctx,
+                                reg,
+                                PeerOp::KvPut {
+                                    key,
+                                    cap: ca,
+                                    reply_to: self.addr,
+                                    token: ptoken,
+                                },
+                                extra,
+                            );
+                        }
+                    }
+                }
+            }
+            Syscall::KvGet { key } => {
+                let h = self.handling();
+                let extra = self.charge(ctx.now(), h * 2);
+                if self.addr == self.registry {
+                    self.kv_get_local(ctx, key, proc, None, token, extra);
+                } else {
+                    let reg = self.registry;
+                    let ptoken = self.await_ack(
+                        reg,
+                        Box::new(move |this, res, ctx| {
+                            let result = match res {
+                                Ok(AckVal::Cap(ca)) => match this.install_cap(proc, ca) {
+                                    Ok(cid) => SyscallResult::NewCid(cid),
+                                    Err(e) => SyscallResult::Err(e),
+                                },
+                                Ok(_) => SyscallResult::Err(FosError::NoSuchKey),
+                                Err(e) => SyscallResult::Err(e),
+                            };
+                            this.reply(ctx, proc, token, result, SimDuration::ZERO);
+                        }),
+                    );
+                    self.peer_send(
+                        ctx,
+                        reg,
+                        PeerOp::KvGet {
+                            key,
+                            to: proc,
+                            reply_to: self.addr,
+                            token: ptoken,
+                        },
+                        extra,
+                    );
+                }
+            }
+        }
+    }
+
+    fn sc_memory_create(
+        &mut self,
+        proc: ProcId,
+        addr: u64,
+        size: u64,
+        perms: fractos_cap::Perms,
+    ) -> SyscallResult {
+        let proc_ep = match self.dir.borrow().proc(proc) {
+            Some(pe) => pe.endpoint,
+            None => return SyscallResult::Err(FosError::ProcessFailed),
+        };
+        // The buffer must exist and be large enough. Device memory (e.g. a
+        // GPU buffer allocated by its adaptor) keeps its device placement.
+        let location = {
+            let mem = self.mem.borrow();
+            match mem.region_size(proc, addr) {
+                Some(rs) if rs >= size => mem.region_location(proc, addr).unwrap_or(proc_ep),
+                _ => return SyscallResult::Err(FosError::OutOfBounds),
+            }
+        };
+        let desc = MemoryDesc {
+            proc,
+            location,
+            addr,
+            view_off: 0,
+            size,
+            perms,
+        };
+        let cap = self
+            .table
+            .create(proc.token(), ObjPayload::Memory(desc.clone()));
+        self.mem.borrow_mut().register_window(cap, desc.clone());
+        match self.install_cap(
+            proc,
+            CapArg {
+                cap,
+                mem: Some(desc),
+            },
+        ) {
+            Ok(cid) => SyscallResult::NewCid(cid),
+            Err(e) => SyscallResult::Err(e),
+        }
+    }
+
+    fn sc_memory_copy(&mut self, ctx: &mut Ctx<'_>, proc: ProcId, token: u64, src: Cid, dst: Cid) {
+        let h = self.handling();
+        let (src_ref, src_snap) = match self.resolve_cid(proc, src) {
+            Ok(v) => v,
+            Err(e) => {
+                let extra = self.charge(ctx.now(), h);
+                self.reply(ctx, proc, token, SyscallResult::Err(e), extra);
+                return;
+            }
+        };
+        let (dst_ref, dst_snap) = match self.resolve_cid(proc, dst) {
+            Ok(v) => v,
+            Err(e) => {
+                let extra = self.charge(ctx.now(), h);
+                self.reply(ctx, proc, token, SyscallResult::Err(e), extra);
+                return;
+            }
+        };
+        let (Some(src_desc), Some(dst_desc)) = (src_snap, dst_snap) else {
+            let extra = self.charge(ctx.now(), h);
+            self.reply(
+                ctx,
+                proc,
+                token,
+                SyscallResult::Err(FosError::WrongObjectKind),
+                extra,
+            );
+            return;
+        };
+        let size = src_desc.size;
+        if dst_desc.size < size {
+            let extra = self.charge(ctx.now(), h);
+            self.reply(
+                ctx,
+                proc,
+                token,
+                SyscallResult::Err(FosError::SizeMismatch),
+                extra,
+            );
+            return;
+        }
+
+        // Move the actual bytes through the windows (one-sided access with
+        // validity, permission and bounds checks at the owner side).
+        let read = { self.mem.borrow().rdma_read_window(src_ref, 0, size) };
+        let data = match read {
+            Ok(d) => d,
+            Err(e) => {
+                let extra = self.charge(ctx.now(), h);
+                self.reply(ctx, proc, token, SyscallResult::Err(e), extra);
+                return;
+            }
+        };
+        let write = { self.mem.borrow_mut().rdma_write_window(dst_ref, 0, &data) };
+        if let Err(e) = write {
+            let extra = self.charge(ctx.now(), h);
+            self.reply(ctx, proc, token, SyscallResult::Err(e), extra);
+            return;
+        }
+
+        // Latency model.
+        let params = self.fabric.borrow().params().clone();
+        let extra = if params.third_party_rdma {
+            // "HW copies" (Fig 5): the NIC moves data directly between the
+            // two processes; the Controller only orchestrates.
+            let start = ctx.now() + self.charge(ctx.now(), h);
+            let copy = {
+                let mut fabric = self.fabric.borrow_mut();
+                fabric.rdma_write(start, ctx.rng(), src_desc.location, dst_desc.location, size)
+            };
+            let done = start + copy + params.local_oneway;
+            done.duration_since(ctx.now())
+        } else {
+            // Bounce buffers in the Controller with double buffering above
+            // the threshold (§4, §6.1). All chunk-read requests are posted
+            // back to back (the source's egress link serializes the
+            // responses); each chunk's write is posted as soon as its read
+            // has landed and been processed (the destination link
+            // serializes the writes); a single completion closes the
+            // transfer. The Controller pays processing per chunk on its
+            // (serial) cores.
+            let proc_cost = params.memcopy_proc(self.domain);
+            let chunk = if size > params.double_buffer_threshold {
+                params.double_buffer_chunk.min(size)
+            } else {
+                size.max(1)
+            };
+            let t0 = ctx.now() + self.charge(ctx.now(), h);
+            let mut last_write_arrival = t0;
+            let mut off = 0u64;
+            while off < size {
+                let n = chunk.min(size - off);
+                // One-sided read: tiny request now, bulk response queued on
+                // the source-side links.
+                let (req, resp) = {
+                    let mut fabric = self.fabric.borrow_mut();
+                    let req = fabric.send(
+                        t0,
+                        ctx.rng(),
+                        self.endpoint,
+                        src_desc.location,
+                        32,
+                        TrafficClass::Control,
+                    );
+                    let resp = fabric.send(
+                        t0 + req,
+                        ctx.rng(),
+                        src_desc.location,
+                        self.endpoint,
+                        n,
+                        TrafficClass::Data,
+                    );
+                    (req, resp)
+                };
+                let read_landed = t0 + req + resp;
+                // Chunk processing on the Controller cores: request
+                // bookkeeping plus two memcpys through the bounce buffers.
+                let chunk_cpu = proc_cost + params.bounce_memcpy(self.domain, n);
+                let processed = read_landed + self.charge(read_landed, chunk_cpu);
+                // One-sided write: bulk data queued on the path to the
+                // destination.
+                let wr = {
+                    let mut fabric = self.fabric.borrow_mut();
+                    fabric.send(
+                        processed,
+                        ctx.rng(),
+                        self.endpoint,
+                        dst_desc.location,
+                        n,
+                        TrafficClass::Data,
+                    )
+                };
+                last_write_arrival = last_write_arrival.max(processed + wr);
+                off += n;
+            }
+            // Final completion (write ack) back to the Controller.
+            let ack = {
+                let mut fabric = self.fabric.borrow_mut();
+                fabric.send(
+                    last_write_arrival,
+                    ctx.rng(),
+                    dst_desc.location,
+                    self.endpoint,
+                    0,
+                    TrafficClass::Control,
+                )
+            };
+            (last_write_arrival + ack).duration_since(ctx.now())
+        };
+        self.reply(ctx, proc, token, SyscallResult::Ok, extra);
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the syscall's shape
+    fn sc_request_create(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        proc: ProcId,
+        token: u64,
+        base: Option<Cid>,
+        tag: u64,
+        imms: Vec<Vec<u8>>,
+        caps: Vec<Cid>,
+    ) {
+        let h = self.handling();
+        let extra = self.charge(ctx.now(), h * 2);
+        // Resolve capability arguments from the caller's space.
+        let mut cap_args = Vec::with_capacity(caps.len());
+        for cid in caps {
+            match self.resolve_cid(proc, cid) {
+                Ok((cap, mem)) => cap_args.push(CapArg { cap, mem }),
+                Err(e) => {
+                    self.reply(ctx, proc, token, SyscallResult::Err(e), extra);
+                    return;
+                }
+            }
+        }
+        match base {
+            None => {
+                // New Request provided by the caller itself; it already
+                // holds the argument capabilities, so no delegation
+                // registration is needed.
+                let desc = RequestDesc {
+                    provider: proc,
+                    tag,
+                    args: imms
+                        .into_iter()
+                        .map(Arg::Imm)
+                        .chain(cap_args.into_iter().map(Arg::Cap))
+                        .collect(),
+                };
+                let cap = self.table.create(proc.token(), ObjPayload::Request(desc));
+                let result = match self.install_cap(proc, CapArg { cap, mem: None }) {
+                    Ok(cid) => SyscallResult::NewCid(cid),
+                    Err(e) => SyscallResult::Err(e),
+                };
+                self.reply(ctx, proc, token, result, extra);
+            }
+            Some(base_cid) => {
+                let (base_ref, _) = match self.resolve_cid(proc, base_cid) {
+                    Ok(v) => v,
+                    Err(e) => {
+                        self.reply(ctx, proc, token, SyscallResult::Err(e), extra);
+                        return;
+                    }
+                };
+                if base_ref.ctrl == self.addr {
+                    self.refine_local(
+                        ctx,
+                        base_ref,
+                        proc,
+                        imms,
+                        cap_args,
+                        move |this, res, ctx| {
+                            let result = match res {
+                                Ok(ca) => match this.install_cap(proc, ca) {
+                                    Ok(cid) => SyscallResult::NewCid(cid),
+                                    Err(e) => SyscallResult::Err(e),
+                                },
+                                Err(e) => SyscallResult::Err(e),
+                            };
+                            this.reply(ctx, proc, token, result, SimDuration::ZERO);
+                        },
+                    );
+                } else {
+                    let owner = base_ref.ctrl;
+                    let ptoken = self.await_ack(
+                        owner,
+                        Box::new(move |this, res, ctx| {
+                            let result = match res {
+                                Ok(AckVal::Cap(ca)) => match this.install_cap(proc, ca) {
+                                    Ok(cid) => SyscallResult::NewCid(cid),
+                                    Err(e) => SyscallResult::Err(e),
+                                },
+                                Ok(_) => SyscallResult::Err(FosError::WrongObjectKind),
+                                Err(e) => SyscallResult::Err(e),
+                            };
+                            this.reply(ctx, proc, token, result, SimDuration::ZERO);
+                        }),
+                    );
+                    self.peer_send(
+                        ctx,
+                        owner,
+                        PeerOp::Derive {
+                            obj: base_ref,
+                            op: DeriveOp::Refine {
+                                imms,
+                                caps: cap_args,
+                            },
+                            creator: proc,
+                            reply_to: self.addr,
+                            token: ptoken,
+                        },
+                        extra,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Owner-side Request refinement: register delegation of the appended
+    /// capability arguments to the provider, then derive the refined object.
+    fn refine_local(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        base: CapRef,
+        creator: ProcId,
+        imms: Vec<Vec<u8>>,
+        cap_args: Vec<CapArg>,
+        done: impl FnOnce(&mut Self, Result<CapArg, FosError>, &mut Ctx<'_>) + 'static,
+    ) {
+        if let Err(e) = self.table.check(base) {
+            done(self, Err(e.into()), ctx);
+            return;
+        }
+        let Some(base_desc) = self
+            .table
+            .resolve(base)
+            .ok()
+            .and_then(|p| p.as_request().cloned())
+        else {
+            done(self, Err(FosError::WrongObjectKind), ctx);
+            return;
+        };
+        let provider = base_desc.provider;
+        self.delegate_seq(
+            ctx,
+            cap_args,
+            Vec::new(),
+            provider,
+            Box::new(move |this, res, ctx| match res {
+                Err(e) => done(this, Err(e), ctx),
+                Ok(delegated) => {
+                    let mut desc = base_desc;
+                    desc.args.extend(imms.into_iter().map(Arg::Imm));
+                    desc.args.extend(delegated.into_iter().map(Arg::Cap));
+                    match this
+                        .table
+                        .derive(base.object, creator.token(), ObjPayload::Request(desc))
+                    {
+                        Ok(cap) => done(this, Ok(CapArg { cap, mem: None }), ctx),
+                        Err(e) => done(this, Err(e.into()), ctx),
+                    }
+                }
+            }),
+        );
+    }
+
+    fn sc_request_invoke(&mut self, ctx: &mut Ctx<'_>, proc: ProcId, token: u64, cid: Cid) {
+        let cost = self.invoke_handling();
+        let extra = self.charge(ctx.now(), cost);
+        let (req_ref, _) = match self.resolve_cid(proc, cid) {
+            Ok(v) => v,
+            Err(e) => {
+                self.reply(ctx, proc, token, SyscallResult::Err(e), extra);
+                return;
+            }
+        };
+        if req_ref.ctrl == self.addr {
+            let result = match self.do_local_invoke(ctx, req_ref, extra) {
+                Ok(()) => SyscallResult::Ok,
+                Err(e) => SyscallResult::Err(e),
+            };
+            self.reply(ctx, proc, token, result, extra);
+        } else {
+            let owner = req_ref.ctrl;
+            let ptoken = self.await_ack(
+                owner,
+                Box::new(move |this, res, ctx| {
+                    let result = match res {
+                        Ok(_) => SyscallResult::Ok,
+                        Err(e) => SyscallResult::Err(e),
+                    };
+                    this.reply(ctx, proc, token, result, SimDuration::ZERO);
+                }),
+            );
+            self.peer_send(
+                ctx,
+                owner,
+                PeerOp::Invoke {
+                    req: req_ref,
+                    reply_to: self.addr,
+                    token: ptoken,
+                },
+                extra,
+            );
+        }
+    }
+
+    /// Owner-side invocation: deliver the Request to its provider Process.
+    fn do_local_invoke(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        req: CapRef,
+        extra: SimDuration,
+    ) -> Result<(), FosError> {
+        self.table.check(req)?;
+        let desc = self
+            .table
+            .resolve(req)?
+            .as_request()
+            .cloned()
+            .ok_or(FosError::WrongObjectKind)?;
+        let provider = desc.provider;
+        let alive = self.dir.borrow().proc(provider).is_some_and(|p| p.alive)
+            && !self.dead_procs.contains(&provider);
+        if !alive {
+            return Err(FosError::ProcessFailed);
+        }
+        let mut imms = Vec::new();
+        let mut cids = Vec::new();
+        for arg in &desc.args {
+            match arg {
+                Arg::Imm(b) => imms.push(b.clone()),
+                Arg::Cap(ca) => cids.push(self.install_cap(provider, ca.clone())?),
+            }
+        }
+        self.send_proc(
+            ctx,
+            provider,
+            CtrlToProc::Deliver(IncomingRequest {
+                tag: desc.tag,
+                imms,
+                caps: cids,
+            }),
+            extra,
+        );
+        Ok(())
+    }
+
+    fn sc_monitor(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        proc: ProcId,
+        token: u64,
+        cid: Cid,
+        kind: MonitorKind,
+        callback_id: u64,
+    ) {
+        let h = self.handling();
+        let extra = self.charge(ctx.now(), h * 2);
+        let (cap, _) = match self.resolve_cid(proc, cid) {
+            Ok(v) => v,
+            Err(e) => {
+                self.reply(ctx, proc, token, SyscallResult::Err(e), extra);
+                return;
+            }
+        };
+        if cap.ctrl == self.addr {
+            let result = match self.do_local_monitor(cap, kind, proc, callback_id) {
+                Ok(()) => SyscallResult::Ok,
+                Err(e) => SyscallResult::Err(e),
+            };
+            self.reply(ctx, proc, token, result, extra);
+        } else {
+            let owner = cap.ctrl;
+            let ptoken = self.await_ack(
+                owner,
+                Box::new(move |this, res, ctx| {
+                    let result = match res {
+                        Ok(_) => SyscallResult::Ok,
+                        Err(e) => SyscallResult::Err(e),
+                    };
+                    this.reply(ctx, proc, token, result, SimDuration::ZERO);
+                }),
+            );
+            self.peer_send(
+                ctx,
+                owner,
+                PeerOp::Monitor {
+                    obj: cap,
+                    kind,
+                    watcher: proc,
+                    callback_id,
+                    reply_to: self.addr,
+                    token: ptoken,
+                },
+                extra,
+            );
+        }
+    }
+
+    fn do_local_monitor(
+        &mut self,
+        cap: CapRef,
+        kind: MonitorKind,
+        watcher: ProcId,
+        callback_id: u64,
+    ) -> Result<(), FosError> {
+        self.table.check(cap)?;
+        let w = Watcher {
+            process: watcher.token(),
+            callback_id,
+        };
+        match kind {
+            MonitorKind::Delegate => self.table.monitor_delegate(cap.object, w)?,
+            MonitorKind::Receive => self.table.monitor_receive(cap.object, w)?,
+        }
+        Ok(())
+    }
+
+    fn kv_get_local(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        key: String,
+        to: ProcId,
+        ack_to: Option<(ControllerAddr, u64)>,
+        proc_token: u64,
+        extra: SimDuration,
+    ) {
+        let Some(ca) = self.kv.get(&key).cloned() else {
+            match ack_to {
+                Some((peer, token)) => self.peer_send(
+                    ctx,
+                    peer,
+                    PeerOp::KvGetAck {
+                        token,
+                        result: Err(FosError::NoSuchKey),
+                    },
+                    extra,
+                ),
+                None => self.reply(
+                    ctx,
+                    to,
+                    proc_token,
+                    SyscallResult::Err(FosError::NoSuchKey),
+                    extra,
+                ),
+            }
+            return;
+        };
+        // Register the delegation at the owner, then hand out the result.
+        self.delegate_seq(
+            ctx,
+            vec![ca],
+            Vec::new(),
+            to,
+            Box::new(move |this, res, ctx| {
+                let result = res.map(|mut v| v.remove(0));
+                match ack_to {
+                    Some((peer, token)) => this.peer_send(
+                        ctx,
+                        peer,
+                        PeerOp::KvGetAck { token, result },
+                        SimDuration::ZERO,
+                    ),
+                    None => {
+                        let sr = match result {
+                            Ok(ca) => match this.install_cap(to, ca) {
+                                Ok(cid) => SyscallResult::NewCid(cid),
+                                Err(e) => SyscallResult::Err(e),
+                            },
+                            Err(e) => SyscallResult::Err(e),
+                        };
+                        this.reply(ctx, to, proc_token, sr, SimDuration::ZERO);
+                    }
+                }
+            }),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Peer-op handling
+    // ------------------------------------------------------------------
+
+    fn handle_peer(&mut self, ctx: &mut Ctx<'_>, from: ControllerAddr, op: PeerOp) {
+        // Receiver-side (de)serialization cost.
+        let crossing = match self.dir.borrow().ctrl(from) {
+            Some(ce) => ce.endpoint.node != self.endpoint.node,
+            None => false,
+        };
+        let ser = self.serialize_cost(&op, crossing);
+        let h = self.handling();
+
+        match op {
+            PeerOp::Invoke {
+                req,
+                reply_to,
+                token,
+            } => {
+                let cost = self.invoke_handling();
+                let extra = self.charge(ctx.now(), cost + ser);
+                let result = self.do_local_invoke(ctx, req, extra);
+                self.peer_send(ctx, reply_to, PeerOp::InvokeAck { token, result }, extra);
+            }
+            PeerOp::InvokeAck { token, result } => {
+                let extra = self.charge(ctx.now(), h);
+                let _ = extra;
+                self.complete_ack(ctx, token, result.map(|()| AckVal::None));
+            }
+            PeerOp::Derive {
+                obj,
+                op,
+                creator,
+                reply_to,
+                token,
+            } => {
+                let extra = self.charge(ctx.now(), h + ser);
+                match op {
+                    DeriveOp::Diminish {
+                        offset,
+                        size,
+                        drop_perms,
+                    } => {
+                        let result = self.do_local_diminish(obj, creator, offset, size, drop_perms);
+                        self.peer_send(ctx, reply_to, PeerOp::DeriveAck { token, result }, extra);
+                    }
+                    DeriveOp::Revtree => {
+                        let result = self.do_local_revtree(obj, creator);
+                        self.peer_send(ctx, reply_to, PeerOp::DeriveAck { token, result }, extra);
+                    }
+                    DeriveOp::Refine { imms, caps } => {
+                        self.refine_local(
+                            ctx,
+                            obj,
+                            creator,
+                            imms,
+                            caps,
+                            move |this, result, ctx| {
+                                this.peer_send(
+                                    ctx,
+                                    reply_to,
+                                    PeerOp::DeriveAck { token, result },
+                                    SimDuration::ZERO,
+                                );
+                            },
+                        );
+                    }
+                }
+            }
+            PeerOp::DeriveAck { token, result } | PeerOp::DelegateAck { token, result } => {
+                let _ = self.charge(ctx.now(), h + ser);
+                self.complete_ack(ctx, token, result.map(AckVal::Cap));
+            }
+            PeerOp::Delegate {
+                obj,
+                to,
+                reply_to,
+                token,
+            } => {
+                let extra = self.charge(ctx.now(), h + ser);
+                let result = self.do_local_delegate(obj, to);
+                self.peer_send(ctx, reply_to, PeerOp::DelegateAck { token, result }, extra);
+            }
+            PeerOp::Revoke {
+                obj,
+                reply_to,
+                token,
+            } => {
+                let extra = self.charge(ctx.now(), h);
+                let result = self.do_local_revoke(ctx, obj);
+                self.peer_send(ctx, reply_to, PeerOp::RevokeAck { token, result }, extra);
+            }
+            PeerOp::RevokeAck { token, result } => {
+                let _ = self.charge(ctx.now(), h);
+                self.complete_ack(ctx, token, result.map(AckVal::Count));
+            }
+            PeerOp::Monitor {
+                obj,
+                kind,
+                watcher,
+                callback_id,
+                reply_to,
+                token,
+            } => {
+                let extra = self.charge(ctx.now(), h);
+                let result = self.do_local_monitor(obj, kind, watcher, callback_id);
+                self.peer_send(ctx, reply_to, PeerOp::MonitorAck { token, result }, extra);
+            }
+            PeerOp::MonitorAck { token, result } => {
+                let _ = self.charge(ctx.now(), h);
+                self.complete_ack(ctx, token, result.map(|()| AckVal::None));
+            }
+            PeerOp::MonitorEvent { proc, cb } => {
+                let extra = self.charge(ctx.now(), h);
+                self.send_proc(ctx, proc, CtrlToProc::Monitor(cb), extra);
+            }
+            PeerOp::Cleanup { objs } => {
+                let _ = self.charge(ctx.now(), h);
+                self.scrub_capspaces(&objs);
+            }
+            PeerOp::FailProcess { proc } => {
+                let _ = self.charge(ctx.now(), h);
+                self.fail_process_local(ctx, proc);
+            }
+            PeerOp::KvPut {
+                key,
+                cap,
+                reply_to,
+                token,
+            } => {
+                let extra = self.charge(ctx.now(), h + ser);
+                self.kv.insert(key, cap);
+                self.peer_send(
+                    ctx,
+                    reply_to,
+                    PeerOp::KvPutAck {
+                        token,
+                        result: Ok(()),
+                    },
+                    extra,
+                );
+            }
+            PeerOp::KvPutAck { token, result } => {
+                let _ = self.charge(ctx.now(), h);
+                self.complete_ack(ctx, token, result.map(|()| AckVal::None));
+            }
+            PeerOp::KvGet {
+                key,
+                to,
+                reply_to,
+                token,
+            } => {
+                let extra = self.charge(ctx.now(), h);
+                self.kv_get_local(ctx, key, to, Some((reply_to, token)), 0, extra);
+            }
+            PeerOp::KvGetAck { token, result } => {
+                let _ = self.charge(ctx.now(), h + ser);
+                self.complete_ack(ctx, token, result.map(AckVal::Cap));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Failure translation (§3.6)
+    // ------------------------------------------------------------------
+
+    /// Local part of Process-failure translation: revoke everything the
+    /// Process registered with *this* Controller and drop its capability
+    /// space.
+    fn fail_process_local(&mut self, ctx: &mut Ctx<'_>, proc: ProcId) {
+        let outcome = self.table.fail_process(proc.token());
+        let epoch = self.table.epoch();
+        {
+            let mut mem = self.mem.borrow_mut();
+            for id in &outcome.revoked {
+                mem.invalidate_window(CapRef {
+                    ctrl: self.addr,
+                    epoch,
+                    object: *id,
+                });
+            }
+        }
+        self.dispatch_monitor_events(ctx, &outcome.events);
+        if self.spaces.remove(&proc).is_some() {
+            self.dead_procs.insert(proc);
+            self.snaps.retain(|(p, _), _| *p != proc);
+        }
+    }
+
+    /// Full Process-failure translation at the managing Controller: local
+    /// cleanup plus a broadcast so every owner revokes the Process's
+    /// objects.
+    fn on_proc_severed(&mut self, ctx: &mut Ctx<'_>, proc: ProcId) {
+        self.dir.borrow_mut().kill_proc(proc);
+        self.mem.borrow_mut().invalidate_proc_windows(proc);
+        self.fail_process_local(ctx, proc);
+        let peers = self.dir.borrow().all_ctrls();
+        for peer in peers {
+            if peer != self.addr && !self.peers_dead.contains(&peer) {
+                self.peer_send(ctx, peer, PeerOp::FailProcess { proc }, SimDuration::ZERO);
+            }
+        }
+    }
+
+    fn on_peer_failed(&mut self, ctx: &mut Ctx<'_>, peer: ControllerAddr) {
+        if !self.peers_dead.insert(peer) {
+            return;
+        }
+        self.fail_ops_to(ctx, peer);
+        // All Processes the dead Controller managed are considered failed
+        // (§3.6); translate locally.
+        let procs = self.dir.borrow().procs_of(peer);
+        for proc in procs {
+            self.mem.borrow_mut().invalidate_proc_windows(proc);
+            self.fail_process_local(ctx, proc);
+        }
+    }
+}
+
+impl Actor for ControllerActor {
+    fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+        let msg = *msg
+            .downcast::<CtrlMsg>()
+            .expect("ControllerActor expects CtrlMsg");
+        if self.dead {
+            // A dead Controller neither processes nor replies; reboots
+            // arrive as CtrlMsg::Reboot.
+            if let CtrlMsg::Reboot = msg {
+                self.dead = false;
+                self.table.reboot();
+                self.spaces.clear();
+                self.snaps.clear();
+                self.kv.clear();
+                self.pending.clear();
+                self.dead_procs.clear();
+                self.dir.borrow_mut().revive_ctrl(self.addr);
+            }
+            return;
+        }
+        match msg {
+            CtrlMsg::FromProc { proc, token, sc } => {
+                // Account the arriving syscall's wire size once more is not
+                // needed — the sender already recorded it; just process.
+                let _ = syscall_msg_size(&sc);
+                ctx.trace(format!("{} syscall {} from {}", self.addr, sc.name(), proc));
+                self.handle_syscall(ctx, proc, token, sc);
+            }
+            CtrlMsg::FromPeer { from, op } => {
+                ctx.trace(format!(
+                    "{} peer-op from {}: {}",
+                    self.addr,
+                    from,
+                    peer_op_name(&op)
+                ));
+                self.handle_peer(ctx, from, op)
+            }
+            CtrlMsg::ProcChannelSevered { proc } => self.on_proc_severed(ctx, proc),
+            CtrlMsg::PeerFailed { peer } => self.on_peer_failed(ctx, peer),
+            CtrlMsg::Kill => {
+                self.dead = true;
+                self.dir.borrow_mut().kill_ctrl(self.addr);
+            }
+            CtrlMsg::Reboot => {
+                // Reboot of a live Controller: same state loss.
+                self.table.reboot();
+                self.spaces.clear();
+                self.snaps.clear();
+                self.kv.clear();
+                self.pending.clear();
+                self.dead_procs.clear();
+            }
+            CtrlMsg::Ping {
+                watchdog,
+                watchdog_ep,
+                seq,
+            } => {
+                let delay = self.fabric.borrow_mut().send(
+                    ctx.now(),
+                    ctx.rng(),
+                    self.endpoint,
+                    watchdog_ep,
+                    16,
+                    TrafficClass::Control,
+                );
+                ctx.send_after(
+                    delay,
+                    watchdog,
+                    crate::watchdog::WatchdogMsg::Pong {
+                        from: self.addr,
+                        seq,
+                    },
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Cluster directory: who runs where, and what is still alive.
+//!
+//! In the prototype this knowledge comes from the trusted bootstrapping and
+//! discovery service Controllers register with (§3.2). The simulation keeps
+//! it in one shared structure: actors consult it to translate a `ProcId` or
+//! `ControllerAddr` into a simulation actor and a fabric endpoint, exactly
+//! like an established connection table. Liveness flags are flipped by the
+//! failure-injection API and the watchdog.
+
+use std::collections::HashMap;
+
+use fractos_cap::ControllerAddr;
+use fractos_net::{ComputeDomain, Endpoint};
+use fractos_sim::ActorId;
+
+use crate::types::ProcId;
+
+/// Directory entry for a Process.
+#[derive(Debug, Clone)]
+pub struct ProcEntry {
+    /// The Controller managing this Process.
+    pub ctrl: ControllerAddr,
+    /// The simulation actor implementing it.
+    pub actor: ActorId,
+    /// Where it runs.
+    pub endpoint: Endpoint,
+    /// Human-readable name.
+    pub name: String,
+    /// Whether the Process is alive.
+    pub alive: bool,
+}
+
+/// Directory entry for a Controller.
+#[derive(Debug, Clone)]
+pub struct CtrlEntry {
+    /// The simulation actor implementing it.
+    pub actor: ActorId,
+    /// Where it runs (host CPU or SmartNIC).
+    pub endpoint: Endpoint,
+    /// Execution domain (scales software costs).
+    pub domain: ComputeDomain,
+    /// Whether the Controller is alive.
+    pub alive: bool,
+}
+
+/// The shared cluster directory.
+#[derive(Debug, Default)]
+pub struct Directory {
+    procs: HashMap<ProcId, ProcEntry>,
+    ctrls: HashMap<ControllerAddr, CtrlEntry>,
+    next_proc: u32,
+    next_ctrl: u32,
+}
+
+impl Directory {
+    /// An empty directory.
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Registers a Controller, assigning its address.
+    pub fn register_ctrl(
+        &mut self,
+        actor: ActorId,
+        endpoint: Endpoint,
+        domain: ComputeDomain,
+    ) -> ControllerAddr {
+        let addr = ControllerAddr(self.next_ctrl);
+        self.next_ctrl += 1;
+        self.ctrls.insert(
+            addr,
+            CtrlEntry {
+                actor,
+                endpoint,
+                domain,
+                alive: true,
+            },
+        );
+        addr
+    }
+
+    /// Registers a Process managed by `ctrl`.
+    pub fn register_proc(
+        &mut self,
+        name: &str,
+        actor: ActorId,
+        endpoint: Endpoint,
+        ctrl: ControllerAddr,
+    ) -> ProcId {
+        let id = ProcId(self.next_proc);
+        self.next_proc += 1;
+        self.procs.insert(
+            id,
+            ProcEntry {
+                ctrl,
+                actor,
+                endpoint,
+                name: name.to_string(),
+                alive: true,
+            },
+        );
+        id
+    }
+
+    /// Looks up a Process.
+    pub fn proc(&self, id: ProcId) -> Option<&ProcEntry> {
+        self.procs.get(&id)
+    }
+
+    /// Fixes up the actor id of a Controller registered before its actor
+    /// existed (two-phase testbed wiring).
+    pub fn set_ctrl_actor(&mut self, addr: ControllerAddr, actor: ActorId) {
+        if let Some(c) = self.ctrls.get_mut(&addr) {
+            c.actor = actor;
+        }
+    }
+
+    /// Fixes up the actor id of a Process registered before its actor
+    /// existed (two-phase testbed wiring).
+    pub fn set_proc_actor(&mut self, id: ProcId, actor: ActorId) {
+        if let Some(p) = self.procs.get_mut(&id) {
+            p.actor = actor;
+        }
+    }
+
+    /// Looks up a Controller.
+    pub fn ctrl(&self, addr: ControllerAddr) -> Option<&CtrlEntry> {
+        self.ctrls.get(&addr)
+    }
+
+    /// Marks a Process dead.
+    pub fn kill_proc(&mut self, id: ProcId) {
+        if let Some(p) = self.procs.get_mut(&id) {
+            p.alive = false;
+        }
+    }
+
+    /// Marks a Controller dead.
+    pub fn kill_ctrl(&mut self, addr: ControllerAddr) {
+        if let Some(c) = self.ctrls.get_mut(&addr) {
+            c.alive = false;
+        }
+    }
+
+    /// Marks a Controller alive again (reboot).
+    pub fn revive_ctrl(&mut self, addr: ControllerAddr) {
+        if let Some(c) = self.ctrls.get_mut(&addr) {
+            c.alive = true;
+        }
+    }
+
+    /// All Processes managed by `ctrl`.
+    pub fn procs_of(&self, ctrl: ControllerAddr) -> Vec<ProcId> {
+        let mut v: Vec<ProcId> = self
+            .procs
+            .iter()
+            .filter(|(_, e)| e.ctrl == ctrl)
+            .map(|(id, _)| *id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// All registered Controllers, in address order.
+    pub fn all_ctrls(&self) -> Vec<ControllerAddr> {
+        let mut v: Vec<ControllerAddr> = self.ctrls.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractos_net::NodeId;
+
+    #[test]
+    fn registration_assigns_sequential_ids() {
+        let mut d = Directory::new();
+        let c0 = d.register_ctrl(
+            ActorId::from_raw(0),
+            Endpoint::cpu(NodeId(0)),
+            ComputeDomain::HostCpu,
+        );
+        let c1 = d.register_ctrl(
+            ActorId::from_raw(1),
+            Endpoint::snic(NodeId(1)),
+            ComputeDomain::SmartNic,
+        );
+        assert_eq!(c0, ControllerAddr(0));
+        assert_eq!(c1, ControllerAddr(1));
+        let p0 = d.register_proc("app", ActorId::from_raw(2), Endpoint::cpu(NodeId(0)), c0);
+        let p1 = d.register_proc("gpu", ActorId::from_raw(3), Endpoint::cpu(NodeId(1)), c1);
+        assert_eq!(p0, ProcId(0));
+        assert_eq!(d.proc(p1).unwrap().ctrl, c1);
+        assert_eq!(d.procs_of(c0), vec![p0]);
+        assert_eq!(d.all_ctrls(), vec![c0, c1]);
+    }
+
+    #[test]
+    fn liveness_flags() {
+        let mut d = Directory::new();
+        let c = d.register_ctrl(
+            ActorId::from_raw(0),
+            Endpoint::cpu(NodeId(0)),
+            ComputeDomain::HostCpu,
+        );
+        let p = d.register_proc("x", ActorId::from_raw(1), Endpoint::cpu(NodeId(0)), c);
+        assert!(d.proc(p).unwrap().alive);
+        d.kill_proc(p);
+        assert!(!d.proc(p).unwrap().alive);
+        d.kill_ctrl(c);
+        assert!(!d.ctrl(c).unwrap().alive);
+        d.revive_ctrl(c);
+        assert!(d.ctrl(c).unwrap().alive);
+    }
+}

@@ -1,0 +1,81 @@
+//! Analytic message-complexity model of §2.1.
+//!
+//! The paper derives: for an application using `N` services, the distributed
+//! model cuts steady-state network messages from `2N` (star topology: one
+//! round trip per service) to `N + 1` (chain/ring: one hop per service plus
+//! the final response). When services themselves nest into a tree with `N`
+//! total nodes and `L` leaves doing the work, the upper bound on the
+//! reduction is `2·N / L`. The `fig2_message_complexity` bench checks the
+//! *measured* FractOS pipeline against these formulas.
+
+/// Steady-state network messages of the centralized (star) model with `n`
+/// services: one request plus one response per service.
+pub fn star_messages(n: u64) -> u64 {
+    2 * n
+}
+
+/// Steady-state network messages of the fully distributed (chain) model
+/// with `n` services: one hop into each service plus the final response.
+pub fn chain_messages(n: u64) -> u64 {
+    n + 1
+}
+
+/// Message-complexity reduction of the distributed model for a flat
+/// application with `n` services.
+pub fn flat_reduction(n: u64) -> f64 {
+    star_messages(n) as f64 / chain_messages(n) as f64
+}
+
+/// Upper bound on the message-complexity reduction for a service *tree*
+/// with `total` nodes and `leaves` leaf services (§2.1: "as high as
+/// 2 · N / L").
+pub fn tree_reduction_bound(total: u64, leaves: u64) -> f64 {
+    assert!(leaves > 0 && leaves <= total, "invalid tree shape");
+    2.0 * total as f64 / leaves as f64
+}
+
+/// Control messages of the paper's face-verification pipeline (§6.5):
+/// centralized baseline uses eight (two for open, four for reading through
+/// NFS + NVMe-oF, two for the GPU), FractOS uses five (two for open, one
+/// chained call storage→GPU→frontend).
+pub const FACEVERIF_BASELINE_CONTROL_MSGS: u64 = 8;
+
+/// See [`FACEVERIF_BASELINE_CONTROL_MSGS`].
+pub const FACEVERIF_FRACTOS_CONTROL_MSGS: u64 = 5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_model_matches_paper() {
+        // "reduces the number of steady-state network messages by up to 2×
+        // (from 2N to N+1)".
+        assert_eq!(star_messages(3), 6);
+        assert_eq!(chain_messages(3), 4);
+        assert!((flat_reduction(3) - 1.5).abs() < 1e-12);
+        // The bound approaches 2× as N grows.
+        assert!(flat_reduction(100) > 1.9);
+    }
+
+    #[test]
+    fn tree_bound_matches_paper() {
+        // A two-level FS service: app → FS → SSD. N = 3 nodes, L = 1 leaf
+        // doing the work: up to 6× fewer messages.
+        assert!((tree_reduction_bound(3, 1) - 6.0).abs() < 1e-12);
+        // Flat tree (all leaves): reduces to the 2× bound.
+        assert!((tree_reduction_bound(4, 4) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid tree shape")]
+    fn tree_bound_rejects_zero_leaves() {
+        tree_reduction_bound(3, 0);
+    }
+
+    #[test]
+    fn faceverif_control_counts() {
+        assert_eq!(FACEVERIF_BASELINE_CONTROL_MSGS, 8);
+        assert_eq!(FACEVERIF_FRACTOS_CONTROL_MSGS, 5);
+    }
+}

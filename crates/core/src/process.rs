@@ -1,0 +1,644 @@
+//! The Process runtime and the `libfractos` user API.
+//!
+//! A FractOS Process is a user-level program connected to exactly one
+//! Controller through an asynchronous request/response queue pair (§3.1).
+//! Application logic implements [`Service`]; the [`Fos`] handle issues
+//! syscalls in continuation-passing style — the paper notes that execution
+//! in FractOS "is, in fact, a distributed form of the continuation-passing
+//! style (CPS) model", and its prototype builds a bespoke promise/future
+//! library for the same purpose (§4). Continuations receive `&mut S`, so
+//! services keep plain owned state without interior mutability.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use fractos_cap::{Cid, Perms};
+use fractos_net::{Endpoint, TrafficClass};
+use fractos_sim::{Actor, Ctx, Msg, SimDuration, SimTime};
+
+use crate::directory::Directory;
+use crate::memstore::MemoryStore;
+use crate::messages::{syscall_msg_size, CtrlMsg, CtrlToProc, ProcMsg};
+use crate::types::{FosError, IncomingRequest, MonitorCb, ProcId, Syscall, SyscallResult};
+
+/// Application logic of a FractOS Process (user service or device adaptor).
+///
+/// All methods run inside the simulation; they must not block. Asynchrony is
+/// expressed by issuing syscalls with continuations through [`Fos`].
+pub trait Service: 'static {
+    /// Called once when the Process starts.
+    fn on_start(&mut self, fos: &Fos<Self>)
+    where
+        Self: Sized,
+    {
+        let _ = fos;
+    }
+
+    /// Called when a Request this Process provides is invoked.
+    fn on_request(&mut self, req: IncomingRequest, fos: &Fos<Self>)
+    where
+        Self: Sized;
+
+    /// Called when a monitor callback arrives (§3.6).
+    fn on_monitor(&mut self, cb: MonitorCb, fos: &Fos<Self>)
+    where
+        Self: Sized,
+    {
+        let _ = (cb, fos);
+    }
+}
+
+type Cont<S> = Box<dyn FnOnce(&mut S, SyscallResult, &Fos<S>)>;
+type TimerCont<S> = Box<dyn FnOnce(&mut S, &Fos<S>)>;
+
+enum Out {
+    Syscall { token: u64, sc: Syscall },
+    Timer { token: u64, delay: SimDuration },
+}
+
+struct FosInner<S> {
+    proc: ProcId,
+    now: SimTime,
+    next_token: u64,
+    conts: HashMap<u64, Cont<S>>,
+    timers: HashMap<u64, TimerCont<S>>,
+    out: Vec<Out>,
+    // Congestion control (§4): bounded outstanding syscalls; excess queues.
+    outstanding: u32,
+    window: u32,
+    backlog: VecDeque<(u64, Syscall)>,
+    mem: Rc<RefCell<MemoryStore>>,
+}
+
+/// Handle through which a [`Service`] uses FractOS.
+///
+/// Cheap to clone; all clones refer to the same Process.
+pub struct Fos<S> {
+    inner: Rc<RefCell<FosInner<S>>>,
+}
+
+impl<S> Clone for Fos<S> {
+    fn clone(&self) -> Self {
+        Fos {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<S: Service> Fos<S> {
+    /// This Process's id.
+    pub fn proc_id(&self) -> ProcId {
+        self.inner.borrow().proc
+    }
+
+    /// Current virtual time (updated on every delivery to this Process).
+    pub fn now(&self) -> SimTime {
+        self.inner.borrow().now
+    }
+
+    /// Sets the congestion-control window: the maximum number of
+    /// simultaneously outstanding syscalls (further calls queue FIFO).
+    pub fn set_window(&self, window: u32) {
+        self.inner.borrow_mut().window = window.max(1);
+    }
+
+    /// Issues an asynchronous syscall; `k` runs when the reply arrives.
+    pub fn call(&self, sc: Syscall, k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + 'static) {
+        let mut inner = self.inner.borrow_mut();
+        let token = inner.next_token;
+        inner.next_token += 1;
+        inner.conts.insert(token, Box::new(k));
+        if inner.outstanding < inner.window {
+            inner.outstanding += 1;
+            inner.out.push(Out::Syscall { token, sc });
+        } else {
+            inner.backlog.push_back((token, sc));
+        }
+    }
+
+    /// Issues a syscall and ignores its result.
+    pub fn call_ignore(&self, sc: Syscall) {
+        self.call(sc, |_, _, _| {});
+    }
+
+    /// Issues several syscalls concurrently and runs `k` once with all the
+    /// results, in call order — the fan-in (`join`) combinator of the
+    /// paper's promise/future library (§4).
+    pub fn call_all(
+        &self,
+        calls: Vec<Syscall>,
+        k: impl FnOnce(&mut S, Vec<SyscallResult>, &Fos<S>) + 'static,
+    ) {
+        use std::cell::RefCell as Cell;
+
+        let n = calls.len();
+        if n == 0 {
+            // Degenerate join: complete via a null syscall so `k` still
+            // runs from a continuation context.
+            self.call(Syscall::Null, move |s, _res, fos| k(s, Vec::new(), fos));
+            return;
+        }
+        struct Join<S> {
+            slots: Vec<Option<SyscallResult>>,
+            left: usize,
+            #[allow(clippy::type_complexity)]
+            k: Option<Box<dyn FnOnce(&mut S, Vec<SyscallResult>, &Fos<S>)>>,
+        }
+        let join = Rc::new(Cell::new(Join {
+            slots: vec![None; n],
+            left: n,
+            k: Some(Box::new(k)),
+        }));
+        for (i, sc) in calls.into_iter().enumerate() {
+            let join = Rc::clone(&join);
+            self.call(sc, move |s, res, fos| {
+                let done = {
+                    let mut j = join.borrow_mut();
+                    j.slots[i] = Some(res);
+                    j.left -= 1;
+                    j.left == 0
+                };
+                if done {
+                    let (k, slots) = {
+                        let mut j = join.borrow_mut();
+                        (j.k.take(), std::mem::take(&mut j.slots))
+                    };
+                    if let Some(k) = k {
+                        k(
+                            s,
+                            slots.into_iter().map(|r| r.expect("filled")).collect(),
+                            fos,
+                        );
+                    }
+                }
+            });
+        }
+    }
+
+    /// Arms a local timer; `k` runs after `delay` of virtual time. Used by
+    /// device adaptors to model device service times.
+    pub fn sleep(&self, delay: SimDuration, k: impl FnOnce(&mut S, &Fos<S>) + 'static) {
+        let mut inner = self.inner.borrow_mut();
+        let token = inner.next_token;
+        inner.next_token += 1;
+        inner.timers.insert(token, Box::new(k));
+        inner.out.push(Out::Timer { token, delay });
+    }
+
+    /// Allocates a buffer in this Process's (simulated) memory.
+    pub fn mem_alloc(&self, size: u64) -> u64 {
+        let inner = self.inner.borrow();
+        let proc = inner.proc;
+        let mem = Rc::clone(&inner.mem);
+        drop(inner);
+        let addr = mem.borrow_mut().alloc(proc, size);
+        addr
+    }
+
+    /// Allocates a buffer physically placed at a device endpoint (adaptors
+    /// managing device memory, e.g. GPU buffers).
+    pub fn mem_alloc_at(&self, size: u64, location: Endpoint) -> u64 {
+        let inner = self.inner.borrow();
+        let proc = inner.proc;
+        let mem = Rc::clone(&inner.mem);
+        drop(inner);
+        let addr = mem.borrow_mut().alloc_at(proc, size, location);
+        addr
+    }
+
+    /// `memory_stat`: resolve a Memory capability backed by this Process's
+    /// own memory to `(addr, off, size)`.
+    pub fn memory_stat(&self, cid: Cid, k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + 'static) {
+        self.call(Syscall::MemoryStat { cid }, k);
+    }
+
+    /// The service-reply idiom: derive the received continuation Request
+    /// with result arguments and invoke it (§3.4 — a reply *is* the
+    /// invocation of a continuation).
+    pub fn reply_via(&self, cont: Cid, imms: Vec<Vec<u8>>, caps: Vec<Cid>) {
+        self.request_derive(cont, imms, caps, |_s, res, fos| {
+            // A failed derivation means the continuation was revoked or its
+            // holder died; there is nobody left to answer.
+            if let SyscallResult::NewCid(cid) = res {
+                fos.request_invoke(cid, |_, _, _| {});
+            }
+        });
+    }
+
+    /// Writes into this Process's own memory (ordinary local access, not a
+    /// syscall).
+    pub fn mem_write(&self, addr: u64, offset: u64, data: &[u8]) -> Result<(), FosError> {
+        let inner = self.inner.borrow();
+        let proc = inner.proc;
+        let mem = Rc::clone(&inner.mem);
+        drop(inner);
+        let r = mem.borrow_mut().write(proc, addr, offset, data);
+        r
+    }
+
+    /// Reads from this Process's own memory.
+    pub fn mem_read(&self, addr: u64, offset: u64, len: u64) -> Result<Vec<u8>, FosError> {
+        let inner = self.inner.borrow();
+        let proc = inner.proc;
+        let mem = Rc::clone(&inner.mem);
+        drop(inner);
+        let r = mem.borrow().read(proc, addr, offset, len);
+        r
+    }
+
+    // ---- Table 1 convenience wrappers -------------------------------
+
+    /// `memory_create`: registers `[addr, addr+size)` and continues with the
+    /// new Memory capability.
+    pub fn memory_create(
+        &self,
+        addr: u64,
+        size: u64,
+        perms: Perms,
+        k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + 'static,
+    ) {
+        self.call(Syscall::MemoryCreate { addr, size, perms }, k);
+    }
+
+    /// Allocates a fresh buffer and registers it in one step, continuing
+    /// with `(addr, cid)`.
+    pub fn memory_create_new(
+        &self,
+        size: u64,
+        perms: Perms,
+        k: impl FnOnce(&mut S, u64, Result<Cid, FosError>, &Fos<S>) + 'static,
+    ) {
+        let addr = self.mem_alloc(size);
+        self.memory_create(addr, size, perms, move |s, res, fos| {
+            let r = res
+                .into_result()
+                .map(|c| c.expect("memory_create yields a cid"));
+            k(s, addr, r, fos);
+        });
+    }
+
+    /// `memory_copy(src, dst)`.
+    pub fn memory_copy(
+        &self,
+        src: Cid,
+        dst: Cid,
+        k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + 'static,
+    ) {
+        self.call(Syscall::MemoryCopy { src, dst }, k);
+    }
+
+    /// `request_create` for a brand-new Request this Process provides.
+    pub fn request_create_new(
+        &self,
+        tag: u64,
+        imms: Vec<Vec<u8>>,
+        caps: Vec<Cid>,
+        k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + 'static,
+    ) {
+        self.call(
+            Syscall::RequestCreate {
+                base: None,
+                tag,
+                imms,
+                caps,
+            },
+            k,
+        );
+    }
+
+    /// `request_create` deriving (refining) an existing Request.
+    pub fn request_derive(
+        &self,
+        base: Cid,
+        imms: Vec<Vec<u8>>,
+        caps: Vec<Cid>,
+        k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + 'static,
+    ) {
+        self.call(
+            Syscall::RequestCreate {
+                base: Some(base),
+                tag: 0,
+                imms,
+                caps,
+            },
+            k,
+        );
+    }
+
+    /// `request_invoke(cid)`.
+    pub fn request_invoke(
+        &self,
+        cid: Cid,
+        k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + 'static,
+    ) {
+        self.call(Syscall::RequestInvoke { cid }, k);
+    }
+
+    /// Publish a capability in the bootstrap registry.
+    pub fn kv_put(
+        &self,
+        key: &str,
+        cid: Cid,
+        k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + 'static,
+    ) {
+        self.call(
+            Syscall::KvPut {
+                key: key.to_string(),
+                cid,
+            },
+            k,
+        );
+    }
+
+    /// Look up a capability from the bootstrap registry.
+    pub fn kv_get(&self, key: &str, k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + 'static) {
+        self.call(
+            Syscall::KvGet {
+                key: key.to_string(),
+            },
+            k,
+        );
+    }
+}
+
+/// The simulation actor hosting one Process: its [`Service`] logic plus the
+/// channel to its Controller.
+pub struct ProcessActor<S: Service> {
+    service: S,
+    fos: Fos<S>,
+    proc: ProcId,
+    endpoint: Endpoint,
+    dir: Rc<RefCell<Directory>>,
+    fabric: Rc<RefCell<fractos_net::Fabric>>,
+    dead: bool,
+}
+
+/// Virtual time a Controller needs to notice a severed Process channel.
+pub const CHANNEL_SEVER_DETECT: SimDuration = SimDuration::from_micros(10);
+
+impl<S: Service> ProcessActor<S> {
+    /// Creates the actor. `proc` and `endpoint` must match the directory
+    /// registration (the testbed builder guarantees this).
+    pub fn new(
+        service: S,
+        proc: ProcId,
+        endpoint: Endpoint,
+        dir: Rc<RefCell<Directory>>,
+        fabric: Rc<RefCell<fractos_net::Fabric>>,
+        mem: Rc<RefCell<MemoryStore>>,
+    ) -> Self {
+        let fos = Fos {
+            inner: Rc::new(RefCell::new(FosInner {
+                proc,
+                now: SimTime::ZERO,
+                next_token: 0,
+                conts: HashMap::new(),
+                timers: HashMap::new(),
+                out: Vec::new(),
+                outstanding: 0,
+                window: 256,
+                backlog: VecDeque::new(),
+                mem,
+            })),
+        };
+        ProcessActor {
+            service,
+            fos,
+            proc,
+            endpoint,
+            dir,
+            fabric,
+            dead: false,
+        }
+    }
+
+    /// Read-only access to the service (harness inspection between events).
+    pub fn service(&self) -> &S {
+        &self.service
+    }
+
+    /// Mutable access to the service (harness inspection between events).
+    pub fn service_mut(&mut self) -> &mut S {
+        &mut self.service
+    }
+
+    /// The user-API handle (harnesses use it to seed initial work).
+    pub fn fos(&self) -> Fos<S> {
+        self.fos.clone()
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx<'_>) {
+        loop {
+            let drained: Vec<Out> = {
+                let mut inner = self.fos.inner.borrow_mut();
+                std::mem::take(&mut inner.out)
+            };
+            if drained.is_empty() {
+                return;
+            }
+            for out in drained {
+                match out {
+                    Out::Syscall { token, sc } => self.post_syscall(ctx, token, sc),
+                    Out::Timer { token, delay } => {
+                        ctx.schedule_self(delay, ProcMsg::Timer { token });
+                    }
+                }
+            }
+        }
+    }
+
+    fn post_syscall(&mut self, ctx: &mut Ctx<'_>, token: u64, sc: Syscall) {
+        let (ctrl_actor, ctrl_ep, ctrl_alive) = {
+            let dir = self.dir.borrow();
+            let pe = dir.proc(self.proc).expect("process registered");
+            let ce = dir.ctrl(pe.ctrl).expect("controller registered");
+            (ce.actor, ce.endpoint, ce.alive)
+        };
+        if !ctrl_alive {
+            // The QP to a failed Controller errors out locally.
+            let fos = self.fos.clone();
+            let cont = {
+                let mut inner = fos.inner.borrow_mut();
+                inner.outstanding = inner.outstanding.saturating_sub(1);
+                inner.conts.remove(&token)
+            };
+            if let Some(k) = cont {
+                k(
+                    &mut self.service,
+                    SyscallResult::Err(FosError::ControllerUnreachable),
+                    &fos,
+                );
+            }
+            return;
+        }
+        let size = syscall_msg_size(&sc);
+        let delay = self.fabric.borrow_mut().send(
+            ctx.now(),
+            ctx.rng(),
+            self.endpoint,
+            ctrl_ep,
+            size,
+            TrafficClass::Control,
+        );
+        ctx.send_after(
+            delay,
+            ctrl_actor,
+            CtrlMsg::FromProc {
+                proc: self.proc,
+                token,
+                sc,
+            },
+        );
+    }
+
+    fn deliver_reply(&mut self, token: u64, result: SyscallResult) {
+        let fos = self.fos.clone();
+        let (cont, next) = {
+            let mut inner = fos.inner.borrow_mut();
+            inner.outstanding = inner.outstanding.saturating_sub(1);
+            let cont = inner.conts.remove(&token);
+            let next = if inner.outstanding < inner.window {
+                inner.backlog.pop_front()
+            } else {
+                None
+            };
+            if next.is_some() {
+                inner.outstanding += 1;
+            }
+            (cont, next)
+        };
+        if let Some((tok, sc)) = next {
+            fos.inner
+                .borrow_mut()
+                .out
+                .push(Out::Syscall { token: tok, sc });
+        }
+        if let Some(k) = cont {
+            k(&mut self.service, result, &fos);
+        }
+    }
+}
+
+impl<S: Service> Actor for ProcessActor<S> {
+    fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+        if self.dead {
+            return;
+        }
+        let msg = *msg
+            .downcast::<ProcMsg>()
+            .expect("ProcessActor expects ProcMsg");
+        self.fos.inner.borrow_mut().now = ctx.now();
+        match msg {
+            ProcMsg::Start => {
+                let fos = self.fos.clone();
+                self.service.on_start(&fos);
+            }
+            ProcMsg::FromCtrl(CtrlToProc::Reply { token, result }) => {
+                self.deliver_reply(token, result);
+            }
+            ProcMsg::FromCtrl(CtrlToProc::Deliver(req)) => {
+                ctx.trace(format!("{} deliver tag={:#x}", self.proc, req.tag));
+                let fos = self.fos.clone();
+                self.service.on_request(req, &fos);
+            }
+            ProcMsg::FromCtrl(CtrlToProc::Monitor(cb)) => {
+                let fos = self.fos.clone();
+                self.service.on_monitor(cb, &fos);
+            }
+            ProcMsg::Timer { token } => {
+                let fos = self.fos.clone();
+                let cont = fos.inner.borrow_mut().timers.remove(&token);
+                if let Some(k) = cont {
+                    k(&mut self.service, &fos);
+                }
+            }
+            ProcMsg::Kill => {
+                self.dead = true;
+                self.dir.borrow_mut().kill_proc(self.proc);
+                let mem_proc = self.proc;
+                // The node's NIC tears the QP down; the Controller notices
+                // after a short detection delay (§3.6).
+                let ctrl_actor = {
+                    let dir = self.dir.borrow();
+                    let pe = dir.proc(self.proc).expect("registered");
+                    dir.ctrl(pe.ctrl).map(|c| c.actor)
+                };
+                if let Some(ctrl) = ctrl_actor {
+                    ctx.send_after(
+                        CHANNEL_SEVER_DETECT,
+                        ctrl,
+                        CtrlMsg::ProcChannelSevered { proc: mem_proc },
+                    );
+                }
+                return;
+            }
+        }
+        self.flush(ctx);
+    }
+}
+
+/// A minimal service that does nothing; useful as a pure syscall client in
+/// tests and benches when combined with [`ProcessActor::fos`].
+#[derive(Debug, Default)]
+pub struct NullService;
+
+impl Service for NullService {
+    fn on_request(&mut self, _req: IncomingRequest, _fos: &Fos<Self>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fos_queues_syscalls_beyond_window() {
+        let mem = Rc::new(RefCell::new(MemoryStore::new()));
+        let inner = FosInner::<NullService> {
+            proc: ProcId(0),
+            now: SimTime::ZERO,
+            next_token: 0,
+            conts: HashMap::new(),
+            timers: HashMap::new(),
+            out: Vec::new(),
+            outstanding: 0,
+            window: 2,
+            backlog: VecDeque::new(),
+            mem,
+        };
+        let fos = Fos {
+            inner: Rc::new(RefCell::new(inner)),
+        };
+        for _ in 0..5 {
+            fos.call(Syscall::Null, |_, _, _| {});
+        }
+        let i = fos.inner.borrow();
+        assert_eq!(i.out.len(), 2, "only window-many go out");
+        assert_eq!(i.backlog.len(), 3);
+        assert_eq!(i.conts.len(), 5);
+    }
+
+    #[test]
+    fn mem_helpers_roundtrip() {
+        let mem = Rc::new(RefCell::new(MemoryStore::new()));
+        let inner = FosInner::<NullService> {
+            proc: ProcId(3),
+            now: SimTime::ZERO,
+            next_token: 0,
+            conts: HashMap::new(),
+            timers: HashMap::new(),
+            out: Vec::new(),
+            outstanding: 0,
+            window: 8,
+            backlog: VecDeque::new(),
+            mem,
+        };
+        let fos = Fos {
+            inner: Rc::new(RefCell::new(inner)),
+        };
+        let addr = fos.mem_alloc(16);
+        fos.mem_write(addr, 2, b"xy").unwrap();
+        assert_eq!(fos.mem_read(addr, 2, 2).unwrap(), b"xy");
+        assert_eq!(fos.proc_id(), ProcId(3));
+    }
+}

@@ -1,0 +1,388 @@
+//! Cluster assembly and failure injection.
+//!
+//! A [`Testbed`] bundles the simulator, the fabric, the shared memory store
+//! and the cluster directory, and offers the operations an experimenter
+//! needs: place Controllers (host CPU, SmartNIC, or remote/shared), attach
+//! Processes running [`Service`] logic, start everything, and inject
+//! Process/Controller/node failures (§3.6, §6).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use fractos_cap::ControllerAddr;
+use fractos_net::{
+    ComputeDomain, Endpoint, Fabric, Location, NetParams, NodeId, Topology, TrafficStats,
+};
+use fractos_sim::{ActorId, RunOutcome, Sim, SimDuration, SimTime};
+
+use crate::controller::ControllerActor;
+use crate::directory::Directory;
+use crate::memstore::MemoryStore;
+use crate::messages::{CtrlMsg, ProcMsg};
+use crate::process::{Fos, ProcessActor, Service};
+use crate::types::ProcId;
+
+/// Where to deploy a Controller (§6 evaluates all of these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlPlacement {
+    /// On the node's host CPU.
+    HostCpu(NodeId),
+    /// On the node's SmartNIC.
+    SmartNic(NodeId),
+}
+
+impl CtrlPlacement {
+    fn endpoint(self) -> Endpoint {
+        match self {
+            CtrlPlacement::HostCpu(n) => Endpoint::cpu(n),
+            CtrlPlacement::SmartNic(n) => Endpoint::snic(n),
+        }
+    }
+
+    fn domain(self) -> ComputeDomain {
+        match self {
+            CtrlPlacement::HostCpu(_) => ComputeDomain::HostCpu,
+            CtrlPlacement::SmartNic(_) => ComputeDomain::SmartNic,
+        }
+    }
+}
+
+/// A running FractOS cluster in a simulator.
+pub struct Testbed {
+    /// The discrete-event simulator; drive it with [`Testbed::run`] or
+    /// directly.
+    pub sim: Sim,
+    /// The shared fabric (latency model + traffic accounting).
+    pub fabric: Rc<RefCell<Fabric>>,
+    /// All simulated Process memory.
+    pub mem: Rc<RefCell<MemoryStore>>,
+    /// The cluster directory.
+    pub dir: Rc<RefCell<Directory>>,
+    ctrls: Vec<(ControllerAddr, ActorId)>,
+    procs: Vec<(ProcId, ActorId)>,
+}
+
+/// Delay between a Controller dying and the watchdog notifying its peers
+/// (ZooKeeper-style external failure detection, §3.6).
+pub const WATCHDOG_DETECT: SimDuration = SimDuration::from_micros(500);
+
+impl Testbed {
+    /// Creates an empty testbed over `topology`.
+    pub fn new(topology: Topology, params: NetParams, seed: u64) -> Self {
+        let fabric = Rc::new(RefCell::new(Fabric::new(topology, params)));
+        Testbed {
+            sim: Sim::new(seed),
+            fabric,
+            mem: Rc::new(RefCell::new(MemoryStore::new())),
+            dir: Rc::new(RefCell::new(Directory::new())),
+            ctrls: Vec::new(),
+            procs: Vec::new(),
+        }
+    }
+
+    /// The paper's 3-node testbed with default parameters.
+    pub fn paper(seed: u64) -> Self {
+        Testbed::new(Topology::paper_testbed(), NetParams::paper(), seed)
+    }
+
+    /// Adds a Controller at the given placement. The first Controller added
+    /// hosts the bootstrap registry.
+    pub fn add_controller(&mut self, placement: CtrlPlacement) -> ControllerAddr {
+        let endpoint = placement.endpoint();
+        self.fabric
+            .borrow()
+            .topology()
+            .validate(endpoint)
+            .expect("controller placement must exist in the topology");
+        let addr = {
+            let mut dir = self.dir.borrow_mut();
+            dir.register_ctrl(ActorId::from_raw(0), endpoint, placement.domain())
+        };
+        let registry = self.ctrls.first().map_or(addr, |(a, _)| *a);
+        let actor = ControllerActor::new(
+            addr,
+            endpoint,
+            placement.domain(),
+            registry,
+            Rc::clone(&self.dir),
+            Rc::clone(&self.fabric),
+            Rc::clone(&self.mem),
+        );
+        let actor_id = self
+            .sim
+            .add_actor(format!("ctrl{}", addr.0), Box::new(actor));
+        self.dir.borrow_mut().set_ctrl_actor(addr, actor_id);
+        self.ctrls.push((addr, actor_id));
+        actor_id.index(); // silence unused in release
+        addr
+    }
+
+    /// Adds a Process running `service` at `endpoint`, managed by `ctrl`.
+    pub fn add_process<S: Service>(
+        &mut self,
+        name: &str,
+        endpoint: Endpoint,
+        ctrl: ControllerAddr,
+        service: S,
+    ) -> ProcId {
+        self.fabric
+            .borrow()
+            .topology()
+            .validate(endpoint)
+            .expect("process placement must exist in the topology");
+        let proc = {
+            let mut dir = self.dir.borrow_mut();
+            dir.register_proc(name, ActorId::from_raw(0), endpoint, ctrl)
+        };
+        let actor = ProcessActor::new(
+            service,
+            proc,
+            endpoint,
+            Rc::clone(&self.dir),
+            Rc::clone(&self.fabric),
+            Rc::clone(&self.mem),
+        );
+        let actor_id = self.sim.add_actor(name, Box::new(actor));
+        self.dir.borrow_mut().set_proc_actor(proc, actor_id);
+        let ctrl_actor = self.ctrl_actor(ctrl);
+        self.sim
+            .with_actor::<ControllerActor, _>(ctrl_actor, |c| c.adopt(proc));
+        self.procs.push((proc, actor_id));
+        proc
+    }
+
+    /// Posts the `Start` event to one Process.
+    pub fn start_process(&mut self, proc: ProcId) {
+        let actor = self.proc_actor(proc);
+        self.sim.post(SimDuration::ZERO, actor, ProcMsg::Start);
+    }
+
+    /// Posts `Start` to every Process, in registration order.
+    pub fn start_all(&mut self) {
+        for (proc, actor) in self.procs.clone() {
+            let _ = proc;
+            self.sim.post(SimDuration::ZERO, actor, ProcMsg::Start);
+        }
+    }
+
+    /// Runs the simulation until the event queue drains.
+    pub fn run(&mut self) -> RunOutcome {
+        self.sim.run()
+    }
+
+    /// Runs the simulation until `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        self.sim.run_until(deadline)
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Snapshot of the fabric's traffic statistics.
+    pub fn traffic(&self) -> TrafficStats {
+        self.fabric.borrow().stats().clone()
+    }
+
+    /// Clears the fabric's traffic statistics (e.g. after a warm-up phase).
+    pub fn reset_traffic(&self) {
+        self.fabric.borrow_mut().reset_stats();
+    }
+
+    /// The simulation actor of a Controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Controller was never added.
+    pub fn ctrl_actor(&self, addr: ControllerAddr) -> ActorId {
+        self.ctrls
+            .iter()
+            .find(|(a, _)| *a == addr)
+            .map(|(_, id)| *id)
+            .expect("unknown controller")
+    }
+
+    /// The simulation actor of a Process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Process was never added.
+    pub fn proc_actor(&self, proc: ProcId) -> ActorId {
+        self.procs
+            .iter()
+            .find(|(p, _)| *p == proc)
+            .map(|(_, id)| *id)
+            .expect("unknown process")
+    }
+
+    /// Inspects (or mutates) the service state of a Process between events.
+    pub fn with_service<S: Service, R>(&mut self, proc: ProcId, f: impl FnOnce(&mut S) -> R) -> R {
+        let actor = self.proc_actor(proc);
+        self.sim
+            .with_actor::<ProcessActor<S>, _>(actor, |p| f(p.service_mut()))
+    }
+
+    /// The `Fos` handle of a Process (to seed work from a harness).
+    ///
+    /// Syscalls issued through the handle are flushed the next time the
+    /// Process handles an event; pair this with [`Testbed::poke`].
+    pub fn fos_of<S: Service>(&mut self, proc: ProcId) -> Fos<S> {
+        let actor = self.proc_actor(proc);
+        self.sim
+            .with_actor::<ProcessActor<S>, _>(actor, |p| p.fos())
+    }
+
+    /// Delivers a no-op event to a Process so it flushes pending syscalls
+    /// seeded through [`Testbed::fos_of`].
+    pub fn poke(&mut self, proc: ProcId) {
+        let actor = self.proc_actor(proc);
+        self.sim
+            .post(SimDuration::ZERO, actor, ProcMsg::Timer { token: u64::MAX });
+    }
+
+    /// Caps a Process's capability space (call before it runs).
+    pub fn set_capspace_quota(&mut self, proc: ProcId, quota: usize) {
+        let ctrl = self.dir.borrow().proc(proc).expect("registered").ctrl;
+        let actor = self.ctrl_actor(ctrl);
+        self.sim
+            .with_actor::<ControllerActor, _>(actor, |c| c.set_capspace_quota(proc, quota));
+    }
+
+    /// Inspects a Controller between events.
+    pub fn with_controller<R>(
+        &mut self,
+        addr: ControllerAddr,
+        f: impl FnOnce(&mut ControllerActor) -> R,
+    ) -> R {
+        let actor = self.ctrl_actor(addr);
+        self.sim.with_actor::<ControllerActor, _>(actor, f)
+    }
+
+    /// Starts the watchdog service (§3.6's ZooKeeper stand-in) on `node`'s
+    /// host CPU: it pings every Controller and broadcasts `PeerFailed`
+    /// notices on its own, so [`Testbed::kill_controller_silently`] failures
+    /// are detected without harness help. Returns the watchdog's actor.
+    pub fn start_watchdog(&mut self, node: NodeId) -> ActorId {
+        let wd = crate::watchdog::WatchdogActor::new(
+            Endpoint::cpu(node),
+            Rc::clone(&self.dir),
+            Rc::clone(&self.fabric),
+        );
+        let actor = self.sim.add_actor("watchdog", Box::new(wd));
+        self.sim
+            .post(SimDuration::ZERO, actor, crate::watchdog::WatchdogMsg::Tick);
+        actor
+    }
+
+    // ------------------------------------------------------------------
+    // Failure injection (§3.6, §6)
+    // ------------------------------------------------------------------
+
+    /// Kills a Process; its Controller notices via the severed channel.
+    pub fn kill_process(&mut self, proc: ProcId) {
+        let actor = self.proc_actor(proc);
+        self.sim.post(SimDuration::ZERO, actor, ProcMsg::Kill);
+    }
+
+    /// Kills a Controller *without* telling anyone — pair this with
+    /// [`Testbed::start_watchdog`] to exercise real failure detection.
+    pub fn kill_controller_silently(&mut self, addr: ControllerAddr) {
+        let actor = self.ctrl_actor(addr);
+        self.sim.post(SimDuration::ZERO, actor, CtrlMsg::Kill);
+    }
+
+    /// Kills a Controller; the watchdog notifies all peers after
+    /// [`WATCHDOG_DETECT`].
+    pub fn kill_controller(&mut self, addr: ControllerAddr) {
+        let actor = self.ctrl_actor(addr);
+        self.sim.post(SimDuration::ZERO, actor, CtrlMsg::Kill);
+        for (peer, peer_actor) in self.ctrls.clone() {
+            if peer != addr {
+                self.sim.post(
+                    WATCHDOG_DETECT,
+                    peer_actor,
+                    CtrlMsg::PeerFailed { peer: addr },
+                );
+            }
+        }
+    }
+
+    /// Kills a node: its Controllers and Processes all fail (§3.6 "after a
+    /// node failure, we inform the corresponding Controller to fail all
+    /// Processes running in it").
+    pub fn kill_node(&mut self, node: NodeId) {
+        let victims_p: Vec<ProcId> = {
+            let dir = self.dir.borrow();
+            self.procs
+                .iter()
+                .filter(|(p, _)| dir.proc(*p).is_some_and(|e| e.endpoint.node == node))
+                .map(|(p, _)| *p)
+                .collect()
+        };
+        for p in victims_p {
+            self.kill_process(p);
+        }
+        let victims_c: Vec<ControllerAddr> = {
+            let dir = self.dir.borrow();
+            self.ctrls
+                .iter()
+                .filter(|(a, _)| dir.ctrl(*a).is_some_and(|e| e.endpoint.node == node))
+                .map(|(a, _)| *a)
+                .collect()
+        };
+        for c in victims_c {
+            self.kill_controller(c);
+        }
+    }
+
+    /// Reboots a (dead or live) Controller: its epoch advances and every
+    /// capability minted before becomes stale (§3.6).
+    pub fn reboot_controller(&mut self, addr: ControllerAddr) {
+        let actor = self.ctrl_actor(addr);
+        self.sim.post(SimDuration::ZERO, actor, CtrlMsg::Reboot);
+    }
+
+    // ------------------------------------------------------------------
+    // Common cluster shapes (§6 configurations)
+    // ------------------------------------------------------------------
+
+    /// Adds one Controller per node at the given location kind and returns
+    /// their addresses, index-aligned with node ids.
+    pub fn controllers_per_node(&mut self, on_snic: bool) -> Vec<ControllerAddr> {
+        let n = self.fabric.borrow().topology().len();
+        (0..n)
+            .map(|i| {
+                let node = NodeId(i as u32);
+                self.add_controller(if on_snic {
+                    CtrlPlacement::SmartNic(node)
+                } else {
+                    CtrlPlacement::HostCpu(node)
+                })
+            })
+            .collect()
+    }
+
+    /// Adds a single shared Controller on `node`'s host CPU ("Shared HAL"
+    /// configuration of §6.5) and returns it, repeated once per node for
+    /// index compatibility with [`Testbed::controllers_per_node`].
+    pub fn shared_controller(&mut self, node: NodeId) -> Vec<ControllerAddr> {
+        let addr = self.add_controller(CtrlPlacement::HostCpu(node));
+        vec![addr; self.fabric.borrow().topology().len()]
+    }
+}
+
+/// Convenience: location of a Process on its node's host CPU.
+pub fn cpu(node: u32) -> Endpoint {
+    Endpoint::cpu(NodeId(node))
+}
+
+/// Convenience: a GPU endpoint.
+pub fn gpu(node: u32) -> Endpoint {
+    Endpoint::new(NodeId(node), Location::Gpu(0))
+}
+
+/// Convenience: an NVMe endpoint.
+pub fn nvme(node: u32) -> Endpoint {
+    Endpoint::new(NodeId(node), Location::Nvme(0))
+}

@@ -1,0 +1,166 @@
+//! The external failure-detection service (§3.6).
+//!
+//! The paper delegates node/Controller failure detection to "an external
+//! monitoring service such as Zookeeper". This actor implements that role
+//! inside the simulation: it pings every Controller on a fixed period over
+//! the fabric, and after `missed_limit` consecutive unanswered pings it
+//! declares the Controller failed and notifies all surviving peers, which
+//! then run the §3.6 failure translation (fail the dead Controller's
+//! Processes, fail pending operations, treat its capabilities as revoked).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use fractos_cap::ControllerAddr;
+use fractos_net::{Endpoint, Fabric, TrafficClass};
+use fractos_sim::{Actor, ActorId, Ctx, Msg, SimDuration};
+
+use crate::directory::Directory;
+use crate::messages::CtrlMsg;
+
+/// Default ping period.
+pub const PING_PERIOD: SimDuration = SimDuration::from_micros(200);
+
+/// Consecutive missed pings before a Controller is declared dead.
+pub const MISSED_LIMIT: u32 = 3;
+
+/// Messages handled by the watchdog.
+#[derive(Debug)]
+pub enum WatchdogMsg {
+    /// Periodic self-timer.
+    Tick,
+    /// A Controller answered ping `seq`.
+    Pong {
+        /// The answering Controller.
+        from: ControllerAddr,
+        /// The ping sequence number.
+        seq: u64,
+    },
+}
+
+/// The watchdog actor.
+pub struct WatchdogActor {
+    endpoint: Endpoint,
+    dir: Rc<RefCell<Directory>>,
+    fabric: Rc<RefCell<Fabric>>,
+    period: SimDuration,
+    missed_limit: u32,
+    seq: u64,
+    /// Outstanding ping sequence per Controller.
+    outstanding: HashMap<ControllerAddr, u64>,
+    misses: HashMap<ControllerAddr, u32>,
+    declared_dead: HashMap<ControllerAddr, bool>,
+    /// Failures detected so far (tests).
+    pub detected: Vec<ControllerAddr>,
+}
+
+impl WatchdogActor {
+    /// Creates a watchdog at `endpoint` with default timing.
+    pub fn new(
+        endpoint: Endpoint,
+        dir: Rc<RefCell<Directory>>,
+        fabric: Rc<RefCell<Fabric>>,
+    ) -> Self {
+        WatchdogActor {
+            endpoint,
+            dir,
+            fabric,
+            period: PING_PERIOD,
+            missed_limit: MISSED_LIMIT,
+            seq: 0,
+            outstanding: HashMap::new(),
+            misses: HashMap::new(),
+            declared_dead: HashMap::new(),
+            detected: Vec::new(),
+        }
+    }
+
+    fn tick(&mut self, ctx: &mut Ctx<'_>) {
+        let ctrls: Vec<(ControllerAddr, ActorId, Endpoint)> = {
+            let dir = self.dir.borrow();
+            dir.all_ctrls()
+                .into_iter()
+                .filter_map(|a| dir.ctrl(a).map(|e| (a, e.actor, e.endpoint)))
+                .collect()
+        };
+        self.seq += 1;
+        let me = ctx.self_id();
+        for (addr, actor, ep) in ctrls {
+            if self.declared_dead.get(&addr).copied().unwrap_or(false) {
+                continue;
+            }
+            // Unanswered previous ping counts as a miss.
+            if self.outstanding.contains_key(&addr) {
+                let m = self.misses.entry(addr).or_insert(0);
+                *m += 1;
+                if *m >= self.missed_limit {
+                    self.declare_dead(ctx, addr);
+                    continue;
+                }
+            }
+            self.outstanding.insert(addr, self.seq);
+            let delay = self.fabric.borrow_mut().send(
+                ctx.now(),
+                ctx.rng(),
+                self.endpoint,
+                ep,
+                16,
+                TrafficClass::Control,
+            );
+            ctx.send_after(
+                delay,
+                actor,
+                CtrlMsg::Ping {
+                    watchdog: me,
+                    watchdog_ep: self.endpoint,
+                    seq: self.seq,
+                },
+            );
+        }
+        ctx.schedule_self(self.period, WatchdogMsg::Tick);
+    }
+
+    fn declare_dead(&mut self, ctx: &mut Ctx<'_>, dead: ControllerAddr) {
+        self.declared_dead.insert(dead, true);
+        self.outstanding.remove(&dead);
+        self.detected.push(dead);
+        // Notify every surviving Controller.
+        let peers: Vec<(ActorId, Endpoint)> = {
+            let dir = self.dir.borrow();
+            dir.all_ctrls()
+                .into_iter()
+                .filter(|&a| a != dead)
+                .filter_map(|a| dir.ctrl(a).map(|e| (e.actor, e.endpoint)))
+                .collect()
+        };
+        for (actor, ep) in peers {
+            let delay = self.fabric.borrow_mut().send(
+                ctx.now(),
+                ctx.rng(),
+                self.endpoint,
+                ep,
+                24,
+                TrafficClass::Control,
+            );
+            ctx.send_after(delay, actor, CtrlMsg::PeerFailed { peer: dead });
+        }
+    }
+}
+
+impl Actor for WatchdogActor {
+    fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+        let msg = *msg
+            .downcast::<WatchdogMsg>()
+            .expect("WatchdogActor expects WatchdogMsg");
+        match msg {
+            WatchdogMsg::Tick => self.tick(ctx),
+            WatchdogMsg::Pong { from, seq } => {
+                if self.outstanding.get(&from) == Some(&seq) {
+                    self.outstanding.remove(&from);
+                    self.misses.insert(from, 0);
+                }
+            }
+        }
+    }
+}

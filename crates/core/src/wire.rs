@@ -1,0 +1,781 @@
+//! Hand-rolled wire codec.
+//!
+//! FractOS Controllers exchange serialized syscalls, Requests and
+//! capabilities over RoCE queue pairs. The codec here is a compact
+//! little-endian format with two jobs: (1) provide faithful *sizes* so the
+//! fabric's traffic accounting and serialization delays reflect what a real
+//! deployment would put on the wire, and (2) prove by round-trip tests that
+//! the protocol is actually serializable (no in-memory-only shortcuts).
+
+use fractos_cap::{CapRef, Cid, ControllerAddr, Epoch, ObjectId, Perms};
+use fractos_net::{Endpoint, Location, NodeId};
+
+use crate::types::{
+    Arg, CapArg, FosError, IncomingRequest, MemoryDesc, RequestDesc, Syscall, SyscallResult,
+};
+
+/// Buffer-writing half of the codec.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// Consumes the encoder, returning the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a `u8`.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.u32(u32::try_from(v.len()).expect("blob too large"));
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) {
+        self.bytes(v.as_bytes());
+    }
+}
+
+/// Buffer-reading half of the codec.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+/// Errors raised while decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the value was complete.
+    Truncated,
+    /// An enum discriminant had no known meaning.
+    BadTag(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// Trailing bytes remained after the top-level value.
+    TrailingBytes,
+}
+
+impl core::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated message"),
+            DecodeError::BadTag(t) => write!(f, "unknown discriminant {t}"),
+            DecodeError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Whether all bytes have been consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        String::from_utf8(self.bytes()?).map_err(|_| DecodeError::BadUtf8)
+    }
+}
+
+/// Types that can be written to and read from the wire.
+pub trait Wire: Sized {
+    /// Serializes `self` into the encoder.
+    fn encode(&self, e: &mut Encoder);
+    /// Deserializes a value.
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError>;
+
+    /// Serialized size in bytes.
+    fn wire_size(&self) -> u64 {
+        let mut e = Encoder::new();
+        self.encode(&mut e);
+        e.len() as u64
+    }
+
+    /// Serializes to a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut e = Encoder::new();
+        self.encode(&mut e);
+        e.finish()
+    }
+
+    /// Deserializes from a complete buffer, rejecting trailing bytes.
+    fn from_bytes(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut d = Decoder::new(buf);
+        let v = Self::decode(&mut d)?;
+        if d.is_done() {
+            Ok(v)
+        } else {
+            Err(DecodeError::TrailingBytes)
+        }
+    }
+}
+
+impl Wire for CapRef {
+    fn encode(&self, e: &mut Encoder) {
+        e.u32(self.ctrl.0);
+        e.u64(self.epoch.0);
+        e.u64(self.object.0);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(CapRef {
+            ctrl: ControllerAddr(d.u32()?),
+            epoch: Epoch(d.u64()?),
+            object: ObjectId(d.u64()?),
+        })
+    }
+}
+
+impl Wire for Endpoint {
+    fn encode(&self, e: &mut Encoder) {
+        e.u32(self.node.0);
+        match self.loc {
+            Location::HostCpu => e.u8(0),
+            Location::SmartNic => e.u8(1),
+            Location::Gpu(n) => {
+                e.u8(2);
+                e.u8(n);
+            }
+            Location::Nvme(n) => {
+                e.u8(3);
+                e.u8(n);
+            }
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let node = NodeId(d.u32()?);
+        let loc = match d.u8()? {
+            0 => Location::HostCpu,
+            1 => Location::SmartNic,
+            2 => Location::Gpu(d.u8()?),
+            3 => Location::Nvme(d.u8()?),
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        Ok(Endpoint { node, loc })
+    }
+}
+
+impl Wire for MemoryDesc {
+    fn encode(&self, e: &mut Encoder) {
+        e.u32(self.proc.0);
+        self.location.encode(e);
+        e.u64(self.addr);
+        e.u64(self.view_off);
+        e.u64(self.size);
+        e.u8(self.perms.bits());
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(MemoryDesc {
+            proc: crate::types::ProcId(d.u32()?),
+            location: Endpoint::decode(d)?,
+            addr: d.u64()?,
+            view_off: d.u64()?,
+            size: d.u64()?,
+            perms: Perms::from_bits(d.u8()?),
+        })
+    }
+}
+
+impl Wire for CapArg {
+    fn encode(&self, e: &mut Encoder) {
+        self.cap.encode(e);
+        match &self.mem {
+            None => e.u8(0),
+            Some(m) => {
+                e.u8(1);
+                m.encode(e);
+            }
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let cap = CapRef::decode(d)?;
+        let mem = match d.u8()? {
+            0 => None,
+            1 => Some(MemoryDesc::decode(d)?),
+            t => return Err(DecodeError::BadTag(t)),
+        };
+        Ok(CapArg { cap, mem })
+    }
+}
+
+impl Wire for Arg {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            Arg::Imm(b) => {
+                e.u8(0);
+                e.bytes(b);
+            }
+            Arg::Cap(c) => {
+                e.u8(1);
+                c.encode(e);
+            }
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match d.u8()? {
+            0 => Ok(Arg::Imm(d.bytes()?)),
+            1 => Ok(Arg::Cap(CapArg::decode(d)?)),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for RequestDesc {
+    fn encode(&self, e: &mut Encoder) {
+        e.u32(self.provider.0);
+        e.u64(self.tag);
+        e.u32(self.args.len() as u32);
+        for a in &self.args {
+            a.encode(e);
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let provider = crate::types::ProcId(d.u32()?);
+        let tag = d.u64()?;
+        let n = d.u32()? as usize;
+        let mut args = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            args.push(Arg::decode(d)?);
+        }
+        Ok(RequestDesc {
+            provider,
+            tag,
+            args,
+        })
+    }
+}
+
+impl Wire for Perms {
+    fn encode(&self, e: &mut Encoder) {
+        e.u8(self.bits());
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Perms::from_bits(d.u8()?))
+    }
+}
+
+impl Wire for Cid {
+    fn encode(&self, e: &mut Encoder) {
+        e.u32(self.0);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(Cid(d.u32()?))
+    }
+}
+
+impl Wire for Syscall {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            Syscall::Null => e.u8(0),
+            Syscall::MemoryCreate { addr, size, perms } => {
+                e.u8(1);
+                e.u64(*addr);
+                e.u64(*size);
+                perms.encode(e);
+            }
+            Syscall::MemoryDiminish {
+                cid,
+                offset,
+                size,
+                drop_perms,
+            } => {
+                e.u8(2);
+                cid.encode(e);
+                e.u64(*offset);
+                e.u64(*size);
+                drop_perms.encode(e);
+            }
+            Syscall::MemoryCopy { src, dst } => {
+                e.u8(3);
+                src.encode(e);
+                dst.encode(e);
+            }
+            Syscall::RequestCreate {
+                base,
+                tag,
+                imms,
+                caps,
+            } => {
+                e.u8(4);
+                match base {
+                    None => e.u8(0),
+                    Some(b) => {
+                        e.u8(1);
+                        b.encode(e);
+                    }
+                }
+                e.u64(*tag);
+                e.u32(imms.len() as u32);
+                for imm in imms {
+                    e.bytes(imm);
+                }
+                e.u32(caps.len() as u32);
+                for c in caps {
+                    c.encode(e);
+                }
+            }
+            Syscall::RequestInvoke { cid } => {
+                e.u8(5);
+                cid.encode(e);
+            }
+            Syscall::CapCreateRevtree { cid } => {
+                e.u8(6);
+                cid.encode(e);
+            }
+            Syscall::CapRevoke { cid } => {
+                e.u8(7);
+                cid.encode(e);
+            }
+            Syscall::MonitorDelegate { cid, callback_id } => {
+                e.u8(8);
+                cid.encode(e);
+                e.u64(*callback_id);
+            }
+            Syscall::MonitorReceive { cid, callback_id } => {
+                e.u8(9);
+                cid.encode(e);
+                e.u64(*callback_id);
+            }
+            Syscall::KvPut { key, cid } => {
+                e.u8(10);
+                e.str(key);
+                cid.encode(e);
+            }
+            Syscall::KvGet { key } => {
+                e.u8(11);
+                e.str(key);
+            }
+            Syscall::MemoryStat { cid } => {
+                e.u8(12);
+                cid.encode(e);
+            }
+        }
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(match d.u8()? {
+            0 => Syscall::Null,
+            1 => Syscall::MemoryCreate {
+                addr: d.u64()?,
+                size: d.u64()?,
+                perms: Perms::decode(d)?,
+            },
+            2 => Syscall::MemoryDiminish {
+                cid: Cid::decode(d)?,
+                offset: d.u64()?,
+                size: d.u64()?,
+                drop_perms: Perms::decode(d)?,
+            },
+            3 => Syscall::MemoryCopy {
+                src: Cid::decode(d)?,
+                dst: Cid::decode(d)?,
+            },
+            4 => {
+                let base = match d.u8()? {
+                    0 => None,
+                    1 => Some(Cid::decode(d)?),
+                    t => return Err(DecodeError::BadTag(t)),
+                };
+                let tag = d.u64()?;
+                let n = d.u32()? as usize;
+                let mut imms = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    imms.push(d.bytes()?);
+                }
+                let m = d.u32()? as usize;
+                let mut caps = Vec::with_capacity(m.min(1024));
+                for _ in 0..m {
+                    caps.push(Cid::decode(d)?);
+                }
+                Syscall::RequestCreate {
+                    base,
+                    tag,
+                    imms,
+                    caps,
+                }
+            }
+            5 => Syscall::RequestInvoke {
+                cid: Cid::decode(d)?,
+            },
+            6 => Syscall::CapCreateRevtree {
+                cid: Cid::decode(d)?,
+            },
+            7 => Syscall::CapRevoke {
+                cid: Cid::decode(d)?,
+            },
+            8 => Syscall::MonitorDelegate {
+                cid: Cid::decode(d)?,
+                callback_id: d.u64()?,
+            },
+            9 => Syscall::MonitorReceive {
+                cid: Cid::decode(d)?,
+                callback_id: d.u64()?,
+            },
+            10 => Syscall::KvPut {
+                key: d.str()?,
+                cid: Cid::decode(d)?,
+            },
+            11 => Syscall::KvGet { key: d.str()? },
+            12 => Syscall::MemoryStat {
+                cid: Cid::decode(d)?,
+            },
+            t => return Err(DecodeError::BadTag(t)),
+        })
+    }
+}
+
+impl Wire for FosError {
+    fn encode(&self, e: &mut Encoder) {
+        // Errors serialize to a compact code; capability sub-errors keep
+        // enough detail for the caller to react.
+        let code: u8 = match self {
+            FosError::Cap(_) => 0,
+            FosError::WrongObjectKind => 1,
+            FosError::OutOfBounds => 2,
+            FosError::PermissionDenied => 3,
+            FosError::SizeMismatch => 4,
+            FosError::NoSuchKey => 5,
+            FosError::ControllerUnreachable => 6,
+            FosError::ProcessFailed => 7,
+            FosError::Topology(_) => 8,
+            FosError::WindowInvalid => 9,
+        };
+        e.u8(code);
+        if let FosError::Cap(c) = self {
+            use fractos_cap::CapError;
+            let (sub, obj): (u8, u64) = match c {
+                CapError::NoSuchObject(o) => (0, o.0),
+                CapError::Revoked(o) => (1, o.0),
+                CapError::StaleEpoch(o) => (2, o.0),
+                CapError::BadCid(c) => (3, c.0 as u64),
+                CapError::SpaceExhausted => (4, 0),
+                CapError::PermissionDenied => (5, 0),
+                CapError::HasChildren(o) => (6, o.0),
+                CapError::AlreadyMonitored(o) => (7, o.0),
+            };
+            e.u8(sub);
+            e.u64(obj);
+        }
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        use fractos_cap::CapError;
+        Ok(match d.u8()? {
+            0 => {
+                let sub = d.u8()?;
+                let obj = d.u64()?;
+                let id = ObjectId(obj);
+                FosError::Cap(match sub {
+                    0 => CapError::NoSuchObject(id),
+                    1 => CapError::Revoked(id),
+                    2 => CapError::StaleEpoch(id),
+                    3 => CapError::BadCid(Cid(obj as u32)),
+                    4 => CapError::SpaceExhausted,
+                    5 => CapError::PermissionDenied,
+                    6 => CapError::HasChildren(id),
+                    7 => CapError::AlreadyMonitored(id),
+                    t => return Err(DecodeError::BadTag(t)),
+                })
+            }
+            1 => FosError::WrongObjectKind,
+            2 => FosError::OutOfBounds,
+            3 => FosError::PermissionDenied,
+            4 => FosError::SizeMismatch,
+            5 => FosError::NoSuchKey,
+            6 => FosError::ControllerUnreachable,
+            7 => FosError::ProcessFailed,
+            8 => FosError::Topology(fractos_net::TopologyError::UnknownNode(NodeId(0))),
+            9 => FosError::WindowInvalid,
+            t => return Err(DecodeError::BadTag(t)),
+        })
+    }
+}
+
+impl Wire for SyscallResult {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            SyscallResult::Ok => e.u8(0),
+            SyscallResult::NewCid(cid) => {
+                e.u8(1);
+                cid.encode(e);
+            }
+            SyscallResult::Value(v) => {
+                e.u8(3);
+                e.u64(*v);
+            }
+            SyscallResult::Stat { addr, off, size } => {
+                e.u8(4);
+                e.u64(*addr);
+                e.u64(*off);
+                e.u64(*size);
+            }
+            SyscallResult::Err(err) => {
+                e.u8(2);
+                err.encode(e);
+            }
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(match d.u8()? {
+            0 => SyscallResult::Ok,
+            1 => SyscallResult::NewCid(Cid::decode(d)?),
+            2 => SyscallResult::Err(FosError::decode(d)?),
+            3 => SyscallResult::Value(d.u64()?),
+            4 => SyscallResult::Stat {
+                addr: d.u64()?,
+                off: d.u64()?,
+                size: d.u64()?,
+            },
+            t => return Err(DecodeError::BadTag(t)),
+        })
+    }
+}
+
+impl Wire for IncomingRequest {
+    fn encode(&self, e: &mut Encoder) {
+        e.u64(self.tag);
+        e.u32(self.imms.len() as u32);
+        for imm in &self.imms {
+            e.bytes(imm);
+        }
+        e.u32(self.caps.len() as u32);
+        for c in &self.caps {
+            c.encode(e);
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let tag = d.u64()?;
+        let n = d.u32()? as usize;
+        let mut imms = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            imms.push(d.bytes()?);
+        }
+        let m = d.u32()? as usize;
+        let mut caps = Vec::with_capacity(m.min(1024));
+        for _ in 0..m {
+            caps.push(Cid::decode(d)?);
+        }
+        Ok(IncomingRequest { tag, imms, caps })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ProcId;
+
+    fn roundtrip<T: Wire + PartialEq + core::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        let back = T::from_bytes(&bytes).expect("decode");
+        assert_eq!(v, back);
+        assert_eq!(v.wire_size(), bytes.len() as u64);
+    }
+
+    #[test]
+    fn caprefs_roundtrip() {
+        roundtrip(CapRef {
+            ctrl: ControllerAddr(3),
+            epoch: Epoch(17),
+            object: ObjectId(u64::MAX),
+        });
+    }
+
+    #[test]
+    fn endpoints_roundtrip() {
+        for ep in [
+            Endpoint::cpu(NodeId(0)),
+            Endpoint::snic(NodeId(1)),
+            Endpoint::new(NodeId(2), Location::Gpu(3)),
+            Endpoint::new(NodeId(2), Location::Nvme(1)),
+        ] {
+            roundtrip(ep);
+        }
+    }
+
+    #[test]
+    fn syscalls_roundtrip() {
+        let all = vec![
+            Syscall::Null,
+            Syscall::MemoryCreate {
+                addr: 0x1000,
+                size: 4096,
+                perms: Perms::RW,
+            },
+            Syscall::MemoryDiminish {
+                cid: Cid(4),
+                offset: 8,
+                size: 16,
+                drop_perms: Perms::WRITE,
+            },
+            Syscall::MemoryCopy {
+                src: Cid(1),
+                dst: Cid(2),
+            },
+            Syscall::RequestCreate {
+                base: Some(Cid(9)),
+                tag: 77,
+                imms: vec![vec![1, 2, 3], vec![]],
+                caps: vec![Cid(1), Cid(5)],
+            },
+            Syscall::RequestInvoke { cid: Cid(0) },
+            Syscall::CapCreateRevtree { cid: Cid(2) },
+            Syscall::CapRevoke { cid: Cid(3) },
+            Syscall::MonitorDelegate {
+                cid: Cid(1),
+                callback_id: 123,
+            },
+            Syscall::MonitorReceive {
+                cid: Cid(1),
+                callback_id: 456,
+            },
+            Syscall::KvPut {
+                key: "gpu.init".into(),
+                cid: Cid(7),
+            },
+            Syscall::KvGet {
+                key: "fs.open".into(),
+            },
+        ];
+        for sc in all {
+            roundtrip(sc);
+        }
+    }
+
+    #[test]
+    fn results_roundtrip() {
+        roundtrip(SyscallResult::Ok);
+        roundtrip(SyscallResult::NewCid(Cid(12)));
+        roundtrip(SyscallResult::Err(FosError::NoSuchKey));
+        roundtrip(SyscallResult::Err(FosError::Cap(
+            fractos_cap::CapError::Revoked(ObjectId(4)),
+        )));
+    }
+
+    #[test]
+    fn request_desc_roundtrips_with_mixed_args() {
+        roundtrip(RequestDesc {
+            provider: ProcId(2),
+            tag: 5,
+            args: vec![
+                Arg::Imm(vec![0xca, 0xfe]),
+                Arg::Cap(CapArg {
+                    cap: CapRef {
+                        ctrl: ControllerAddr(1),
+                        epoch: Epoch(0),
+                        object: ObjectId(8),
+                    },
+                    mem: Some(MemoryDesc {
+                        proc: ProcId(3),
+                        location: Endpoint::gpu(NodeId(1)),
+                        addr: 64,
+                        view_off: 32,
+                        size: 128,
+                        perms: Perms::READ,
+                    }),
+                }),
+            ],
+        });
+    }
+
+    #[test]
+    fn incoming_request_roundtrips() {
+        roundtrip(IncomingRequest {
+            tag: 9,
+            imms: vec![vec![1], vec![2, 3]],
+            caps: vec![Cid(0), Cid(4)],
+        });
+    }
+
+    #[test]
+    fn truncated_buffers_error() {
+        let bytes = Syscall::KvGet { key: "abc".into() }.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Syscall::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = SyscallResult::Ok.to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            SyscallResult::from_bytes(&bytes),
+            Err(DecodeError::TrailingBytes)
+        );
+    }
+
+    #[test]
+    fn bad_tags_rejected() {
+        assert_eq!(Syscall::from_bytes(&[200]), Err(DecodeError::BadTag(200)));
+    }
+}

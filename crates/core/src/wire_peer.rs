@@ -1,0 +1,506 @@
+//! Wire codec for the Controller ↔ Controller protocol.
+//!
+//! Everything Controllers exchange is serializable with the same
+//! little-endian format as the syscall surface — the round-trip property
+//! tests prove there are no in-memory-only shortcuts in the peer protocol
+//! either. [`PeerOp::wire_size`](crate::messages::PeerOp) delegates to
+//! these encodings, so traffic accounting uses real sizes.
+
+use fractos_cap::{CapRef, ControllerAddr, Perms};
+
+use crate::messages::{DeriveOp, MonitorKind, PeerOp};
+use crate::types::{CapArg, FosError, MonitorCb, ProcId};
+use crate::wire::{DecodeError, Decoder, Encoder, Wire};
+
+impl Wire for MonitorKind {
+    fn encode(&self, e: &mut Encoder) {
+        e.u8(match self {
+            MonitorKind::Delegate => 0,
+            MonitorKind::Receive => 1,
+        });
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        match d.u8()? {
+            0 => Ok(MonitorKind::Delegate),
+            1 => Ok(MonitorKind::Receive),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for MonitorCb {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            MonitorCb::DelegateDrained { callback_id } => {
+                e.u8(0);
+                e.u64(*callback_id);
+            }
+            MonitorCb::Receive { callback_id } => {
+                e.u8(1);
+                e.u64(*callback_id);
+            }
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let tag = d.u8()?;
+        let callback_id = d.u64()?;
+        match tag {
+            0 => Ok(MonitorCb::DelegateDrained { callback_id }),
+            1 => Ok(MonitorCb::Receive { callback_id }),
+            t => Err(DecodeError::BadTag(t)),
+        }
+    }
+}
+
+impl Wire for DeriveOp {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            DeriveOp::Diminish {
+                offset,
+                size,
+                drop_perms,
+            } => {
+                e.u8(0);
+                e.u64(*offset);
+                e.u64(*size);
+                drop_perms.encode(e);
+            }
+            DeriveOp::Refine { imms, caps } => {
+                e.u8(1);
+                e.u32(imms.len() as u32);
+                for imm in imms {
+                    e.bytes(imm);
+                }
+                e.u32(caps.len() as u32);
+                for c in caps {
+                    c.encode(e);
+                }
+            }
+            DeriveOp::Revtree => e.u8(2),
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(match d.u8()? {
+            0 => DeriveOp::Diminish {
+                offset: d.u64()?,
+                size: d.u64()?,
+                drop_perms: Perms::decode(d)?,
+            },
+            1 => {
+                let n = d.u32()? as usize;
+                let mut imms = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    imms.push(d.bytes()?);
+                }
+                let m = d.u32()? as usize;
+                let mut caps = Vec::with_capacity(m.min(1024));
+                for _ in 0..m {
+                    caps.push(CapArg::decode(d)?);
+                }
+                DeriveOp::Refine { imms, caps }
+            }
+            2 => DeriveOp::Revtree,
+            t => return Err(DecodeError::BadTag(t)),
+        })
+    }
+}
+
+fn encode_result_cap(e: &mut Encoder, r: &Result<CapArg, FosError>) {
+    match r {
+        Ok(c) => {
+            e.u8(0);
+            c.encode(e);
+        }
+        Err(err) => {
+            e.u8(1);
+            err.encode(e);
+        }
+    }
+}
+
+fn decode_result_cap(d: &mut Decoder<'_>) -> Result<Result<CapArg, FosError>, DecodeError> {
+    match d.u8()? {
+        0 => Ok(Ok(CapArg::decode(d)?)),
+        1 => Ok(Err(FosError::decode(d)?)),
+        t => Err(DecodeError::BadTag(t)),
+    }
+}
+
+fn encode_result_unit(e: &mut Encoder, r: &Result<(), FosError>) {
+    match r {
+        Ok(()) => e.u8(0),
+        Err(err) => {
+            e.u8(1);
+            err.encode(e);
+        }
+    }
+}
+
+fn decode_result_unit(d: &mut Decoder<'_>) -> Result<Result<(), FosError>, DecodeError> {
+    match d.u8()? {
+        0 => Ok(Ok(())),
+        1 => Ok(Err(FosError::decode(d)?)),
+        t => Err(DecodeError::BadTag(t)),
+    }
+}
+
+impl Wire for PeerOp {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            PeerOp::Invoke {
+                req,
+                reply_to,
+                token,
+            } => {
+                e.u8(0);
+                req.encode(e);
+                e.u32(reply_to.0);
+                e.u64(*token);
+            }
+            PeerOp::InvokeAck { token, result } => {
+                e.u8(1);
+                e.u64(*token);
+                encode_result_unit(e, result);
+            }
+            PeerOp::Derive {
+                obj,
+                op,
+                creator,
+                reply_to,
+                token,
+            } => {
+                e.u8(2);
+                obj.encode(e);
+                op.encode(e);
+                e.u32(creator.0);
+                e.u32(reply_to.0);
+                e.u64(*token);
+            }
+            PeerOp::DeriveAck { token, result } => {
+                e.u8(3);
+                e.u64(*token);
+                encode_result_cap(e, result);
+            }
+            PeerOp::Delegate {
+                obj,
+                to,
+                reply_to,
+                token,
+            } => {
+                e.u8(4);
+                obj.encode(e);
+                e.u32(to.0);
+                e.u32(reply_to.0);
+                e.u64(*token);
+            }
+            PeerOp::DelegateAck { token, result } => {
+                e.u8(5);
+                e.u64(*token);
+                encode_result_cap(e, result);
+            }
+            PeerOp::Revoke {
+                obj,
+                reply_to,
+                token,
+            } => {
+                e.u8(6);
+                obj.encode(e);
+                e.u32(reply_to.0);
+                e.u64(*token);
+            }
+            PeerOp::RevokeAck { token, result } => {
+                e.u8(7);
+                e.u64(*token);
+                match result {
+                    Ok(n) => {
+                        e.u8(0);
+                        e.u64(*n);
+                    }
+                    Err(err) => {
+                        e.u8(1);
+                        err.encode(e);
+                    }
+                }
+            }
+            PeerOp::Monitor {
+                obj,
+                kind,
+                watcher,
+                callback_id,
+                reply_to,
+                token,
+            } => {
+                e.u8(8);
+                obj.encode(e);
+                kind.encode(e);
+                e.u32(watcher.0);
+                e.u64(*callback_id);
+                e.u32(reply_to.0);
+                e.u64(*token);
+            }
+            PeerOp::MonitorAck { token, result } => {
+                e.u8(9);
+                e.u64(*token);
+                encode_result_unit(e, result);
+            }
+            PeerOp::MonitorEvent { proc, cb } => {
+                e.u8(10);
+                e.u32(proc.0);
+                cb.encode(e);
+            }
+            PeerOp::Cleanup { objs } => {
+                e.u8(11);
+                e.u32(objs.len() as u32);
+                for o in objs {
+                    o.encode(e);
+                }
+            }
+            PeerOp::FailProcess { proc } => {
+                e.u8(12);
+                e.u32(proc.0);
+            }
+            PeerOp::KvPut {
+                key,
+                cap,
+                reply_to,
+                token,
+            } => {
+                e.u8(13);
+                e.str(key);
+                cap.encode(e);
+                e.u32(reply_to.0);
+                e.u64(*token);
+            }
+            PeerOp::KvPutAck { token, result } => {
+                e.u8(14);
+                e.u64(*token);
+                encode_result_unit(e, result);
+            }
+            PeerOp::KvGet {
+                key,
+                to,
+                reply_to,
+                token,
+            } => {
+                e.u8(15);
+                e.str(key);
+                e.u32(to.0);
+                e.u32(reply_to.0);
+                e.u64(*token);
+            }
+            PeerOp::KvGetAck { token, result } => {
+                e.u8(16);
+                e.u64(*token);
+                encode_result_cap(e, result);
+            }
+        }
+    }
+
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(match d.u8()? {
+            0 => PeerOp::Invoke {
+                req: CapRef::decode(d)?,
+                reply_to: ControllerAddr(d.u32()?),
+                token: d.u64()?,
+            },
+            1 => PeerOp::InvokeAck {
+                token: d.u64()?,
+                result: decode_result_unit(d)?,
+            },
+            2 => PeerOp::Derive {
+                obj: CapRef::decode(d)?,
+                op: DeriveOp::decode(d)?,
+                creator: ProcId(d.u32()?),
+                reply_to: ControllerAddr(d.u32()?),
+                token: d.u64()?,
+            },
+            3 => PeerOp::DeriveAck {
+                token: d.u64()?,
+                result: decode_result_cap(d)?,
+            },
+            4 => PeerOp::Delegate {
+                obj: CapRef::decode(d)?,
+                to: ProcId(d.u32()?),
+                reply_to: ControllerAddr(d.u32()?),
+                token: d.u64()?,
+            },
+            5 => PeerOp::DelegateAck {
+                token: d.u64()?,
+                result: decode_result_cap(d)?,
+            },
+            6 => PeerOp::Revoke {
+                obj: CapRef::decode(d)?,
+                reply_to: ControllerAddr(d.u32()?),
+                token: d.u64()?,
+            },
+            7 => {
+                let token = d.u64()?;
+                let result = match d.u8()? {
+                    0 => Ok(d.u64()?),
+                    1 => Err(FosError::decode(d)?),
+                    t => return Err(DecodeError::BadTag(t)),
+                };
+                PeerOp::RevokeAck { token, result }
+            }
+            8 => PeerOp::Monitor {
+                obj: CapRef::decode(d)?,
+                kind: MonitorKind::decode(d)?,
+                watcher: ProcId(d.u32()?),
+                callback_id: d.u64()?,
+                reply_to: ControllerAddr(d.u32()?),
+                token: d.u64()?,
+            },
+            9 => PeerOp::MonitorAck {
+                token: d.u64()?,
+                result: decode_result_unit(d)?,
+            },
+            10 => PeerOp::MonitorEvent {
+                proc: ProcId(d.u32()?),
+                cb: MonitorCb::decode(d)?,
+            },
+            11 => {
+                let n = d.u32()? as usize;
+                let mut objs = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    objs.push(CapRef::decode(d)?);
+                }
+                PeerOp::Cleanup { objs }
+            }
+            12 => PeerOp::FailProcess {
+                proc: ProcId(d.u32()?),
+            },
+            13 => PeerOp::KvPut {
+                key: d.str()?,
+                cap: CapArg::decode(d)?,
+                reply_to: ControllerAddr(d.u32()?),
+                token: d.u64()?,
+            },
+            14 => PeerOp::KvPutAck {
+                token: d.u64()?,
+                result: decode_result_unit(d)?,
+            },
+            15 => PeerOp::KvGet {
+                key: d.str()?,
+                to: ProcId(d.u32()?),
+                reply_to: ControllerAddr(d.u32()?),
+                token: d.u64()?,
+            },
+            16 => PeerOp::KvGetAck {
+                token: d.u64()?,
+                result: decode_result_cap(d)?,
+            },
+            t => return Err(DecodeError::BadTag(t)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractos_cap::{Epoch, ObjectId};
+
+    fn cref(n: u64) -> CapRef {
+        CapRef {
+            ctrl: ControllerAddr(1),
+            epoch: Epoch(2),
+            object: ObjectId(n),
+        }
+    }
+
+    #[test]
+    fn peer_ops_roundtrip() {
+        let ops = vec![
+            PeerOp::Invoke {
+                req: cref(1),
+                reply_to: ControllerAddr(0),
+                token: 9,
+            },
+            PeerOp::InvokeAck {
+                token: 9,
+                result: Err(FosError::ProcessFailed),
+            },
+            PeerOp::Derive {
+                obj: cref(2),
+                op: DeriveOp::Refine {
+                    imms: vec![vec![1, 2, 3]],
+                    caps: vec![CapArg {
+                        cap: cref(3),
+                        mem: None,
+                    }],
+                },
+                creator: ProcId(4),
+                reply_to: ControllerAddr(0),
+                token: 10,
+            },
+            PeerOp::DeriveAck {
+                token: 10,
+                result: Ok(CapArg {
+                    cap: cref(5),
+                    mem: None,
+                }),
+            },
+            PeerOp::Delegate {
+                obj: cref(6),
+                to: ProcId(7),
+                reply_to: ControllerAddr(2),
+                token: 11,
+            },
+            PeerOp::Revoke {
+                obj: cref(8),
+                reply_to: ControllerAddr(0),
+                token: 12,
+            },
+            PeerOp::RevokeAck {
+                token: 12,
+                result: Ok(17),
+            },
+            PeerOp::Monitor {
+                obj: cref(9),
+                kind: MonitorKind::Delegate,
+                watcher: ProcId(1),
+                callback_id: 99,
+                reply_to: ControllerAddr(0),
+                token: 13,
+            },
+            PeerOp::MonitorEvent {
+                proc: ProcId(1),
+                cb: MonitorCb::Receive { callback_id: 5 },
+            },
+            PeerOp::Cleanup {
+                objs: vec![cref(1), cref(2)],
+            },
+            PeerOp::FailProcess { proc: ProcId(3) },
+            PeerOp::KvPut {
+                key: "x.y".into(),
+                cap: CapArg {
+                    cap: cref(4),
+                    mem: None,
+                },
+                reply_to: ControllerAddr(1),
+                token: 14,
+            },
+            PeerOp::KvGet {
+                key: "x.y".into(),
+                to: ProcId(5),
+                reply_to: ControllerAddr(1),
+                token: 15,
+            },
+            PeerOp::KvGetAck {
+                token: 15,
+                result: Err(FosError::NoSuchKey),
+            },
+        ];
+        for op in ops {
+            let bytes = op.to_bytes();
+            assert_eq!(PeerOp::from_bytes(&bytes).unwrap(), op);
+        }
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        for len in 0..64 {
+            let bytes: Vec<u8> = (0..len).map(|i| (i * 37) as u8).collect();
+            let _ = PeerOp::from_bytes(&bytes);
+        }
+    }
+}

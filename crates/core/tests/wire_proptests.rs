@@ -1,0 +1,180 @@
+//! Property tests for the wire codec: every protocol value must survive an
+//! encode/decode round trip, and decoding never panics on garbage.
+
+use proptest::prelude::*;
+
+use fractos_cap::{CapRef, Cid, ControllerAddr, Epoch, ObjectId, Perms};
+use fractos_core::types::{
+    Arg, CapArg, IncomingRequest, MemoryDesc, ProcId, RequestDesc, Syscall, SyscallResult,
+};
+use fractos_core::wire::Wire;
+use fractos_net::{Endpoint, Location, NodeId};
+
+fn arb_capref() -> impl Strategy<Value = CapRef> {
+    (any::<u32>(), any::<u64>(), any::<u64>()).prop_map(|(c, e, o)| CapRef {
+        ctrl: ControllerAddr(c),
+        epoch: Epoch(e),
+        object: ObjectId(o),
+    })
+}
+
+fn arb_endpoint() -> impl Strategy<Value = Endpoint> {
+    (any::<u32>(), 0u8..4, any::<u8>()).prop_map(|(n, kind, sub)| Endpoint {
+        node: NodeId(n),
+        loc: match kind {
+            0 => Location::HostCpu,
+            1 => Location::SmartNic,
+            2 => Location::Gpu(sub),
+            _ => Location::Nvme(sub),
+        },
+    })
+}
+
+fn arb_memdesc() -> impl Strategy<Value = MemoryDesc> {
+    (
+        any::<u32>(),
+        arb_endpoint(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        0u8..4,
+    )
+        .prop_map(|(p, location, addr, view_off, size, perms)| MemoryDesc {
+            proc: ProcId(p),
+            location,
+            addr,
+            view_off,
+            size,
+            perms: Perms::from_bits(perms),
+        })
+}
+
+fn arb_arg() -> impl Strategy<Value = Arg> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 0..64).prop_map(Arg::Imm),
+        (arb_capref(), prop::option::of(arb_memdesc()))
+            .prop_map(|(cap, mem)| Arg::Cap(CapArg { cap, mem })),
+    ]
+}
+
+fn arb_syscall() -> impl Strategy<Value = Syscall> {
+    prop_oneof![
+        Just(Syscall::Null),
+        (any::<u64>(), any::<u64>(), 0u8..4).prop_map(|(addr, size, p)| Syscall::MemoryCreate {
+            addr,
+            size,
+            perms: Perms::from_bits(p)
+        }),
+        (any::<u32>(), any::<u64>(), any::<u64>(), 0u8..4).prop_map(|(c, o, s, p)| {
+            Syscall::MemoryDiminish {
+                cid: Cid(c),
+                offset: o,
+                size: s,
+                drop_perms: Perms::from_bits(p),
+            }
+        }),
+        (any::<u32>(), any::<u32>()).prop_map(|(a, b)| Syscall::MemoryCopy {
+            src: Cid(a),
+            dst: Cid(b)
+        }),
+        (
+            prop::option::of(any::<u32>()),
+            any::<u64>(),
+            prop::collection::vec(prop::collection::vec(any::<u8>(), 0..32), 0..4),
+            prop::collection::vec(any::<u32>(), 0..4),
+        )
+            .prop_map(|(base, tag, imms, caps)| Syscall::RequestCreate {
+                base: base.map(Cid),
+                tag,
+                imms,
+                caps: caps.into_iter().map(Cid).collect(),
+            }),
+        any::<u32>().prop_map(|c| Syscall::RequestInvoke { cid: Cid(c) }),
+        any::<u32>().prop_map(|c| Syscall::CapCreateRevtree { cid: Cid(c) }),
+        any::<u32>().prop_map(|c| Syscall::CapRevoke { cid: Cid(c) }),
+        (any::<u32>(), any::<u64>()).prop_map(|(c, cb)| Syscall::MonitorDelegate {
+            cid: Cid(c),
+            callback_id: cb
+        }),
+        (any::<u32>(), any::<u64>()).prop_map(|(c, cb)| Syscall::MonitorReceive {
+            cid: Cid(c),
+            callback_id: cb
+        }),
+        any::<u32>().prop_map(|c| Syscall::MemoryStat { cid: Cid(c) }),
+        ("[a-z.]{0,16}", any::<u32>()).prop_map(|(key, c)| Syscall::KvPut { key, cid: Cid(c) }),
+        "[a-z.]{0,16}".prop_map(|key| Syscall::KvGet { key }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn syscalls_roundtrip(sc in arb_syscall()) {
+        let bytes = sc.to_bytes();
+        prop_assert_eq!(Syscall::from_bytes(&bytes).unwrap(), sc.clone());
+        prop_assert_eq!(sc.wire_size(), bytes.len() as u64);
+    }
+
+    #[test]
+    fn request_descs_roundtrip(
+        provider in any::<u32>(),
+        tag in any::<u64>(),
+        args in prop::collection::vec(arb_arg(), 0..8),
+    ) {
+        let desc = RequestDesc {
+            provider: ProcId(provider),
+            tag,
+            args,
+        };
+        let bytes = desc.to_bytes();
+        prop_assert_eq!(RequestDesc::from_bytes(&bytes).unwrap(), desc);
+    }
+
+    #[test]
+    fn incoming_requests_roundtrip(
+        tag in any::<u64>(),
+        imms in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..32), 0..6),
+        caps in prop::collection::vec(any::<u32>(), 0..6),
+    ) {
+        let req = IncomingRequest {
+            tag,
+            imms,
+            caps: caps.into_iter().map(Cid).collect(),
+        };
+        let bytes = req.to_bytes();
+        prop_assert_eq!(IncomingRequest::from_bytes(&bytes).unwrap(), req);
+    }
+
+    #[test]
+    fn results_roundtrip(which in 0u8..4, v in any::<u64>()) {
+        let res = match which {
+            0 => SyscallResult::Ok,
+            1 => SyscallResult::NewCid(Cid(v as u32)),
+            2 => SyscallResult::Value(v),
+            _ => SyscallResult::Stat { addr: v, off: v / 2, size: v / 3 },
+        };
+        let bytes = res.to_bytes();
+        prop_assert_eq!(SyscallResult::from_bytes(&bytes).unwrap(), res);
+    }
+
+    /// Decoding arbitrary garbage must error or succeed — never panic.
+    #[test]
+    fn decoding_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Syscall::from_bytes(&bytes);
+        let _ = SyscallResult::from_bytes(&bytes);
+        let _ = RequestDesc::from_bytes(&bytes);
+        let _ = IncomingRequest::from_bytes(&bytes);
+        let _ = CapRef::from_bytes(&bytes);
+        let _ = MemoryDesc::from_bytes(&bytes);
+    }
+
+    /// Truncating a valid encoding always fails to decode (no silent
+    /// partial reads).
+    #[test]
+    fn truncation_always_detected(sc in arb_syscall(), cut_frac in 0.0f64..1.0) {
+        let bytes = sc.to_bytes();
+        if bytes.len() > 1 {
+            let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+            prop_assert!(Syscall::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+}

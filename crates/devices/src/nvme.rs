@@ -1,0 +1,606 @@
+//! Disaggregated NVMe SSD: device model and the block-device adaptor (§5).
+//!
+//! The device stores *real bytes* in logical volumes and models a Samsung
+//! 970-EVO-Plus-class drive: ~70 µs 4 KiB random-read latency (the paper
+//! notes "the NVMe latency dominates (70 usec)" for 4 KiB reads in Fig 10),
+//! SLC-cache-absorbed writes, and bandwidth far above the 10 Gbps network so
+//! that the fabric, not the device, bounds throughput (Fig 11).
+//!
+//! The adaptor exposes `create_vol` / `read` / `write` Requests. Volume ids
+//! are *preset immediates* on the per-volume Requests, so a client can
+//! refine offsets and buffers but can never redirect a Request at another
+//! volume — the `0xcafe` block-number example of §3.4.
+
+use std::collections::HashMap;
+
+use fractos_cap::{Cid, Perms};
+use fractos_core::prelude::*;
+use fractos_core::types::Syscall;
+use fractos_net::Endpoint;
+use fractos_sim::{SimDuration, SimTime};
+
+use crate::proto::{imm, imm_at, TAG_BLK_CREATE_VOL, TAG_BLK_READ, TAG_BLK_WRITE};
+
+/// Timing model of the NVMe device.
+#[derive(Debug, Clone)]
+pub struct NvmeParams {
+    /// Base latency of a random read (flash array lookup).
+    pub read_latency: SimDuration,
+    /// Base latency of a write absorbed by the SLC cache.
+    pub write_latency: SimDuration,
+    /// Device read bandwidth in bytes/second.
+    pub read_bandwidth: f64,
+    /// Device write bandwidth in bytes/second.
+    pub write_bandwidth: f64,
+    /// Latency of a block-cache hit / cache-absorbed write in the kernel
+    /// block layer (used by [`KernelCache`]).
+    pub cache_latency: SimDuration,
+}
+
+impl Default for NvmeParams {
+    fn default() -> Self {
+        NvmeParams {
+            read_latency: SimDuration::from_micros(67),
+            write_latency: SimDuration::from_micros(15),
+            read_bandwidth: 2.5e9,
+            write_bandwidth: 1.5e9,
+            cache_latency: SimDuration::from_micros(4),
+        }
+    }
+}
+
+/// Timing-only model of the Linux block cache in front of an NVMe-oF
+/// device (§6.4's "Disaggregated Baseline"): writes are absorbed (ack
+/// after the cache latency, write-back off the measured path), sequential
+/// read streaks trigger read-ahead, and cached ranges skip the device.
+///
+/// Data always lands in the device immediately (the simulation keeps one
+/// copy of the truth); the cache only decides what *latency* an access
+/// pays.
+#[derive(Debug, Default)]
+pub struct KernelCache {
+    /// 4 KiB pages currently resident.
+    resident: std::collections::HashSet<u64>,
+    last_page: Option<u64>,
+    /// Cache hits (tests / Fig 10 discussion).
+    pub hits: u64,
+    /// Cache misses.
+    pub misses: u64,
+}
+
+/// Cache page size.
+pub const CACHE_PAGE: u64 = 4096;
+
+/// Pages prefetched on a sequential streak (2 MiB, covering large
+/// sequential I/Os like Fig 11's 1024 KiB blocks).
+pub const CACHE_READAHEAD: u64 = 512;
+
+impl KernelCache {
+    /// A cold cache.
+    pub fn new() -> Self {
+        KernelCache::default()
+    }
+
+    /// Records a read of `[offset, offset+len)` on `vol`; returns `true`
+    /// if it hits (device skipped). On a miss the range becomes resident,
+    /// and a sequential streak makes the read-ahead window resident too.
+    pub fn read(&mut self, vol: u64, offset: u64, len: u64) -> bool {
+        let first = Self::page(vol, offset);
+        let last = Self::page(vol, offset + len.max(1) - 1);
+        let sequential = self.last_page.is_some_and(|p| p == first || p + 1 == first);
+        self.last_page = Some(last);
+        if (first..=last).all(|p| self.resident.contains(&p)) {
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        let ahead = if sequential { CACHE_READAHEAD } else { 0 };
+        for p in first..=(last + ahead) {
+            self.resident.insert(p);
+        }
+        false
+    }
+
+    /// Records a write: the range becomes resident (absorbed).
+    pub fn write(&mut self, vol: u64, offset: u64, len: u64) {
+        let first = Self::page(vol, offset);
+        let last = Self::page(vol, offset + len.max(1) - 1);
+        for p in first..=last {
+            self.resident.insert(p);
+        }
+    }
+
+    fn page(vol: u64, byte: u64) -> u64 {
+        // Volumes are far smaller than 2^40 pages; pack (vol, page).
+        (vol << 40) | (byte / CACHE_PAGE)
+    }
+}
+
+/// Kind of a block operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockOp {
+    /// Read from flash.
+    Read,
+    /// Write to flash (SLC-cache absorbed).
+    Write,
+}
+
+/// The NVMe device model: logical volumes with real contents.
+#[derive(Debug)]
+pub struct NvmeDevice {
+    params: NvmeParams,
+    volumes: HashMap<u64, Vec<u8>>,
+    next_vol: u64,
+    busy_until: SimTime,
+    /// Completed operations (tests/benches).
+    pub ops: u64,
+}
+
+impl NvmeDevice {
+    /// A fresh, empty device.
+    pub fn new(params: NvmeParams) -> Self {
+        NvmeDevice {
+            params,
+            volumes: HashMap::new(),
+            next_vol: 1,
+            busy_until: SimTime::ZERO,
+            ops: 0,
+        }
+    }
+
+    /// The timing parameters.
+    pub fn params(&self) -> &NvmeParams {
+        &self.params
+    }
+
+    /// Creates a zero-filled logical volume of `size` bytes; returns its id.
+    pub fn create_volume(&mut self, size: u64) -> u64 {
+        let id = self.next_vol;
+        self.next_vol += 1;
+        self.volumes.insert(id, vec![0; size as usize]);
+        id
+    }
+
+    /// Size of a volume.
+    pub fn volume_size(&self, vol: u64) -> Option<u64> {
+        self.volumes.get(&vol).map(|v| v.len() as u64)
+    }
+
+    /// Frees a logical volume, returning whether it existed.
+    pub fn delete_volume(&mut self, vol: u64) -> bool {
+        self.volumes.remove(&vol).is_some()
+    }
+
+    /// Reads bytes from a volume.
+    pub fn read(&mut self, vol: u64, offset: u64, len: u64) -> Result<Vec<u8>, FosError> {
+        let v = self.volumes.get(&vol).ok_or(FosError::OutOfBounds)?;
+        let start = offset as usize;
+        let end = start + len as usize;
+        if end > v.len() {
+            return Err(FosError::OutOfBounds);
+        }
+        self.ops += 1;
+        Ok(v[start..end].to_vec())
+    }
+
+    /// Writes bytes into a volume.
+    pub fn write(&mut self, vol: u64, offset: u64, data: &[u8]) -> Result<(), FosError> {
+        let v = self.volumes.get_mut(&vol).ok_or(FosError::OutOfBounds)?;
+        let start = offset as usize;
+        let end = start + data.len();
+        if end > v.len() {
+            return Err(FosError::OutOfBounds);
+        }
+        v[start..end].copy_from_slice(data);
+        self.ops += 1;
+        Ok(())
+    }
+
+    /// Service-time model: base latency plus bandwidth occupancy, with the
+    /// flash channels shared across outstanding operations.
+    pub fn service_time(&mut self, now: SimTime, op: BlockOp, size: u64) -> SimDuration {
+        let (base, bw) = match op {
+            BlockOp::Read => (self.params.read_latency, self.params.read_bandwidth),
+            BlockOp::Write => (self.params.write_latency, self.params.write_bandwidth),
+        };
+        let occupancy = SimDuration::from_secs_f64(size as f64 / bw);
+        let start = self.busy_until.max(now);
+        self.busy_until = start + occupancy;
+        start.duration_since(now) + occupancy + base
+    }
+}
+
+/// Staging-buffer pool entry.
+struct Staging {
+    addr: u64,
+    cid: Cid,
+    busy: bool,
+}
+
+/// The block-device adaptor Process (§5).
+///
+/// With [`BlockAdaptor::with_kernel_cache`] it instead models the in-kernel
+/// NVMe-oF block stack of §6.4's "Disaggregated Baseline": same Request
+/// interface and data path, but a Linux block cache absorbs writes and
+/// read-ahead accelerates sequential reads.
+pub struct BlockAdaptor {
+    device: NvmeDevice,
+    nvme_endpoint: Endpoint,
+    key: String,
+    staging: Vec<Staging>,
+    staging_size: u64,
+    kernel_cache: Option<KernelCache>,
+    /// Completed reads and writes delivered to continuations (tests).
+    pub completed: u64,
+    /// Volumes reclaimed after their capability trees drained (§3.5).
+    pub reaped_volumes: u64,
+}
+
+/// Default size of each staging buffer (covers the paper's largest I/O,
+/// 1024 KiB in Fig 11).
+pub const STAGING_BUF_SIZE: u64 = 1 << 20;
+
+/// Number of pre-registered staging buffers.
+pub const STAGING_POOL: usize = 8;
+
+impl BlockAdaptor {
+    /// Creates an adaptor for an NVMe drive at `nvme_endpoint`, publishing
+    /// its `create_vol` Request under `"{key}.create_vol"`.
+    pub fn new(params: NvmeParams, nvme_endpoint: Endpoint, key: &str) -> Self {
+        BlockAdaptor {
+            device: NvmeDevice::new(params),
+            nvme_endpoint,
+            key: key.to_string(),
+            staging: Vec::new(),
+            staging_size: STAGING_BUF_SIZE,
+            kernel_cache: None,
+            completed: 0,
+            reaped_volumes: 0,
+        }
+    }
+
+    /// Enables the kernel block-cache model (the NVMe-oF baseline).
+    pub fn with_kernel_cache(mut self) -> Self {
+        self.kernel_cache = Some(KernelCache::new());
+        self
+    }
+
+    /// Cache statistics, if the kernel cache is enabled.
+    pub fn cache_stats(&self) -> Option<(u64, u64)> {
+        self.kernel_cache.as_ref().map(|c| (c.hits, c.misses))
+    }
+
+    /// The device model (tests/benches).
+    pub fn device(&self) -> &NvmeDevice {
+        &self.device
+    }
+
+    /// Mutable device access (harnesses pre-populating volumes).
+    pub fn device_mut(&mut self) -> &mut NvmeDevice {
+        &mut self.device
+    }
+
+    fn grab_staging(
+        &mut self,
+        fos: &Fos<Self>,
+        k: impl FnOnce(&mut Self, usize, &Fos<Self>) + 'static,
+    ) {
+        if let Some(i) = self.staging.iter().position(|s| !s.busy) {
+            self.staging[i].busy = true;
+            k(self, i, fos);
+            return;
+        }
+        // Pool exhausted: register another buffer.
+        let size = self.staging_size;
+        let ep = self.nvme_endpoint;
+        let addr = fos.mem_alloc_at(size, ep);
+        fos.memory_create(addr, size, Perms::RW, move |s: &mut Self, res, fos| {
+            let SyscallResult::NewCid(cid) = res else {
+                return;
+            };
+            s.staging.push(Staging {
+                addr,
+                cid,
+                busy: true,
+            });
+            let i = s.staging.len() - 1;
+            k(s, i, fos);
+        });
+    }
+
+    fn release_staging(&mut self, i: usize) {
+        self.staging[i].busy = false;
+    }
+
+    fn on_create_vol(&mut self, req: IncomingRequest, fos: &Fos<Self>) {
+        let (Some(size), Some(&cont)) = (imm_at(&req.imms, 0), req.caps.first()) else {
+            return;
+        };
+        let vol = self.device.create_volume(size);
+        // Per-volume read/write Requests with the volume id preset. The
+        // adaptor watches the read Request's delegations: once every holder
+        // has revoked (or died), the volume's storage is reclaimed — the
+        // §3.5 "free one of their blocks" pattern, driven entirely by the
+        // capability machinery.
+        fos.request_create_new(
+            TAG_BLK_READ,
+            vec![imm(vol)],
+            vec![],
+            move |_s: &mut Self, res, fos| {
+                let read_req = res.cid();
+                fos.request_create_new(
+                    TAG_BLK_WRITE,
+                    vec![imm(vol)],
+                    vec![],
+                    move |_s: &mut Self, res, fos| {
+                        let write_req = res.cid();
+                        fos.call(
+                            fractos_core::types::Syscall::MonitorDelegate {
+                                cid: read_req,
+                                callback_id: vol,
+                            },
+                            move |_s, res, fos| {
+                                debug_assert!(res.is_ok(), "monitor arm failed: {res:?}");
+                                fos.reply_via(cont, vec![imm(vol)], vec![read_req, write_req]);
+                            },
+                        );
+                    },
+                );
+            },
+        );
+    }
+
+    fn on_read(&mut self, req: IncomingRequest, fos: &Fos<Self>) {
+        let (Some(vol), Some(offset), Some(size)) = (
+            imm_at(&req.imms, 0),
+            imm_at(&req.imms, 1),
+            imm_at(&req.imms, 2),
+        ) else {
+            return;
+        };
+        let [dst, success, error] = req.caps[..] else {
+            return;
+        };
+        if size > self.staging_size {
+            fos.reply_via(error, vec![imm(1)], vec![]);
+            return;
+        }
+        // Device access first, then a third-party transfer into the
+        // client-provided destination buffer. A kernel cache may absorb
+        // the device access entirely.
+        let hit = self
+            .kernel_cache
+            .as_mut()
+            .is_some_and(|cache| cache.read(vol, offset, size));
+        let delay = if hit {
+            self.device.params().cache_latency
+        } else {
+            self.device.service_time(fos.now(), BlockOp::Read, size)
+        };
+        self.grab_staging(fos, move |s: &mut Self, slot, fos| {
+            fos.sleep(delay, move |s: &mut Self, fos| {
+                let data = match s.device.read(vol, offset, size) {
+                    Ok(d) => d,
+                    Err(_) => {
+                        s.release_staging(slot);
+                        fos.reply_via(error, vec![imm(2)], vec![]);
+                        return;
+                    }
+                };
+                let st = &s.staging[slot];
+                let (st_addr, st_cid) = (st.addr, st.cid);
+                fos.mem_write(st_addr, 0, &data).expect("staging write");
+                // A sized view of the staging buffer, so the copy moves
+                // exactly `size` bytes.
+                fos.call(
+                    Syscall::MemoryDiminish {
+                        cid: st_cid,
+                        offset: 0,
+                        size,
+                        drop_perms: Perms::NONE,
+                    },
+                    move |_s: &mut Self, res, fos| {
+                        let SyscallResult::NewCid(view) = res else {
+                            return;
+                        };
+                        fos.memory_copy(view, dst, move |s: &mut Self, res, fos| {
+                            s.release_staging(slot);
+                            // Drop the transient view.
+                            fos.call_ignore(Syscall::CapRevoke { cid: view });
+                            match res {
+                                SyscallResult::Ok => {
+                                    s.completed += 1;
+                                    fos.reply_via(success, vec![imm(size)], vec![]);
+                                }
+                                _ => fos.reply_via(error, vec![imm(3)], vec![]),
+                            }
+                        });
+                    },
+                );
+            });
+            let _ = s;
+        });
+    }
+
+    fn on_write(&mut self, req: IncomingRequest, fos: &Fos<Self>) {
+        let (Some(vol), Some(offset), Some(size)) = (
+            imm_at(&req.imms, 0),
+            imm_at(&req.imms, 1),
+            imm_at(&req.imms, 2),
+        ) else {
+            return;
+        };
+        let [src, success, error] = req.caps[..] else {
+            return;
+        };
+        if size > self.staging_size {
+            fos.reply_via(error, vec![imm(1)], vec![]);
+            return;
+        }
+        self.grab_staging(fos, move |s: &mut Self, slot, fos| {
+            let st = &s.staging[slot];
+            let (st_addr, st_cid) = (st.addr, st.cid);
+            // Pull the client's data into the staging buffer (third-party
+            // transfer), then commit to flash.
+            fos.call(
+                Syscall::MemoryDiminish {
+                    cid: st_cid,
+                    offset: 0,
+                    size,
+                    drop_perms: Perms::NONE,
+                },
+                move |_s: &mut Self, res, fos| {
+                    let SyscallResult::NewCid(view) = res else {
+                        return;
+                    };
+                    fos.memory_copy(src, view, move |s: &mut Self, res, fos| {
+                        fos.call_ignore(Syscall::CapRevoke { cid: view });
+                        if res != SyscallResult::Ok {
+                            s.release_staging(slot);
+                            fos.reply_via(error, vec![imm(2)], vec![]);
+                            return;
+                        }
+                        let data = fos.mem_read(st_addr, 0, size).expect("staging read");
+                        let delay = match s.kernel_cache.as_mut() {
+                            Some(cache) => {
+                                // Absorbed: ack after the cache latency;
+                                // write-back runs off the measured path.
+                                cache.write(vol, offset, size);
+                                s.device.params().cache_latency
+                            }
+                            None => s.device.service_time(fos.now(), BlockOp::Write, size),
+                        };
+                        fos.sleep(delay, move |s: &mut Self, fos| {
+                            s.release_staging(slot);
+                            match s.device.write(vol, offset, &data) {
+                                Ok(()) => {
+                                    s.completed += 1;
+                                    fos.reply_via(success, vec![imm(size)], vec![]);
+                                }
+                                Err(_) => fos.reply_via(error, vec![imm(3)], vec![]),
+                            }
+                        });
+                    });
+                },
+            );
+        });
+    }
+}
+
+impl Service for BlockAdaptor {
+    fn on_monitor(&mut self, cb: MonitorCb, _fos: &Fos<Self>) {
+        if let MonitorCb::DelegateDrained { callback_id: vol } = cb {
+            if self.device.delete_volume(vol) {
+                self.reaped_volumes += 1;
+            }
+        }
+    }
+
+    fn on_start(&mut self, fos: &Fos<Self>) {
+        // Pre-register the staging pool (the prototype's bounce buffers).
+        let size = self.staging_size;
+        let ep = self.nvme_endpoint;
+        for _ in 0..STAGING_POOL {
+            let addr = fos.mem_alloc_at(size, ep);
+            fos.memory_create(addr, size, Perms::RW, move |s: &mut Self, res, _fos| {
+                if let SyscallResult::NewCid(cid) = res {
+                    s.staging.push(Staging {
+                        addr,
+                        cid,
+                        busy: false,
+                    });
+                }
+            });
+        }
+        let key = format!("{}.create_vol", self.key);
+        fos.request_create_new(TAG_BLK_CREATE_VOL, vec![], vec![], move |_s, res, fos| {
+            fos.kv_put(&key, res.cid(), |_, res, _| {
+                debug_assert!(res.is_ok(), "publishing create_vol failed");
+            });
+        });
+    }
+
+    fn on_request(&mut self, req: IncomingRequest, fos: &Fos<Self>) {
+        match req.tag {
+            TAG_BLK_CREATE_VOL => self.on_create_vol(req, fos),
+            TAG_BLK_READ => self.on_read(req, fos),
+            TAG_BLK_WRITE => self.on_write(req, fos),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_read_write_roundtrip() {
+        let mut dev = NvmeDevice::new(NvmeParams::default());
+        let vol = dev.create_volume(4096);
+        dev.write(vol, 100, b"hello nvme").unwrap();
+        assert_eq!(dev.read(vol, 100, 10).unwrap(), b"hello nvme");
+        assert_eq!(dev.read(vol, 0, 4).unwrap(), vec![0; 4]);
+        assert_eq!(dev.ops, 3);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut dev = NvmeDevice::new(NvmeParams::default());
+        let vol = dev.create_volume(16);
+        assert!(dev.write(vol, 10, &[0; 10]).is_err());
+        assert!(dev.read(vol, 0, 17).is_err());
+        assert!(dev.read(99, 0, 1).is_err());
+    }
+
+    #[test]
+    fn service_time_includes_base_latency() {
+        let mut dev = NvmeDevice::new(NvmeParams::default());
+        let t = dev.service_time(SimTime::ZERO, BlockOp::Read, 4096);
+        // 67 µs base + ~1.6 µs transfer.
+        let us = t.as_micros_f64();
+        assert!((68.0..70.0).contains(&us), "4 KiB read {us:.2} µs");
+        let tw = dev.service_time(SimTime::ZERO, BlockOp::Write, 4096);
+        assert!(tw < t, "cached writes are faster than flash reads");
+    }
+
+    #[test]
+    fn kernel_cache_absorbs_and_prefetches() {
+        let mut c = KernelCache::new();
+        // Cold random read misses; the range becomes resident.
+        assert!(!c.read(1, 0, 4096));
+        assert!(c.read(1, 0, 4096), "repeat hits");
+        // Sequential follow-up triggers read-ahead.
+        assert!(!c.read(1, 4096, 4096));
+        assert!(
+            c.read(1, 8192, 4096),
+            "read-ahead made the next page resident"
+        );
+        // Writes are absorbed (range resident afterwards).
+        c.write(1, 1 << 20, 4096);
+        assert!(c.read(1, 1 << 20, 4096));
+        // Volumes do not alias.
+        assert!(!c.read(2, 0, 4096));
+        assert!(c.hits >= 3 && c.misses >= 3);
+    }
+
+    #[test]
+    fn delete_volume_frees_storage() {
+        let mut dev = NvmeDevice::new(NvmeParams::default());
+        let vol = dev.create_volume(4096);
+        assert!(dev.volume_size(vol).is_some());
+        assert!(dev.delete_volume(vol));
+        assert!(dev.volume_size(vol).is_none());
+        assert!(!dev.delete_volume(vol), "double free is a no-op");
+        assert!(dev.read(vol, 0, 1).is_err());
+    }
+
+    #[test]
+    fn bandwidth_shared_across_outstanding_ops() {
+        let mut dev = NvmeDevice::new(NvmeParams::default());
+        let big = 10 << 20;
+        let t1 = dev.service_time(SimTime::ZERO, BlockOp::Read, big);
+        let t2 = dev.service_time(SimTime::ZERO, BlockOp::Read, big);
+        assert!(t2.as_secs_f64() > 1.9 * t1.as_secs_f64() * 0.9);
+    }
+}

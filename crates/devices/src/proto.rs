@@ -1,0 +1,71 @@
+//! Shared RPC conventions of the device adaptors.
+//!
+//! Every device RPC is a FractOS Request. Immediate arguments are 8-byte
+//! little-endian integers; capability arguments follow the per-RPC
+//! conventions documented on each tag constant. Results travel by the
+//! continuation idiom: the caller appends one (or two: success/error)
+//! continuation Requests, and the adaptor replies by refining and invoking
+//! them (§3.4, §5).
+
+/// GPU adaptor (§5 "Accelerator Service: GPU"): context initialization.
+///
+/// Caps: `[continuation]`. Reply caps: `[alloc Request, load Request]` bound
+/// to the fresh context.
+pub const TAG_GPU_INIT: u64 = 0x0100;
+
+/// GPU memory allocation. Imms (appended by client): `[size]`.
+/// Caps: `[continuation]`. Reply caps: `[Memory]` in GPU memory.
+pub const TAG_GPU_ALLOC: u64 = 0x0101;
+
+/// GPU kernel load. Imms: `[kernel id]`. Caps: `[continuation]`.
+/// Reply caps: `[kernel-invocation Request]`.
+pub const TAG_GPU_LOAD: u64 = 0x0102;
+
+/// GPU kernel invocation. Imms: `[kernel id (preset)] ++ kernel params`.
+/// Caps: `[input Memory, output Memory, success Request, error Request]`
+/// (§5: "the GPU-kernel invocation Requests expect two Request arguments
+/// used to signal success/error ... all other immediate arguments are
+/// forwarded to the GPU kernel itself").
+pub const TAG_GPU_INVOKE: u64 = 0x0103;
+
+/// GPU context teardown. Imms: `[context id (preset)]`.
+pub const TAG_GPU_FINI: u64 = 0x0104;
+
+/// Block-device adaptor (§5 "Storage Stack"): create a logical volume.
+/// Imms: `[size]`. Caps: `[continuation]`. Reply caps:
+/// `[read Request, write Request]` bound to the volume.
+pub const TAG_BLK_CREATE_VOL: u64 = 0x0200;
+
+/// Volume read. Imms: `[volume (preset), offset, size]`.
+/// Caps: `[destination Memory, success Request, error Request]`.
+pub const TAG_BLK_READ: u64 = 0x0201;
+
+/// Volume write. Imms: `[volume (preset), offset, size]`.
+/// Caps: `[source Memory, success Request, error Request]`.
+pub const TAG_BLK_WRITE: u64 = 0x0202;
+
+/// Encodes an integer immediate.
+pub fn imm(v: u64) -> Vec<u8> {
+    v.to_le_bytes().to_vec()
+}
+
+/// Decodes the `i`-th immediate as an integer, if present and well-formed.
+pub fn imm_at(imms: &[Vec<u8>], i: usize) -> Option<u64> {
+    imms.get(i)
+        .and_then(|b| <[u8; 8]>::try_from(b.as_slice()).ok())
+        .map(u64::from_le_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imm_roundtrip() {
+        let imms = vec![imm(7), imm(u64::MAX), vec![1, 2]];
+        assert_eq!(imm_at(&imms, 0), Some(7));
+        assert_eq!(imm_at(&imms, 1), Some(u64::MAX));
+        assert_eq!(imm_at(&imms, 2), None, "short immediates rejected");
+        assert_eq!(imm_at(&imms, 3), None);
+    }
+}

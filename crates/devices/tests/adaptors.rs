@@ -1,0 +1,586 @@
+//! End-to-end tests of the GPU and block-device adaptors on a simulated
+//! cluster: real bytes flow client → device → client through the FractOS
+//! Request machinery.
+
+use fractos_cap::{Cid, Perms};
+use fractos_core::prelude::*;
+use fractos_devices::proto::{imm, imm_at};
+use fractos_devices::{BlockAdaptor, GpuAdaptor, GpuParams, NvmeParams, XorKernel};
+
+/// Client tag for reply continuations.
+const TAG_REPLY: u64 = 0x9000;
+
+/// A GPU client that drives the full bootstrap: init → alloc in+out → load
+/// → upload input → invoke → download output.
+struct GpuClient {
+    phase: u32,
+    alloc_req: Option<Cid>,
+    load_req: Option<Cid>,
+    in_mem: Option<Cid>,
+    out_mem: Option<Cid>,
+    invoke_req: Option<Cid>,
+    local_in: Option<(u64, Cid)>,
+    local_out: Option<(u64, Cid)>,
+    pub done: bool,
+    pub result: Vec<u8>,
+}
+
+impl GpuClient {
+    fn new() -> Self {
+        GpuClient {
+            phase: 0,
+            alloc_req: None,
+            load_req: None,
+            in_mem: None,
+            out_mem: None,
+            invoke_req: None,
+            local_in: None,
+            local_out: None,
+            done: false,
+            result: Vec::new(),
+        }
+    }
+
+    /// Makes a reply continuation and runs `f` with its cid.
+    fn with_cont(
+        fos: &Fos<Self>,
+        phase: u64,
+        f: impl FnOnce(&mut Self, Cid, &Fos<Self>) + 'static,
+    ) {
+        fos.request_create_new(TAG_REPLY, vec![imm(phase)], vec![], move |s, res, fos| {
+            f(s, res.cid(), fos);
+        });
+    }
+}
+
+const N: u64 = 64;
+
+impl Service for GpuClient {
+    fn on_start(&mut self, fos: &Fos<Self>) {
+        // Phase 0: fetch gpu.init and invoke it with a continuation.
+        fos.kv_get("gpu.init", |_s, res, fos| {
+            let init = res.cid();
+            GpuClient::with_cont(fos, 0, move |_s, cont, fos| {
+                fos.request_derive(init, vec![], vec![cont], |_s, res, fos| {
+                    fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+                });
+            });
+        });
+    }
+
+    fn on_request(&mut self, req: IncomingRequest, fos: &Fos<Self>) {
+        assert_eq!(req.tag, TAG_REPLY);
+        let phase = imm_at(&req.imms, 0).unwrap();
+        match phase {
+            0 => {
+                // Reply to init: [alloc_req, load_req].
+                self.alloc_req = Some(req.caps[0]);
+                self.load_req = Some(req.caps[1]);
+                let alloc = req.caps[0];
+                // Phase 1: allocate the input buffer.
+                GpuClient::with_cont(fos, 1, move |_s, cont, fos| {
+                    fos.request_derive(alloc, vec![imm(N)], vec![cont], |_s, res, fos| {
+                        fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+                    });
+                });
+            }
+            1 => {
+                self.in_mem = Some(req.caps[0]);
+                let alloc = self.alloc_req.unwrap();
+                GpuClient::with_cont(fos, 2, move |_s, cont, fos| {
+                    fos.request_derive(alloc, vec![imm(N)], vec![cont], |_s, res, fos| {
+                        fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+                    });
+                });
+            }
+            2 => {
+                self.out_mem = Some(req.caps[0]);
+                let load = self.load_req.unwrap();
+                // Phase 3: load kernel 7 (the XOR kernel).
+                GpuClient::with_cont(fos, 3, move |_s, cont, fos| {
+                    fos.request_derive(load, vec![imm(7)], vec![cont], |_s, res, fos| {
+                        fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+                    });
+                });
+            }
+            3 => {
+                self.invoke_req = Some(req.caps[0]);
+                // Phase 4: upload input data (pattern 0..N) into GPU memory.
+                let addr = fos.mem_alloc(N);
+                let data: Vec<u8> = (0..N as u8).collect();
+                fos.mem_write(addr, 0, &data).unwrap();
+                let in_mem = self.in_mem.unwrap();
+                fos.memory_create(addr, N, Perms::RW, move |s: &mut Self, res, fos| {
+                    let local = res.cid();
+                    s.local_in = Some((addr, local));
+                    fos.memory_copy(local, in_mem, move |s: &mut Self, res, fos| {
+                        assert_eq!(res, SyscallResult::Ok);
+                        // Phase 5: invoke the kernel with success/error conts.
+                        let invoke = s.invoke_req.unwrap();
+                        let in_mem = s.in_mem.unwrap();
+                        let out_mem = s.out_mem.unwrap();
+                        GpuClient::with_cont(fos, 5, move |_s, success, fos| {
+                            GpuClient::with_cont(fos, 99, move |_s, error, fos| {
+                                fos.request_derive(
+                                    invoke,
+                                    vec![imm(1)], // one work item
+                                    vec![in_mem, out_mem, success, error],
+                                    |_s, res, fos| {
+                                        fos.request_invoke(res.cid(), |_, res, _| {
+                                            assert!(res.is_ok())
+                                        });
+                                    },
+                                );
+                            });
+                        });
+                    });
+                });
+            }
+            5 => {
+                // Kernel done; download the output.
+                let out_mem = self.out_mem.unwrap();
+                let addr = fos.mem_alloc(N);
+                fos.memory_create(addr, N, Perms::RW, move |s: &mut Self, res, fos| {
+                    let local = res.cid();
+                    s.local_out = Some((addr, local));
+                    fos.memory_copy(out_mem, local, move |s: &mut Self, res, fos| {
+                        assert_eq!(res, SyscallResult::Ok);
+                        let (addr, _) = s.local_out.unwrap();
+                        s.result = fos.mem_read(addr, 0, N).unwrap();
+                        s.done = true;
+                    });
+                });
+            }
+            99 => panic!("GPU kernel invocation signalled an error"),
+            other => panic!("unexpected phase {other}"),
+        }
+        let _ = self.phase;
+    }
+}
+
+#[test]
+fn gpu_pipeline_computes_real_bytes() {
+    let mut tb = Testbed::paper(21);
+    let ctrls = tb.controllers_per_node(false);
+    let gpu_adaptor =
+        GpuAdaptor::new(GpuParams::default(), gpu(1), "gpu").with_kernel(7, XorKernel(0x5A));
+    let gpu_proc = tb.add_process("gpu-adaptor", cpu(1), ctrls[1], gpu_adaptor);
+    tb.start_process(gpu_proc);
+    tb.run();
+
+    let client = tb.add_process("client", cpu(2), ctrls[2], GpuClient::new());
+    tb.start_process(client);
+    tb.run();
+
+    tb.with_service::<GpuClient, _>(client, |c| {
+        assert!(c.done, "pipeline did not finish");
+        let want: Vec<u8> = (0..N as u8).map(|b| b ^ 0x5A).collect();
+        assert_eq!(c.result, want, "GPU output must be the XOR of the input");
+    });
+    tb.with_service::<GpuAdaptor, _>(gpu_proc, |a| {
+        assert_eq!(a.invocations, 1);
+        assert_eq!(a.device().kernels_executed(), 1);
+    });
+}
+
+/// A block client: create volume, write a pattern, read it back.
+struct BlkClient {
+    read_req: Option<Cid>,
+    write_req: Option<Cid>,
+    buf: Option<(u64, Cid)>,
+    pub done: bool,
+    pub read_back: Vec<u8>,
+}
+
+impl BlkClient {
+    fn new() -> Self {
+        BlkClient {
+            read_req: None,
+            write_req: None,
+            buf: None,
+            done: false,
+            read_back: Vec::new(),
+        }
+    }
+}
+
+const IO: u64 = 4096;
+
+impl Service for BlkClient {
+    fn on_start(&mut self, fos: &Fos<Self>) {
+        fos.kv_get("blk.create_vol", |_s, res, fos| {
+            let create = res.cid();
+            fos.request_create_new(TAG_REPLY, vec![imm(0)], vec![], move |_s, res, fos| {
+                let cont = res.cid();
+                fos.request_derive(create, vec![imm(1 << 20)], vec![cont], |_s, res, fos| {
+                    fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+                });
+            });
+        });
+    }
+
+    fn on_request(&mut self, req: IncomingRequest, fos: &Fos<Self>) {
+        let phase = imm_at(&req.imms, 0).unwrap();
+        match phase {
+            0 => {
+                // [vol id imm], caps: [read_req, write_req].
+                self.read_req = Some(req.caps[0]);
+                self.write_req = Some(req.caps[1]);
+                // Write phase: upload a pattern.
+                let addr = fos.mem_alloc(IO);
+                let data: Vec<u8> = (0..IO).map(|i| (i % 251) as u8).collect();
+                fos.mem_write(addr, 0, &data).unwrap();
+                let wreq = self.write_req.unwrap();
+                fos.memory_create(addr, IO, Perms::RW, move |s: &mut Self, res, fos| {
+                    let src = res.cid();
+                    s.buf = Some((addr, src));
+                    fos.request_create_new(TAG_REPLY, vec![imm(1)], vec![], move |_s, res, fos| {
+                        let success = res.cid();
+                        fos.request_create_new(
+                            TAG_REPLY,
+                            vec![imm(98)],
+                            vec![],
+                            move |_s, res, fos| {
+                                let error = res.cid();
+                                fos.request_derive(
+                                    wreq,
+                                    vec![imm(8192), imm(IO)], // offset, size
+                                    vec![src, success, error],
+                                    |_s, res, fos| {
+                                        fos.request_invoke(res.cid(), |_, res, _| {
+                                            assert!(res.is_ok())
+                                        });
+                                    },
+                                );
+                            },
+                        );
+                    });
+                });
+            }
+            1 => {
+                // Write complete; read it back into a fresh buffer.
+                let rreq = self.read_req.unwrap();
+                let addr = fos.mem_alloc(IO);
+                fos.memory_create(addr, IO, Perms::RW, move |s: &mut Self, res, fos| {
+                    let dst = res.cid();
+                    s.buf = Some((addr, dst));
+                    fos.request_create_new(TAG_REPLY, vec![imm(2)], vec![], move |_s, res, fos| {
+                        let success = res.cid();
+                        fos.request_create_new(
+                            TAG_REPLY,
+                            vec![imm(97)],
+                            vec![],
+                            move |_s, res, fos| {
+                                let error = res.cid();
+                                fos.request_derive(
+                                    rreq,
+                                    vec![imm(8192), imm(IO)],
+                                    vec![dst, success, error],
+                                    |_s, res, fos| {
+                                        fos.request_invoke(res.cid(), |_, res, _| {
+                                            assert!(res.is_ok())
+                                        });
+                                    },
+                                );
+                            },
+                        );
+                    });
+                });
+            }
+            2 => {
+                let (addr, _) = self.buf.unwrap();
+                self.read_back = fos.mem_read(addr, 0, IO).unwrap();
+                self.done = true;
+            }
+            97 | 98 => panic!("block op error, phase {phase}"),
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+}
+
+#[test]
+fn block_adaptor_roundtrips_data() {
+    let mut tb = Testbed::paper(22);
+    let ctrls = tb.controllers_per_node(false);
+    let blk = BlockAdaptor::new(NvmeParams::default(), nvme(0), "blk");
+    let blk_proc = tb.add_process("blk-adaptor", cpu(0), ctrls[0], blk);
+    tb.start_process(blk_proc);
+    tb.run();
+
+    let client = tb.add_process("client", cpu(2), ctrls[2], BlkClient::new());
+    tb.start_process(client);
+    tb.run();
+
+    tb.with_service::<BlkClient, _>(client, |c| {
+        assert!(c.done, "block pipeline did not finish");
+        let want: Vec<u8> = (0..IO).map(|i| (i % 251) as u8).collect();
+        assert_eq!(c.read_back, want);
+    });
+    tb.with_service::<BlockAdaptor, _>(blk_proc, |a| {
+        assert_eq!(a.completed, 2);
+        assert_eq!(a.device().ops, 2);
+    });
+}
+
+/// The DAX composition property: a third party that receives the delegated
+/// per-volume read Request can use it directly — and a revoked one fails.
+#[test]
+fn delegated_volume_request_is_directly_usable() {
+    let mut tb = Testbed::paper(23);
+    let ctrls = tb.controllers_per_node(false);
+    let blk = BlockAdaptor::new(NvmeParams::default(), nvme(0), "blk");
+    let blk_proc = tb.add_process("blk-adaptor", cpu(0), ctrls[0], blk);
+    tb.start_process(blk_proc);
+    tb.run();
+
+    // First client creates the volume and publishes the read Request for a
+    // third party (simulating the FS handing DAX Requests to its client).
+    struct Creator;
+    impl Service for Creator {
+        fn on_start(&mut self, fos: &Fos<Self>) {
+            fos.kv_get("blk.create_vol", |_s, res, fos| {
+                let create = res.cid();
+                fos.request_create_new(TAG_REPLY, vec![], vec![], move |_s, res, fos| {
+                    let cont = res.cid();
+                    fos.request_derive(create, vec![imm(65536)], vec![cont], |_s, res, fos| {
+                        fos.request_invoke(res.cid(), |_, _, _| {});
+                    });
+                });
+            });
+        }
+        fn on_request(&mut self, req: IncomingRequest, fos: &Fos<Self>) {
+            // caps: [read, write] → publish the read Request.
+            fos.kv_put("vol.read", req.caps[0], |_, res, _| assert!(res.is_ok()));
+        }
+    }
+    let creator = tb.add_process("creator", cpu(2), ctrls[2], Creator);
+    tb.start_process(creator);
+    tb.run();
+
+    // Third party reads through the delegated Request.
+    struct Third {
+        pub ok: bool,
+    }
+    impl Service for Third {
+        fn on_start(&mut self, fos: &Fos<Self>) {
+            fos.kv_get("vol.read", |_s, res, fos| {
+                let rreq = res.cid();
+                let addr = fos.mem_alloc(512);
+                fos.memory_create(addr, 512, Perms::RW, move |_s, res, fos| {
+                    let dst = res.cid();
+                    fos.request_create_new(TAG_REPLY, vec![imm(1)], vec![], move |_s, res, fos| {
+                        let success = res.cid();
+                        fos.request_create_new(
+                            TAG_REPLY,
+                            vec![imm(9)],
+                            vec![],
+                            move |_s, res, fos| {
+                                let error = res.cid();
+                                fos.request_derive(
+                                    rreq,
+                                    vec![imm(0), imm(512)],
+                                    vec![dst, success, error],
+                                    |_s, res, fos| {
+                                        fos.request_invoke(res.cid(), |_, res, _| {
+                                            assert!(res.is_ok())
+                                        });
+                                    },
+                                );
+                            },
+                        );
+                    });
+                });
+            });
+        }
+        fn on_request(&mut self, req: IncomingRequest, _fos: &Fos<Self>) {
+            assert_eq!(imm_at(&req.imms, 0), Some(1), "success continuation");
+            self.ok = true;
+        }
+    }
+    let third = tb.add_process("third", cpu(1), ctrls[1], Third { ok: false });
+    tb.start_process(third);
+    tb.run();
+    tb.with_service::<Third, _>(third, |t| assert!(t.ok, "DAX-style direct read failed"));
+}
+
+/// Two tenants share the GPU adaptor; revoking one tenant's handles reaps
+/// only that tenant's context.
+#[test]
+fn gpu_contexts_are_isolated_between_tenants() {
+    struct Tenant {
+        name: &'static str,
+        pub alloc_req: Option<Cid>,
+        pub got_context: bool,
+    }
+    impl Service for Tenant {
+        fn on_start(&mut self, fos: &Fos<Self>) {
+            let name = self.name;
+            fos.kv_get("gpu.init", move |_s, res, fos| {
+                let init = res.cid();
+                fos.request_create_new(
+                    TAG_REPLY,
+                    vec![],
+                    vec![],
+                    move |_s: &mut Self, res, fos| {
+                        let cont = res.cid();
+                        fos.request_derive(init, vec![], vec![cont], |_s, res, fos| {
+                            fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+                        });
+                    },
+                );
+                let _ = name;
+            });
+        }
+        fn on_request(&mut self, req: IncomingRequest, _fos: &Fos<Self>) {
+            // Init reply: [alloc, load].
+            self.alloc_req = Some(req.caps[0]);
+            self.got_context = true;
+        }
+    }
+
+    let mut tb = Testbed::paper(29);
+    let ctrls = tb.controllers_per_node(false);
+    let gpu_adaptor = GpuAdaptor::new(GpuParams::default(), gpu(1), "gpu");
+    let gpu_proc = tb.add_process("gpu-adaptor", cpu(1), ctrls[1], gpu_adaptor);
+    tb.start_process(gpu_proc);
+    tb.run();
+
+    let a = tb.add_process(
+        "tenant-a",
+        cpu(0),
+        ctrls[0],
+        Tenant {
+            name: "a",
+            alloc_req: None,
+            got_context: false,
+        },
+    );
+    tb.start_process(a);
+    tb.run();
+    let b = tb.add_process(
+        "tenant-b",
+        cpu(2),
+        ctrls[2],
+        Tenant {
+            name: "b",
+            alloc_req: None,
+            got_context: false,
+        },
+    );
+    tb.start_process(b);
+    tb.run();
+
+    tb.with_service::<Tenant, _>(a, |t| assert!(t.got_context));
+    tb.with_service::<Tenant, _>(b, |t| assert!(t.got_context));
+    tb.with_service::<GpuAdaptor, _>(gpu_proc, |g| assert_eq!(g.reaped_contexts, 0));
+
+    // Tenant A revokes its alloc handle: only A's context is reaped.
+    let a_alloc = tb.with_service::<Tenant, _>(a, |t| t.alloc_req.unwrap());
+    let fos = tb.fos_of::<Tenant>(a);
+    fos.call(Syscall::CapRevoke { cid: a_alloc }, |_, res, _| {
+        assert!(res.is_ok())
+    });
+    tb.poke(a);
+    tb.run();
+    tb.with_service::<GpuAdaptor, _>(gpu_proc, |g| {
+        assert_eq!(g.reaped_contexts, 1, "exactly tenant A's context reaped");
+    });
+
+    // Tenant B's handle still works: allocate a buffer through it.
+    let b_alloc = tb.with_service::<Tenant, _>(b, |t| t.alloc_req.unwrap());
+    let fos = tb.fos_of::<Tenant>(b);
+    fos.request_create_new(
+        TAG_REPLY,
+        vec![imm(1)],
+        vec![],
+        move |_s: &mut Tenant, res, fos| {
+            let cont = res.cid();
+            fos.request_derive(b_alloc, vec![imm(4096)], vec![cont], |_s, res, fos| {
+                fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+            });
+        },
+    );
+    tb.poke(b);
+    tb.run();
+    tb.with_service::<GpuAdaptor, _>(gpu_proc, |g| {
+        assert_eq!(g.reaped_contexts, 1, "tenant B unaffected");
+    });
+}
+
+/// Explicit context teardown through the `TAG_GPU_FINI` RPC.
+#[test]
+fn gpu_context_teardown_rpc() {
+    use fractos_devices::proto::TAG_GPU_FINI;
+
+    struct Client {
+        pub alloc_req: Option<Cid>,
+    }
+    impl Service for Client {
+        fn on_start(&mut self, fos: &Fos<Self>) {
+            fos.kv_get("gpu.init", |_s, res, fos| {
+                let init = res.cid();
+                fos.request_create_new(
+                    TAG_REPLY,
+                    vec![],
+                    vec![],
+                    move |_s: &mut Self, res, fos| {
+                        let cont = res.cid();
+                        fos.request_derive(init, vec![], vec![cont], |_s, res, fos| {
+                            fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+                        });
+                    },
+                );
+            });
+        }
+        fn on_request(&mut self, req: IncomingRequest, _fos: &Fos<Self>) {
+            // Init reply: keep the per-context alloc handle.
+            self.alloc_req = Some(req.caps[0]);
+        }
+    }
+
+    let mut tb = Testbed::paper(33);
+    let ctrls = tb.controllers_per_node(false);
+    let gpu_adaptor = GpuAdaptor::new(GpuParams::default(), gpu(1), "gpu");
+    let gpu_proc = tb.add_process("gpu-adaptor", cpu(1), ctrls[1], gpu_adaptor);
+    tb.start_process(gpu_proc);
+    tb.run();
+    let client = tb.add_process("client", cpu(0), ctrls[0], Client { alloc_req: None });
+    tb.start_process(client);
+    tb.run();
+    tb.with_service::<Client, _>(client, |c| assert!(c.alloc_req.is_some()));
+
+    // The adaptor itself can create-and-invoke its own FINI request (the
+    // paper's cleanup RPC is provider-defined).
+    let fos = tb.fos_of::<GpuAdaptor>(gpu_proc);
+    fos.request_create_new(
+        TAG_GPU_FINI,
+        vec![fractos_devices::proto::imm(1)],
+        vec![],
+        |_s, res, fos| {
+            fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+        },
+    );
+    tb.poke(gpu_proc);
+    tb.run();
+
+    // Allocating against the torn-down context now does nothing (the
+    // adaptor drops requests for unknown contexts).
+    let alloc = tb.with_service::<Client, _>(client, |c| c.alloc_req.unwrap());
+    let fos = tb.fos_of::<Client>(client);
+    fos.request_create_new(
+        TAG_REPLY,
+        vec![imm(7)],
+        vec![],
+        move |_s: &mut Client, res, fos| {
+            let cont = res.cid();
+            fos.request_derive(alloc, vec![imm(4096)], vec![cont], |_s, res, fos| {
+                fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+            });
+        },
+    );
+    tb.poke(client);
+    tb.run();
+    tb.with_service::<GpuAdaptor, _>(gpu_proc, |a| {
+        assert_eq!(a.invocations, 0, "no kernel ran");
+    });
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+//! Simulated disaggregated data-center fabric for FractOS-rs.
+//!
+//! This crate substitutes the paper's physical testbed (Table 2: 3 nodes,
+//! RoCEv2 over a 10 Gbps switched fabric, Mellanox BlueField SmartNICs,
+//! PCIe-attached Tesla K80 and NVMe drives) with a calibrated model:
+//!
+//! * [`topology`] — nodes, components, endpoint addressing;
+//! * [`params`] — latency/bandwidth/software-cost constants, each anchored
+//!   to a number published in the paper (§6.1);
+//! * [`fabric`] — the message-level latency and link-contention model plus
+//!   RDMA verbs;
+//! * [`stats`] — per-flow traffic accounting used to measure the paper's
+//!   message-complexity and traffic-reduction claims.
+//!
+//! # Examples
+//!
+//! ```
+//! use fractos_net::{Endpoint, Fabric, NetParams, NodeId, Topology, TrafficClass};
+//! use fractos_sim::{SimRng, SimTime};
+//!
+//! let mut fabric = Fabric::new(Topology::paper_testbed(), NetParams::paper());
+//! let mut rng = SimRng::new(7);
+//! let delay = fabric.send(
+//!     SimTime::ZERO,
+//!     &mut rng,
+//!     Endpoint::cpu(NodeId(0)),
+//!     Endpoint::gpu(NodeId(1)),
+//!     4096,
+//!     TrafficClass::Data,
+//! );
+//! assert!(delay.as_micros_f64() > 1.0);
+//! assert_eq!(fabric.stats().network_msgs(), 1);
+//! ```
+
+pub mod fabric;
+pub mod params;
+pub mod stats;
+pub mod topology;
+
+pub use fabric::{Fabric, WIRE_HEADER_BYTES};
+pub use params::{ComputeDomain, NetParams};
+pub use stats::{FlowCounter, Medium, TrafficClass, TrafficStats};
+pub use topology::{Endpoint, Location, NodeConfig, NodeId, Topology, TopologyError};

@@ -1,0 +1,609 @@
+//! The multi-tier storage stack: an extent-based file-system service over
+//! the block-device adaptor (§5 "Storage Stack: File System and Block
+//! Device").
+//!
+//! The FS is an ordinary (untrusted) FractOS Process composed with the
+//! block-device adaptor: each file extent is one logical volume, acquired
+//! through the adaptor's `create_vol` Request. Clients only ever see the
+//! capabilities the FS hands out. Three modes cover the paper's design
+//! space:
+//!
+//! * [`FsMode::Mediated`] — the paper's "FS mode": every read/write moves
+//!   data through the FS Process (two network transfers per operation);
+//! * [`FsMode::Compose`] — the §3.4 dynamic-composition optimization: the
+//!   FS *refines* the block-device Request with the client's buffer and
+//!   continuation, so data flows device ↔ client directly while the FS
+//!   stays on the control path only;
+//! * [`FsMode::Dax`] — the paper's DAX mode: `open` returns the
+//!   block-device Requests themselves (read-only opens get only the read
+//!   Request), and the FS is bypassed entirely afterwards.
+
+use std::collections::HashMap;
+
+use fractos_cap::{Cid, Perms};
+use fractos_core::prelude::*;
+use fractos_core::types::Syscall;
+use fractos_devices::proto::{imm, imm_at};
+
+/// FS: create a file. Imms: `[size]`. Caps: `[continuation]`.
+/// Reply imms: `[file id, extent size]`; caps as for open (rw).
+pub const TAG_FS_CREATE: u64 = 0x0300;
+
+/// FS: open a file. Imms: `[file id, mode (0 = ro, 1 = rw)]`.
+/// Caps: `[continuation]`. Reply imms: `[file id, extent size]`; caps:
+/// mediated/compose → `[fs read Request, fs write Request]` (write only if
+/// rw); DAX → per extent `[blk read Request, (blk write Request)]`.
+pub const TAG_FS_OPEN: u64 = 0x0301;
+
+/// FS-mediated/composed read. Imms: `[file (preset), offset, size]`.
+/// Caps: `[destination Memory, success Request, error Request]`.
+pub const TAG_FS_READ: u64 = 0x0302;
+
+/// FS-mediated/composed write. Imms: `[file (preset), offset, size]`.
+/// Caps: `[source Memory, success Request, error Request]`.
+pub const TAG_FS_WRITE: u64 = 0x0303;
+
+/// FS: delete a file. Imms: `[file id]`. Caps: `[continuation]`.
+/// Selectively revokes every outstanding capability to the file's extents
+/// (mediated handles *and* DAX handles alike) and lets the block adaptor
+/// reclaim the volumes (§3.5).
+pub const TAG_FS_DELETE: u64 = 0x0304;
+
+/// Internal completion continuations the FS hands to the block device.
+const TAG_FS_INTERNAL: u64 = 0x0310;
+
+/// Data-path mode of the storage stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsMode {
+    /// All data mediated by the FS Process (the paper's baseline FS mode).
+    Mediated,
+    /// FS refines block-device Requests with client arguments (§3.4).
+    Compose,
+    /// Clients get the block-device Requests at open time (§5 DAX).
+    Dax,
+}
+
+/// Default extent size: one logical volume per extent.
+pub const EXTENT_SIZE: u64 = 1 << 20;
+
+struct Extent {
+    vol: u64,
+    read_req: Cid,
+    write_req: Cid,
+}
+
+struct FsFile {
+    extents: Vec<Extent>,
+}
+
+/// In-flight mediated operation.
+struct PendingOp {
+    client_mem: Cid,
+    client_success: Cid,
+    client_error: Cid,
+    staging_view: Cid,
+    staging_slot: usize,
+    size: u64,
+    is_read: bool,
+}
+
+struct StagingBuf {
+    cid: Cid,
+    busy: bool,
+}
+
+/// Pending file-creation state.
+struct PendingCreate {
+    cont: Cid,
+    extents_needed: u64,
+    extents: Vec<Extent>,
+}
+
+/// The file-system service Process.
+pub struct FsService {
+    mode: FsMode,
+    key: String,
+    blk_key: String,
+    extent_size: u64,
+    files: HashMap<u64, FsFile>,
+    next_file: u64,
+    create_vol_req: Option<Cid>,
+    staging: Vec<StagingBuf>,
+    ops: HashMap<u64, PendingOp>,
+    creates: HashMap<u64, PendingCreate>,
+    next_op: u64,
+    /// Completed reads/writes (tests).
+    pub completed_ops: u64,
+}
+
+/// Staging buffers held by the FS for mediated transfers.
+const FS_STAGING_POOL: usize = 8;
+
+impl FsService {
+    /// Creates an FS publishing under `"{key}.create"` / `"{key}.open"`,
+    /// backed by the block adaptor published under `"{blk_key}.create_vol"`.
+    pub fn new(mode: FsMode, key: &str, blk_key: &str) -> Self {
+        FsService {
+            mode,
+            key: key.to_string(),
+            blk_key: blk_key.to_string(),
+            extent_size: EXTENT_SIZE,
+            files: HashMap::new(),
+            next_file: 1,
+            create_vol_req: None,
+            staging: Vec::new(),
+            ops: HashMap::new(),
+            creates: HashMap::new(),
+            next_op: 0,
+            completed_ops: 0,
+        }
+    }
+
+    /// Overrides the extent (= logical volume) size.
+    pub fn with_extent_size(mut self, size: u64) -> Self {
+        self.extent_size = size;
+        self
+    }
+
+    /// The data-path mode.
+    pub fn mode(&self) -> FsMode {
+        self.mode
+    }
+
+    /// The backing volume ids of a file, in extent order (test harnesses
+    /// pre-populating the database).
+    pub fn file_volumes(&self, file: u64) -> Option<Vec<u64>> {
+        self.files
+            .get(&file)
+            .map(|f| f.extents.iter().map(|e| e.vol).collect())
+    }
+
+    fn op_token(&mut self) -> u64 {
+        let t = self.next_op;
+        self.next_op += 1;
+        t
+    }
+
+    /// Creates an internal continuation Request carrying `[kind, op]` and
+    /// passes its cid on.
+    fn internal_cont(
+        fos: &Fos<Self>,
+        kind: u64,
+        op: u64,
+        k: impl FnOnce(&mut Self, Cid, &Fos<Self>) + 'static,
+    ) {
+        fos.request_create_new(
+            TAG_FS_INTERNAL,
+            vec![imm(kind), imm(op)],
+            vec![],
+            move |s, res, fos| {
+                k(s, res.cid(), fos);
+            },
+        );
+    }
+
+    /// Acquires a free staging slot, growing the pool when all are busy
+    /// (the prototype sizes its bounce pool generously; running out must
+    /// degrade to allocation, not to an error).
+    fn grab_staging(
+        &mut self,
+        fos: &Fos<Self>,
+        k: impl FnOnce(&mut Self, usize, &Fos<Self>) + 'static,
+    ) {
+        if let Some(i) = self.staging.iter().position(|s| !s.busy) {
+            self.staging[i].busy = true;
+            k(self, i, fos);
+            return;
+        }
+        let size = self.extent_size;
+        let addr = fos.mem_alloc(size);
+        fos.memory_create(addr, size, Perms::RW, move |s: &mut Self, res, fos| {
+            let SyscallResult::NewCid(cid) = res else {
+                return;
+            };
+            s.staging.push(StagingBuf { cid, busy: true });
+            let i = s.staging.len() - 1;
+            k(s, i, fos);
+        });
+    }
+
+    // ---- file creation ------------------------------------------------
+
+    fn on_create(&mut self, req: IncomingRequest, fos: &Fos<Self>) {
+        let (Some(size), Some(&cont)) = (imm_at(&req.imms, 0), req.caps.first()) else {
+            return;
+        };
+        let Some(create_vol) = self.create_vol_req else {
+            return;
+        };
+        let n = size.div_ceil(self.extent_size).max(1);
+        let op = self.op_token();
+        self.creates.insert(
+            op,
+            PendingCreate {
+                cont,
+                extents_needed: n,
+                extents: Vec::new(),
+            },
+        );
+        self.request_extent(fos, create_vol, op);
+    }
+
+    fn request_extent(&mut self, fos: &Fos<Self>, create_vol: Cid, op: u64) {
+        let extent_size = self.extent_size;
+        FsService::internal_cont(fos, 0, op, move |_s, cont, fos| {
+            fos.request_derive(
+                create_vol,
+                vec![imm(extent_size)],
+                vec![cont],
+                |_s, res, fos| {
+                    fos.request_invoke(res.cid(), |_, res, _| debug_assert!(res.is_ok()));
+                },
+            );
+        });
+    }
+
+    /// A `create_vol` completion arrived: `[vol]` imm plus
+    /// `[read, write]` Requests.
+    fn on_extent_ready(&mut self, op: u64, req: &IncomingRequest, fos: &Fos<Self>) {
+        // Reply imms: [kind, op, vol]; caps: [read, write].
+        let vol = imm_at(&req.imms, 2).unwrap_or(0);
+        let (read_req, write_req) = (req.caps[0], req.caps[1]);
+        let Some(pending) = self.creates.get_mut(&op) else {
+            return;
+        };
+        pending.extents.push(Extent {
+            vol,
+            read_req,
+            write_req,
+        });
+        if (pending.extents.len() as u64) < pending.extents_needed {
+            let create_vol = self.create_vol_req.expect("bootstrap done");
+            self.request_extent(fos, create_vol, op);
+            return;
+        }
+        let pending = self.creates.remove(&op).expect("present");
+        let file_id = self.next_file;
+        self.next_file += 1;
+        self.files.insert(
+            file_id,
+            FsFile {
+                extents: pending.extents,
+            },
+        );
+        self.reply_handles(file_id, true, pending.cont, fos);
+    }
+
+    /// Replies to a create/open with the mode-appropriate handles.
+    fn reply_handles(&mut self, file_id: u64, writable: bool, cont: Cid, fos: &Fos<Self>) {
+        let extent_size = self.extent_size;
+        match self.mode {
+            FsMode::Mediated | FsMode::Compose => {
+                // Mint per-file FS read/write Requests with the file preset.
+                fos.request_create_new(
+                    TAG_FS_READ,
+                    vec![imm(file_id)],
+                    vec![],
+                    move |_s: &mut Self, res, fos| {
+                        let fs_read = res.cid();
+                        if writable {
+                            fos.request_create_new(
+                                TAG_FS_WRITE,
+                                vec![imm(file_id)],
+                                vec![],
+                                move |_s: &mut Self, res, fos| {
+                                    let fs_write = res.cid();
+                                    fos.reply_via(
+                                        cont,
+                                        vec![imm(file_id), imm(extent_size)],
+                                        vec![fs_read, fs_write],
+                                    );
+                                },
+                            );
+                        } else {
+                            fos.reply_via(
+                                cont,
+                                vec![imm(file_id), imm(extent_size)],
+                                vec![fs_read],
+                            );
+                        }
+                    },
+                );
+            }
+            FsMode::Dax => {
+                // Hand out the block-device Requests themselves, per extent
+                // (read-only opens withhold the write Requests — the
+                // "access permissions according to the file's open mode").
+                let Some(file) = self.files.get(&file_id) else {
+                    return;
+                };
+                let mut caps = Vec::new();
+                for e in &file.extents {
+                    caps.push(e.read_req);
+                    if writable {
+                        caps.push(e.write_req);
+                    }
+                }
+                fos.reply_via(cont, vec![imm(file_id), imm(extent_size)], caps);
+            }
+        }
+    }
+
+    fn on_delete(&mut self, req: IncomingRequest, fos: &Fos<Self>) {
+        let (Some(file_id), Some(&cont)) = (imm_at(&req.imms, 0), req.caps.first()) else {
+            return;
+        };
+        let Some(file) = self.files.remove(&file_id) else {
+            fos.reply_via(cont, vec![imm(0)], vec![]);
+            return;
+        };
+        // Revoking the FS's handles invalidates the very objects every
+        // delegated copy points at — immediate, selective revocation with
+        // no delegation tracking (§3.5). The adaptor's monitor drains and
+        // the volumes are reclaimed.
+        let n = file.extents.len() as u64;
+        for e in file.extents {
+            fos.call_ignore(Syscall::CapRevoke { cid: e.read_req });
+            fos.call_ignore(Syscall::CapRevoke { cid: e.write_req });
+        }
+        fos.reply_via(cont, vec![imm(n)], vec![]);
+    }
+
+    fn on_open(&mut self, req: IncomingRequest, fos: &Fos<Self>) {
+        let (Some(file_id), Some(mode), Some(&cont)) =
+            (imm_at(&req.imms, 0), imm_at(&req.imms, 1), req.caps.first())
+        else {
+            return;
+        };
+        if !self.files.contains_key(&file_id) {
+            return;
+        }
+        self.reply_handles(file_id, mode == 1, cont, fos);
+    }
+
+    // ---- reads and writes ----------------------------------------------
+
+    /// Translates a file offset into `(extent, in-extent offset)`, failing
+    /// if the operation straddles extents.
+    fn locate(&self, file: u64, offset: u64, size: u64) -> Option<(usize, u64)> {
+        let f = self.files.get(&file)?;
+        let idx = (offset / self.extent_size) as usize;
+        let off = offset % self.extent_size;
+        if idx >= f.extents.len() || off + size > self.extent_size {
+            return None;
+        }
+        Some((idx, off))
+    }
+
+    fn on_read_write(&mut self, req: IncomingRequest, fos: &Fos<Self>, is_read: bool) {
+        let (Some(file), Some(offset), Some(size)) = (
+            imm_at(&req.imms, 0),
+            imm_at(&req.imms, 1),
+            imm_at(&req.imms, 2),
+        ) else {
+            return;
+        };
+        let [client_mem, success, error] = req.caps[..] else {
+            return;
+        };
+        let Some((ext_idx, ext_off)) = self.locate(file, offset, size) else {
+            fos.reply_via(error, vec![imm(1)], vec![]);
+            return;
+        };
+        let f = &self.files[&file];
+        let blk_req = if is_read {
+            f.extents[ext_idx].read_req
+        } else {
+            f.extents[ext_idx].write_req
+        };
+
+        match self.mode {
+            FsMode::Compose => {
+                // §3.4 dynamic composition: refine the block-device Request
+                // with the *client's* buffer and continuations. Data and
+                // completion flow device ↔ client directly.
+                self.completed_ops += 1;
+                fos.request_derive(
+                    blk_req,
+                    vec![imm(ext_off), imm(size)],
+                    vec![client_mem, success, error],
+                    |_s, res, fos| {
+                        if let SyscallResult::NewCid(cid) = res {
+                            fos.request_invoke(cid, |_, res, _| debug_assert!(res.is_ok()));
+                        }
+                    },
+                );
+            }
+            FsMode::Mediated | FsMode::Dax => {
+                // (A DAX client normally bypasses the FS, but the mediated
+                // path still works for it.)
+                self.grab_staging(fos, move |s: &mut Self, slot, fos| {
+                    s.mediated_io(
+                        slot, blk_req, ext_off, size, client_mem, success, error, is_read, fos,
+                    );
+                });
+            }
+        }
+    }
+
+    /// Mediated data path once a staging slot is held.
+    #[allow(clippy::too_many_arguments)]
+    fn mediated_io(
+        &mut self,
+        slot: usize,
+        blk_req: Cid,
+        ext_off: u64,
+        size: u64,
+        client_mem: Cid,
+        success: Cid,
+        error: Cid,
+        is_read: bool,
+        fos: &Fos<Self>,
+    ) {
+        let staging_cid = self.staging[slot].cid;
+        let op = self.op_token();
+        // A sized view of the staging buffer for this operation.
+        fos.call(
+            Syscall::MemoryDiminish {
+                cid: staging_cid,
+                offset: 0,
+                size,
+                drop_perms: Perms::NONE,
+            },
+            move |s: &mut Self, res, fos| {
+                let SyscallResult::NewCid(view) = res else {
+                    s.staging[slot].busy = false;
+                    fos.reply_via(error, vec![imm(3)], vec![]);
+                    return;
+                };
+                s.ops.insert(
+                    op,
+                    PendingOp {
+                        client_mem,
+                        client_success: success,
+                        client_error: error,
+                        staging_view: view,
+                        staging_slot: slot,
+                        size,
+                        is_read,
+                    },
+                );
+                if is_read {
+                    // Device → staging, then staging → client.
+                    FsService::internal_cont(fos, 1, op, move |_s, done, fos| {
+                        FsService::internal_cont(fos, 2, op, move |_s, fail, fos| {
+                            fos.request_derive(
+                                blk_req,
+                                vec![imm(ext_off), imm(size)],
+                                vec![view, done, fail],
+                                |_s, res, fos| {
+                                    if let SyscallResult::NewCid(cid) = res {
+                                        fos.request_invoke(cid, |_, _, _| {});
+                                    }
+                                },
+                            );
+                        });
+                    });
+                } else {
+                    // Client → staging, then staging → device.
+                    fos.memory_copy(client_mem, view, move |s: &mut Self, res, fos| {
+                        if res != SyscallResult::Ok {
+                            s.finish_op(op, false, fos);
+                            return;
+                        }
+                        FsService::internal_cont(fos, 1, op, move |_s, done, fos| {
+                            FsService::internal_cont(fos, 2, op, move |_s, fail, fos| {
+                                fos.request_derive(
+                                    blk_req,
+                                    vec![imm(ext_off), imm(size)],
+                                    vec![view, done, fail],
+                                    |_s, res, fos| {
+                                        if let SyscallResult::NewCid(cid) = res {
+                                            fos.request_invoke(cid, |_, _, _| {});
+                                        }
+                                    },
+                                );
+                            });
+                        });
+                    });
+                }
+            },
+        );
+    }
+
+    /// Completes a mediated op: for reads, copy staging → client first.
+    fn on_blk_done(&mut self, op: u64, ok: bool, fos: &Fos<Self>) {
+        let Some(p) = self.ops.get(&op) else { return };
+        if !ok {
+            self.finish_op(op, false, fos);
+            return;
+        }
+        if p.is_read {
+            let (view, client_mem) = (p.staging_view, p.client_mem);
+            fos.memory_copy(view, client_mem, move |s: &mut Self, res, fos| {
+                s.finish_op(op, res == SyscallResult::Ok, fos);
+            });
+        } else {
+            self.finish_op(op, true, fos);
+        }
+    }
+
+    fn finish_op(&mut self, op: u64, ok: bool, fos: &Fos<Self>) {
+        let Some(p) = self.ops.remove(&op) else {
+            return;
+        };
+        self.staging[p.staging_slot].busy = false;
+        fos.call_ignore(Syscall::CapRevoke {
+            cid: p.staging_view,
+        });
+        if ok {
+            self.completed_ops += 1;
+            fos.reply_via(p.client_success, vec![imm(p.size)], vec![]);
+        } else {
+            fos.reply_via(p.client_error, vec![imm(9)], vec![]);
+        }
+    }
+}
+
+impl Service for FsService {
+    fn on_start(&mut self, fos: &Fos<Self>) {
+        // Staging pool.
+        for _ in 0..FS_STAGING_POOL {
+            let addr = fos.mem_alloc(EXTENT_SIZE);
+            fos.memory_create(addr, EXTENT_SIZE, Perms::RW, |s: &mut Self, res, _| {
+                if let SyscallResult::NewCid(cid) = res {
+                    s.staging.push(StagingBuf { cid, busy: false });
+                }
+            });
+        }
+        // Bootstrap: fetch the block adaptor's create_vol Request, then
+        // publish our own endpoints.
+        let key = self.key.clone();
+        let blk_key = format!("{}.create_vol", self.blk_key);
+        fos.call(
+            Syscall::KvGet { key: blk_key },
+            move |s: &mut Self, res, fos| {
+                s.create_vol_req = Some(res.cid());
+                let create_key = format!("{key}.create");
+                let open_key = format!("{key}.open");
+                fos.request_create_new(TAG_FS_CREATE, vec![], vec![], move |_s, res, fos| {
+                    let c = res.cid();
+                    fos.kv_put(&create_key, c, |_, res, _| debug_assert!(res.is_ok()));
+                });
+                fos.request_create_new(TAG_FS_OPEN, vec![], vec![], move |_s, res, fos| {
+                    let o = res.cid();
+                    fos.kv_put(&open_key, o, |_, res, _| debug_assert!(res.is_ok()));
+                });
+                let delete_key = format!("{key}.delete");
+                fos.request_create_new(TAG_FS_DELETE, vec![], vec![], move |_s, res, fos| {
+                    let del = res.cid();
+                    fos.kv_put(&delete_key, del, |_, res, _| debug_assert!(res.is_ok()));
+                });
+            },
+        );
+    }
+
+    fn on_request(&mut self, req: IncomingRequest, fos: &Fos<Self>) {
+        match req.tag {
+            TAG_FS_CREATE => self.on_create(req, fos),
+            TAG_FS_OPEN => self.on_open(req, fos),
+            TAG_FS_DELETE => self.on_delete(req, fos),
+            TAG_FS_READ => self.on_read_write(req, fos, true),
+            TAG_FS_WRITE => self.on_read_write(req, fos, false),
+            TAG_FS_INTERNAL => {
+                // Imms: [kind, op, ...]; kind 0 = extent ready, 1 = blk op
+                // success, 2 = blk op failure.
+                let (Some(kind), Some(op)) = (imm_at(&req.imms, 0), imm_at(&req.imms, 1)) else {
+                    return;
+                };
+                match kind {
+                    0 => self.on_extent_ready(op, &req, fos),
+                    1 => self.on_blk_done(op, true, fos),
+                    2 => self.on_blk_done(op, false, fos),
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,609 @@
+//! End-to-end tests of the storage stack, the pipeline, and the full
+//! face-verification application on the simulated 3-node testbed.
+
+use fractos_cap::{Cid, Perms};
+use fractos_core::prelude::*;
+use fractos_devices::proto::{imm, imm_at};
+use fractos_devices::{BlockAdaptor, NvmeParams};
+use fractos_services::deploy::deploy_faceverify;
+use fractos_services::faceverify::{FvClient, FvConfig};
+use fractos_services::fs::{FsMode, FsService};
+use fractos_services::pipeline::{ChainDriver, PipelineStage};
+
+const TAG_T: u64 = 0x7000;
+
+/// Generic FS client: create file, write pattern, read back, compare.
+struct FsClient {
+    io: u64,
+    fs_read: Option<Cid>,
+    fs_write: Option<Cid>,
+    buf: Option<(u64, Cid)>,
+    pub done: bool,
+    pub data_ok: bool,
+    pub write_done_at: Option<fractos_sim::SimTime>,
+}
+
+impl FsClient {
+    fn new(io: u64) -> Self {
+        FsClient {
+            io,
+            fs_read: None,
+            fs_write: None,
+            buf: None,
+            done: false,
+            data_ok: false,
+            write_done_at: None,
+        }
+    }
+
+    fn pattern(io: u64) -> Vec<u8> {
+        (0..io).map(|i| (i * 13 % 251) as u8).collect()
+    }
+}
+
+impl Service for FsClient {
+    fn on_start(&mut self, fos: &Fos<Self>) {
+        fos.kv_get("fs.create", |s: &mut Self, res, fos| {
+            let create = res.cid();
+            let size = s.io.max(4096);
+            fos.request_create_new(
+                TAG_T,
+                vec![imm(0)],
+                vec![],
+                move |_s: &mut Self, res, fos| {
+                    let cont = res.cid();
+                    fos.request_derive(create, vec![imm(size)], vec![cont], |_s, res, fos| {
+                        fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+                    });
+                },
+            );
+        });
+    }
+
+    fn on_request(&mut self, req: IncomingRequest, fos: &Fos<Self>) {
+        let phase = imm_at(&req.imms, 0).unwrap();
+        match phase {
+            0 => {
+                // Create reply: caps depend on mode; [read, write] order
+                // holds in every mode for a single-extent rw file.
+                self.fs_read = Some(req.caps[0]);
+                self.fs_write = Some(req.caps[1]);
+                let io = self.io;
+                let wreq = self.fs_write.unwrap();
+                let addr = fos.mem_alloc(io);
+                fos.mem_write(addr, 0, &FsClient::pattern(io)).unwrap();
+                fos.memory_create(addr, io, Perms::RW, move |_s: &mut Self, res, fos| {
+                    let src = res.cid();
+                    fos.request_create_new(
+                        TAG_T,
+                        vec![imm(1)],
+                        vec![],
+                        move |_s: &mut Self, res, fos| {
+                            let ok = res.cid();
+                            fos.request_create_new(
+                                TAG_T,
+                                vec![imm(8)],
+                                vec![],
+                                move |_s: &mut Self, res, fos| {
+                                    let err = res.cid();
+                                    fos.request_derive(
+                                        wreq,
+                                        vec![imm(0), imm(io)],
+                                        vec![src, ok, err],
+                                        |_s, res, fos| {
+                                            fos.request_invoke(res.cid(), |_, res, _| {
+                                                assert!(res.is_ok())
+                                            });
+                                        },
+                                    );
+                                },
+                            );
+                        },
+                    );
+                });
+            }
+            1 => {
+                self.write_done_at = Some(fos.now());
+                let io = self.io;
+                let rreq = self.fs_read.unwrap();
+                let addr = fos.mem_alloc(io);
+                fos.memory_create(addr, io, Perms::RW, move |s: &mut Self, res, fos| {
+                    let dst = res.cid();
+                    s.buf = Some((addr, dst));
+                    fos.request_create_new(
+                        TAG_T,
+                        vec![imm(2)],
+                        vec![],
+                        move |_s: &mut Self, res, fos| {
+                            let ok = res.cid();
+                            fos.request_create_new(
+                                TAG_T,
+                                vec![imm(7)],
+                                vec![],
+                                move |_s: &mut Self, res, fos| {
+                                    let err = res.cid();
+                                    fos.request_derive(
+                                        rreq,
+                                        vec![imm(0), imm(io)],
+                                        vec![dst, ok, err],
+                                        |_s, res, fos| {
+                                            fos.request_invoke(res.cid(), |_, res, _| {
+                                                assert!(res.is_ok())
+                                            });
+                                        },
+                                    );
+                                },
+                            );
+                        },
+                    );
+                });
+            }
+            2 => {
+                let (addr, _) = self.buf.unwrap();
+                let got = fos.mem_read(addr, 0, self.io).unwrap();
+                self.data_ok = got == FsClient::pattern(self.io);
+                self.done = true;
+            }
+            7 | 8 => panic!("storage stack error in phase {phase}"),
+            _ => unreachable!(),
+        }
+    }
+}
+
+fn run_fs_mode(mode: FsMode, io: u64) -> (bool, f64) {
+    let mut tb = Testbed::paper(31);
+    let ctrls = tb.controllers_per_node(false);
+    let blk = tb.add_process(
+        "blk",
+        cpu(0),
+        ctrls[0],
+        BlockAdaptor::new(NvmeParams::default(), nvme(0), "blk"),
+    );
+    tb.start_process(blk);
+    tb.run();
+    let fs = tb.add_process("fs", cpu(0), ctrls[0], FsService::new(mode, "fs", "blk"));
+    tb.start_process(fs);
+    tb.run();
+
+    let cli = tb.add_process("cli", cpu(2), ctrls[2], FsClient::new(io));
+    tb.start_process(cli);
+    tb.run();
+
+    tb.with_service::<FsClient, _>(cli, |c| {
+        assert!(c.done, "{mode:?} did not finish");
+        let read_latency = tb_latency(c);
+        (c.data_ok, read_latency)
+    })
+}
+
+fn tb_latency(c: &FsClient) -> f64 {
+    // Latency proxy: covered by the bench harness; here we only need a
+    // relative ordering, so report 0 when timing is missing.
+    let _ = c;
+    0.0
+}
+
+#[test]
+fn fs_roundtrips_all_modes() {
+    for mode in [FsMode::Mediated, FsMode::Compose, FsMode::Dax] {
+        let (ok, _) = run_fs_mode(mode, 64 * 1024);
+        assert!(ok, "data corrupted in {mode:?}");
+    }
+}
+
+#[test]
+fn fs_multi_extent_files() {
+    // A 3 MiB file spans three extents; per-extent IOs must hit the right
+    // volume.
+    let mut tb = Testbed::paper(37);
+    let ctrls = tb.controllers_per_node(false);
+    let blk = tb.add_process(
+        "blk",
+        cpu(0),
+        ctrls[0],
+        BlockAdaptor::new(NvmeParams::default(), nvme(0), "blk"),
+    );
+    tb.start_process(blk);
+    tb.run();
+    let fs = tb.add_process(
+        "fs",
+        cpu(0),
+        ctrls[0],
+        FsService::new(FsMode::Mediated, "fs", "blk"),
+    );
+    tb.start_process(fs);
+    tb.run();
+
+    struct MultiExtent {
+        handles: Option<(Cid, Cid)>,
+        stage: u64,
+        pub ok: u32,
+    }
+    impl Service for MultiExtent {
+        fn on_start(&mut self, fos: &Fos<Self>) {
+            fos.kv_get("fs.create", |_s, res, fos| {
+                let create = res.cid();
+                fos.request_create_new(
+                    TAG_T,
+                    vec![imm(0)],
+                    vec![],
+                    move |_s: &mut Self, res, fos| {
+                        let cont = res.cid();
+                        fos.request_derive(
+                            create,
+                            vec![imm(3 * fractos_services::fs::EXTENT_SIZE)],
+                            vec![cont],
+                            |_s, res, fos| {
+                                fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+                            },
+                        );
+                    },
+                );
+            });
+        }
+        fn on_request(&mut self, req: IncomingRequest, fos: &Fos<Self>) {
+            let phase = imm_at(&req.imms, 0).unwrap();
+            if phase == 0 {
+                self.handles = Some((req.caps[0], req.caps[1]));
+            }
+            if phase == 9 {
+                panic!("io error");
+            }
+            if phase >= 1 {
+                self.ok += 1;
+            }
+            // Write 4 KiB into each extent in turn.
+            if self.stage < 3 {
+                let ext = self.stage;
+                self.stage += 1;
+                let (_, wreq) = self.handles.unwrap();
+                let addr = fos.mem_alloc(4096);
+                fos.mem_write(addr, 0, &[ext as u8 + 1; 4096]).unwrap();
+                fos.memory_create(addr, 4096, Perms::RW, move |_s: &mut Self, res, fos| {
+                    let src = res.cid();
+                    fos.request_create_new(
+                        TAG_T,
+                        vec![imm(1 + ext)],
+                        vec![],
+                        move |_s: &mut Self, res, fos| {
+                            let ok = res.cid();
+                            fos.request_create_new(
+                                TAG_T,
+                                vec![imm(9)],
+                                vec![],
+                                move |_s: &mut Self, res, fos| {
+                                    let err = res.cid();
+                                    let off = ext * fractos_services::fs::EXTENT_SIZE + 512;
+                                    fos.request_derive(
+                                        wreq,
+                                        vec![imm(off), imm(4096)],
+                                        vec![src, ok, err],
+                                        |_s, res, fos| {
+                                            fos.request_invoke(res.cid(), |_, res, _| {
+                                                assert!(res.is_ok())
+                                            });
+                                        },
+                                    );
+                                },
+                            );
+                        },
+                    );
+                });
+            }
+        }
+    }
+    let cli = tb.add_process(
+        "cli",
+        cpu(2),
+        ctrls[2],
+        MultiExtent {
+            handles: None,
+            stage: 0,
+            ok: 0,
+        },
+    );
+    tb.start_process(cli);
+    tb.run();
+    tb.with_service::<MultiExtent, _>(cli, |c| {
+        assert_eq!(c.ok, 3, "all three extent writes must complete");
+    });
+    // Each extent is a distinct volume with the pattern at offset 512.
+    tb.with_service::<FsService, _>(fs, |f| {
+        assert_eq!(f.file_volumes(1).map(|v| v.len()), Some(3));
+    });
+}
+
+#[test]
+fn chain_pipeline_streams_and_completes() {
+    let mut tb = Testbed::paper(41);
+    let ctrls = tb.controllers_per_node(false);
+    let stages = 3usize;
+    let size = 16 * 1024u64;
+    let mut stage_procs = Vec::new();
+    for i in 0..stages {
+        let node = (i % 3) as u32;
+        let p = tb.add_process(
+            &format!("stage{i}"),
+            cpu(node),
+            ctrls[node as usize],
+            PipelineStage::new(i, size),
+        );
+        tb.start_process(p);
+        tb.run();
+        stage_procs.push(p);
+    }
+    let driver = tb.add_process(
+        "driver",
+        cpu(0),
+        ctrls[0],
+        ChainDriver::new(stages, size, 5),
+    );
+    tb.start_process(driver);
+    tb.run();
+
+    tb.with_service::<ChainDriver, _>(driver, |d| {
+        assert_eq!(d.latencies.len(), 5);
+        assert!(d.latencies[0].as_micros_f64() > 0.0);
+    });
+    for p in stage_procs {
+        tb.with_service::<PipelineStage, _>(p, |s| assert_eq!(s.forwarded, 5));
+    }
+}
+
+#[test]
+fn face_verification_end_to_end() {
+    let mut tb = Testbed::paper(51);
+    let ctrls = tb.controllers_per_node(false);
+    let cfg = FvConfig::default();
+    let dep = deploy_faceverify(&mut tb, &ctrls, cfg, 256);
+
+    let client = tb.add_process("client", cpu(2), ctrls[2], FvClient::new(4096, 8, 10, 1));
+    tb.start_process(client);
+    tb.run();
+
+    tb.with_service::<FvClient, _>(client, |c| {
+        assert_eq!(c.samples.len(), 10, "all requests answered");
+        for (i, s) in c.samples.iter().enumerate() {
+            assert!(
+                s.all_matched,
+                "request {i}: noisy captures of the true ids must match"
+            );
+            assert!(s.latency().as_micros_f64() > 0.0);
+        }
+    });
+    tb.with_service::<fractos_services::FaceVerifyFrontend, _>(dep.frontend, |f| {
+        assert_eq!(f.served, 10);
+    });
+}
+
+#[test]
+fn face_verification_with_in_flight_pipelining() {
+    let mut tb = Testbed::paper(52);
+    let ctrls = tb.controllers_per_node(false);
+    let dep = deploy_faceverify(&mut tb, &ctrls, FvConfig::default(), 256);
+
+    // Sequential client for baseline duration.
+    let seq = tb.add_process("seq", cpu(2), ctrls[2], FvClient::new(4096, 8, 8, 1));
+    tb.start_process(seq);
+    let t0 = tb.now();
+    tb.run();
+    let seq_span = tb.now().duration_since(t0);
+
+    // Pipelined client: 4 in flight must be faster in wall-clock terms.
+    let pipe = tb.add_process("pipe", cpu(2), ctrls[2], FvClient::new(4096, 8, 8, 4));
+    tb.start_process(pipe);
+    let t1 = tb.now();
+    tb.run();
+    let pipe_span = tb.now().duration_since(t1);
+
+    tb.with_service::<FvClient, _>(seq, |c| assert_eq!(c.samples.len(), 8));
+    tb.with_service::<FvClient, _>(pipe, |c| assert_eq!(c.samples.len(), 8));
+    assert!(
+        pipe_span.as_secs_f64() < seq_span.as_secs_f64() * 0.8,
+        "pipelining should overlap: seq {seq_span}, pipe {pipe_span}"
+    );
+    let _ = dep;
+}
+
+#[test]
+fn shared_hal_configuration_works() {
+    // All Processes on one shared Controller (§6.5 "Shared HAL").
+    let mut tb = Testbed::paper(53);
+    let ctrls = tb.shared_controller(NodeId(2));
+    let dep = deploy_faceverify(&mut tb, &ctrls, FvConfig::default(), 256);
+    let client = tb.add_process("client", cpu(2), ctrls[2], FvClient::new(4096, 4, 5, 1));
+    tb.start_process(client);
+    tb.run();
+    tb.with_service::<FvClient, _>(client, |c| {
+        assert_eq!(c.samples.len(), 5);
+        assert!(c.samples.iter().all(|s| s.all_matched));
+    });
+    let _ = dep;
+}
+
+#[test]
+fn fork_join_overlaps_independent_stages() {
+    // §3.4: the same Request primitives express fork/join. N independent
+    // transfers forked concurrently must beat doing them one at a time.
+    let mut tb = Testbed::paper(43);
+    let ctrls = tb.controllers_per_node(false);
+    let stages = 3usize;
+    let size = 64 * 1024u64;
+    for i in 0..stages {
+        let node = (i % 3) as u32;
+        let p = tb.add_process(
+            &format!("stage{i}"),
+            cpu(node),
+            ctrls[node as usize],
+            PipelineStage::new(i, size),
+        );
+        tb.start_process(p);
+        tb.run();
+    }
+    let fj = tb.add_process(
+        "forkjoin",
+        cpu(0),
+        ctrls[0],
+        fractos_services::ForkJoinDriver::new(stages, size, 4),
+    );
+    tb.start_process(fj);
+    tb.run();
+    let fj_mean = tb.with_service::<fractos_services::ForkJoinDriver, _>(fj, |d| {
+        assert_eq!(d.latencies.len(), 4);
+        d.latencies.iter().map(|l| l.as_micros_f64()).sum::<f64>() / 4.0
+    });
+
+    // Sequential comparison: a chain through the same stages moves the
+    // data stage-to-stage, strictly serially.
+    let chain = tb.add_process("chain", cpu(0), ctrls[0], ChainDriver::new(stages, size, 4));
+    tb.start_process(chain);
+    tb.run();
+    let chain_mean = tb.with_service::<ChainDriver, _>(chain, |d| {
+        d.latencies.iter().map(|l| l.as_micros_f64()).sum::<f64>() / 4.0
+    });
+
+    assert!(
+        fj_mean < chain_mean * 0.8,
+        "fork/join ({fj_mean:.1} µs) must overlap what the chain serializes ({chain_mean:.1} µs)"
+    );
+}
+
+#[test]
+fn file_deletion_revokes_dax_handles_and_reclaims_volumes() {
+    // §3.5's motivating scenario: freeing storage must *selectively and
+    // immediately* revoke every capability to it — including DAX handles a
+    // client still holds — and the block adaptor reclaims the volume once
+    // its capability tree drains.
+    let mut tb = Testbed::paper(47);
+    let ctrls = tb.controllers_per_node(false);
+    let blk = tb.add_process(
+        "blk",
+        cpu(0),
+        ctrls[0],
+        BlockAdaptor::new(NvmeParams::default(), nvme(0), "blk"),
+    );
+    tb.start_process(blk);
+    tb.run();
+    let fs = tb.add_process(
+        "fs",
+        cpu(1),
+        ctrls[1],
+        FsService::new(FsMode::Dax, "fs", "blk"),
+    );
+    tb.start_process(fs);
+    tb.run();
+
+    // Client creates a file and keeps its DAX handles.
+    let cli = tb.add_process("cli", cpu(2), ctrls[2], FsClient::new(16 * 1024));
+    tb.start_process(cli);
+    tb.run();
+    tb.with_service::<FsClient, _>(cli, |c| assert!(c.done && c.data_ok));
+
+    // A second principal (could be the owner) deletes the file through the
+    // FS.
+    struct Deleter {
+        pub extents_freed: Option<u64>,
+    }
+    impl Service for Deleter {
+        fn on_start(&mut self, fos: &Fos<Self>) {
+            fos.kv_get("fs.delete", |_s, res, fos| {
+                let del = res.cid();
+                fos.request_create_new(
+                    TAG_T,
+                    vec![imm(0)],
+                    vec![],
+                    move |_s: &mut Self, res, fos| {
+                        let cont = res.cid();
+                        // File id 1 (the first created file).
+                        fos.request_derive(del, vec![imm(1)], vec![cont], |_s, res, fos| {
+                            fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+                        });
+                    },
+                );
+            });
+        }
+        fn on_request(&mut self, req: IncomingRequest, _fos: &Fos<Self>) {
+            self.extents_freed = imm_at(&req.imms, 1);
+        }
+    }
+    let deleter = tb.add_process(
+        "deleter",
+        cpu(1),
+        ctrls[1],
+        Deleter {
+            extents_freed: None,
+        },
+    );
+    tb.start_process(deleter);
+    tb.run();
+    tb.with_service::<Deleter, _>(deleter, |d| {
+        assert_eq!(d.extents_freed, Some(1), "one extent freed");
+    });
+
+    // The volume is gone from the device and counted as reaped.
+    tb.with_service::<BlockAdaptor, _>(blk, |a| {
+        assert_eq!(a.reaped_volumes, 1, "volume reclaimed after drain");
+        assert_eq!(a.device().volume_size(1), None);
+    });
+
+    // The client's stale DAX read handle now fails with a revocation error.
+    let rreq = tb.with_service::<FsClient, _>(cli, |c| c.fs_read.unwrap());
+    let fos = tb.fos_of::<FsClient>(cli);
+    fos.request_invoke(rreq, |s: &mut FsClient, res, _| {
+        assert!(
+            matches!(
+                res,
+                fractos_core::types::SyscallResult::Err(FosError::Cap(_))
+            ),
+            "revoked DAX handle must be rejected, got {res:?}"
+        );
+        s.done = true;
+    });
+    tb.poke(cli);
+    tb.run();
+}
+
+#[test]
+fn fs_staging_pool_grows_under_pressure() {
+    // More concurrent I/Os than staging slots must degrade to allocation,
+    // never to an error (earlier versions rejected the overflow).
+    let (_, tput) = {
+        // Reuse the bench-style client through a local runner: 12 in-flight
+        // 4 KiB reads against the 8-slot pool.
+        let mut tb = Testbed::paper(83);
+        let ctrls = tb.controllers_per_node(false);
+        let blk = tb.add_process(
+            "blk",
+            cpu(0),
+            ctrls[0],
+            BlockAdaptor::new(NvmeParams::default(), nvme(0), "blk"),
+        );
+        tb.start_process(blk);
+        tb.run();
+        let fs = tb.add_process(
+            "fs",
+            cpu(1),
+            ctrls[1],
+            FsService::new(FsMode::Mediated, "fs", "blk"),
+        );
+        tb.start_process(fs);
+        tb.run();
+
+        // 12 independent clients each fire one write+read roundtrip.
+        let clients: Vec<_> = (0..12)
+            .map(|i| {
+                let c = tb.add_process(&format!("cli{i}"), cpu(2), ctrls[2], FsClient::new(4096));
+                tb.start_process(c);
+                c
+            })
+            .collect();
+        tb.run();
+        for c in clients {
+            tb.with_service::<FsClient, _>(c, |x| {
+                assert!(x.done && x.data_ok, "client under pressure must finish");
+            });
+        }
+        (0.0, 0.0)
+    };
+    let _ = tput;
+}

@@ -1,0 +1,564 @@
+//! The discrete-event simulation engine.
+//!
+//! A [`Sim`] owns a set of [`Actor`]s and a time-ordered event queue. Each
+//! event is a dynamically typed message addressed to one actor; handling an
+//! event may enqueue further events through the [`Ctx`] handle. Events at
+//! equal timestamps are delivered in insertion order (FIFO), which together
+//! with the seeded RNG makes whole runs bit-for-bit deterministic.
+//!
+//! Messages are `Box<dyn Any>` so that independent crates (network, OS layer,
+//! devices) can define their own message types without a shared enum; actors
+//! downcast to the types they expect and treat a mismatch as a wiring bug.
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::metrics::Metrics;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies an actor registered with a [`Sim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(pub(crate) u32);
+
+impl ActorId {
+    /// Returns the raw index of this actor.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a raw index.
+    ///
+    /// Only meaningful for ids that came from [`Sim::add_actor`] (or in
+    /// tests that wire ids by hand); posting to a fabricated id panics.
+    pub fn from_raw(index: u32) -> Self {
+        ActorId(index)
+    }
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "actor#{}", self.0)
+    }
+}
+
+/// A dynamically typed simulation message.
+pub type Msg = Box<dyn Any>;
+
+/// An entity that handles timestamped messages.
+///
+/// The `Any` supertrait allows harnesses to inspect concrete actor state
+/// after a run via [`Sim::with_actor`].
+pub trait Actor: Any {
+    /// Handles one message delivered at `ctx.now()`.
+    fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_>);
+}
+
+struct Event {
+    time: SimTime,
+    seq: u64,
+    dst: ActorId,
+    msg: Msg,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Handle given to actors while they process a message.
+///
+/// Lets the actor read the clock, send messages, record metrics, and draw
+/// deterministic randomness. Sends are buffered and enqueued when the handler
+/// returns, preserving FIFO order of same-time messages.
+pub struct Ctx<'a> {
+    now: SimTime,
+    self_id: ActorId,
+    outbox: &'a mut Vec<(SimTime, ActorId, Msg)>,
+    rng: &'a mut SimRng,
+    metrics: &'a mut Metrics,
+    trace: &'a mut Option<Vec<TraceEntry>>,
+    stop: &'a mut bool,
+}
+
+impl Ctx<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The actor currently handling the message.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Sends `msg` to `dst` after `delay`.
+    pub fn send_after(&mut self, delay: SimDuration, dst: ActorId, msg: impl Any) {
+        self.outbox.push((self.now + delay, dst, Box::new(msg)));
+    }
+
+    /// Sends a pre-boxed message to `dst` after `delay`.
+    pub fn send_boxed_after(&mut self, delay: SimDuration, dst: ActorId, msg: Msg) {
+        self.outbox.push((self.now + delay, dst, msg));
+    }
+
+    /// Sends `msg` to `dst` at the current instant (delivered after all
+    /// already-queued same-time events).
+    pub fn send_now(&mut self, dst: ActorId, msg: impl Any) {
+        self.send_after(SimDuration::ZERO, dst, msg);
+    }
+
+    /// Schedules a message back to the current actor after `delay`.
+    pub fn schedule_self(&mut self, delay: SimDuration, msg: impl Any) {
+        let id = self.self_id;
+        self.send_after(delay, id, msg);
+    }
+
+    /// The simulation's deterministic RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// The simulation's metric registry.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        self.metrics
+    }
+
+    /// Records a trace point if tracing is enabled.
+    pub fn trace(&mut self, label: impl Into<String>) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.push(TraceEntry {
+                time: self.now,
+                actor: self.self_id,
+                label: label.into(),
+            });
+        }
+    }
+
+    /// Requests the simulation to stop after the current event.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+/// One recorded trace point (used by determinism tests and debugging).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Virtual time of the trace point.
+    pub time: SimTime,
+    /// Actor that recorded it.
+    pub actor: ActorId,
+    /// Free-form label.
+    pub label: String,
+}
+
+/// Outcome of driving the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The event queue drained completely.
+    Drained,
+    /// The time or step limit was reached with events still pending.
+    LimitReached,
+    /// An actor requested a stop via [`Ctx::stop`].
+    Stopped,
+}
+
+/// The discrete-event simulator.
+pub struct Sim {
+    actors: Vec<Option<Box<dyn Actor>>>,
+    names: Vec<String>,
+    queue: BinaryHeap<Event>,
+    now: SimTime,
+    seq: u64,
+    steps: u64,
+    rng: SimRng,
+    metrics: Metrics,
+    trace: Option<Vec<TraceEntry>>,
+    stop: bool,
+}
+
+impl Sim {
+    /// Creates an empty simulation with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            actors: Vec::new(),
+            names: Vec::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            steps: 0,
+            rng: SimRng::new(seed),
+            metrics: Metrics::new(),
+            trace: None,
+            stop: false,
+        }
+    }
+
+    /// Enables trace recording (see [`Sim::take_trace`]).
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(Vec::new());
+        }
+    }
+
+    /// Takes the recorded trace, leaving recording enabled.
+    pub fn take_trace(&mut self) -> Vec<TraceEntry> {
+        self.trace.replace(Vec::new()).unwrap_or_default()
+    }
+
+    /// Registers an actor and returns its id.
+    pub fn add_actor(&mut self, name: impl Into<String>, actor: Box<dyn Actor>) -> ActorId {
+        let id = ActorId(u32::try_from(self.actors.len()).expect("too many actors"));
+        self.actors.push(Some(actor));
+        self.names.push(name.into());
+        id
+    }
+
+    /// Returns the registered name of an actor.
+    pub fn actor_name(&self, id: ActorId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of registered actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Number of pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The metric registry (read results after a run).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable access to the metric registry.
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Enqueues a message to `dst` at `now + delay` from outside any actor.
+    pub fn post(&mut self, delay: SimDuration, dst: ActorId, msg: impl Any) {
+        self.post_boxed(delay, dst, Box::new(msg));
+    }
+
+    /// Enqueues a pre-boxed message.
+    pub fn post_boxed(&mut self, delay: SimDuration, dst: ActorId, msg: Msg) {
+        assert!(
+            dst.index() < self.actors.len(),
+            "post to unregistered {dst}"
+        );
+        let ev = Event {
+            time: self.now + delay,
+            seq: self.seq,
+            dst,
+            msg,
+        };
+        self.seq += 1;
+        self.queue.push(ev);
+    }
+
+    /// Processes a single event. Returns `false` if the queue was empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event addresses an actor slot that was never registered
+    /// (a wiring bug) or re-enters an actor currently on the stack (actors
+    /// never send to themselves synchronously by construction).
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now, "event queue went back in time");
+        self.now = ev.time;
+        self.steps += 1;
+
+        // Temporarily take the actor out of its slot so the context can
+        // borrow the rest of the simulation mutably.
+        let mut actor = self.actors[ev.dst.index()]
+            .take()
+            .unwrap_or_else(|| panic!("re-entrant or missing {}", ev.dst));
+        let mut outbox = Vec::new();
+        {
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: ev.dst,
+                outbox: &mut outbox,
+                rng: &mut self.rng,
+                metrics: &mut self.metrics,
+                trace: &mut self.trace,
+                stop: &mut self.stop,
+            };
+            actor.handle(ev.msg, &mut ctx);
+        }
+        self.actors[ev.dst.index()] = Some(actor);
+        for (time, dst, msg) in outbox {
+            assert!(
+                dst.index() < self.actors.len(),
+                "send to unregistered {dst}"
+            );
+            self.queue.push(Event {
+                time,
+                seq: self.seq,
+                dst,
+                msg,
+            });
+            self.seq += 1;
+        }
+        true
+    }
+
+    /// Runs until the queue drains, a step limit is hit, or an actor stops
+    /// the simulation.
+    pub fn run(&mut self) -> RunOutcome {
+        self.run_with_limit(u64::MAX)
+    }
+
+    /// Runs for at most `max_steps` events.
+    pub fn run_with_limit(&mut self, max_steps: u64) -> RunOutcome {
+        self.stop = false;
+        for _ in 0..max_steps {
+            if self.stop {
+                return RunOutcome::Stopped;
+            }
+            if !self.step() {
+                return RunOutcome::Drained;
+            }
+        }
+        if self.queue.is_empty() {
+            RunOutcome::Drained
+        } else {
+            RunOutcome::LimitReached
+        }
+    }
+
+    /// Runs until virtual time exceeds `deadline` or the queue drains.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        self.stop = false;
+        loop {
+            if self.stop {
+                return RunOutcome::Stopped;
+            }
+            match self.queue.peek() {
+                None => return RunOutcome::Drained,
+                Some(ev) if ev.time > deadline => return RunOutcome::LimitReached,
+                Some(_) => {
+                    self.step();
+                }
+            }
+        }
+    }
+
+    /// Gives temporary mutable access to a registered actor between events.
+    ///
+    /// Useful for tests and harnesses that inspect actor state after a run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the actor is not of type `T`.
+    pub fn with_actor<T: Actor + 'static, R>(
+        &mut self,
+        id: ActorId,
+        f: impl FnOnce(&mut T) -> R,
+    ) -> R {
+        let actor = self.actors[id.index()]
+            .as_mut()
+            .unwrap_or_else(|| panic!("missing {id}"));
+        let any: &mut dyn Any = actor.as_mut();
+        let t = any
+            .downcast_mut::<T>()
+            .unwrap_or_else(|| panic!("actor {id} is not the requested type"));
+        f(t)
+    }
+}
+
+impl fmt::Debug for Sim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("actors", &self.actors.len())
+            .field("pending", &self.queue.len())
+            .field("steps", &self.steps)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo {
+        received: Vec<(SimTime, u32)>,
+        reply_to: Option<ActorId>,
+    }
+
+    impl Actor for Echo {
+        fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+            let v = *msg.downcast::<u32>().expect("expected u32");
+            self.received.push((ctx.now(), v));
+            if let Some(dst) = self.reply_to {
+                if v > 0 {
+                    ctx.send_after(SimDuration::from_micros(1), dst, v - 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fifo_order_at_equal_time() {
+        let mut sim = Sim::new(0);
+        let a = sim.add_actor(
+            "a",
+            Box::new(Echo {
+                received: vec![],
+                reply_to: None,
+            }),
+        );
+        sim.post(SimDuration::ZERO, a, 1u32);
+        sim.post(SimDuration::ZERO, a, 2u32);
+        sim.post(SimDuration::ZERO, a, 3u32);
+        assert_eq!(sim.run(), RunOutcome::Drained);
+        sim.with_actor::<Echo, _>(a, |e| {
+            let vals: Vec<u32> = e.received.iter().map(|(_, v)| *v).collect();
+            assert_eq!(vals, vec![1, 2, 3]);
+        });
+    }
+
+    #[test]
+    fn time_ordering() {
+        let mut sim = Sim::new(0);
+        let a = sim.add_actor(
+            "a",
+            Box::new(Echo {
+                received: vec![],
+                reply_to: None,
+            }),
+        );
+        sim.post(SimDuration::from_micros(5), a, 5u32);
+        sim.post(SimDuration::from_micros(1), a, 1u32);
+        sim.post(SimDuration::from_micros(3), a, 3u32);
+        sim.run();
+        sim.with_actor::<Echo, _>(a, |e| {
+            let vals: Vec<u32> = e.received.iter().map(|(_, v)| *v).collect();
+            assert_eq!(vals, vec![1, 3, 5]);
+        });
+        assert_eq!(sim.now(), SimTime::from_nanos(5_000));
+    }
+
+    #[test]
+    fn ping_pong_until_drained() {
+        let mut sim = Sim::new(0);
+        let a = sim.add_actor(
+            "a",
+            Box::new(Echo {
+                received: vec![],
+                reply_to: None,
+            }),
+        );
+        // Wire b to reply to a and a to reply to b.
+        let b = sim.add_actor(
+            "b",
+            Box::new(Echo {
+                received: vec![],
+                reply_to: Some(a),
+            }),
+        );
+        sim.with_actor::<Echo, _>(a, |e| e.reply_to = Some(b));
+        sim.post(SimDuration::ZERO, a, 10u32);
+        assert_eq!(sim.run(), RunOutcome::Drained);
+        // 10 decrements → 11 total deliveries, 1 µs apart.
+        assert_eq!(sim.steps(), 11);
+        assert_eq!(sim.now(), SimTime::from_nanos(10_000));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = Sim::new(0);
+        let a = sim.add_actor(
+            "a",
+            Box::new(Echo {
+                received: vec![],
+                reply_to: None,
+            }),
+        );
+        sim.post(SimDuration::from_micros(1), a, 1u32);
+        sim.post(SimDuration::from_micros(100), a, 2u32);
+        assert_eq!(
+            sim.run_until(SimTime::from_nanos(50_000)),
+            RunOutcome::LimitReached
+        );
+        assert_eq!(sim.pending(), 1);
+    }
+
+    struct Stopper;
+    impl Actor for Stopper {
+        fn handle(&mut self, _msg: Msg, ctx: &mut Ctx<'_>) {
+            ctx.stop();
+        }
+    }
+
+    #[test]
+    fn actor_can_stop_simulation() {
+        let mut sim = Sim::new(0);
+        let a = sim.add_actor("stop", Box::new(Stopper));
+        sim.post(SimDuration::ZERO, a, 0u32);
+        sim.post(SimDuration::from_micros(1), a, 0u32);
+        assert_eq!(sim.run(), RunOutcome::Stopped);
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn trace_records_labels() {
+        struct Tracer;
+        impl Actor for Tracer {
+            fn handle(&mut self, _msg: Msg, ctx: &mut Ctx<'_>) {
+                ctx.trace("hit");
+            }
+        }
+        let mut sim = Sim::new(0);
+        sim.enable_trace();
+        let a = sim.add_actor("t", Box::new(Tracer));
+        sim.post(SimDuration::from_micros(2), a, 0u32);
+        sim.run();
+        let trace = sim.take_trace();
+        assert_eq!(trace.len(), 1);
+        assert_eq!(trace[0].label, "hit");
+        assert_eq!(trace[0].time, SimTime::from_nanos(2_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered")]
+    fn post_to_unknown_actor_panics() {
+        let mut sim = Sim::new(0);
+        sim.post(SimDuration::ZERO, ActorId(7), 0u32);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! Deterministic discrete-event simulation engine for FractOS-rs.
+//!
+//! The FractOS paper evaluates on a 3-node RDMA cluster with SmartNICs, GPUs
+//! and NVMe SSDs. This crate is the substitute substrate: a single-threaded,
+//! seeded, discrete-event simulator on which the real FractOS logic (the
+//! `fractos-core` Controllers, Processes, device adaptors and services) runs
+//! with a virtual clock. Determinism is a hard requirement — integration
+//! tests assert that equal seeds produce identical event traces.
+//!
+//! # Examples
+//!
+//! ```
+//! use fractos_sim::{Actor, Ctx, Msg, Sim, SimDuration};
+//!
+//! struct Counter(u64);
+//! impl Actor for Counter {
+//!     fn handle(&mut self, _msg: Msg, _ctx: &mut Ctx<'_>) {
+//!         self.0 += 1;
+//!     }
+//! }
+//!
+//! let mut sim = Sim::new(42);
+//! let id = sim.add_actor("counter", Box::new(Counter(0)));
+//! sim.post(SimDuration::from_micros(3), id, ());
+//! sim.run();
+//! sim.with_actor::<Counter, _>(id, |c| assert_eq!(c.0, 1));
+//! ```
+
+pub mod engine;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+
+pub use engine::{Actor, ActorId, Ctx, Msg, RunOutcome, Sim, TraceEntry};
+pub use metrics::{Histogram, Metrics};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

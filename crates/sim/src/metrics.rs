@@ -1,0 +1,246 @@
+//! Counters and latency histograms for experiments.
+//!
+//! Experiments record named counters (e.g. per-link message counts) and
+//! latency samples. The registry is owned by the simulation and exposed to
+//! actors through the [`crate::engine::Ctx`]; benches read it after the run.
+
+use std::collections::BTreeMap;
+
+use crate::time::SimDuration;
+
+/// A set of latency samples with summary statistics.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample (any unit; durations are recorded in microseconds).
+    pub fn record(&mut self, value: f64) {
+        self.samples.push(value);
+        self.sorted = false;
+    }
+
+    /// Records a duration sample in microseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_micros_f64());
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Population standard deviation, or 0 when empty.
+    pub fn stddev(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .samples
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / self.samples.len() as f64;
+        var.sqrt()
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) by nearest-rank, or 0 when empty.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in histogram"));
+            self.sorted = true;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
+        self.samples[idx]
+    }
+
+    /// Median (p50).
+    pub fn median(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&mut self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Minimum sample, or 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sample, or 0 when empty.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0f64, f64::max)
+    }
+
+    /// All raw samples in insertion order is not preserved after quantile
+    /// queries; use before calling quantile functions if order matters.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// Named counters and histograms for one simulation run.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `delta` to the named counter, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Increments the named counter by one.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Returns the value of a counter (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a sample into the named histogram.
+    pub fn sample(&mut self, name: &str, value: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// Records a duration sample (in microseconds) into the named histogram.
+    pub fn sample_duration(&mut self, name: &str, d: SimDuration) {
+        self.sample(name, d.as_micros_f64());
+    }
+
+    /// Returns a histogram by name, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Returns a mutable histogram by name, if any samples were recorded.
+    pub fn histogram_mut(&mut self, name: &str) -> Option<&mut Histogram> {
+        self.histograms.get_mut(name)
+    }
+
+    /// Iterates over all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterates over all counter names matching a prefix.
+    pub fn counters_with_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.counters()
+            .filter(move |(name, _)| name.starts_with(prefix))
+    }
+
+    /// Sum of all counters whose name starts with `prefix`.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.counters_with_prefix(prefix).map(|(_, v)| v).sum()
+    }
+
+    /// Clears all counters and histograms.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.histograms.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.incr("msgs");
+        m.add("msgs", 4);
+        assert_eq!(m.counter("msgs"), 5);
+        assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 3.0).abs() < 1e-12);
+        assert!((h.median() - 3.0).abs() < 1e-12);
+        assert!((h.quantile(1.0) - 5.0).abs() < 1e-12);
+        assert!((h.stddev() - 2.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(h.max(), 5.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroes() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.median(), 0.0);
+        assert_eq!(h.stddev(), 0.0);
+    }
+
+    #[test]
+    fn duration_samples_are_micros() {
+        let mut m = Metrics::new();
+        m.sample_duration("lat", SimDuration::from_micros(12));
+        assert!((m.histogram("lat").unwrap().mean() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_sum() {
+        let mut m = Metrics::new();
+        m.add("net.msgs.a", 2);
+        m.add("net.msgs.b", 3);
+        m.add("other", 7);
+        assert_eq!(m.sum_prefix("net.msgs."), 5);
+        assert_eq!(m.counters_with_prefix("net.").count(), 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = Metrics::new();
+        m.incr("a");
+        m.sample("h", 1.0);
+        m.reset();
+        assert_eq!(m.counter("a"), 0);
+        assert!(m.histogram("h").is_none());
+    }
+}

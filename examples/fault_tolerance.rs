@@ -1,0 +1,185 @@
+//! Failure translation and capability monitors (§3.6).
+//!
+//! FractOS turns failures into capability revocations: a provider watches
+//! its delegations drain with `monitor_delegate`; a client watches a
+//! provider vanish with `monitor_receive`; a Controller reboot stales every
+//! capability it ever minted. This example stages all three.
+//!
+//! Run with: `cargo run --example fault_tolerance`
+
+use fractos_cap::Cid;
+use fractos_core::prelude::*;
+use fractos_core::types::Syscall;
+
+const TAG_SVC: u64 = 0x4444;
+
+/// A provider that publishes an endpoint and monitors its delegations.
+struct Provider {
+    pub drained: bool,
+}
+
+impl Service for Provider {
+    fn on_start(&mut self, fos: &Fos<Self>) {
+        fos.request_create_new(TAG_SVC, vec![], vec![], |_s, res, fos| {
+            let cid = res.cid();
+            fos.call(
+                Syscall::MonitorDelegate {
+                    cid,
+                    callback_id: 1,
+                },
+                move |_s, res, fos| {
+                    assert!(res.is_ok());
+                    fos.kv_put("svc", cid, |_, _, _| {});
+                },
+            );
+        });
+    }
+    fn on_request(&mut self, _req: IncomingRequest, _fos: &Fos<Self>) {}
+    fn on_monitor(&mut self, cb: MonitorCb, _fos: &Fos<Self>) {
+        if matches!(cb, MonitorCb::DelegateDrained { callback_id: 1 }) {
+            println!("[provider] all client handles gone — freeing resources");
+            self.drained = true;
+        }
+    }
+}
+
+/// A client that holds the endpoint and watches the provider's health.
+struct Watcher {
+    pub cap: Option<Cid>,
+    pub provider_lost: bool,
+}
+
+impl Service for Watcher {
+    fn on_start(&mut self, fos: &Fos<Self>) {
+        fos.kv_get("svc", |s: &mut Self, res, fos| {
+            let cid = res.cid();
+            s.cap = Some(cid);
+            fos.call(
+                Syscall::MonitorReceive {
+                    cid,
+                    callback_id: 2,
+                },
+                |_, res, _| assert!(res.is_ok()),
+            );
+        });
+    }
+    fn on_request(&mut self, _req: IncomingRequest, _fos: &Fos<Self>) {}
+    fn on_monitor(&mut self, cb: MonitorCb, _fos: &Fos<Self>) {
+        if matches!(cb, MonitorCb::Receive { callback_id: 2 }) {
+            println!("[watcher]  provider capability revoked — failing over");
+            self.provider_lost = true;
+        }
+    }
+}
+
+fn main() {
+    // ---- Scene 1: a client revokes its handle; the provider notices. ----
+    println!("scene 1: monitor_delegate — resource reclamation");
+    let mut tb = Testbed::paper(99);
+    let ctrls = tb.controllers_per_node(false);
+    let provider = tb.add_process("provider", cpu(0), ctrls[0], Provider { drained: false });
+    tb.start_process(provider);
+    tb.run();
+    let watcher = tb.add_process(
+        "watcher",
+        cpu(1),
+        ctrls[1],
+        Watcher {
+            cap: None,
+            provider_lost: false,
+        },
+    );
+    tb.start_process(watcher);
+    tb.run();
+
+    let cap = tb.with_service::<Watcher, _>(watcher, |w| w.cap.unwrap());
+    let fos = tb.fos_of::<Watcher>(watcher);
+    fos.call(Syscall::CapRevoke { cid: cap }, |_, res, _| {
+        assert!(res.is_ok());
+    });
+    tb.poke(watcher);
+    tb.run();
+    tb.with_service::<Provider, _>(provider, |p| assert!(p.drained));
+
+    // ---- Scene 2: the provider dies; the watcher notices. ---------------
+    println!("\nscene 2: monitor_receive — failure translation");
+    let mut tb = Testbed::paper(100);
+    let ctrls = tb.controllers_per_node(false);
+    let provider = tb.add_process("provider", cpu(0), ctrls[0], Provider { drained: false });
+    tb.start_process(provider);
+    tb.run();
+    let watcher = tb.add_process(
+        "watcher",
+        cpu(1),
+        ctrls[1],
+        Watcher {
+            cap: None,
+            provider_lost: false,
+        },
+    );
+    tb.start_process(watcher);
+    tb.run();
+    println!("[harness]  killing the provider process");
+    tb.kill_process(provider);
+    tb.run();
+    tb.with_service::<Watcher, _>(watcher, |w| assert!(w.provider_lost));
+
+    // ---- Scene 3: Controller reboot stales old capabilities. ------------
+    println!("\nscene 3: reboot epochs — implicit revocation");
+    let mut tb = Testbed::paper(101);
+    let ctrls = tb.controllers_per_node(false);
+    let provider = tb.add_process("provider", cpu(0), ctrls[0], Provider { drained: false });
+    tb.start_process(provider);
+    tb.run();
+    let watcher = tb.add_process(
+        "watcher",
+        cpu(1),
+        ctrls[1],
+        Watcher {
+            cap: None,
+            provider_lost: false,
+        },
+    );
+    tb.start_process(watcher);
+    tb.run();
+    println!("[harness]  rebooting controller 0 (epoch bump)");
+    tb.reboot_controller(ctrls[0]);
+    tb.run();
+    let cap = tb.with_service::<Watcher, _>(watcher, |w| w.cap.unwrap());
+    let fos = tb.fos_of::<Watcher>(watcher);
+    fos.request_invoke(cap, |_, res, _| {
+        println!("[watcher]  invoking the stale capability: {res:?}");
+        assert!(
+            matches!(
+                res,
+                SyscallResult::Err(FosError::Cap(fractos_cap::CapError::StaleEpoch(_)))
+            ),
+            "stale-epoch detection must fire"
+        );
+    });
+    tb.poke(watcher);
+    tb.run();
+
+    // ---- Scene 4: the watchdog detects a silent Controller death. -------
+    println!("\nscene 4: watchdog — autonomous failure detection");
+    let mut tb = Testbed::paper(102);
+    let ctrls = tb.controllers_per_node(false);
+    let provider = tb.add_process("provider", cpu(0), ctrls[0], Provider { drained: false });
+    tb.start_process(provider);
+    tb.run();
+    let wd = tb.start_watchdog(NodeId(2));
+    println!("[harness]  killing controller 0 without telling anyone");
+    tb.kill_controller_silently(ctrls[0]);
+    let deadline = tb.now() + SimDuration::from_millis(3);
+    tb.run_until(deadline);
+    tb.sim
+        .with_actor::<fractos_core::WatchdogActor, _>(wd, |w| {
+            println!(
+                "[watchdog] detected failed controllers: {:?} (after missed pings)",
+                w.detected
+            );
+            assert_eq!(w.detected.len(), 1);
+        });
+
+    println!("\nall four failure-translation paths verified.");
+}

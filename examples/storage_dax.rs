@@ -1,0 +1,187 @@
+//! The storage stack in its three data-path modes (§5, Fig 10).
+//!
+//! A client writes and reads 64 KiB through the extent-based FS over the
+//! NVMe block adaptor, once per mode:
+//!
+//! * mediated — every byte moves through the FS Process (the paper's "FS");
+//! * compose  — the FS refines the block-device Request with the client's
+//!   buffer and continuation (§3.4), staying on the control path only;
+//! * DAX      — the client holds the block-device Requests and bypasses the
+//!   FS entirely after open.
+//!
+//! Run with: `cargo run --example storage_dax`
+
+use fractos_cap::Cid;
+use fractos_core::prelude::*;
+use fractos_devices::proto::{imm, imm_at};
+use fractos_devices::{BlockAdaptor, NvmeParams};
+use fractos_services::fs::{FsMode, FsService};
+
+const TAG: u64 = 0x3333;
+const IO: u64 = 64 * 1024;
+
+/// Create → write 64 KiB → read it back, recording the read latency.
+struct Bench {
+    read_req: Option<Cid>,
+    write_req: Option<Cid>,
+    buf: Option<u64>,
+    read_started: SimTime,
+    pub read_latency: Option<SimDuration>,
+    pub ok: bool,
+}
+
+impl Bench {
+    fn new() -> Self {
+        Bench {
+            read_req: None,
+            write_req: None,
+            buf: None,
+            read_started: SimTime::ZERO,
+            read_latency: None,
+            ok: false,
+        }
+    }
+
+    fn pattern() -> Vec<u8> {
+        (0..IO).map(|i| (i % 251) as u8).collect()
+    }
+}
+
+impl Service for Bench {
+    fn on_start(&mut self, fos: &Fos<Self>) {
+        fos.kv_get("fs.create", |_s, res, fos| {
+            let create = res.cid();
+            fos.request_create_new(TAG, vec![imm(0)], vec![], move |_s: &mut Self, res, fos| {
+                let cont = res.cid();
+                fos.request_derive(create, vec![imm(IO)], vec![cont], |_s, res, fos| {
+                    fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+                });
+            });
+        });
+    }
+
+    fn on_request(&mut self, req: IncomingRequest, fos: &Fos<Self>) {
+        match imm_at(&req.imms, 0).unwrap() {
+            0 => {
+                // Handles arrive: [read, write] in every mode.
+                self.read_req = Some(req.caps[0]);
+                self.write_req = Some(req.caps[1]);
+                let wreq = req.caps[1];
+                let addr = fos.mem_alloc(IO);
+                fos.mem_write(addr, 0, &Bench::pattern()).unwrap();
+                fos.memory_create(
+                    addr,
+                    IO,
+                    fractos_cap::Perms::RW,
+                    move |_s: &mut Self, res, fos| {
+                        let src = res.cid();
+                        fos.request_create_new(
+                            TAG,
+                            vec![imm(1)],
+                            vec![],
+                            move |_s: &mut Self, res, fos| {
+                                let ok = res.cid();
+                                fos.request_create_new(
+                                    TAG,
+                                    vec![imm(9)],
+                                    vec![],
+                                    move |_s: &mut Self, res, fos| {
+                                        let err = res.cid();
+                                        fos.request_derive(
+                                            wreq,
+                                            vec![imm(0), imm(IO)],
+                                            vec![src, ok, err],
+                                            |_s, res, fos| {
+                                                fos.request_invoke(res.cid(), |_, res, _| {
+                                                    assert!(res.is_ok())
+                                                });
+                                            },
+                                        );
+                                    },
+                                );
+                            },
+                        );
+                    },
+                );
+            }
+            1 => {
+                // Write done; time the read.
+                let rreq = self.read_req.unwrap();
+                let addr = fos.mem_alloc(IO);
+                self.buf = Some(addr);
+                self.read_started = fos.now();
+                fos.memory_create(
+                    addr,
+                    IO,
+                    fractos_cap::Perms::RW,
+                    move |_s: &mut Self, res, fos| {
+                        let dst = res.cid();
+                        fos.request_create_new(
+                            TAG,
+                            vec![imm(2)],
+                            vec![],
+                            move |_s: &mut Self, res, fos| {
+                                let ok = res.cid();
+                                fos.request_create_new(
+                                    TAG,
+                                    vec![imm(9)],
+                                    vec![],
+                                    move |_s: &mut Self, res, fos| {
+                                        let err = res.cid();
+                                        fos.request_derive(
+                                            rreq,
+                                            vec![imm(0), imm(IO)],
+                                            vec![dst, ok, err],
+                                            |_s, res, fos| {
+                                                fos.request_invoke(res.cid(), |_, res, _| {
+                                                    assert!(res.is_ok())
+                                                });
+                                            },
+                                        );
+                                    },
+                                );
+                            },
+                        );
+                    },
+                );
+            }
+            2 => {
+                self.read_latency = Some(fos.now().duration_since(self.read_started));
+                let got = fos.mem_read(self.buf.unwrap(), 0, IO).unwrap();
+                self.ok = got == Bench::pattern();
+            }
+            _ => panic!("storage error"),
+        }
+    }
+}
+
+fn run(mode: FsMode) -> (SimDuration, bool) {
+    let mut tb = Testbed::paper(13);
+    let ctrls = tb.controllers_per_node(false);
+    let blk = tb.add_process(
+        "blk",
+        cpu(0),
+        ctrls[0],
+        BlockAdaptor::new(NvmeParams::default(), nvme(0), "blk"),
+    );
+    tb.start_process(blk);
+    tb.run();
+    let fs = tb.add_process("fs", cpu(0), ctrls[0], FsService::new(mode, "fs", "blk"));
+    tb.start_process(fs);
+    tb.run();
+    let bench = tb.add_process("bench", cpu(2), ctrls[2], Bench::new());
+    tb.start_process(bench);
+    tb.run();
+    tb.with_service::<Bench, _>(bench, |b| (b.read_latency.expect("read completed"), b.ok))
+}
+
+fn main() {
+    println!("64 KiB random read latency through the storage stack:\n");
+    for mode in [FsMode::Mediated, FsMode::Compose, FsMode::Dax] {
+        let (lat, ok) = run(mode);
+        assert!(ok, "data corrupted in {mode:?}");
+        println!("  {mode:?}: {lat}");
+    }
+    println!("\nmediated pays two network transfers per read; compose and DAX");
+    println!("cut through the FS (§3.4 / §5) and pay one.");
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! FractOS-rs: a from-scratch reproduction of *"Slashing the Disaggregation
+//! Tax in Heterogeneous Data Centers with FractOS"* (EuroSys '22).
+//!
+//! FractOS is a distributed OS for disaggregated heterogeneous data centers:
+//! devices (GPUs, NVMe SSDs) become first-class citizens that invoke each
+//! other directly through continuation-based Requests, protected by
+//! distributed capabilities with owner-centric immediate revocation.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! * [`sim`] — deterministic discrete-event engine (the testbed substitute);
+//! * [`net`] — calibrated fabric model (RoCE / PCIe / SmartNIC) with
+//!   traffic accounting;
+//! * [`cap`] — capability tables, revocation trees, monitors;
+//! * [`core`] — Controllers, Processes, the Table-1 syscall API;
+//! * [`devices`] — GPU and NVMe models plus their adaptor Processes;
+//! * [`services`] — the storage stack (FS/compose/DAX), the pipeline, and
+//!   the face-verification application;
+//! * [`baselines`] — rCUDA, NFS, NVMe-oF and star/fast-star comparators.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
+//! the system inventory and per-experiment index.
+
+pub use fractos_baselines as baselines;
+pub use fractos_cap as cap;
+pub use fractos_core as core;
+pub use fractos_devices as devices;
+pub use fractos_net as net;
+pub use fractos_services as services;
+pub use fractos_sim as sim;

@@ -1,0 +1,215 @@
+//! Workspace-wide integration tests: whole-cluster properties that span the
+//! simulator, fabric, capability layer, OS layer, devices, services and
+//! baselines together.
+
+use fractos::core::prelude::*;
+use fractos::services::deploy::deploy_faceverify;
+use fractos::services::faceverify::FvClient;
+use fractos::services::FvConfig;
+
+const IMG: u64 = 4096;
+
+fn run_app(seed: u64, snic: bool, batch: u64, requests: u64, in_flight: u64) -> AppRun {
+    let mut tb = Testbed::paper(seed);
+    let ctrls = tb.controllers_per_node(snic);
+    let dep = deploy_faceverify(&mut tb, &ctrls, FvConfig::default(), 256);
+    tb.reset_traffic();
+    let client = tb.add_process(
+        "client",
+        cpu(2),
+        ctrls[2],
+        FvClient::new(IMG, batch, requests, in_flight),
+    );
+    tb.start_process(client);
+    let t0 = tb.now();
+    tb.run();
+    let wall = tb.now().duration_since(t0);
+    let (lat_mean, all_matched, served) = tb.with_service::<FvClient, _>(client, |c| {
+        assert_eq!(c.samples.len() as u64, requests, "all requests answered");
+        (
+            c.samples
+                .iter()
+                .map(|s| s.latency().as_micros_f64())
+                .sum::<f64>()
+                / c.samples.len() as f64,
+            c.samples.iter().all(|s| s.all_matched),
+            c.samples.len() as u64,
+        )
+    });
+    let gpu_kernels = tb.with_service::<fractos::devices::GpuAdaptor, _>(dep.gpu, |g| {
+        g.device().kernels_executed()
+    });
+    let traffic = tb.traffic();
+    AppRun {
+        lat_mean,
+        wall_us: wall.as_micros_f64(),
+        all_matched,
+        served,
+        gpu_kernels,
+        net_bytes: traffic.network_bytes(),
+        net_msgs: traffic.network_msgs(),
+        steps: tb.sim.steps(),
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct AppRun {
+    lat_mean: f64,
+    wall_us: f64,
+    all_matched: bool,
+    served: u64,
+    gpu_kernels: u64,
+    net_bytes: u64,
+    net_msgs: u64,
+    steps: u64,
+}
+
+#[test]
+fn full_application_is_deterministic() {
+    let a = run_app(5, false, 8, 6, 2);
+    let b = run_app(5, false, 8, 6, 2);
+    assert_eq!(a, b, "same seed must reproduce the run exactly");
+}
+
+#[test]
+fn full_application_verifies_identities() {
+    let r = run_app(6, false, 16, 8, 1);
+    assert!(r.all_matched);
+    assert_eq!(r.served, 8);
+    assert_eq!(r.gpu_kernels, 8, "one kernel per request");
+}
+
+#[test]
+fn snic_controllers_cost_more_than_cpu_controllers() {
+    // Table 3 / §6: sNIC deployments add latency but still work end to end.
+    let cpu_run = run_app(7, false, 8, 6, 1);
+    let snic_run = run_app(7, true, 8, 6, 1);
+    assert!(cpu_run.all_matched && snic_run.all_matched);
+    assert!(
+        snic_run.lat_mean > cpu_run.lat_mean,
+        "sNIC {:.1} µs should exceed CPU {:.1} µs",
+        snic_run.lat_mean,
+        cpu_run.lat_mean
+    );
+    // But not catastrophically (the paper: still competitive end to end).
+    assert!(snic_run.lat_mean < cpu_run.lat_mean * 2.0);
+}
+
+#[test]
+fn pipelining_increases_throughput_until_the_gpu_saturates() {
+    // Fig 13 shape: wall-clock time for a fixed request count shrinks with
+    // in-flight depth, then flattens at the GPU bound.
+    let seq = run_app(8, false, 16, 12, 1);
+    let four = run_app(8, false, 16, 12, 4);
+    assert!(
+        four.wall_us < seq.wall_us * 0.75,
+        "4 in flight should overlap: {} vs {}",
+        seq.wall_us,
+        four.wall_us
+    );
+    // The GPU executes one kernel per request regardless.
+    assert_eq!(seq.gpu_kernels, four.gpu_kernels);
+}
+
+#[test]
+fn network_traffic_scales_with_batch_not_request_count_overhead() {
+    // Per-request network bytes should be dominated by 2 × batch × img
+    // (queries in, references SSD→GPU), plus bounded control overhead.
+    let r = run_app(9, false, 8, 10, 1);
+    let payload = 2 * 8 * IMG * 10;
+    assert!(r.net_bytes as f64 > payload as f64 * 0.9);
+    assert!(
+        (r.net_bytes as f64) < payload as f64 * 1.6,
+        "control overhead out of bounds: {} vs payload {}",
+        r.net_bytes,
+        payload
+    );
+}
+
+#[test]
+fn gpu_context_reaped_when_frontend_dies() {
+    // §3.6 resource management: the GPU adaptor armed monitor_delegate on
+    // its per-context Requests; when the (only) holder dies, the context is
+    // reaped.
+    let mut tb = Testbed::paper(11);
+    let ctrls = tb.controllers_per_node(false);
+    let dep = deploy_faceverify(&mut tb, &ctrls, FvConfig::default(), 256);
+    tb.with_service::<fractos::devices::GpuAdaptor, _>(dep.gpu, |g| {
+        assert_eq!(g.reaped_contexts, 0);
+    });
+    tb.kill_process(dep.frontend);
+    tb.run();
+    tb.with_service::<fractos::devices::GpuAdaptor, _>(dep.gpu, |g| {
+        assert_eq!(
+            g.reaped_contexts, 1,
+            "context must be reaped on client death"
+        );
+    });
+}
+
+#[test]
+fn app_survives_storage_node_failure_with_errors_not_hangs() {
+    let mut tb = Testbed::paper(12);
+    let ctrls = tb.controllers_per_node(false);
+    let dep = deploy_faceverify(&mut tb, &ctrls, FvConfig::default(), 256);
+    // Kill the block adaptor: subsequent requests must complete with empty
+    // (error) replies rather than wedging the cluster.
+    tb.kill_process(dep.blk);
+    tb.run();
+    let client = tb.add_process("client", cpu(2), ctrls[2], FvClient::new(IMG, 4, 3, 1));
+    tb.start_process(client);
+    tb.run();
+    tb.with_service::<FvClient, _>(client, |c| {
+        assert!(
+            !c.samples.is_empty(),
+            "at least the first request must resolve (as an error)"
+        );
+        assert!(
+            c.samples.iter().all(|s| !s.all_matched),
+            "requests after storage death cannot verify"
+        );
+    });
+}
+
+#[test]
+fn full_fig2_ring_stores_results_on_the_output_ssd() {
+    // The complete Fig 2 scenario: read from the input SSD into the GPU,
+    // verify, write the distances through the *composed* output FS onto
+    // the output SSD, whose completion answers the client directly.
+    let mut tb = Testbed::paper(14);
+    let ctrls = tb.controllers_per_node(false);
+    let cfg = FvConfig {
+        store_results: true,
+        ..FvConfig::default()
+    };
+    let dep = deploy_faceverify(&mut tb, &ctrls, cfg, 256);
+    let (oblk, _ofs, _creator) = dep.output.expect("output tier deployed");
+
+    let batch = 8u64;
+    let mut client = FvClient::new(IMG, batch, 3, 1);
+    client.expect_stored = true;
+    let client = tb.add_process("client", cpu(2), ctrls[2], client);
+    tb.start_process(client);
+    tb.run();
+
+    tb.with_service::<FvClient, _>(client, |c| {
+        assert_eq!(c.samples.len(), 3);
+        assert!(
+            c.samples.iter().all(|s| s.all_matched),
+            "every request must be acknowledged by the output device"
+        );
+    });
+
+    // The distances really are on the output SSD: requests are sequential,
+    // so they all used slot 0 (output offset 0). The queries are noisy
+    // captures of the true identities, so every distance must be a match.
+    let stored = tb.with_service::<fractos::devices::BlockAdaptor, _>(oblk, |a| {
+        a.device_mut().read(1, 0, batch).expect("output volume")
+    });
+    assert!(
+        stored
+            .iter()
+            .all(|&d| d < fractos::services::matcher::MATCH_THRESHOLD),
+        "stored distances must all be matches: {stored:?}"
+    );
+}
