@@ -1,0 +1,164 @@
+//! Offline stand-in for the [criterion](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! this minimal replacement implementing the subset the FractOS benches
+//! use: [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. It measures wall-clock
+//! time over a fixed number of timed samples (after warm-up) and prints
+//! mean/median/min per iteration. There is no statistical regression
+//! analysis — the numbers are indicative, not criterion-grade.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Hint for how much setup output to batch; accepted for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input: batch many iterations per sample.
+    SmallInput,
+    /// Large per-iteration input: one iteration per sample.
+    LargeInput,
+    /// Per-iteration input of unknown size.
+    PerIteration,
+}
+
+/// Number of timed samples per benchmark.
+const SAMPLES: usize = 30;
+/// Warm-up iterations before timing starts.
+const WARMUP_ITERS: usize = 3;
+
+/// Handed to the closure of [`Criterion::bench_function`]; runs the
+/// measured routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over repeated calls.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        for _ in 0..SAMPLES {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..WARMUP_ITERS {
+            let input = setup();
+            black_box(routine(input));
+        }
+        for _ in 0..SAMPLES {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Creates a driver with default settings.
+    pub fn new() -> Self {
+        Criterion {}
+    }
+
+    /// Runs one named benchmark and prints its timing summary.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(SAMPLES),
+        };
+        f(&mut b);
+        let mut ns: Vec<u128> = b.samples.iter().map(|d| d.as_nanos()).collect();
+        ns.sort_unstable();
+        if ns.is_empty() {
+            println!("{name:<40} (no samples)");
+            return self;
+        }
+        let mean = ns.iter().sum::<u128>() / ns.len() as u128;
+        let median = ns[ns.len() / 2];
+        let min = ns[0];
+        println!(
+            "{name:<40} mean {:>12} median {:>12} min {:>12}",
+            fmt_ns(mean),
+            fmt_ns(median),
+            fmt_ns(min)
+        );
+        self
+    }
+
+    /// Criterion's CLI entry point; a no-op here.
+    pub fn final_summary(&mut self) {}
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Declares a benchmark group: a function running each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_example(c: &mut Criterion) {
+        c.bench_function("sum_1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        c.bench_function("vec_build", |b| {
+            b.iter_batched(
+                || 128usize,
+                |n| (0..n).collect::<Vec<_>>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    criterion_group!(benches, bench_example);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}
