@@ -8,14 +8,12 @@
 //! and (5) answers the client. Data crosses the network three times
 //! (NVMe-oF, NFS, rCUDA) versus FractOS's single NVMe→GPU transfer.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
 
 use fractos_net::{Endpoint, Fabric, TrafficClass};
 use fractos_services::matcher::{synth_face, MATCH_THRESHOLD};
 use fractos_services::FvSample;
-use fractos_sim::{Actor, Ctx, Msg, SimDuration, SimTime};
+use fractos_sim::{Actor, Ctx, Msg, Shared, SimDuration, SimTime};
 
 use crate::raw::{raw_send, Peer};
 use crate::rcuda::{DriverCall, DriverReply, RcudaClient};
@@ -76,7 +74,7 @@ struct ReqState {
 pub struct BaselineFrontend {
     /// Where the frontend runs.
     pub endpoint: Endpoint,
-    fabric: Rc<RefCell<Fabric>>,
+    fabric: Shared<Fabric>,
     /// The NFS server.
     pub nfs: Peer,
     rcuda: RcudaClient,
@@ -98,14 +96,14 @@ impl BaselineFrontend {
     /// Creates the frontend.
     pub fn new(
         endpoint: Endpoint,
-        fabric: Rc<RefCell<Fabric>>,
+        fabric: Shared<Fabric>,
         nfs: Peer,
         rcuda_server: Peer,
         img: u64,
     ) -> Self {
         BaselineFrontend {
             endpoint,
-            fabric: Rc::clone(&fabric),
+            fabric: fabric.clone(),
             nfs,
             rcuda: RcudaClient::new(endpoint, rcuda_server, fabric),
             img,
@@ -132,7 +130,7 @@ impl BaselineFrontend {
                     actor: ctx.self_id(),
                     endpoint: self.endpoint,
                 };
-                let fabric = Rc::clone(&self.fabric);
+                let fabric = self.fabric.clone();
                 raw_send(
                     ctx,
                     &fabric,
@@ -200,7 +198,7 @@ impl BaselineFrontend {
                     actor: ctx.self_id(),
                     endpoint: self.endpoint,
                 };
-                let fabric = Rc::clone(&self.fabric);
+                let fabric = self.fabric.clone();
                 raw_send(
                     ctx,
                     &fabric,
@@ -223,7 +221,7 @@ impl BaselineFrontend {
     fn finish(&mut self, ctx: &mut Ctx<'_>, req_id: u64, distances: Vec<u8>) {
         let state = self.reqs.remove(&req_id).expect("live");
         self.served += 1;
-        let fabric = Rc::clone(&self.fabric);
+        let fabric = self.fabric.clone();
         raw_send(
             ctx,
             &fabric,
@@ -337,7 +335,7 @@ pub struct BaselineClient {
     pub endpoint: Endpoint,
     /// The frontend.
     pub frontend: Peer,
-    fabric: Rc<RefCell<Fabric>>,
+    fabric: Shared<Fabric>,
     /// Bytes per image.
     pub img: u64,
     /// Batch size.
@@ -361,7 +359,7 @@ impl BaselineClient {
     pub fn new(
         endpoint: Endpoint,
         frontend: Peer,
-        fabric: Rc<RefCell<Fabric>>,
+        fabric: Shared<Fabric>,
         img: u64,
         batch: u64,
         requests: u64,
@@ -401,7 +399,7 @@ impl BaselineClient {
             endpoint: self.endpoint,
         };
         let size = queries.len() as u64;
-        let fabric = Rc::clone(&self.fabric);
+        let fabric = self.fabric.clone();
         raw_send(
             ctx,
             &fabric,
@@ -440,8 +438,8 @@ pub struct BaselineDeployment {
 /// frontend on node 2. The database (`db_count` synthetic faces of `img`
 /// bytes) is pre-populated on the target, mirroring the FractOS loader.
 pub fn deploy_baseline(
-    sim: &mut fractos_sim::Sim,
-    fabric: &Rc<RefCell<Fabric>>,
+    sim: &mut dyn fractos_sim::Runtime,
+    fabric: &Shared<Fabric>,
     img: u64,
     db_count: u64,
 ) -> BaselineDeployment {
@@ -451,7 +449,7 @@ pub fn deploy_baseline(
     let target_ep = Endpoint::cpu(NodeId(0));
     let mut target_actor = crate::storage::NvmeOfTarget::new(
         target_ep,
-        Rc::clone(fabric),
+        fabric.clone(),
         NvmeParams::default(),
         db_count * img,
     );
@@ -463,14 +461,15 @@ pub fn deploy_baseline(
         }
         dev.write(ns, 0, &data).expect("db fits the namespace");
     }
-    let target = sim.add_actor("nvmeof-target", Box::new(target_actor));
+    let target = sim.add_actor_on(0, "nvmeof-target", Box::new(target_actor));
 
     let nfs_ep = Endpoint::cpu(NodeId(1));
-    let nfs = sim.add_actor(
+    let nfs = sim.add_actor_on(
+        1,
         "nfs-server",
         Box::new(crate::storage::NfsServer::new(
             nfs_ep,
-            Rc::clone(fabric),
+            fabric.clone(),
             Peer {
                 actor: target,
                 endpoint: target_ep,
@@ -479,28 +478,25 @@ pub fn deploy_baseline(
     );
 
     let rcuda_ep = Endpoint::cpu(NodeId(1));
-    let rcuda = sim.add_actor(
+    let rcuda = sim.add_actor_on(
+        1,
         "rcuda-daemon",
         Box::new(
-            crate::rcuda::RcudaServer::new(
-                rcuda_ep,
-                Rc::clone(fabric),
-                GpuParams::default(),
-                4 << 20,
-            )
-            .with_kernel(
-                fractos_services::FACE_VERIFY_KERNEL,
-                fractos_services::FaceVerifyKernel,
-            ),
+            crate::rcuda::RcudaServer::new(rcuda_ep, fabric.clone(), GpuParams::default(), 4 << 20)
+                .with_kernel(
+                    fractos_services::FACE_VERIFY_KERNEL,
+                    fractos_services::FaceVerifyKernel,
+                ),
         ),
     );
 
     let frontend_ep = Endpoint::cpu(NodeId(2));
-    let frontend = sim.add_actor(
+    let frontend = sim.add_actor_on(
+        2,
         "baseline-frontend",
         Box::new(BaselineFrontend::new(
             frontend_ep,
-            Rc::clone(fabric),
+            fabric.clone(),
             Peer {
                 actor: nfs,
                 endpoint: nfs_ep,

@@ -5,11 +5,8 @@
 //! as plain simulation actors that exchange messages over the same fabric —
 //! paying their own protocol costs and nothing of FractOS's.
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use fractos_net::{Endpoint, Fabric, TrafficClass};
-use fractos_sim::{Actor, ActorId, Ctx, Msg, SimDuration, SimTime};
+use fractos_sim::{Actor, ActorId, Ctx, Msg, Shared, SimDuration, SimTime};
 
 /// A remote party a raw actor can message: its actor and fabric endpoint.
 #[derive(Debug, Clone, Copy)]
@@ -23,9 +20,9 @@ pub struct Peer {
 /// Sends `msg` from `src` to `peer` with fabric-modelled latency and
 /// traffic accounting, plus `extra` processing delay.
 #[allow(clippy::too_many_arguments)] // a transport primitive, not an API to shrink
-pub fn raw_send<M: 'static>(
+pub fn raw_send<M: Send + 'static>(
     ctx: &mut Ctx<'_>,
-    fabric: &Rc<RefCell<Fabric>>,
+    fabric: &Shared<Fabric>,
     src: Endpoint,
     peer: Peer,
     payload: u64,
@@ -44,7 +41,7 @@ pub fn raw_send<M: 'static>(
 pub struct PingPongServer {
     /// Where the server runs (host CPU or SmartNIC).
     pub endpoint: Endpoint,
-    fabric: Rc<RefCell<Fabric>>,
+    fabric: Shared<Fabric>,
 }
 
 /// Ping message carrying the reply peer.
@@ -55,7 +52,7 @@ pub struct Pong;
 
 impl PingPongServer {
     /// Creates the server.
-    pub fn new(endpoint: Endpoint, fabric: Rc<RefCell<Fabric>>) -> Self {
+    pub fn new(endpoint: Endpoint, fabric: Shared<Fabric>) -> Self {
         PingPongServer { endpoint, fabric }
     }
 }
@@ -63,7 +60,7 @@ impl PingPongServer {
 impl Actor for PingPongServer {
     fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
         let ping = msg.downcast::<Ping>().expect("server expects Ping");
-        let fabric = Rc::clone(&self.fabric);
+        let fabric = self.fabric.clone();
         raw_send(
             ctx,
             &fabric,
@@ -85,7 +82,7 @@ pub struct PingPongClient {
     pub server: Peer,
     /// Round trips to perform.
     pub count: u64,
-    fabric: Rc<RefCell<Fabric>>,
+    fabric: Shared<Fabric>,
     sent_at: SimTime,
     /// Completed round-trip latencies.
     pub latencies: Vec<SimDuration>,
@@ -97,7 +94,7 @@ pub struct Start;
 
 impl PingPongClient {
     /// Creates the client.
-    pub fn new(endpoint: Endpoint, server: Peer, count: u64, fabric: Rc<RefCell<Fabric>>) -> Self {
+    pub fn new(endpoint: Endpoint, server: Peer, count: u64, fabric: Shared<Fabric>) -> Self {
         PingPongClient {
             endpoint,
             server,
@@ -116,7 +113,7 @@ impl PingPongClient {
             endpoint: self.endpoint,
         };
         self.self_peer = Some(me);
-        let fabric = Rc::clone(&self.fabric);
+        let fabric = self.fabric.clone();
         raw_send(
             ctx,
             &fabric,
@@ -148,22 +145,22 @@ impl Actor for PingPongClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::paper_runtime;
     use fractos_net::{NetParams, NodeId, Topology};
-    use fractos_sim::Sim;
+    use fractos_sim::RuntimeExt;
 
     #[test]
     fn raw_loopback_matches_table3() {
-        let mut sim = Sim::new(1);
-        let fabric = Rc::new(RefCell::new(Fabric::new(
-            Topology::paper_testbed(),
-            NetParams::paper(),
-        )));
+        let mut sim = paper_runtime(1);
+        let fabric = Shared::new(Fabric::new(Topology::paper_testbed(), NetParams::paper()));
         let server_ep = Endpoint::cpu(NodeId(0));
-        let server = sim.add_actor(
+        let server = sim.add_actor_on(
+            0,
             "pp-server",
-            Box::new(PingPongServer::new(server_ep, Rc::clone(&fabric))),
+            Box::new(PingPongServer::new(server_ep, fabric.clone())),
         );
-        let client = sim.add_actor(
+        let client = sim.add_actor_on(
+            0,
             "pp-client",
             Box::new(PingPongClient::new(
                 Endpoint::cpu(NodeId(0)),
@@ -172,7 +169,7 @@ mod tests {
                     endpoint: server_ep,
                 },
                 100,
-                Rc::clone(&fabric),
+                fabric.clone(),
             )),
         );
         sim.post(SimDuration::ZERO, client, Start);
@@ -186,17 +183,16 @@ mod tests {
 
     #[test]
     fn raw_loopback_snic_matches_table3() {
-        let mut sim = Sim::new(1);
-        let fabric = Rc::new(RefCell::new(Fabric::new(
-            Topology::paper_testbed(),
-            NetParams::paper(),
-        )));
+        let mut sim = paper_runtime(1);
+        let fabric = Shared::new(Fabric::new(Topology::paper_testbed(), NetParams::paper()));
         let server_ep = Endpoint::snic(NodeId(0));
-        let server = sim.add_actor(
+        let server = sim.add_actor_on(
+            0,
             "pp-server",
-            Box::new(PingPongServer::new(server_ep, Rc::clone(&fabric))),
+            Box::new(PingPongServer::new(server_ep, fabric.clone())),
         );
-        let client = sim.add_actor(
+        let client = sim.add_actor_on(
+            0,
             "pp-client",
             Box::new(PingPongClient::new(
                 Endpoint::cpu(NodeId(0)),
@@ -205,7 +201,7 @@ mod tests {
                     endpoint: server_ep,
                 },
                 50,
-                Rc::clone(&fabric),
+                fabric.clone(),
             )),
         );
         sim.post(SimDuration::ZERO, client, Start);

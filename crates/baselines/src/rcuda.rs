@@ -8,13 +8,12 @@
 //! host-to-device, kernel launch, synchronize, memcpy device-to-host — and
 //! all data staged through the client's host memory.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use fractos_devices::{GpuDevice, GpuParams, Kernel};
 use fractos_net::{Endpoint, Fabric, TrafficClass};
-use fractos_sim::{Actor, Ctx, Msg, SimDuration, SimTime};
+use fractos_sim::{Actor, Ctx, Msg, Shared, SimDuration, SimTime};
 
 use crate::raw::{raw_send, Peer};
 
@@ -77,12 +76,12 @@ pub struct DriverReply {
 pub struct RcudaServer {
     /// Where the daemon runs (the GPU node's host CPU).
     pub endpoint: Endpoint,
-    fabric: Rc<RefCell<Fabric>>,
+    fabric: Shared<Fabric>,
     /// The daemon handles driver calls serially (single dispatch thread —
     /// the throughput bottleneck the paper observes in Fig 13).
     busy_until: SimTime,
     device: GpuDevice,
-    kernels: HashMap<u64, Rc<dyn Kernel>>,
+    kernels: HashMap<u64, Arc<dyn Kernel>>,
     /// Simulated device memory (one flat buffer).
     dev_mem: Vec<u8>,
     /// Completion time of the last launched kernel.
@@ -97,7 +96,7 @@ impl RcudaServer {
     /// Creates a daemon with `dev_mem_size` bytes of device memory.
     pub fn new(
         endpoint: Endpoint,
-        fabric: Rc<RefCell<Fabric>>,
+        fabric: Shared<Fabric>,
         params: GpuParams,
         dev_mem_size: u64,
     ) -> Self {
@@ -116,7 +115,7 @@ impl RcudaServer {
 
     /// Registers a kernel.
     pub fn with_kernel(mut self, id: u64, kernel: impl Kernel) -> Self {
-        self.kernels.insert(id, Rc::new(kernel));
+        self.kernels.insert(id, Arc::new(kernel));
         self
     }
 
@@ -137,7 +136,7 @@ impl RcudaServer {
         extra: SimDuration,
         data: Vec<u8>,
     ) {
-        let fabric = Rc::clone(&self.fabric);
+        let fabric = self.fabric.clone();
         raw_send(
             ctx,
             &fabric,
@@ -232,13 +231,13 @@ pub struct RcudaClient {
     pub endpoint: Endpoint,
     /// The daemon.
     pub server: Peer,
-    fabric: Rc<RefCell<Fabric>>,
+    fabric: Shared<Fabric>,
     next_token: u64,
 }
 
 impl RcudaClient {
     /// Creates the client half.
-    pub fn new(endpoint: Endpoint, server: Peer, fabric: Rc<RefCell<Fabric>>) -> Self {
+    pub fn new(endpoint: Endpoint, server: Peer, fabric: Shared<Fabric>) -> Self {
         RcudaClient {
             endpoint,
             server,
@@ -267,7 +266,7 @@ impl RcudaClient {
             DriverCall::Synchronize { .. } => (16, TrafficClass::Control),
             DriverCall::MemcpyD2H { .. } => (32, TrafficClass::Control),
         };
-        let fabric = Rc::clone(&self.fabric);
+        let fabric = self.fabric.clone();
         raw_send(
             ctx,
             &fabric,
@@ -285,9 +284,10 @@ impl RcudaClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::paper_runtime;
     use fractos_devices::XorKernel;
     use fractos_net::{NetParams, NodeId, Topology};
-    use fractos_sim::Sim;
+    use fractos_sim::RuntimeExt;
 
     /// A driver that runs the canonical verify sequence and checks data.
     struct Driver {
@@ -350,21 +350,20 @@ mod tests {
 
     #[test]
     fn rcuda_sequence_computes_and_takes_four_round_trips() {
-        let mut sim = Sim::new(5);
-        let fabric = Rc::new(RefCell::new(Fabric::new(
-            Topology::paper_testbed(),
-            NetParams::paper(),
-        )));
+        let mut sim = paper_runtime(5);
+        let fabric = Shared::new(Fabric::new(Topology::paper_testbed(), NetParams::paper()));
         let server_ep = Endpoint::cpu(NodeId(1));
-        let server = sim.add_actor(
+        let server = sim.add_actor_on(
+            1,
             "rcuda",
             Box::new(
-                RcudaServer::new(server_ep, Rc::clone(&fabric), GpuParams::default(), 1024)
+                RcudaServer::new(server_ep, fabric.clone(), GpuParams::default(), 1024)
                     .with_kernel(1, XorKernel(0xFF)),
             ),
         );
         let client_ep = Endpoint::cpu(NodeId(2));
-        let driver = sim.add_actor(
+        let driver = sim.add_actor_on(
+            2,
             "driver",
             Box::new(Driver {
                 client: RcudaClient::new(
@@ -373,7 +372,7 @@ mod tests {
                         actor: server,
                         endpoint: server_ep,
                     },
-                    Rc::clone(&fabric),
+                    fabric.clone(),
                 ),
                 phase: 0,
                 tokens: HashMap::new(),

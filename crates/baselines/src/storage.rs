@@ -7,13 +7,11 @@
 //! server whose ext4 is backed by NVMe-oF. Both are modelled here as raw
 //! actors on the fabric.
 
-use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
 
 use fractos_devices::{BlockOp, NvmeDevice, NvmeParams};
 use fractos_net::{Endpoint, Fabric, TrafficClass};
-use fractos_sim::{Actor, Ctx, Msg, SimDuration, SimTime};
+use fractos_sim::{Actor, Ctx, Msg, Shared, SimDuration, SimTime};
 
 use crate::raw::{raw_send, Peer};
 
@@ -69,7 +67,7 @@ pub struct NvmeOfCompletion {
 pub struct NvmeOfTarget {
     /// Where the target runs.
     pub endpoint: Endpoint,
-    fabric: Rc<RefCell<Fabric>>,
+    fabric: Shared<Fabric>,
     device: NvmeDevice,
     namespace: u64,
     /// Operations served (tests).
@@ -78,12 +76,7 @@ pub struct NvmeOfTarget {
 
 impl NvmeOfTarget {
     /// Creates a target with a namespace of `size` bytes.
-    pub fn new(
-        endpoint: Endpoint,
-        fabric: Rc<RefCell<Fabric>>,
-        params: NvmeParams,
-        size: u64,
-    ) -> Self {
+    pub fn new(endpoint: Endpoint, fabric: Shared<Fabric>, params: NvmeParams, size: u64) -> Self {
         let mut device = NvmeDevice::new(params);
         let namespace = device.create_volume(size);
         NvmeOfTarget {
@@ -112,7 +105,7 @@ impl Actor for NvmeOfTarget {
                     .device
                     .read(self.namespace, offset, len)
                     .unwrap_or_default();
-                let fabric = Rc::clone(&self.fabric);
+                let fabric = self.fabric.clone();
                 raw_send(
                     ctx,
                     &fabric,
@@ -136,7 +129,7 @@ impl Actor for NvmeOfTarget {
                     .device
                     .service_time(ctx.now(), BlockOp::Write, data.len() as u64);
                 let _ = self.device.write(self.namespace, offset, &data);
-                let fabric = Rc::clone(&self.fabric);
+                let fabric = self.fabric.clone();
                 raw_send(
                     ctx,
                     &fabric,
@@ -306,7 +299,7 @@ enum ServerPending {
 pub struct NfsServer {
     /// Where the server runs.
     pub endpoint: Endpoint,
-    fabric: Rc<RefCell<Fabric>>,
+    fabric: Shared<Fabric>,
     /// The backing NVMe-oF target.
     pub target: Peer,
     /// The page cache ("Linux cache on the FS-service node", §6.4).
@@ -321,7 +314,7 @@ pub struct NfsServer {
 
 impl NfsServer {
     /// Creates the server.
-    pub fn new(endpoint: Endpoint, fabric: Rc<RefCell<Fabric>>, target: Peer) -> Self {
+    pub fn new(endpoint: Endpoint, fabric: Shared<Fabric>, target: Peer) -> Self {
         NfsServer {
             endpoint,
             fabric,
@@ -337,7 +330,7 @@ impl NfsServer {
     fn reply_read(&mut self, ctx: &mut Ctx<'_>, offset: u64, len: u64, reply: (Peer, u64)) {
         self.served += 1;
         let data = self.cache.read(offset, len);
-        let fabric = Rc::clone(&self.fabric);
+        let fabric = self.fabric.clone();
         raw_send(
             ctx,
             &fabric,
@@ -361,7 +354,7 @@ impl NfsServer {
             actor: ctx.self_id(),
             endpoint: self.endpoint,
         };
-        let fabric = Rc::clone(&self.fabric);
+        let fabric = self.fabric.clone();
         raw_send(
             ctx,
             &fabric,
@@ -425,7 +418,7 @@ impl NfsServer {
                     // target happens off the measured path.
                     self.served += 1;
                     self.cache.write(offset, &data);
-                    let me_fabric = Rc::clone(&self.fabric);
+                    let me_fabric = self.fabric.clone();
                     // Background write-back (fire and forget).
                     let me = Peer {
                         actor: ctx.self_id(),

@@ -1,10 +1,8 @@
 //! End-to-end tests of the baseline systems, plus the headline
 //! FractOS-vs-baseline comparisons the paper reports (§6.5).
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use fractos_baselines::faceverify::{deploy_baseline, BaselineClient, Start};
+use fractos_baselines::paper_runtime;
 use fractos_baselines::pipeline::{FastStarDriver, StarDriver};
 use fractos_baselines::Peer;
 use fractos_core::prelude::*;
@@ -13,26 +11,24 @@ use fractos_services::deploy::deploy_faceverify;
 use fractos_services::faceverify::FvClient;
 use fractos_services::pipeline::{ChainDriver, PipelineStage};
 use fractos_services::FvConfig;
-use fractos_sim::{Sim, SimDuration};
+use fractos_sim::{Runtime, RuntimeExt, Shared, SimDuration};
 
 const IMG: u64 = 4096;
 
 /// Runs the baseline app and returns (mean latency µs, network bytes,
 /// network msgs, all matched).
 fn run_baseline(batch: u64, requests: u64, in_flight: u64) -> (f64, u64, u64, bool) {
-    let mut sim = Sim::new(61);
-    let fabric = Rc::new(RefCell::new(Fabric::new(
-        Topology::paper_testbed(),
-        NetParams::paper(),
-    )));
-    let dep = deploy_baseline(&mut sim, &fabric, IMG, 256);
+    let mut sim = paper_runtime(61);
+    let fabric = Shared::new(Fabric::new(Topology::paper_testbed(), NetParams::paper()));
+    let dep = deploy_baseline(sim.as_mut(), &fabric, IMG, 256);
     let client_ep = fractos_net::Endpoint::cpu(NodeId(2));
-    let client = sim.add_actor(
+    let client = sim.add_actor_on(
+        2,
         "client",
         Box::new(BaselineClient::new(
             client_ep,
             dep.frontend_peer,
-            Rc::clone(&fabric),
+            fabric.clone(),
             IMG,
             batch,
             requests,
@@ -188,20 +184,18 @@ fn star_vs_faststar_vs_chain_ordering() {
 
 #[test]
 fn baseline_throughput_improves_with_in_flight() {
-    let mut sim = Sim::new(62);
-    let fabric = Rc::new(RefCell::new(Fabric::new(
-        Topology::paper_testbed(),
-        NetParams::paper(),
-    )));
-    let dep = deploy_baseline(&mut sim, &fabric, IMG, 256);
+    let mut sim = paper_runtime(62);
+    let fabric = Shared::new(Fabric::new(Topology::paper_testbed(), NetParams::paper()));
+    let dep = deploy_baseline(sim.as_mut(), &fabric, IMG, 256);
     let client_ep = fractos_net::Endpoint::cpu(NodeId(2));
-    let mk = |sim: &mut Sim, in_flight| {
-        sim.add_actor(
+    let mk = |sim: &mut dyn Runtime, in_flight| {
+        sim.add_actor_on(
+            2,
             "client",
             Box::new(BaselineClient::new(
                 client_ep,
                 dep.frontend_peer,
-                Rc::clone(&fabric),
+                fabric.clone(),
                 IMG,
                 8,
                 12,
@@ -209,13 +203,13 @@ fn baseline_throughput_improves_with_in_flight() {
             )),
         )
     };
-    let seq = mk(&mut sim, 1);
+    let seq = mk(sim.as_mut(), 1);
     sim.post(SimDuration::ZERO, seq, Start);
     let t0 = sim.now();
     sim.run();
     let span_seq = sim.now().duration_since(t0);
 
-    let pipe = mk(&mut sim, 4);
+    let pipe = mk(sim.as_mut(), 4);
     sim.post(SimDuration::ZERO, pipe, Start);
     let t1 = sim.now();
     sim.run();

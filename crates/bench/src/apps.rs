@@ -1,9 +1,6 @@
 //! Runners for the application-level experiments (Figs 8–13, Fig 2, and
 //! the headline claims).
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use fractos_baselines::faceverify::{deploy_baseline, BaselineClient, Start};
 use fractos_baselines::pipeline::{FastStarDriver, StarDriver};
 use fractos_baselines::raw::{raw_send, Peer};
@@ -18,7 +15,9 @@ use fractos_services::faceverify::FvClient;
 use fractos_services::fs::{FsMode, FsService};
 use fractos_services::pipeline::{ChainDriver, PipelineStage};
 use fractos_services::{FvConfig, FACE_VERIFY_KERNEL};
-use fractos_sim::{Actor, Ctx, Msg, Sim, SimDuration, SimTime};
+use fractos_sim::{
+    runtime_from_env, Actor, Ctx, Msg, Runtime, RuntimeConfig, Shared, SimDuration, SimTime,
+};
 
 /// Result of one application run.
 #[derive(Debug, Clone, Copy)]
@@ -44,6 +43,15 @@ impl AppResult {
     pub fn throughput(&self) -> f64 {
         self.completed as f64 / (self.wall_us / 1e6)
     }
+}
+
+/// Runtime for a paper-testbed-shaped run, on the backend selected by
+/// `FRACTOS_RUNTIME` (single-threaded when unset).
+pub(crate) fn paper_runtime(seed: u64) -> Box<dyn Runtime> {
+    let topology = Topology::paper_testbed();
+    let params = NetParams::paper();
+    let config = RuntimeConfig::new(seed, topology.len(), params.conservative_lookahead());
+    runtime_from_env(&config)
 }
 
 /// Deployment flavour for the FractOS face-verification app.
@@ -161,23 +169,21 @@ pub fn baseline_faceverify_opts(
     in_flight: u64,
     store_results: bool,
 ) -> AppResult {
-    let mut sim = Sim::new(61);
-    let fabric = Rc::new(RefCell::new(Fabric::new(
-        Topology::paper_testbed(),
-        NetParams::paper(),
-    )));
-    let dep = deploy_baseline(&mut sim, &fabric, img, 256);
+    let mut sim = paper_runtime(61);
+    let fabric = Shared::new(Fabric::new(Topology::paper_testbed(), NetParams::paper()));
+    let dep = deploy_baseline(sim.as_mut(), &fabric, img, 256);
     if store_results {
         sim.with_actor::<fractos_baselines::faceverify::BaselineFrontend, _>(dep.frontend, |f| {
             f.store_results = true
         });
     }
-    let client = sim.add_actor(
+    let client = sim.add_actor_on(
+        2,
         "client",
         Box::new(BaselineClient::new(
             fractos_net::Endpoint::cpu(NodeId(2)),
             dep.frontend_peer,
-            Rc::clone(&fabric),
+            fabric.clone(),
             img,
             batch,
             requests,
@@ -684,25 +690,19 @@ pub fn gpu_service_rcuda(img: u64, batch: u64, requests: u64, in_flight: u64) ->
         }
     }
 
-    let mut sim = Sim::new(32);
-    let fabric = Rc::new(RefCell::new(Fabric::new(
-        Topology::paper_testbed(),
-        NetParams::paper(),
-    )));
+    let mut sim = paper_runtime(32);
+    let fabric = Shared::new(Fabric::new(Topology::paper_testbed(), NetParams::paper()));
     let server_ep = fractos_net::Endpoint::cpu(NodeId(1));
-    let server = sim.add_actor(
+    let server = sim.add_actor_on(
+        1,
         "rcuda",
         Box::new(
-            RcudaServer::new(
-                server_ep,
-                Rc::clone(&fabric),
-                GpuParams::default(),
-                64 << 20,
-            )
-            .with_kernel(FACE_VERIFY_KERNEL, fractos_services::FaceVerifyKernel),
+            RcudaServer::new(server_ep, fabric.clone(), GpuParams::default(), 64 << 20)
+                .with_kernel(FACE_VERIFY_KERNEL, fractos_services::FaceVerifyKernel),
         ),
     );
-    let driver = sim.add_actor(
+    let driver = sim.add_actor_on(
+        2,
         "driver",
         Box::new(Driver {
             client: RcudaClient::new(
@@ -711,7 +711,7 @@ pub fn gpu_service_rcuda(img: u64, batch: u64, requests: u64, in_flight: u64) ->
                     actor: server,
                     endpoint: server_ep,
                 },
-                Rc::clone(&fabric),
+                fabric.clone(),
             ),
             img,
             batch,
@@ -1029,7 +1029,7 @@ pub fn storage_baseline(io: u64, count: u64, in_flight: u64, write: bool, seq: b
     struct RawClient {
         endpoint: fractos_net::Endpoint,
         server: Peer,
-        fabric: Rc<RefCell<Fabric>>,
+        fabric: Shared<Fabric>,
         io: u64,
         count: u64,
         in_flight: u64,
@@ -1069,7 +1069,7 @@ pub fn storage_baseline(io: u64, count: u64, in_flight: u64, write: bool, seq: b
                 actor: ctx.self_id(),
                 endpoint: self.endpoint,
             };
-            let fabric = Rc::clone(&self.fabric);
+            let fabric = self.fabric.clone();
             let op = if self.write {
                 NfsOp::Write {
                     offset,
@@ -1119,35 +1119,35 @@ pub fn storage_baseline(io: u64, count: u64, in_flight: u64, write: bool, seq: b
         }
     }
 
-    let mut sim = Sim::new(42);
-    let fabric = Rc::new(RefCell::new(Fabric::new(
-        Topology::paper_testbed(),
-        NetParams::paper(),
-    )));
+    let mut sim = paper_runtime(42);
+    let fabric = Shared::new(Fabric::new(Topology::paper_testbed(), NetParams::paper()));
     // Target on node 0, kernel-FS server on node 1, client on node 2.
     let target_ep = fractos_net::Endpoint::cpu(NodeId(0));
-    let target = sim.add_actor(
+    let target = sim.add_actor_on(
+        0,
         "nvmeof",
         Box::new(NvmeOfTarget::new(
             target_ep,
-            Rc::clone(&fabric),
+            fabric.clone(),
             NvmeParams::default(),
             STORAGE_FILE,
         )),
     );
     let nfs_ep = fractos_net::Endpoint::cpu(NodeId(1));
-    let nfs = sim.add_actor(
+    let nfs = sim.add_actor_on(
+        1,
         "nfs",
         Box::new(NfsServer::new(
             nfs_ep,
-            Rc::clone(&fabric),
+            fabric.clone(),
             Peer {
                 actor: target,
                 endpoint: target_ep,
             },
         )),
     );
-    let client = sim.add_actor(
+    let client = sim.add_actor_on(
+        2,
         "client",
         Box::new(RawClient {
             endpoint: fractos_net::Endpoint::cpu(NodeId(2)),
@@ -1155,7 +1155,7 @@ pub fn storage_baseline(io: u64, count: u64, in_flight: u64, write: bool, seq: b
                 actor: nfs,
                 endpoint: nfs_ep,
             },
-            fabric: Rc::clone(&fabric),
+            fabric: fabric.clone(),
             io,
             count,
             in_flight: in_flight.max(1),

@@ -5,7 +5,7 @@ use fractos_core::prelude::*;
 use fractos_core::types::Syscall;
 use fractos_core::CtrlPlacement;
 use fractos_net::{Endpoint, Fabric, NetParams, Topology};
-use fractos_sim::{SimRng, SimTime};
+use fractos_sim::{Shared, SimRng, SimTime};
 
 use crate::scripts::{mean_gap_us, Script};
 
@@ -15,24 +15,21 @@ pub const ITERS: u64 = 32;
 /// Raw `ibv_rc_pingpong` loopback RTT (Table 3 rows 1–2), in µs.
 pub fn raw_loopback_rtt(server_on_snic: bool) -> f64 {
     use fractos_baselines::raw::{Peer, PingPongClient, PingPongServer, Start};
-    use std::cell::RefCell;
-    use std::rc::Rc;
 
-    let mut sim = fractos_sim::Sim::new(1);
-    let fabric = Rc::new(RefCell::new(Fabric::new(
-        Topology::paper_testbed(),
-        NetParams::paper(),
-    )));
+    let mut sim = crate::apps::paper_runtime(1);
+    let fabric = Shared::new(Fabric::new(Topology::paper_testbed(), NetParams::paper()));
     let server_ep = if server_on_snic {
         Endpoint::snic(NodeId(0))
     } else {
         Endpoint::cpu(NodeId(0))
     };
-    let server = sim.add_actor(
+    let server = sim.add_actor_on(
+        0,
         "pp-server",
-        Box::new(PingPongServer::new(server_ep, Rc::clone(&fabric))),
+        Box::new(PingPongServer::new(server_ep, fabric.clone())),
     );
-    let client = sim.add_actor(
+    let client = sim.add_actor_on(
+        0,
         "pp-client",
         Box::new(PingPongClient::new(
             Endpoint::cpu(NodeId(0)),
@@ -41,7 +38,7 @@ pub fn raw_loopback_rtt(server_on_snic: bool) -> f64 {
                 endpoint: server_ep,
             },
             ITERS,
-            Rc::clone(&fabric),
+            fabric.clone(),
         )),
     );
     sim.post(fractos_sim::SimDuration::ZERO, client, Start);
@@ -304,9 +301,7 @@ pub fn delegation_rtt(ncaps: usize, ctrl_on_snic: bool) -> f64 {
             }
             fos.kv_get("svc", move |s: &mut Script, res, fos| {
                 s.cids.push(res.cid());
-                let n = s.results.len(); // stash via results? no — capture
-                let _ = n;
-                setup(s, NCAPS.with(|c| *c.borrow()), fos);
+                setup(s, ncaps, fos);
             });
         })
         .with_handler(move |s, _req, fos| {
@@ -316,15 +311,10 @@ pub fn delegation_rtt(ncaps: usize, ctrl_on_snic: bool) -> f64 {
             }
         }),
     );
-    NCAPS.with(|c| *c.borrow_mut() = ncaps);
     tb.start_process(client);
     tb.run();
     let _ = server;
     tb.with_service::<Script, _>(client, |s| mean_gap_us(&s.stamps))
-}
-
-thread_local! {
-    static NCAPS: std::cell::RefCell<usize> = const { std::cell::RefCell::new(0) };
 }
 
 /// Total time to revoke `n` capabilities (Fig 7 right), in µs.
@@ -375,13 +365,11 @@ pub fn revoke_latency(n: usize, shared_tree: bool, ctrl_on_snic: bool) -> f64 {
                             },
                         );
                     }
-                    let left = NCAPS.with(|c| *c.borrow());
-                    mint(s, base, left, fos);
+                    mint(s, base, n, fos);
                 }
             });
         }),
     );
-    NCAPS.with(|c| *c.borrow_mut() = n);
     tb.start_process(owner);
     tb.run();
 

@@ -15,14 +15,14 @@ pub struct Script {
     /// Requests delivered to this Process.
     pub received: Vec<IncomingRequest>,
     #[allow(clippy::type_complexity)]
-    start: Option<Box<dyn FnOnce(&mut Script, &Fos<Script>)>>,
+    start: Option<Box<dyn FnOnce(&mut Script, &Fos<Script>) + Send>>,
     #[allow(clippy::type_complexity)]
-    on_req: Option<Box<dyn FnMut(&mut Script, IncomingRequest, &Fos<Script>)>>,
+    on_req: Option<Box<dyn FnMut(&mut Script, IncomingRequest, &Fos<Script>) + Send>>,
 }
 
 impl Script {
     /// A script that runs `f` once at start.
-    pub fn new(f: impl FnOnce(&mut Script, &Fos<Script>) + 'static) -> Self {
+    pub fn new(f: impl FnOnce(&mut Script, &Fos<Script>) + Send + 'static) -> Self {
         Script {
             results: Vec::new(),
             cids: Vec::new(),
@@ -36,7 +36,7 @@ impl Script {
     /// Adds a request handler (otherwise requests are just recorded).
     pub fn with_handler(
         mut self,
-        h: impl FnMut(&mut Script, IncomingRequest, &Fos<Script>) + 'static,
+        h: impl FnMut(&mut Script, IncomingRequest, &Fos<Script>) + Send + 'static,
     ) -> Self {
         self.on_req = Some(Box::new(h));
         self

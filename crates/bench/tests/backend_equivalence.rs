@@ -1,0 +1,222 @@
+//! Cross-backend equivalence harness.
+//!
+//! The sharded engine is allowed to interleave same-timestamp events
+//! differently from the single-threaded engine, but the *workload-visible*
+//! outcome must be identical: every per-link `(src, dst, class)`
+//! message/byte counter and every end-to-end payload (match verdicts) must
+//! agree bit-for-bit on the Fig 2 workloads — both the FractOS deployment
+//! and the centralized baseline. A separate test pins the single-threaded
+//! backend's full event trace across repeated runs, and a 4-node workload
+//! checks the sharded backend really fans out over more than one OS thread.
+
+use fractos_baselines::faceverify::{deploy_baseline, BaselineClient, Start};
+use fractos_baselines::raw::{Peer, PingPongClient, PingPongServer, Start as PingStart};
+use fractos_core::prelude::*;
+use fractos_net::stats::{FlowCounter, TrafficClass};
+use fractos_net::{Fabric, NetParams, NodeConfig, NodeId, Topology};
+use fractos_services::deploy::deploy_faceverify;
+use fractos_services::faceverify::FvClient;
+use fractos_services::FvConfig;
+use fractos_sim::{
+    build_runtime, Runtime, RuntimeConfig, RuntimeKind, ShardedSim, Shared, SimDuration,
+};
+
+const IMG: u64 = 4096;
+const BATCH: u64 = 8;
+const REQUESTS: u64 = 10;
+
+type Flows = Vec<((NodeId, NodeId, TrafficClass), FlowCounter)>;
+
+/// Runs the FractOS Fig 2 deployment on `kind`; returns the per-link
+/// traffic counters and the per-request match verdicts (the payload-derived
+/// outcome of each verification).
+fn run_fractos(kind: RuntimeKind) -> (Flows, Vec<bool>) {
+    let mut tb = Testbed::new_on(Topology::paper_testbed(), NetParams::paper(), 61, kind);
+    let ctrls = tb.controllers_per_node(false);
+    deploy_faceverify(&mut tb, &ctrls, FvConfig::default(), 256);
+    tb.reset_traffic();
+    let client = tb.add_process(
+        "client",
+        cpu(2),
+        ctrls[2],
+        FvClient::new(IMG, BATCH, REQUESTS, 2),
+    );
+    tb.start_process(client);
+    tb.run();
+    let verdicts = tb.with_service::<FvClient, _>(client, |c| {
+        assert_eq!(c.samples.len() as u64, REQUESTS);
+        c.samples.iter().map(|s| s.all_matched).collect::<Vec<_>>()
+    });
+    let flows = tb.traffic().flows().map(|(k, v)| (*k, *v)).collect();
+    (flows, verdicts)
+}
+
+/// Runs the centralized baseline on `kind`; same return shape.
+fn run_baseline(kind: RuntimeKind) -> (Flows, Vec<bool>) {
+    let topology = Topology::paper_testbed();
+    let params = NetParams::paper();
+    let config = Testbed::runtime_config(&topology, &params, 61);
+    let mut sim = build_runtime(kind, &config);
+    let fabric = Shared::new(Fabric::new(topology, params));
+    let dep = deploy_baseline(sim.as_mut(), &fabric, IMG, 256);
+    let client = sim.add_actor_on(
+        2,
+        "client",
+        Box::new(BaselineClient::new(
+            fractos_net::Endpoint::cpu(NodeId(2)),
+            dep.frontend_peer,
+            fabric.clone(),
+            IMG,
+            BATCH,
+            REQUESTS,
+            2,
+        )),
+    );
+    sim.post(SimDuration::ZERO, client, Start);
+    sim.run();
+    let verdicts = sim.with_actor::<BaselineClient, _>(client, |c| {
+        assert_eq!(c.samples.len() as u64, REQUESTS);
+        c.samples.iter().map(|s| s.all_matched).collect::<Vec<_>>()
+    });
+    let flows = fabric
+        .borrow()
+        .stats()
+        .flows()
+        .map(|(k, v)| (*k, *v))
+        .collect();
+    (flows, verdicts)
+}
+
+#[test]
+fn fig2_fractos_matches_across_backends() {
+    let (single_flows, single_verdicts) = run_fractos(RuntimeKind::SingleThreaded);
+    let (sharded_flows, sharded_verdicts) = run_fractos(RuntimeKind::Sharded);
+    assert!(!single_flows.is_empty(), "workload produced no traffic");
+    assert!(
+        single_verdicts.iter().all(|&m| m),
+        "payloads must verify on the reference backend"
+    );
+    assert_eq!(
+        single_flows, sharded_flows,
+        "per-link message/byte counters diverged across backends"
+    );
+    assert_eq!(
+        single_verdicts, sharded_verdicts,
+        "end-to-end payload verdicts diverged across backends"
+    );
+}
+
+#[test]
+fn fig2_baseline_matches_across_backends() {
+    let (single_flows, single_verdicts) = run_baseline(RuntimeKind::SingleThreaded);
+    let (sharded_flows, sharded_verdicts) = run_baseline(RuntimeKind::Sharded);
+    assert!(!single_flows.is_empty(), "workload produced no traffic");
+    assert!(
+        single_verdicts.iter().all(|&m| m),
+        "payloads must verify on the reference backend"
+    );
+    assert_eq!(
+        single_flows, sharded_flows,
+        "per-link message/byte counters diverged across backends"
+    );
+    assert_eq!(
+        single_verdicts, sharded_verdicts,
+        "end-to-end payload verdicts diverged across backends"
+    );
+}
+
+#[test]
+fn fig2_single_threaded_trace_is_reproducible() {
+    let run = || {
+        let mut tb = Testbed::new_on(
+            Topology::paper_testbed(),
+            NetParams::paper(),
+            61,
+            RuntimeKind::SingleThreaded,
+        );
+        tb.sim.enable_trace();
+        let ctrls = tb.controllers_per_node(false);
+        deploy_faceverify(&mut tb, &ctrls, FvConfig::default(), 256);
+        let client = tb.add_process(
+            "client",
+            cpu(2),
+            ctrls[2],
+            FvClient::new(IMG, BATCH, REQUESTS, 1),
+        );
+        tb.start_process(client);
+        tb.run();
+        (tb.sim.take_trace(), tb.sim.steps(), tb.now())
+    };
+    let (trace_a, steps_a, end_a) = run();
+    let (trace_b, steps_b, end_b) = run();
+    assert!(!trace_a.is_empty(), "tracing recorded nothing");
+    assert_eq!(steps_a, steps_b, "step counts diverged between equal seeds");
+    assert_eq!(end_a, end_b, "end times diverged between equal seeds");
+    assert_eq!(trace_a, trace_b, "traces diverged between equal seeds");
+}
+
+/// A 4-node workload must spread across more than one OS thread on the
+/// sharded backend. Prints a wall-clock note so CI logs show the cost of
+/// the parallel run.
+#[test]
+fn sharded_backend_uses_multiple_os_threads_on_four_nodes() {
+    let mut topology = Topology::new();
+    for name in ["n0", "n1", "n2", "n3"] {
+        topology.add_node(NodeConfig::cpu_only(name));
+    }
+    let params = NetParams::paper();
+    let config = RuntimeConfig::new(9, topology.len(), params.conservative_lookahead());
+    let mut sim = ShardedSim::new(&config);
+    assert!(sim.workers() >= 2, "expected at least two workers");
+    let fabric = Shared::new(Fabric::new(topology, params));
+
+    // A ring of cross-node ping-pong pairs (client on node i, server on
+    // node i+1), so every shard has deliveries in every lookahead window
+    // and both workers get work each round.
+    let mut clients = Vec::new();
+    for a in 0u32..4 {
+        let b = (a + 1) % 4;
+        let server_ep = fractos_net::Endpoint::cpu(NodeId(b));
+        let server = sim.add_actor_on(
+            b as usize,
+            &format!("server{a}to{b}"),
+            Box::new(PingPongServer::new(server_ep, fabric.clone())),
+        );
+        let client = sim.add_actor_on(
+            a as usize,
+            &format!("client{a}"),
+            Box::new(PingPongClient::new(
+                fractos_net::Endpoint::cpu(NodeId(a)),
+                Peer {
+                    actor: server,
+                    endpoint: server_ep,
+                },
+                200,
+                fabric.clone(),
+            )),
+        );
+        clients.push(client);
+    }
+    for &client in &clients {
+        sim.post(SimDuration::ZERO, client, PingStart);
+    }
+    let wall = std::time::Instant::now();
+    sim.run();
+    let wall = wall.elapsed();
+    for &client in &clients {
+        sim.with_actor::<PingPongClient, _>(client, |c| assert_eq!(c.latencies.len(), 200));
+    }
+    let peak = sim.metrics().counter("runtime.sharded.active_workers.peak");
+    eprintln!(
+        "sharded 4-node ping-pong: {} workers configured, {} active at peak, \
+         {} virtual events in {:.1} ms wall-clock",
+        sim.workers(),
+        peak,
+        sim.steps(),
+        wall.as_secs_f64() * 1e3,
+    );
+    assert!(
+        peak > 1,
+        "sharded backend never ran more than one OS thread concurrently"
+    );
+}

@@ -21,13 +21,11 @@
 //!   checked at access time — revoking memory invalidates its window at the
 //!   owner, so no delegation tracking is needed.
 
-use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
 
 use fractos_cap::{CapRef, CapSpace, Cid, ControllerAddr, MonitorEvent, ObjectTable, Watcher};
 use fractos_net::{ComputeDomain, Endpoint, Fabric, TrafficClass};
-use fractos_sim::{Actor, Ctx, Msg, SimDuration, SimTime};
+use fractos_sim::{Actor, Ctx, Msg, Shared, SimDuration, SimTime};
 
 use crate::directory::Directory;
 use crate::memstore::MemoryStore;
@@ -73,11 +71,12 @@ enum AckVal {
     Count(u64),
 }
 
-type PendingCont = Box<dyn FnOnce(&mut ControllerActor, Result<AckVal, FosError>, &mut Ctx<'_>)>;
+type PendingCont =
+    Box<dyn FnOnce(&mut ControllerActor, Result<AckVal, FosError>, &mut Ctx<'_>) + Send>;
 
 /// Continuation of a multi-capability delegation fan-in.
 type DelegateDone =
-    Box<dyn FnOnce(&mut ControllerActor, Result<Vec<CapArg>, FosError>, &mut Ctx<'_>)>;
+    Box<dyn FnOnce(&mut ControllerActor, Result<Vec<CapArg>, FosError>, &mut Ctx<'_>) + Send>;
 
 struct Pending {
     target: ControllerAddr,
@@ -99,9 +98,9 @@ pub struct ControllerActor {
     next_token: u64,
     kv: HashMap<String, CapArg>,
     busy_until: SimTime,
-    dir: Rc<RefCell<Directory>>,
-    fabric: Rc<RefCell<Fabric>>,
-    mem: Rc<RefCell<MemoryStore>>,
+    dir: Shared<Directory>,
+    fabric: Shared<Fabric>,
+    mem: Shared<MemoryStore>,
     dead: bool,
 }
 
@@ -113,9 +112,9 @@ impl ControllerActor {
         endpoint: Endpoint,
         domain: ComputeDomain,
         registry: ControllerAddr,
-        dir: Rc<RefCell<Directory>>,
-        fabric: Rc<RefCell<Fabric>>,
-        mem: Rc<RefCell<MemoryStore>>,
+        dir: Shared<Directory>,
+        fabric: Shared<Fabric>,
+        mem: Shared<MemoryStore>,
     ) -> Self {
         ControllerActor {
             addr,
@@ -549,8 +548,9 @@ impl ControllerActor {
     ) {
         let n = caps.len();
         // Shared fan-in state: result slots plus the final continuation.
-        type Done =
-            Box<dyn FnOnce(&mut ControllerActor, Result<Vec<CapArg>, FosError>, &mut Ctx<'_>)>;
+        type Done = Box<
+            dyn FnOnce(&mut ControllerActor, Result<Vec<CapArg>, FosError>, &mut Ctx<'_>) + Send,
+        >;
         struct FanIn {
             slots: Vec<Option<CapArg>>,
             outstanding: usize,
@@ -558,7 +558,7 @@ impl ControllerActor {
             done: Option<Done>,
         }
         impl FanIn {
-            fn settle(state: &Rc<RefCell<FanIn>>, this: &mut ControllerActor, ctx: &mut Ctx<'_>) {
+            fn settle(state: &Shared<FanIn>, this: &mut ControllerActor, ctx: &mut Ctx<'_>) {
                 let finished = {
                     let s = state.borrow();
                     s.outstanding == 0
@@ -582,12 +582,12 @@ impl ControllerActor {
             }
         }
 
-        let state = Rc::new(RefCell::new(FanIn {
+        let state = Shared::new(FanIn {
             slots: vec![None; n],
             outstanding: 0,
             failed: None,
             done: Some(done),
-        }));
+        });
 
         // First pass: resolve local delegations inline and launch remote
         // ones in parallel.
@@ -606,7 +606,7 @@ impl ControllerActor {
             }
             let owner = ca.cap.ctrl;
             state.borrow_mut().outstanding += 1;
-            let st = Rc::clone(&state);
+            let st = state.clone();
             let token = self.await_ack(
                 owner,
                 Box::new(move |this, res, ctx| {
@@ -1228,7 +1228,7 @@ impl ControllerActor {
         creator: ProcId,
         imms: Vec<Vec<u8>>,
         cap_args: Vec<CapArg>,
-        done: impl FnOnce(&mut Self, Result<CapArg, FosError>, &mut Ctx<'_>) + 'static,
+        done: impl FnOnce(&mut Self, Result<CapArg, FosError>, &mut Ctx<'_>) + Send + 'static,
     ) {
         if let Err(e) = self.table.check(base) {
             done(self, Err(e.into()), ctx);

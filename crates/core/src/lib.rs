@@ -79,7 +79,7 @@ pub mod wire_peer;
 pub mod prelude {
     pub use fractos_cap::{CapError, Cid, ControllerAddr, Perms};
     pub use fractos_net::{Endpoint, Location, NodeId};
-    pub use fractos_sim::{SimDuration, SimTime};
+    pub use fractos_sim::{Runtime, RuntimeExt, RuntimeKind, SimDuration, SimTime};
 
     pub use crate::controller::ControllerActor;
     pub use crate::process::{Fos, NullService, ProcessActor, Service};

@@ -9,13 +9,11 @@
 //! library for the same purpose (§4). Continuations receive `&mut S`, so
 //! services keep plain owned state without interior mutability.
 
-use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
-use std::rc::Rc;
 
 use fractos_cap::{Cid, Perms};
 use fractos_net::{Endpoint, TrafficClass};
-use fractos_sim::{Actor, Ctx, Msg, SimDuration, SimTime};
+use fractos_sim::{Actor, Ctx, Msg, Shared, SimDuration, SimTime};
 
 use crate::directory::Directory;
 use crate::memstore::MemoryStore;
@@ -25,8 +23,10 @@ use crate::types::{FosError, IncomingRequest, MonitorCb, ProcId, Syscall, Syscal
 /// Application logic of a FractOS Process (user service or device adaptor).
 ///
 /// All methods run inside the simulation; they must not block. Asynchrony is
-/// expressed by issuing syscalls with continuations through [`Fos`].
-pub trait Service: 'static {
+/// expressed by issuing syscalls with continuations through [`Fos`]. The
+/// `Send` bound lets runtime backends host the enclosing Process actor on a
+/// worker thread.
+pub trait Service: Send + 'static {
     /// Called once when the Process starts.
     fn on_start(&mut self, fos: &Fos<Self>)
     where
@@ -49,8 +49,8 @@ pub trait Service: 'static {
     }
 }
 
-type Cont<S> = Box<dyn FnOnce(&mut S, SyscallResult, &Fos<S>)>;
-type TimerCont<S> = Box<dyn FnOnce(&mut S, &Fos<S>)>;
+type Cont<S> = Box<dyn FnOnce(&mut S, SyscallResult, &Fos<S>) + Send>;
+type TimerCont<S> = Box<dyn FnOnce(&mut S, &Fos<S>) + Send>;
 
 enum Out {
     Syscall { token: u64, sc: Syscall },
@@ -68,20 +68,20 @@ struct FosInner<S> {
     outstanding: u32,
     window: u32,
     backlog: VecDeque<(u64, Syscall)>,
-    mem: Rc<RefCell<MemoryStore>>,
+    mem: Shared<MemoryStore>,
 }
 
 /// Handle through which a [`Service`] uses FractOS.
 ///
 /// Cheap to clone; all clones refer to the same Process.
 pub struct Fos<S> {
-    inner: Rc<RefCell<FosInner<S>>>,
+    inner: Shared<FosInner<S>>,
 }
 
 impl<S> Clone for Fos<S> {
     fn clone(&self) -> Self {
         Fos {
-            inner: Rc::clone(&self.inner),
+            inner: self.inner.clone(),
         }
     }
 }
@@ -104,7 +104,11 @@ impl<S: Service> Fos<S> {
     }
 
     /// Issues an asynchronous syscall; `k` runs when the reply arrives.
-    pub fn call(&self, sc: Syscall, k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + 'static) {
+    pub fn call(
+        &self,
+        sc: Syscall,
+        k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + Send + 'static,
+    ) {
         let mut inner = self.inner.borrow_mut();
         let token = inner.next_token;
         inner.next_token += 1;
@@ -128,10 +132,8 @@ impl<S: Service> Fos<S> {
     pub fn call_all(
         &self,
         calls: Vec<Syscall>,
-        k: impl FnOnce(&mut S, Vec<SyscallResult>, &Fos<S>) + 'static,
+        k: impl FnOnce(&mut S, Vec<SyscallResult>, &Fos<S>) + Send + 'static,
     ) {
-        use std::cell::RefCell as Cell;
-
         let n = calls.len();
         if n == 0 {
             // Degenerate join: complete via a null syscall so `k` still
@@ -143,15 +145,15 @@ impl<S: Service> Fos<S> {
             slots: Vec<Option<SyscallResult>>,
             left: usize,
             #[allow(clippy::type_complexity)]
-            k: Option<Box<dyn FnOnce(&mut S, Vec<SyscallResult>, &Fos<S>)>>,
+            k: Option<Box<dyn FnOnce(&mut S, Vec<SyscallResult>, &Fos<S>) + Send>>,
         }
-        let join = Rc::new(Cell::new(Join {
+        let join = Shared::new(Join {
             slots: vec![None; n],
             left: n,
             k: Some(Box::new(k)),
-        }));
+        });
         for (i, sc) in calls.into_iter().enumerate() {
-            let join = Rc::clone(&join);
+            let join = join.clone();
             self.call(sc, move |s, res, fos| {
                 let done = {
                     let mut j = join.borrow_mut();
@@ -178,7 +180,7 @@ impl<S: Service> Fos<S> {
 
     /// Arms a local timer; `k` runs after `delay` of virtual time. Used by
     /// device adaptors to model device service times.
-    pub fn sleep(&self, delay: SimDuration, k: impl FnOnce(&mut S, &Fos<S>) + 'static) {
+    pub fn sleep(&self, delay: SimDuration, k: impl FnOnce(&mut S, &Fos<S>) + Send + 'static) {
         let mut inner = self.inner.borrow_mut();
         let token = inner.next_token;
         inner.next_token += 1;
@@ -190,7 +192,7 @@ impl<S: Service> Fos<S> {
     pub fn mem_alloc(&self, size: u64) -> u64 {
         let inner = self.inner.borrow();
         let proc = inner.proc;
-        let mem = Rc::clone(&inner.mem);
+        let mem = inner.mem.clone();
         drop(inner);
         let addr = mem.borrow_mut().alloc(proc, size);
         addr
@@ -201,7 +203,7 @@ impl<S: Service> Fos<S> {
     pub fn mem_alloc_at(&self, size: u64, location: Endpoint) -> u64 {
         let inner = self.inner.borrow();
         let proc = inner.proc;
-        let mem = Rc::clone(&inner.mem);
+        let mem = inner.mem.clone();
         drop(inner);
         let addr = mem.borrow_mut().alloc_at(proc, size, location);
         addr
@@ -209,7 +211,11 @@ impl<S: Service> Fos<S> {
 
     /// `memory_stat`: resolve a Memory capability backed by this Process's
     /// own memory to `(addr, off, size)`.
-    pub fn memory_stat(&self, cid: Cid, k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + 'static) {
+    pub fn memory_stat(
+        &self,
+        cid: Cid,
+        k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + Send + 'static,
+    ) {
         self.call(Syscall::MemoryStat { cid }, k);
     }
 
@@ -231,7 +237,7 @@ impl<S: Service> Fos<S> {
     pub fn mem_write(&self, addr: u64, offset: u64, data: &[u8]) -> Result<(), FosError> {
         let inner = self.inner.borrow();
         let proc = inner.proc;
-        let mem = Rc::clone(&inner.mem);
+        let mem = inner.mem.clone();
         drop(inner);
         let r = mem.borrow_mut().write(proc, addr, offset, data);
         r
@@ -241,7 +247,7 @@ impl<S: Service> Fos<S> {
     pub fn mem_read(&self, addr: u64, offset: u64, len: u64) -> Result<Vec<u8>, FosError> {
         let inner = self.inner.borrow();
         let proc = inner.proc;
-        let mem = Rc::clone(&inner.mem);
+        let mem = inner.mem.clone();
         drop(inner);
         let r = mem.borrow().read(proc, addr, offset, len);
         r
@@ -256,7 +262,7 @@ impl<S: Service> Fos<S> {
         addr: u64,
         size: u64,
         perms: Perms,
-        k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + 'static,
+        k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + Send + 'static,
     ) {
         self.call(Syscall::MemoryCreate { addr, size, perms }, k);
     }
@@ -267,7 +273,7 @@ impl<S: Service> Fos<S> {
         &self,
         size: u64,
         perms: Perms,
-        k: impl FnOnce(&mut S, u64, Result<Cid, FosError>, &Fos<S>) + 'static,
+        k: impl FnOnce(&mut S, u64, Result<Cid, FosError>, &Fos<S>) + Send + 'static,
     ) {
         let addr = self.mem_alloc(size);
         self.memory_create(addr, size, perms, move |s, res, fos| {
@@ -283,7 +289,7 @@ impl<S: Service> Fos<S> {
         &self,
         src: Cid,
         dst: Cid,
-        k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + 'static,
+        k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + Send + 'static,
     ) {
         self.call(Syscall::MemoryCopy { src, dst }, k);
     }
@@ -294,7 +300,7 @@ impl<S: Service> Fos<S> {
         tag: u64,
         imms: Vec<Vec<u8>>,
         caps: Vec<Cid>,
-        k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + 'static,
+        k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + Send + 'static,
     ) {
         self.call(
             Syscall::RequestCreate {
@@ -313,7 +319,7 @@ impl<S: Service> Fos<S> {
         base: Cid,
         imms: Vec<Vec<u8>>,
         caps: Vec<Cid>,
-        k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + 'static,
+        k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + Send + 'static,
     ) {
         self.call(
             Syscall::RequestCreate {
@@ -330,7 +336,7 @@ impl<S: Service> Fos<S> {
     pub fn request_invoke(
         &self,
         cid: Cid,
-        k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + 'static,
+        k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + Send + 'static,
     ) {
         self.call(Syscall::RequestInvoke { cid }, k);
     }
@@ -340,7 +346,7 @@ impl<S: Service> Fos<S> {
         &self,
         key: &str,
         cid: Cid,
-        k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + 'static,
+        k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + Send + 'static,
     ) {
         self.call(
             Syscall::KvPut {
@@ -352,7 +358,11 @@ impl<S: Service> Fos<S> {
     }
 
     /// Look up a capability from the bootstrap registry.
-    pub fn kv_get(&self, key: &str, k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + 'static) {
+    pub fn kv_get(
+        &self,
+        key: &str,
+        k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + Send + 'static,
+    ) {
         self.call(
             Syscall::KvGet {
                 key: key.to_string(),
@@ -369,8 +379,8 @@ pub struct ProcessActor<S: Service> {
     fos: Fos<S>,
     proc: ProcId,
     endpoint: Endpoint,
-    dir: Rc<RefCell<Directory>>,
-    fabric: Rc<RefCell<fractos_net::Fabric>>,
+    dir: Shared<Directory>,
+    fabric: Shared<fractos_net::Fabric>,
     dead: bool,
 }
 
@@ -384,12 +394,12 @@ impl<S: Service> ProcessActor<S> {
         service: S,
         proc: ProcId,
         endpoint: Endpoint,
-        dir: Rc<RefCell<Directory>>,
-        fabric: Rc<RefCell<fractos_net::Fabric>>,
-        mem: Rc<RefCell<MemoryStore>>,
+        dir: Shared<Directory>,
+        fabric: Shared<fractos_net::Fabric>,
+        mem: Shared<MemoryStore>,
     ) -> Self {
         let fos = Fos {
-            inner: Rc::new(RefCell::new(FosInner {
+            inner: Shared::new(FosInner {
                 proc,
                 now: SimTime::ZERO,
                 next_token: 0,
@@ -400,7 +410,7 @@ impl<S: Service> ProcessActor<S> {
                 window: 256,
                 backlog: VecDeque::new(),
                 mem,
-            })),
+            }),
         };
         ProcessActor {
             service,
@@ -593,7 +603,7 @@ mod tests {
 
     #[test]
     fn fos_queues_syscalls_beyond_window() {
-        let mem = Rc::new(RefCell::new(MemoryStore::new()));
+        let mem = Shared::new(MemoryStore::new());
         let inner = FosInner::<NullService> {
             proc: ProcId(0),
             now: SimTime::ZERO,
@@ -607,7 +617,7 @@ mod tests {
             mem,
         };
         let fos = Fos {
-            inner: Rc::new(RefCell::new(inner)),
+            inner: Shared::new(inner),
         };
         for _ in 0..5 {
             fos.call(Syscall::Null, |_, _, _| {});
@@ -620,7 +630,7 @@ mod tests {
 
     #[test]
     fn mem_helpers_roundtrip() {
-        let mem = Rc::new(RefCell::new(MemoryStore::new()));
+        let mem = Shared::new(MemoryStore::new());
         let inner = FosInner::<NullService> {
             proc: ProcId(3),
             now: SimTime::ZERO,
@@ -634,7 +644,7 @@ mod tests {
             mem,
         };
         let fos = Fos {
-            inner: Rc::new(RefCell::new(inner)),
+            inner: Shared::new(inner),
         };
         let addr = fos.mem_alloc(16);
         fos.mem_write(addr, 2, b"xy").unwrap();

@@ -6,14 +6,14 @@
 //! Processes running [`Service`] logic, start everything, and inject
 //! Process/Controller/node failures (§3.6, §6).
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use fractos_cap::ControllerAddr;
 use fractos_net::{
     ComputeDomain, Endpoint, Fabric, Location, NetParams, NodeId, Topology, TrafficStats,
 };
-use fractos_sim::{ActorId, RunOutcome, Sim, SimDuration, SimTime};
+use fractos_sim::{
+    build_runtime, runtime_from_env, ActorId, RunOutcome, Runtime, RuntimeConfig, RuntimeExt,
+    RuntimeKind, Shared, SimDuration, SimTime,
+};
 
 use crate::controller::ControllerActor;
 use crate::directory::Directory;
@@ -49,15 +49,15 @@ impl CtrlPlacement {
 
 /// A running FractOS cluster in a simulator.
 pub struct Testbed {
-    /// The discrete-event simulator; drive it with [`Testbed::run`] or
-    /// directly.
-    pub sim: Sim,
+    /// The simulation runtime (single-threaded by default; select with
+    /// `FRACTOS_RUNTIME`); drive it with [`Testbed::run`] or directly.
+    pub sim: Box<dyn Runtime>,
     /// The shared fabric (latency model + traffic accounting).
-    pub fabric: Rc<RefCell<Fabric>>,
+    pub fabric: Shared<Fabric>,
     /// All simulated Process memory.
-    pub mem: Rc<RefCell<MemoryStore>>,
+    pub mem: Shared<MemoryStore>,
     /// The cluster directory.
-    pub dir: Rc<RefCell<Directory>>,
+    pub dir: Shared<Directory>,
     ctrls: Vec<(ControllerAddr, ActorId)>,
     procs: Vec<(ProcId, ActorId)>,
 }
@@ -67,14 +67,34 @@ pub struct Testbed {
 pub const WATCHDOG_DETECT: SimDuration = SimDuration::from_micros(500);
 
 impl Testbed {
-    /// Creates an empty testbed over `topology`.
+    /// Creates an empty testbed over `topology` on the runtime backend
+    /// selected by `FRACTOS_RUNTIME` (single-threaded when unset).
     pub fn new(topology: Topology, params: NetParams, seed: u64) -> Self {
-        let fabric = Rc::new(RefCell::new(Fabric::new(topology, params)));
+        let config = Self::runtime_config(&topology, &params, seed);
+        Self::with_runtime(topology, params, runtime_from_env(&config))
+    }
+
+    /// Creates an empty testbed on an explicitly chosen backend (the
+    /// cross-backend equivalence suite builds one of each).
+    pub fn new_on(topology: Topology, params: NetParams, seed: u64, kind: RuntimeKind) -> Self {
+        let config = Self::runtime_config(&topology, &params, seed);
+        Self::with_runtime(topology, params, build_runtime(kind, &config))
+    }
+
+    /// The [`RuntimeConfig`] a cluster of this shape needs: one shard per
+    /// node, lookahead from the fabric's minimum inter-node latency.
+    pub fn runtime_config(topology: &Topology, params: &NetParams, seed: u64) -> RuntimeConfig {
+        RuntimeConfig::new(seed, topology.len(), params.conservative_lookahead())
+    }
+
+    /// Creates an empty testbed over an already-built runtime.
+    pub fn with_runtime(topology: Topology, params: NetParams, sim: Box<dyn Runtime>) -> Self {
+        let fabric = Shared::new(Fabric::new(topology, params));
         Testbed {
-            sim: Sim::new(seed),
+            sim,
             fabric,
-            mem: Rc::new(RefCell::new(MemoryStore::new())),
-            dir: Rc::new(RefCell::new(Directory::new())),
+            mem: Shared::new(MemoryStore::new()),
+            dir: Shared::new(Directory::new()),
             ctrls: Vec::new(),
             procs: Vec::new(),
         }
@@ -104,13 +124,15 @@ impl Testbed {
             endpoint,
             placement.domain(),
             registry,
-            Rc::clone(&self.dir),
-            Rc::clone(&self.fabric),
-            Rc::clone(&self.mem),
+            self.dir.clone(),
+            self.fabric.clone(),
+            self.mem.clone(),
         );
-        let actor_id = self
-            .sim
-            .add_actor(format!("ctrl{}", addr.0), Box::new(actor));
+        let actor_id = self.sim.add_actor_on(
+            endpoint.node.0 as usize,
+            &format!("ctrl{}", addr.0),
+            Box::new(actor),
+        );
         self.dir.borrow_mut().set_ctrl_actor(addr, actor_id);
         self.ctrls.push((addr, actor_id));
         actor_id.index(); // silence unused in release
@@ -138,11 +160,13 @@ impl Testbed {
             service,
             proc,
             endpoint,
-            Rc::clone(&self.dir),
-            Rc::clone(&self.fabric),
-            Rc::clone(&self.mem),
+            self.dir.clone(),
+            self.fabric.clone(),
+            self.mem.clone(),
         );
-        let actor_id = self.sim.add_actor(name, Box::new(actor));
+        let actor_id = self
+            .sim
+            .add_actor_on(endpoint.node.0 as usize, name, Box::new(actor));
         self.dir.borrow_mut().set_proc_actor(proc, actor_id);
         let ctrl_actor = self.ctrl_actor(ctrl);
         self.sim
@@ -266,10 +290,12 @@ impl Testbed {
     pub fn start_watchdog(&mut self, node: NodeId) -> ActorId {
         let wd = crate::watchdog::WatchdogActor::new(
             Endpoint::cpu(node),
-            Rc::clone(&self.dir),
-            Rc::clone(&self.fabric),
+            self.dir.clone(),
+            self.fabric.clone(),
         );
-        let actor = self.sim.add_actor("watchdog", Box::new(wd));
+        let actor = self
+            .sim
+            .add_actor_on(node.0 as usize, "watchdog", Box::new(wd));
         self.sim
             .post(SimDuration::ZERO, actor, crate::watchdog::WatchdogMsg::Tick);
         actor

@@ -8,13 +8,11 @@
 //! then run the §3.6 failure translation (fail the dead Controller's
 //! Processes, fail pending operations, treat its capabilities as revoked).
 
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
 
 use fractos_cap::ControllerAddr;
 use fractos_net::{Endpoint, Fabric, TrafficClass};
-use fractos_sim::{Actor, ActorId, Ctx, Msg, SimDuration};
+use fractos_sim::{Actor, ActorId, Ctx, Msg, Shared, SimDuration};
 
 use crate::directory::Directory;
 use crate::messages::CtrlMsg;
@@ -42,8 +40,8 @@ pub enum WatchdogMsg {
 /// The watchdog actor.
 pub struct WatchdogActor {
     endpoint: Endpoint,
-    dir: Rc<RefCell<Directory>>,
-    fabric: Rc<RefCell<Fabric>>,
+    dir: Shared<Directory>,
+    fabric: Shared<Fabric>,
     period: SimDuration,
     missed_limit: u32,
     seq: u64,
@@ -57,11 +55,7 @@ pub struct WatchdogActor {
 
 impl WatchdogActor {
     /// Creates a watchdog at `endpoint` with default timing.
-    pub fn new(
-        endpoint: Endpoint,
-        dir: Rc<RefCell<Directory>>,
-        fabric: Rc<RefCell<Fabric>>,
-    ) -> Self {
+    pub fn new(endpoint: Endpoint, dir: Shared<Directory>, fabric: Shared<Fabric>) -> Self {
         WatchdogActor {
             endpoint,
             dir,

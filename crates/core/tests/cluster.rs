@@ -48,11 +48,11 @@ struct Script {
     results: Vec<SyscallResult>,
     cids: Vec<Cid>,
     #[allow(clippy::type_complexity)]
-    script: Option<Box<dyn FnOnce(&mut Script, &Fos<Script>)>>,
+    script: Option<Box<dyn FnOnce(&mut Script, &Fos<Script>) + Send>>,
 }
 
 impl Script {
-    fn new(f: impl FnOnce(&mut Script, &Fos<Script>) + 'static) -> Self {
+    fn new(f: impl FnOnce(&mut Script, &Fos<Script>) + Send + 'static) -> Self {
         Script {
             results: Vec::new(),
             cids: Vec::new(),

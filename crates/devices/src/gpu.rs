@@ -12,7 +12,7 @@
 //! single-context K80) produces the Fig 9 latency/throughput shapes.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use fractos_cap::{Cid, Perms};
 use fractos_core::prelude::*;
@@ -52,8 +52,9 @@ impl Default for GpuParams {
 }
 
 /// A GPU kernel: a pure function over bytes plus a work-item count used by
-/// the timing model.
-pub trait Kernel: 'static {
+/// the timing model. `Send + Sync` so adaptors holding kernels can live on
+/// runtime worker threads.
+pub trait Kernel: Send + Sync + 'static {
     /// Executes the kernel over `input` with integer `params`.
     fn run(&self, input: &[u8], params: &[u64]) -> Vec<u8>;
 
@@ -127,7 +128,7 @@ struct GpuContext {
 pub struct GpuAdaptor {
     device: GpuDevice,
     gpu_endpoint: Endpoint,
-    kernels: HashMap<u64, Rc<dyn Kernel>>,
+    kernels: HashMap<u64, Arc<dyn Kernel>>,
     contexts: HashMap<u64, GpuContext>,
     next_ctx: u64,
     /// Registry key prefix under which the init Request is published
@@ -158,7 +159,7 @@ impl GpuAdaptor {
     /// Registers a kernel under an id (simulating an installed module that
     /// `TAG_GPU_LOAD` makes invocable).
     pub fn with_kernel(mut self, id: u64, kernel: impl Kernel) -> Self {
-        self.kernels.insert(id, Rc::new(kernel));
+        self.kernels.insert(id, Arc::new(kernel));
         self
     }
 

@@ -283,7 +283,7 @@ impl BlockAdaptor {
     fn grab_staging(
         &mut self,
         fos: &Fos<Self>,
-        k: impl FnOnce(&mut Self, usize, &Fos<Self>) + 'static,
+        k: impl FnOnce(&mut Self, usize, &Fos<Self>) + Send + 'static,
     ) {
         if let Some(i) = self.staging.iter().position(|s| !s.busy) {
             self.staging[i].busy = true;

@@ -45,7 +45,7 @@ impl GpuClient {
     fn with_cont(
         fos: &Fos<Self>,
         phase: u64,
-        f: impl FnOnce(&mut Self, Cid, &Fos<Self>) + 'static,
+        f: impl FnOnce(&mut Self, Cid, &Fos<Self>) + Send + 'static,
     ) {
         fos.request_create_new(TAG_REPLY, vec![imm(phase)], vec![], move |s, res, fos| {
             f(s, res.cid(), fos);

@@ -64,13 +64,18 @@ impl LinkSchedule {
         let cutoff = t.saturating_sub(PRUNE_HORIZON_NS);
         self.intervals.retain(|&(_, end)| end >= cutoff);
 
+        let end_of = |start: u64| {
+            start
+                .checked_add(occ)
+                .expect("link reservation overflows the ns timeline")
+        };
         let mut start = t;
         let mut insert_at = self.intervals.len();
         for (i, &(s, e)) in self.intervals.iter().enumerate() {
             if e <= start {
                 continue;
             }
-            if s >= start + occ {
+            if s >= end_of(start) {
                 // The gap before interval `i` fits.
                 insert_at = i;
                 break;
@@ -79,7 +84,7 @@ impl LinkSchedule {
             start = e;
             insert_at = i + 1;
         }
-        self.intervals.insert(insert_at, (start, start + occ));
+        self.intervals.insert(insert_at, (start, end_of(start)));
         // Merge adjacent intervals opportunistically to keep the list flat.
         let mut i = insert_at;
         while i + 1 < self.intervals.len() && self.intervals[i].1 >= self.intervals[i + 1].0 {
@@ -164,8 +169,14 @@ impl Fabric {
             .validate(dst)
             .unwrap_or_else(|e| panic!("fabric send to invalid endpoint: {e}"));
 
-        let bytes = payload + WIRE_HEADER_BYTES;
+        let bytes = payload
+            .checked_add(WIRE_HEADER_BYTES)
+            .expect("message size overflows with the wire header");
         let (base, edges, medium) = self.route(src, dst);
+        debug_assert!(
+            src.node == dst.node || base >= self.params.conservative_lookahead(),
+            "inter-node base latency {base} under the conservative lookahead bound"
+        );
 
         // Cut-through through each traversed edge: the head of the message
         // proceeds as soon as an edge accepts it, but each edge stays
@@ -498,6 +509,41 @@ mod tests {
             0,
             TrafficClass::Control,
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows with the wire header")]
+    fn absurd_payload_overflows_loudly() {
+        let mut f = fabric();
+        let mut r = rng();
+        f.send(
+            SimTime::ZERO,
+            &mut r,
+            Endpoint::cpu(N0),
+            Endpoint::cpu(N1),
+            u64::MAX,
+            TrafficClass::Data,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "link reservation overflows")]
+    fn reservation_past_the_end_of_time_panics() {
+        let mut sched = LinkSchedule::default();
+        sched.reserve(u64::MAX - 10, 100);
+    }
+
+    #[test]
+    fn inter_node_latency_clears_the_lookahead_bound() {
+        let f = fabric();
+        let lookahead = f.params().conservative_lookahead();
+        for (a, b) in [
+            (Endpoint::cpu(N0), Endpoint::cpu(N1)),
+            (Endpoint::nvme(N0), Endpoint::gpu(N1)),
+            (Endpoint::snic(N1), Endpoint::cpu(N0)),
+        ] {
+            assert!(f.base_latency(a, b) >= lookahead);
+        }
     }
 
     #[test]

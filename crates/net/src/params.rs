@@ -154,6 +154,22 @@ impl NetParams {
         }
     }
 
+    /// Strict lower bound on the delay of any message between two *nodes*:
+    /// the remote one-way base latency scaled by the worst-case jitter
+    /// floor, minus one nanosecond to absorb rounding in the fabric's f64
+    /// delay math. Serialization, PCIe hops, congestion, and handling
+    /// costs only ever add to this bound.
+    ///
+    /// This is the conservative-lookahead window of the sharded runtime
+    /// backend: a cross-node message sent at `t` can never take effect
+    /// before `t + conservative_lookahead()`.
+    pub fn conservative_lookahead(&self) -> SimDuration {
+        let floor = self.remote_oneway * (1.0 - self.jitter_frac.clamp(0.0, 1.0));
+        floor
+            .saturating_sub(SimDuration::from_nanos(1))
+            .max(SimDuration::from_nanos(1))
+    }
+
     /// FractOS per-message handling cost in the given compute domain.
     pub fn fractos_handling(&self, domain: ComputeDomain) -> SimDuration {
         match domain {

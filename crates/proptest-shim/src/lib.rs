@@ -245,8 +245,9 @@ tuple_strategy! {
 impl Strategy for &'static str {
     type Value = String;
     fn generate(&self, rng: &mut TestRng) -> String {
-        let (alphabet, min, max) = parse_char_class_repeat(self)
-            .unwrap_or_else(|| panic!("unsupported regex strategy {self:?} (shim supports `[chars]{{m,n}}` only)"));
+        let (alphabet, min, max) = parse_char_class_repeat(self).unwrap_or_else(|| {
+            panic!("unsupported regex strategy {self:?} (shim supports `[chars]{{m,n}}` only)")
+        });
         let len = min + rng.below((max - min + 1) as u64) as usize;
         (0..len)
             .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
@@ -294,7 +295,7 @@ pub mod prop {
         use super::super::{Strategy, TestRng};
         use std::ops::Range;
 
-        /// Size specification for [`vec`]: an exact length or a range.
+        /// Size specification for [`vec()`](vec()): an exact length or a range.
         pub struct SizeRange {
             min: usize,
             max: usize, // inclusive
@@ -425,15 +426,9 @@ impl TestRunner {
     /// `case` receives the per-case RNG and returns `Err` (via
     /// `prop_assert!`) or panics on failure; either aborts the run with the
     /// case number so the failure reproduces under the same seed.
-    pub fn run(
-        &mut self,
-        name: &str,
-        case: impl Fn(&mut TestRng) -> Result<(), TestCaseError>,
-    ) {
+    pub fn run(&mut self, name: &str, case: impl Fn(&mut TestRng) -> Result<(), TestCaseError>) {
         for i in 0..self.config.cases {
-            let mut rng = TestRng::new(
-                self.seed ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F),
-            );
+            let mut rng = TestRng::new(self.seed ^ (i as u64).wrapping_mul(0xA076_1D64_78BD_642F));
             if let Err(e) = case(&mut rng) {
                 panic!(
                     "property {name} failed at case {i}/{} (seed {}): {}",

@@ -170,7 +170,7 @@ impl FsService {
         fos: &Fos<Self>,
         kind: u64,
         op: u64,
-        k: impl FnOnce(&mut Self, Cid, &Fos<Self>) + 'static,
+        k: impl FnOnce(&mut Self, Cid, &Fos<Self>) + Send + 'static,
     ) {
         fos.request_create_new(
             TAG_FS_INTERNAL,
@@ -188,7 +188,7 @@ impl FsService {
     fn grab_staging(
         &mut self,
         fos: &Fos<Self>,
-        k: impl FnOnce(&mut Self, usize, &Fos<Self>) + 'static,
+        k: impl FnOnce(&mut Self, usize, &Fos<Self>) + Send + 'static,
     ) {
         if let Some(i) = self.staging.iter().position(|s| !s.busy) {
             self.staging[i].busy = true;

@@ -45,13 +45,17 @@ impl fmt::Display for ActorId {
 }
 
 /// A dynamically typed simulation message.
-pub type Msg = Box<dyn Any>;
+///
+/// `Send` so the sharded backend can move cross-node messages between
+/// worker threads; plain-data payloads satisfy it automatically.
+pub type Msg = Box<dyn Any + Send>;
 
 /// An entity that handles timestamped messages.
 ///
 /// The `Any` supertrait allows harnesses to inspect concrete actor state
-/// after a run via [`Sim::with_actor`].
-pub trait Actor: Any {
+/// after a run via [`Sim::with_actor`]. `Send` lets runtime backends host
+/// actors on worker threads.
+pub trait Actor: Any + Send {
     /// Handles one message delivered at `ctx.now()`.
     fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_>);
 }
@@ -98,7 +102,29 @@ pub struct Ctx<'a> {
     stop: &'a mut bool,
 }
 
-impl Ctx<'_> {
+impl<'a> Ctx<'a> {
+    /// Assembles a context for one event delivery (runtime backends only).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        now: SimTime,
+        self_id: ActorId,
+        outbox: &'a mut Vec<(SimTime, ActorId, Msg)>,
+        rng: &'a mut SimRng,
+        metrics: &'a mut Metrics,
+        trace: &'a mut Option<Vec<TraceEntry>>,
+        stop: &'a mut bool,
+    ) -> Self {
+        Ctx {
+            now,
+            self_id,
+            outbox,
+            rng,
+            metrics,
+            trace,
+            stop,
+        }
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -110,7 +136,7 @@ impl Ctx<'_> {
     }
 
     /// Sends `msg` to `dst` after `delay`.
-    pub fn send_after(&mut self, delay: SimDuration, dst: ActorId, msg: impl Any) {
+    pub fn send_after(&mut self, delay: SimDuration, dst: ActorId, msg: impl Any + Send) {
         self.outbox.push((self.now + delay, dst, Box::new(msg)));
     }
 
@@ -121,12 +147,12 @@ impl Ctx<'_> {
 
     /// Sends `msg` to `dst` at the current instant (delivered after all
     /// already-queued same-time events).
-    pub fn send_now(&mut self, dst: ActorId, msg: impl Any) {
+    pub fn send_now(&mut self, dst: ActorId, msg: impl Any + Send) {
         self.send_after(SimDuration::ZERO, dst, msg);
     }
 
     /// Schedules a message back to the current actor after `delay`.
-    pub fn schedule_self(&mut self, delay: SimDuration, msg: impl Any) {
+    pub fn schedule_self(&mut self, delay: SimDuration, msg: impl Any + Send) {
         let id = self.self_id;
         self.send_after(delay, id, msg);
     }
@@ -267,7 +293,7 @@ impl Sim {
     }
 
     /// Enqueues a message to `dst` at `now + delay` from outside any actor.
-    pub fn post(&mut self, delay: SimDuration, dst: ActorId, msg: impl Any) {
+    pub fn post(&mut self, delay: SimDuration, dst: ActorId, msg: impl Any + Send) {
         self.post_boxed(delay, dst, Box::new(msg));
     }
 
@@ -398,6 +424,16 @@ impl Sim {
             .downcast_mut::<T>()
             .unwrap_or_else(|| panic!("actor {id} is not the requested type"));
         f(t)
+    }
+
+    /// Invokes `f` with the actor's `dyn Any` form (object-safe counterpart
+    /// of [`Sim::with_actor`], used by the [`Runtime`](crate::Runtime)
+    /// impl).
+    pub fn with_actor_any(&mut self, id: ActorId, f: &mut dyn FnMut(&mut dyn Any)) {
+        let actor = self.actors[id.index()]
+            .as_mut()
+            .unwrap_or_else(|| panic!("missing {id}"));
+        f(actor.as_mut());
     }
 }
 

@@ -30,9 +30,17 @@
 pub mod engine;
 pub mod metrics;
 pub mod rng;
+pub mod runtime;
+pub mod sharded;
+pub mod shared;
 pub mod time;
 
 pub use engine::{Actor, ActorId, Ctx, Msg, RunOutcome, Sim, TraceEntry};
 pub use metrics::{Histogram, Metrics};
 pub use rng::SimRng;
+pub use runtime::{
+    build_runtime, runtime_from_env, Runtime, RuntimeConfig, RuntimeExt, RuntimeKind,
+};
+pub use sharded::ShardedSim;
+pub use shared::Shared;
 pub use time::{SimDuration, SimTime};

@@ -180,6 +180,22 @@ impl Metrics {
         self.counters.clear();
         self.histograms.clear();
     }
+
+    /// Folds another registry into this one: counters add, histogram
+    /// samples append. The sharded engine merges per-shard registries in
+    /// shard order at the end of each run, so merged output is
+    /// deterministic for a fixed shard layout.
+    pub fn merge_from(&mut self, other: &Metrics) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, hist) in &other.histograms {
+            let dst = self.histograms.entry(name.clone()).or_default();
+            for s in hist.samples() {
+                dst.record(*s);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

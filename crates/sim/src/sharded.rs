@@ -1,0 +1,644 @@
+//! Parallel sharded simulation engine.
+//!
+//! One shard per simulated node, synchronized by *conservative lookahead*
+//! windows (classic conservative parallel discrete-event simulation à la
+//! Chandy–Misra, organized as bulk-synchronous rounds):
+//!
+//! 1. A round starts by finding `T_min`, the earliest pending event across
+//!    all shards. The round's horizon is `T_min + lookahead`.
+//! 2. Every shard processes its own events with `time < horizon` in
+//!    `(time, seq)` order, in parallel on worker threads. Intra-shard sends
+//!    enqueue locally; cross-shard sends are buffered.
+//! 3. At the barrier, buffered cross-shard messages are exchanged in shard
+//!    order (deterministic) and the next round begins.
+//!
+//! This is safe iff every cross-shard message is delayed by at least
+//! `lookahead`: a message sent at `t < horizon` then arrives at
+//! `t + delay ≥ T_min + lookahead = horizon`, i.e. never inside the window
+//! a peer shard is concurrently processing. FractOS guarantees the bound
+//! structurally — actors on different nodes only communicate through the
+//! fabric model, and every inter-node fabric delay is at least the remote
+//! one-way latency (minus the jitter floor), from which the harness derives
+//! `lookahead`. The engine asserts the bound on every exchanged message, so
+//! a violating workload fails loudly instead of simulating nonsense.
+//!
+//! Determinism: for a fixed seed, shard layout, and worker count the engine
+//! is deterministic — each shard owns a forked RNG stream and processes its
+//! events in a total order, and the barrier exchange is ordered by shard
+//! index. Event *interleavings across shards* differ from the
+//! single-threaded engine, so order-sensitive observables (latency samples,
+//! link-schedule reservations) may differ between backends; order-free
+//! observables (per-link message/byte counters, end-to-end payloads) match.
+//! The cross-backend equivalence suite pins exactly that contract.
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::engine::{Actor, ActorId, Ctx, Msg, RunOutcome, TraceEntry};
+use crate::metrics::Metrics;
+use crate::rng::SimRng;
+use crate::runtime::{Runtime, RuntimeConfig};
+use crate::time::{SimDuration, SimTime};
+
+struct Event {
+    time: SimTime,
+    seq: u64,
+    /// Index into the owning shard's actor slots.
+    local: u32,
+    /// Global id (for error messages and traces).
+    dst: ActorId,
+    msg: Msg,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: invert so the earliest (time, seq) pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Where a global actor lives.
+#[derive(Clone, Copy)]
+struct Loc {
+    shard: u32,
+    local: u32,
+}
+
+struct Shard {
+    queue: BinaryHeap<Event>,
+    actors: Vec<Option<Box<dyn Actor>>>,
+    rng: SimRng,
+    metrics: Metrics,
+    trace: Option<Vec<TraceEntry>>,
+    now: SimTime,
+    seq: u64,
+    stop: bool,
+    /// Events processed in the current round.
+    processed: u64,
+    /// Cross-shard sends buffered until the barrier.
+    cross: Vec<(SimTime, ActorId, Msg)>,
+}
+
+impl Shard {
+    /// Processes all local events strictly before `horizon`; returns when
+    /// the window is exhausted or an actor requested a stop.
+    fn run_window(&mut self, horizon: SimTime, locs: &[Loc], my_index: u32, budget: u64) {
+        while self.processed < budget && !self.stop {
+            let Some(head) = self.queue.peek() else { break };
+            if head.time >= horizon {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(ev.time >= self.now, "shard queue went back in time");
+            self.now = ev.time;
+            self.processed += 1;
+
+            let mut actor = self.actors[ev.local as usize]
+                .take()
+                .unwrap_or_else(|| panic!("re-entrant or missing {}", ev.dst));
+            let mut outbox = Vec::new();
+            {
+                let mut ctx = Ctx::new(
+                    self.now,
+                    ev.dst,
+                    &mut outbox,
+                    &mut self.rng,
+                    &mut self.metrics,
+                    &mut self.trace,
+                    &mut self.stop,
+                );
+                actor.handle(ev.msg, &mut ctx);
+            }
+            self.actors[ev.local as usize] = Some(actor);
+            for (time, dst, msg) in outbox {
+                let loc = locs
+                    .get(dst.index())
+                    .unwrap_or_else(|| panic!("send to unregistered {dst}"));
+                if loc.shard == my_index {
+                    self.push(time, *loc, dst, msg);
+                } else {
+                    self.cross.push((time, dst, msg));
+                }
+            }
+        }
+    }
+
+    fn push(&mut self, time: SimTime, loc: Loc, dst: ActorId, msg: Msg) {
+        self.queue.push(Event {
+            time,
+            seq: self.seq,
+            local: loc.local,
+            dst,
+            msg,
+        });
+        self.seq += 1;
+    }
+
+    fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|e| e.time)
+    }
+}
+
+/// The parallel sharded simulation engine.
+///
+/// See the [module docs](self) for the synchronization scheme. Constructed
+/// through [`RuntimeConfig`] (usually via
+/// [`build_runtime`](crate::runtime::build_runtime)); actors are placed on
+/// shards by the `node` argument of
+/// [`Runtime::add_actor_on`].
+pub struct ShardedSim {
+    shards: Vec<Shard>,
+    locs: Vec<Loc>,
+    names: Vec<String>,
+    lookahead: SimDuration,
+    workers: usize,
+    /// Accumulated metrics: per-shard registries merged after every run,
+    /// plus anything the harness records between runs.
+    metrics: Metrics,
+    now: SimTime,
+    steps: u64,
+    trace_enabled: bool,
+}
+
+impl ShardedSim {
+    /// Builds an engine with one shard per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.nodes` is zero or `config.lookahead` is zero — a
+    /// conservative engine cannot make progress without a positive
+    /// synchronization window.
+    pub fn new(config: &RuntimeConfig) -> Self {
+        assert!(config.nodes > 0, "sharded runtime needs at least one node");
+        assert!(
+            config.lookahead > SimDuration::ZERO,
+            "sharded runtime needs a positive lookahead window"
+        );
+        let mut root = SimRng::new(config.seed);
+        let shards = (0..config.nodes)
+            .map(|_| Shard {
+                queue: BinaryHeap::new(),
+                actors: Vec::new(),
+                rng: root.fork(),
+                metrics: Metrics::new(),
+                trace: None,
+                now: SimTime::ZERO,
+                seq: 0,
+                stop: false,
+                processed: 0,
+                cross: Vec::new(),
+            })
+            .collect::<Vec<_>>();
+        let workers = resolve_workers(config, shards.len());
+        ShardedSim {
+            shards,
+            locs: Vec::new(),
+            names: Vec::new(),
+            lookahead: config.lookahead,
+            workers,
+            metrics: Metrics::new(),
+            now: SimTime::ZERO,
+            steps: 0,
+            trace_enabled: false,
+        }
+    }
+
+    /// Number of worker threads a run will use.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Number of shards (= simulated nodes).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn register(&mut self, node: usize, name: &str, actor: Box<dyn Actor>) -> ActorId {
+        assert!(
+            node < self.shards.len(),
+            "node {node} out of range for {} shards",
+            self.shards.len()
+        );
+        let id = ActorId::from_raw(u32::try_from(self.locs.len()).expect("too many actors"));
+        let shard = &mut self.shards[node];
+        let local = u32::try_from(shard.actors.len()).expect("too many actors on one shard");
+        shard.actors.push(Some(actor));
+        self.locs.push(Loc {
+            shard: node as u32,
+            local,
+        });
+        self.names.push(name.to_string());
+        id
+    }
+
+    /// Drives BSP rounds until drained, stopped, out of budget, or past the
+    /// deadline.
+    fn run_rounds(&mut self, max_steps: u64, deadline: Option<SimTime>) -> RunOutcome {
+        for s in &mut self.shards {
+            s.stop = false;
+            s.processed = 0;
+            if self.trace_enabled && s.trace.is_none() {
+                s.trace = Some(Vec::new());
+            }
+        }
+        let start_steps = self.steps;
+        let outcome = loop {
+            let t_min = self.shards.iter().filter_map(Shard::next_event_time).min();
+            let Some(t_min) = t_min else {
+                break RunOutcome::Drained;
+            };
+            if let Some(d) = deadline {
+                if t_min > d {
+                    break RunOutcome::LimitReached;
+                }
+            }
+            let done = self.steps.saturating_sub(start_steps);
+            if done >= max_steps {
+                break RunOutcome::LimitReached;
+            }
+            let budget = max_steps - done;
+            // Horizon is exclusive; cap it one nanosecond past an inclusive
+            // deadline.
+            let mut horizon = t_min.saturating_add(self.lookahead);
+            if let Some(d) = deadline {
+                horizon = horizon.min(d.saturating_add(SimDuration::from_nanos(1)));
+            }
+
+            self.run_round(horizon, budget);
+
+            // Deterministic exchange: shards in index order, each shard's
+            // sends in production order.
+            let mut moved = Vec::new();
+            for s in &mut self.shards {
+                self.now = self.now.max(s.now);
+                self.steps += s.processed;
+                s.processed = 0;
+                moved.append(&mut s.cross);
+            }
+            for (time, dst, msg) in moved {
+                assert!(
+                    time >= horizon,
+                    "lookahead violation: cross-shard message for {dst} at {time} \
+                     arrives inside the window ending at {horizon} — the \
+                     configured lookahead ({}) is not a lower bound on \
+                     cross-node delay",
+                    self.lookahead
+                );
+                let loc = self.locs[dst.index()];
+                self.shards[loc.shard as usize].push(time, loc, dst, msg);
+            }
+            if self.shards.iter().any(|s| s.stop) {
+                break RunOutcome::Stopped;
+            }
+        };
+        let mut merged = Metrics::new();
+        for s in &mut self.shards {
+            merged.merge_from(&std::mem::take(&mut s.metrics));
+        }
+        self.metrics.merge_from(&merged);
+        outcome
+    }
+
+    /// Runs one window across all shards on the worker pool.
+    fn run_round(&mut self, horizon: SimTime, budget: u64) {
+        let locs = &self.locs;
+        let n = self.shards.len();
+        if self.workers <= 1 || n <= 1 {
+            for (i, s) in self.shards.iter_mut().enumerate() {
+                s.run_window(horizon, locs, i as u32, budget);
+            }
+            return;
+        }
+        let slots: Vec<Mutex<&mut Shard>> = self.shards.iter_mut().map(Mutex::new).collect();
+        let workers = self.workers.min(n);
+        let active = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let slots = &slots;
+                let active = &active;
+                scope.spawn(move || {
+                    let mut did_work = false;
+                    for (i, slot) in slots.iter().enumerate() {
+                        if i % workers != w {
+                            continue;
+                        }
+                        let mut shard = slot.lock().expect("shard mutex poisoned");
+                        shard.run_window(horizon, locs, i as u32, budget);
+                        did_work |= shard.processed > 0;
+                    }
+                    if did_work {
+                        active.fetch_or(1 << w, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        let active_count = active.load(Ordering::Relaxed).count_ones() as u64;
+        if active_count > 0 {
+            // Track peak concurrency so tests (and users) can verify the
+            // backend actually fans out over OS threads.
+            let peak = self.metrics.counter("runtime.sharded.active_workers.peak");
+            if active_count > peak {
+                self.metrics
+                    .add("runtime.sharded.active_workers.peak", active_count - peak);
+            }
+        }
+    }
+}
+
+/// Picks the worker count: explicit config wins, then `FRACTOS_WORKERS`,
+/// then `min(available cores, shards)` — floored at two threads whenever
+/// there is more than one shard, so parallel code paths are exercised even
+/// on single-core hosts (threads then interleave on one core).
+fn resolve_workers(config: &RuntimeConfig, shards: usize) -> usize {
+    let configured = config.workers.or_else(|| {
+        std::env::var("FRACTOS_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+    });
+    let workers = configured.unwrap_or_else(|| {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        cores.min(shards).max(if shards > 1 { 2 } else { 1 })
+    });
+    workers.clamp(1, shards.max(1))
+}
+
+impl Runtime for ShardedSim {
+    fn add_actor(&mut self, name: &str, actor: Box<dyn Actor>) -> ActorId {
+        self.register(0, name, actor)
+    }
+
+    fn add_actor_on(&mut self, node: usize, name: &str, actor: Box<dyn Actor>) -> ActorId {
+        self.register(node, name, actor)
+    }
+
+    fn post_boxed(&mut self, delay: SimDuration, dst: ActorId, msg: Msg) {
+        let loc = *self
+            .locs
+            .get(dst.index())
+            .unwrap_or_else(|| panic!("post to unregistered {dst}"));
+        let time = self.now + delay;
+        self.shards[loc.shard as usize].push(time, loc, dst, msg);
+    }
+
+    fn run(&mut self) -> RunOutcome {
+        self.run_rounds(u64::MAX, None)
+    }
+
+    fn run_with_limit(&mut self, max_steps: u64) -> RunOutcome {
+        self.run_rounds(max_steps, None)
+    }
+
+    fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        self.run_rounds(u64::MAX, Some(deadline))
+    }
+
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn pending(&self) -> usize {
+        self.shards.iter().map(|s| s.queue.len()).sum()
+    }
+
+    fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    fn actor_name(&self, id: ActorId) -> &str {
+        &self.names[id.index()]
+    }
+
+    fn actor_count(&self) -> usize {
+        self.locs.len()
+    }
+
+    fn enable_trace(&mut self) {
+        self.trace_enabled = true;
+        for s in &mut self.shards {
+            if s.trace.is_none() {
+                s.trace = Some(Vec::new());
+            }
+        }
+    }
+
+    fn take_trace(&mut self) -> Vec<TraceEntry> {
+        let mut all = Vec::new();
+        for s in &mut self.shards {
+            if let Some(t) = s.trace.as_mut() {
+                all.append(t);
+            }
+        }
+        // No global total order exists across shards; sort by (time, actor)
+        // for a stable, layout-deterministic view.
+        all.sort_by(|a, b| (a.time, a.actor, &a.label).cmp(&(b.time, b.actor, &b.label)));
+        all
+    }
+
+    fn with_actor_any(&mut self, id: ActorId, f: &mut dyn FnMut(&mut dyn std::any::Any)) {
+        let loc = self.locs[id.index()];
+        let actor = self.shards[loc.shard as usize].actors[loc.local as usize]
+            .as_mut()
+            .unwrap_or_else(|| panic!("missing {id}"));
+        f(actor.as_mut());
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "sharded"
+    }
+}
+
+impl std::fmt::Debug for ShardedSim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSim")
+            .field("shards", &self.shards.len())
+            .field("workers", &self.workers)
+            .field("now", &self.now)
+            .field("actors", &self.locs.len())
+            .field("pending", &self.pending())
+            .field("steps", &self.steps)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::RuntimeExt;
+
+    const LOOKAHEAD: SimDuration = SimDuration::from_micros(2);
+
+    fn config(seed: u64, nodes: usize) -> RuntimeConfig {
+        let mut c = RuntimeConfig::new(seed, nodes, LOOKAHEAD);
+        c.workers = Some(2);
+        c
+    }
+
+    /// Sends `remaining` pings to a peer with at-least-lookahead delay.
+    struct Pinger {
+        peer: Option<ActorId>,
+        received: Vec<(SimTime, u32)>,
+    }
+
+    impl Actor for Pinger {
+        fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+            let v = *msg.downcast::<u32>().expect("u32 ping");
+            self.received.push((ctx.now(), v));
+            if let (Some(peer), true) = (self.peer, v > 0) {
+                ctx.send_after(LOOKAHEAD, peer, v - 1);
+            }
+        }
+    }
+
+    fn pinger() -> Box<Pinger> {
+        Box::new(Pinger {
+            peer: None,
+            received: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn cross_shard_ping_pong_drains() {
+        let mut rt = ShardedSim::new(&config(1, 2));
+        let a = rt.add_actor_on(0, "a", pinger());
+        let b = rt.add_actor_on(1, "b", pinger());
+        rt.with_actor::<Pinger, _>(a, |p| p.peer = Some(b));
+        rt.with_actor::<Pinger, _>(b, |p| p.peer = Some(a));
+        rt.post(SimDuration::ZERO, a, 10u32);
+        assert_eq!(rt.run(), RunOutcome::Drained);
+        assert_eq!(rt.steps(), 11);
+        let a_seen = rt.with_actor::<Pinger, _>(a, |p| p.received.clone());
+        let b_seen = rt.with_actor::<Pinger, _>(b, |p| p.received.clone());
+        assert_eq!(
+            a_seen.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            [10, 8, 6, 4, 2, 0]
+        );
+        assert_eq!(
+            b_seen.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            [9, 7, 5, 3, 1]
+        );
+    }
+
+    #[test]
+    fn same_seed_same_behavior() {
+        let run = || {
+            let mut rt = ShardedSim::new(&config(99, 3));
+            let ids: Vec<_> = (0..3).map(|n| rt.add_actor_on(n, "p", pinger())).collect();
+            for (i, id) in ids.iter().enumerate() {
+                let peer = ids[(i + 1) % ids.len()];
+                rt.with_actor::<Pinger, _>(*id, |p| p.peer = Some(peer));
+            }
+            rt.post(SimDuration::ZERO, ids[0], 20u32);
+            rt.run();
+            let mut log = Vec::new();
+            for id in ids {
+                rt.with_actor::<Pinger, _>(id, |p| log.push(p.received.clone()));
+            }
+            (rt.steps(), rt.now(), log)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut rt = ShardedSim::new(&config(5, 2));
+        let a = rt.add_actor_on(0, "a", pinger());
+        rt.post(SimDuration::from_micros(1), a, 0u32);
+        rt.post(SimDuration::from_micros(100), a, 0u32);
+        assert_eq!(
+            rt.run_until(SimTime::from_nanos(50_000)),
+            RunOutcome::LimitReached
+        );
+        assert_eq!(rt.pending(), 1);
+        assert_eq!(rt.steps(), 1);
+    }
+
+    #[test]
+    fn stop_halts_the_engine() {
+        struct Stopper;
+        impl Actor for Stopper {
+            fn handle(&mut self, _msg: Msg, ctx: &mut Ctx<'_>) {
+                ctx.stop();
+            }
+        }
+        let mut rt = ShardedSim::new(&config(5, 2));
+        let a = rt.add_actor_on(0, "stop", Box::new(Stopper));
+        rt.post(SimDuration::ZERO, a, 0u32);
+        rt.post(SimDuration::from_secs(1), a, 0u32);
+        assert_eq!(rt.run(), RunOutcome::Stopped);
+        assert_eq!(rt.pending(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead violation")]
+    fn undelayed_cross_shard_send_is_rejected() {
+        struct Rogue {
+            peer: ActorId,
+        }
+        impl Actor for Rogue {
+            fn handle(&mut self, _msg: Msg, ctx: &mut Ctx<'_>) {
+                let peer = self.peer;
+                ctx.send_now(peer, 0u32);
+            }
+        }
+        let mut rt = ShardedSim::new(&config(5, 2));
+        let sink = rt.add_actor_on(1, "sink", pinger());
+        let rogue = rt.add_actor_on(0, "rogue", Box::new(Rogue { peer: sink }));
+        rt.post(SimDuration::ZERO, rogue, 0u32);
+        rt.run();
+    }
+
+    #[test]
+    fn metrics_merge_across_shards() {
+        struct Counting;
+        impl Actor for Counting {
+            fn handle(&mut self, _msg: Msg, ctx: &mut Ctx<'_>) {
+                ctx.metrics().incr("hits");
+                ctx.metrics().sample("lat", 1.5);
+            }
+        }
+        let mut rt = ShardedSim::new(&config(5, 2));
+        let a = rt.add_actor_on(0, "a", Box::new(Counting));
+        let b = rt.add_actor_on(1, "b", Box::new(Counting));
+        rt.post(SimDuration::ZERO, a, 0u32);
+        rt.post(SimDuration::ZERO, b, 0u32);
+        rt.run();
+        assert_eq!(rt.metrics().counter("hits"), 2);
+        assert_eq!(rt.metrics().histogram("lat").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn forced_single_worker_still_correct() {
+        let mut cfg = config(7, 2);
+        cfg.workers = Some(1);
+        let mut rt = ShardedSim::new(&cfg);
+        let a = rt.add_actor_on(0, "a", pinger());
+        let b = rt.add_actor_on(1, "b", pinger());
+        rt.with_actor::<Pinger, _>(a, |p| p.peer = Some(b));
+        rt.with_actor::<Pinger, _>(b, |p| p.peer = Some(a));
+        rt.post(SimDuration::ZERO, a, 6u32);
+        assert_eq!(rt.run(), RunOutcome::Drained);
+        assert_eq!(rt.steps(), 7);
+    }
+}

@@ -1,0 +1,114 @@
+//! Thread-safe shared state for simulation components.
+//!
+//! Actors share substrate state — the fabric model, the cluster directory,
+//! the memory store — through [`Shared`] handles. The wrapper is a thin
+//! `Arc<Mutex<T>>` with the `borrow`/`borrow_mut` vocabulary of `RefCell`,
+//! which the codebase used before the parallel sharded backend existed:
+//! the single-threaded engine never contends, so the uncontended-lock fast
+//! path costs about as much as `RefCell` bookkeeping did, and the same
+//! actor code runs unmodified on the multi-threaded backend.
+//!
+//! Lock discipline: guards are held for single statements or short blocks,
+//! never across a send to another actor, and nested guards of the *same*
+//! handle deadlock (unlike `RefCell`, which allowed shared re-borrows) —
+//! callers copy what they need out of a guard before taking another.
+
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A cloneable, thread-safe, mutably borrowable handle to `T`.
+pub struct Shared<T> {
+    inner: Arc<Mutex<T>>,
+}
+
+impl<T> Shared<T> {
+    /// Wraps `value` in a fresh shared handle.
+    pub fn new(value: T) -> Self {
+        Shared {
+            inner: Arc::new(Mutex::new(value)),
+        }
+    }
+
+    /// Locks the value for shared-style access.
+    ///
+    /// The name mirrors `RefCell::borrow` for call-site compatibility; the
+    /// guard is exclusive either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder panicked while holding the lock.
+    pub fn borrow(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().expect("shared state poisoned")
+    }
+
+    /// Locks the value for mutable access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a previous holder panicked while holding the lock.
+    pub fn borrow_mut(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().expect("shared state poisoned")
+    }
+
+    /// Whether two handles refer to the same underlying value.
+    pub fn ptr_eq(&self, other: &Shared<T>) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl<T> Clone for Shared<T> {
+    fn clone(&self) -> Self {
+        Shared {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Shared<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inner.try_lock() {
+            Ok(guard) => f.debug_tuple("Shared").field(&&*guard).finish(),
+            Err(_) => f.write_str("Shared(<locked>)"),
+        }
+    }
+}
+
+impl<T: Default> Default for Shared<T> {
+    fn default() -> Self {
+        Shared::new(T::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_alias_one_value() {
+        let a = Shared::new(1u32);
+        let b = a.clone();
+        *b.borrow_mut() += 1;
+        assert_eq!(*a.borrow(), 2);
+        assert!(a.ptr_eq(&b));
+        assert!(!a.ptr_eq(&Shared::new(2)));
+    }
+
+    #[test]
+    fn crosses_threads() {
+        let s = Shared::new(0u64);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *s.borrow_mut() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*s.borrow(), 4000);
+    }
+}

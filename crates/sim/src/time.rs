@@ -72,18 +72,39 @@ impl SimDuration {
     }
 
     /// Creates a duration from integer microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nanosecond count overflows `u64` (≈ 584 years).
     pub const fn from_micros(us: u64) -> Self {
-        SimDuration(us * 1_000)
+        match us.checked_mul(1_000) {
+            Some(ns) => SimDuration(ns),
+            None => panic!("SimDuration::from_micros overflow"),
+        }
     }
 
     /// Creates a duration from integer milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nanosecond count overflows `u64`.
     pub const fn from_millis(ms: u64) -> Self {
-        SimDuration(ms * 1_000_000)
+        match ms.checked_mul(1_000_000) {
+            Some(ns) => SimDuration(ns),
+            None => panic!("SimDuration::from_millis overflow"),
+        }
     }
 
     /// Creates a duration from integer seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nanosecond count overflows `u64`.
     pub const fn from_secs(s: u64) -> Self {
-        SimDuration(s * 1_000_000_000)
+        match s.checked_mul(1_000_000_000) {
+            Some(ns) => SimDuration(ns),
+            None => panic!("SimDuration::from_secs overflow"),
+        }
     }
 
     /// Creates a duration from fractional microseconds, rounding to the
@@ -130,38 +151,88 @@ impl SimDuration {
     pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
     }
+
+    /// Saturating addition (pins at `u64::MAX` nanoseconds instead of
+    /// panicking — used for "far future" horizon arithmetic).
+    pub fn saturating_add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(other.0))
+    }
+
+    /// Saturating scalar multiplication.
+    pub fn saturating_mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+
+    /// Checked addition; `None` on `u64` nanosecond overflow.
+    pub fn checked_add(self, other: SimDuration) -> Option<SimDuration> {
+        self.0.checked_add(other.0).map(SimDuration)
+    }
+
+    /// Checked scalar multiplication; `None` on overflow.
+    pub fn checked_mul(self, rhs: u64) -> Option<SimDuration> {
+        self.0.checked_mul(rhs).map(SimDuration)
+    }
 }
+
+impl SimTime {
+    /// Saturating addition (pins at the far-future instant `u64::MAX`).
+    pub fn saturating_add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
+    /// Checked addition; `None` if the instant leaves the timeline.
+    pub fn checked_add(self, rhs: SimDuration) -> Option<SimTime> {
+        self.0.checked_add(rhs.0).map(SimTime)
+    }
+}
+
+// Arithmetic overflow on the virtual timeline always indicates a runaway
+// delay computation (e.g. multiplying a latency by a corrupted count), so
+// the operators are checked in all build profiles rather than wrapping
+// silently in release.
 
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0 + rhs.0)
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimTime + SimDuration overflowed the virtual timeline"),
+        )
     }
 }
 
 impl AddAssign<SimDuration> for SimTime {
     fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 
 impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0 - rhs.0)
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime - SimDuration went before simulation start"),
+        )
     }
 }
 
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0 + rhs.0)
+        SimDuration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimDuration addition overflow"),
+        )
     }
 }
 
 impl AddAssign for SimDuration {
     fn add_assign(&mut self, rhs: SimDuration) {
-        self.0 += rhs.0;
+        *self = *self + rhs;
     }
 }
 
@@ -185,7 +256,11 @@ impl SubAssign for SimDuration {
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration(self.0 * rhs)
+        SimDuration(
+            self.0
+                .checked_mul(rhs)
+                .expect("SimDuration scalar multiplication overflow"),
+        )
     }
 }
 
@@ -277,5 +352,44 @@ mod tests {
     fn sum_of_durations() {
         let total: SimDuration = (1..=4).map(SimDuration::from_micros).sum();
         assert_eq!(total, SimDuration::from_micros(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn duration_add_overflow_panics() {
+        let _ = SimDuration::from_nanos(u64::MAX) + SimDuration::from_nanos(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn duration_mul_overflow_panics() {
+        let _ = SimDuration::from_nanos(u64::MAX / 2) * 3;
+    }
+
+    #[test]
+    #[should_panic(expected = "overflowed the virtual timeline")]
+    fn time_add_overflow_panics() {
+        let _ = SimTime::from_nanos(u64::MAX) + SimDuration::from_nanos(1);
+    }
+
+    #[test]
+    fn saturating_and_checked_ops() {
+        let max = SimDuration::from_nanos(u64::MAX);
+        assert_eq!(max.saturating_add(SimDuration::from_nanos(1)), max);
+        assert_eq!(max.saturating_mul(2), max);
+        assert_eq!(max.checked_add(SimDuration::from_nanos(1)), None);
+        assert_eq!(max.checked_mul(2), None);
+        assert_eq!(
+            SimTime::from_nanos(u64::MAX).saturating_add(SimDuration::from_nanos(5)),
+            SimTime::from_nanos(u64::MAX)
+        );
+        assert_eq!(
+            SimTime::from_nanos(u64::MAX).checked_add(SimDuration::from_nanos(1)),
+            None
+        );
+        assert_eq!(
+            SimTime::from_nanos(3).checked_add(SimDuration::from_nanos(4)),
+            Some(SimTime::from_nanos(7))
+        );
     }
 }

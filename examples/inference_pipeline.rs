@@ -9,17 +9,15 @@
 //!
 //! Run with: `cargo run --release --example inference_pipeline`
 
-use std::cell::RefCell;
-use std::rc::Rc;
-
 use fractos_baselines::faceverify::{deploy_baseline, BaselineClient, Start};
+use fractos_baselines::paper_runtime;
 use fractos_core::msgmodel;
 use fractos_core::prelude::*;
 use fractos_net::{Fabric, NetParams, NodeId, Topology};
 use fractos_services::deploy::deploy_faceverify;
 use fractos_services::faceverify::FvClient;
 use fractos_services::FvConfig;
-use fractos_sim::{Sim, SimDuration};
+use fractos_sim::{Shared, SimDuration};
 
 const IMG: u64 = 4096;
 const BATCH: u64 = 8;
@@ -51,18 +49,16 @@ fn main() {
     let fos_traffic = tb.traffic();
 
     // ---- Baseline: centralized star (red path in Fig 2) ----------------
-    let mut sim = Sim::new(7);
-    let fabric = Rc::new(RefCell::new(Fabric::new(
-        Topology::paper_testbed(),
-        NetParams::paper(),
-    )));
-    let dep = deploy_baseline(&mut sim, &fabric, IMG, 256);
-    let bc = sim.add_actor(
+    let mut sim = paper_runtime(7);
+    let fabric = Shared::new(Fabric::new(Topology::paper_testbed(), NetParams::paper()));
+    let dep = deploy_baseline(sim.as_mut(), &fabric, IMG, 256);
+    let bc = sim.add_actor_on(
+        2,
         "client",
         Box::new(BaselineClient::new(
             fractos_net::Endpoint::cpu(NodeId(2)),
             dep.frontend_peer,
-            Rc::clone(&fabric),
+            fabric.clone(),
             IMG,
             BATCH,
             REQUESTS,
