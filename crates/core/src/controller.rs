@@ -24,7 +24,7 @@
 use std::collections::{HashMap, HashSet};
 
 use fractos_cap::{CapRef, CapSpace, Cid, ControllerAddr, MonitorEvent, ObjectTable, Watcher};
-use fractos_net::{ComputeDomain, Endpoint, Fabric, TrafficClass};
+use fractos_net::{ComputeDomain, Endpoint, Fabric, SendOutcome, TrafficClass};
 use fractos_sim::{Actor, Ctx, Msg, Shared, SimDuration, SimTime};
 
 use crate::directory::Directory;
@@ -32,6 +32,7 @@ use crate::memstore::MemoryStore;
 use crate::messages::{
     syscall_msg_size, CtrlMsg, CtrlToProc, DeriveOp, MonitorKind, PeerOp, ProcMsg,
 };
+use crate::retry::{rto, DedupFilter, SeqGen, ACK_TIMEOUT, MAX_ATTEMPTS};
 use crate::types::{
     Arg, CapArg, FosError, IncomingRequest, MemoryDesc, MonitorCb, ObjPayload, ProcId, RequestDesc,
     Syscall, SyscallResult,
@@ -96,6 +97,14 @@ pub struct ControllerActor {
     peers_dead: HashSet<ControllerAddr>,
     pending: HashMap<u64, Pending>,
     next_token: u64,
+    /// Outgoing wire sequence numbers, one stream per Process channel.
+    seq_proc: HashMap<ProcId, SeqGen>,
+    /// Outgoing wire sequence numbers, one stream per peer channel.
+    seq_peer: HashMap<ControllerAddr, SeqGen>,
+    /// Duplicate suppression for arriving syscalls, per Process.
+    seen_proc: HashMap<ProcId, DedupFilter>,
+    /// Duplicate suppression for arriving peer ops, per sender.
+    seen_peer: HashMap<ControllerAddr, DedupFilter>,
     kv: HashMap<String, CapArg>,
     busy_until: SimTime,
     dir: Shared<Directory>,
@@ -128,6 +137,10 @@ impl ControllerActor {
             peers_dead: HashSet::new(),
             pending: HashMap::new(),
             next_token: 0,
+            seq_proc: HashMap::new(),
+            seq_peer: HashMap::new(),
+            seen_proc: HashMap::new(),
+            seen_peer: HashMap::new(),
             kv: HashMap::new(),
             busy_until: SimTime::ZERO,
             dir,
@@ -159,6 +172,18 @@ impl ControllerActor {
     /// Read access to the object table (tests and harnesses).
     pub fn table(&self) -> &ObjectTable<ObjPayload> {
         &self.table
+    }
+
+    /// Number of peer operations still awaiting an ack (tests: a drained
+    /// run must leave none behind).
+    pub fn pending_ops(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether this Controller currently considers `peer` failed (tests:
+    /// a healed partition must clear the verdict via `PeerRecovered`).
+    pub fn peer_dead(&self, peer: ControllerAddr) -> bool {
+        self.peers_dead.contains(&peer)
     }
 
     /// Live entries in a Process's capability space (tests).
@@ -235,6 +260,19 @@ impl ControllerActor {
     // ------------------------------------------------------------------
 
     fn send_proc(&mut self, ctx: &mut Ctx<'_>, proc: ProcId, msg: CtrlToProc, extra: SimDuration) {
+        let seq = self.seq_proc.entry(proc).or_default().next_seq();
+        self.transmit_proc(ctx, proc, msg, seq, 0, extra);
+    }
+
+    fn transmit_proc(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        proc: ProcId,
+        msg: CtrlToProc,
+        seq: u64,
+        attempt: u32,
+        extra: SimDuration,
+    ) {
         let (actor, ep, alive) = {
             let dir = self.dir.borrow();
             let Some(pe) = dir.proc(proc) else { return };
@@ -248,7 +286,7 @@ impl ControllerActor {
         // the fabric traversal from the departure instant so it does not
         // double-queue behind this operation's own link reservations.
         let depart = ctx.now() + extra;
-        let delay = self.fabric.borrow_mut().send(
+        let outcome = self.fabric.borrow_mut().try_send(
             depart,
             ctx.rng(),
             self.endpoint,
@@ -256,7 +294,51 @@ impl ControllerActor {
             size,
             TrafficClass::Control,
         );
-        ctx.send_after(extra + delay, actor, ProcMsg::FromCtrl(msg));
+        match outcome {
+            SendOutcome::Delivered(delay) => {
+                // A delivery slower than one RTO under active faults is
+                // presumed lost and re-fired once; the Process's sequence
+                // filter absorbs the duplicate.
+                if attempt == 0 && delay > rto(0) && self.fabric.borrow().has_faults() {
+                    let dup = self.fabric.borrow_mut().try_send(
+                        depart,
+                        ctx.rng(),
+                        self.endpoint,
+                        ep,
+                        size,
+                        TrafficClass::Control,
+                    );
+                    if let SendOutcome::Delivered(d2) = dup {
+                        ctx.send_after(
+                            extra + d2,
+                            actor,
+                            ProcMsg::FromCtrl {
+                                seq,
+                                msg: msg.clone(),
+                            },
+                        );
+                    }
+                }
+                ctx.send_after(extra + delay, actor, ProcMsg::FromCtrl { seq, msg });
+            }
+            SendOutcome::Dropped => {
+                if attempt + 1 < MAX_ATTEMPTS {
+                    ctx.schedule_self(
+                        extra + rto(attempt),
+                        CtrlMsg::RetransmitProc {
+                            proc,
+                            msg,
+                            seq,
+                            attempt: attempt + 1,
+                        },
+                    );
+                } else {
+                    // Retry budget exhausted: the channel to the Process is
+                    // unusable — same §3.6 verdict as a severed channel.
+                    self.on_proc_severed(ctx, proc);
+                }
+            }
+        }
     }
 
     fn reply(
@@ -271,11 +353,24 @@ impl ControllerActor {
     }
 
     fn peer_send(&mut self, ctx: &mut Ctx<'_>, to: ControllerAddr, op: PeerOp, extra: SimDuration) {
+        let seq = self.seq_peer.entry(to).or_default().next_seq();
+        self.transmit_peer(ctx, to, op, seq, 0, extra);
+    }
+
+    fn transmit_peer(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        to: ControllerAddr,
+        op: PeerOp,
+        seq: u64,
+        attempt: u32,
+        extra: SimDuration,
+    ) {
         if to == self.addr {
             // Loopback peer op (e.g. registry co-located): handle directly
             // after the extra delay.
             let self_actor = ctx.self_id();
-            ctx.send_after(extra, self_actor, CtrlMsg::FromPeer { from: to, op });
+            ctx.send_after(extra, self_actor, CtrlMsg::FromPeer { from: to, op, seq });
             return;
         }
         let (actor, ep, alive) = {
@@ -299,18 +394,72 @@ impl ControllerActor {
             TrafficClass::Control
         };
         let depart = ctx.now() + extra + ser;
-        let delay =
+        let faults = self.fabric.borrow().has_faults();
+        // Last-resort ack timeout for request-type ops: covers a lost or
+        // abandoned return path that retransmits on this side cannot see.
+        if faults && attempt == 0 {
+            if let Some(token) = op.ack_token() {
+                ctx.schedule_self(ACK_TIMEOUT, CtrlMsg::AckTimeout { token });
+            }
+        }
+        let outcome =
             self.fabric
                 .borrow_mut()
-                .send(depart, ctx.rng(), self.endpoint, ep, size, class);
-        ctx.send_after(
-            extra + ser + delay,
-            actor,
-            CtrlMsg::FromPeer {
-                from: self.addr,
-                op,
-            },
-        );
+                .try_send(depart, ctx.rng(), self.endpoint, ep, size, class);
+        match outcome {
+            SendOutcome::Delivered(delay) => {
+                // Presumed-lost duplicate when delivery is slower than one
+                // RTO; the receiver's sequence filter absorbs it.
+                if attempt == 0 && delay > rto(0) && faults {
+                    let dup = self.fabric.borrow_mut().try_send(
+                        depart,
+                        ctx.rng(),
+                        self.endpoint,
+                        ep,
+                        size,
+                        class,
+                    );
+                    if let SendOutcome::Delivered(d2) = dup {
+                        ctx.send_after(
+                            extra + ser + d2,
+                            actor,
+                            CtrlMsg::FromPeer {
+                                from: self.addr,
+                                op: op.clone(),
+                                seq,
+                            },
+                        );
+                    }
+                }
+                ctx.send_after(
+                    extra + ser + delay,
+                    actor,
+                    CtrlMsg::FromPeer {
+                        from: self.addr,
+                        op,
+                        seq,
+                    },
+                );
+            }
+            SendOutcome::Dropped => {
+                if attempt + 1 < MAX_ATTEMPTS {
+                    ctx.schedule_self(
+                        extra + ser + rto(attempt),
+                        CtrlMsg::RetransmitPeer {
+                            to,
+                            op,
+                            seq,
+                            attempt: attempt + 1,
+                        },
+                    );
+                } else {
+                    // Retry budget exhausted: every operation pending on
+                    // this peer resolves to `ControllerUnreachable` (§3.6).
+                    // Only the watchdog may declare the peer dead.
+                    self.fail_ops_to(ctx, to);
+                }
+            }
+        }
     }
 
     fn await_ack(&mut self, target: ControllerAddr, cont: PendingCont) -> u64 {
@@ -1720,14 +1869,26 @@ impl Actor for ControllerActor {
             return;
         }
         match msg {
-            CtrlMsg::FromProc { proc, token, sc } => {
+            CtrlMsg::FromProc {
+                proc,
+                token,
+                sc,
+                seq,
+            } => {
+                if !self.seen_proc.entry(proc).or_default().fresh(seq) {
+                    // Duplicate transmit of an already-processed syscall.
+                    return;
+                }
                 // Account the arriving syscall's wire size once more is not
                 // needed — the sender already recorded it; just process.
                 let _ = syscall_msg_size(&sc);
                 ctx.trace(format!("{} syscall {} from {}", self.addr, sc.name(), proc));
                 self.handle_syscall(ctx, proc, token, sc);
             }
-            CtrlMsg::FromPeer { from, op } => {
+            CtrlMsg::FromPeer { from, op, seq } => {
+                if !self.seen_peer.entry(from).or_default().fresh(seq) {
+                    return;
+                }
                 ctx.trace(format!(
                     "{} peer-op from {}: {}",
                     self.addr,
@@ -1736,8 +1897,31 @@ impl Actor for ControllerActor {
                 ));
                 self.handle_peer(ctx, from, op)
             }
+            CtrlMsg::RetransmitProc {
+                proc,
+                msg,
+                seq,
+                attempt,
+            } => self.transmit_proc(ctx, proc, msg, seq, attempt, SimDuration::ZERO),
+            CtrlMsg::RetransmitPeer {
+                to,
+                op,
+                seq,
+                attempt,
+            } => self.transmit_peer(ctx, to, op, seq, attempt, SimDuration::ZERO),
+            CtrlMsg::AckTimeout { token } => {
+                if self.pending.contains_key(&token) {
+                    self.complete_ack(ctx, token, Err(FosError::ControllerUnreachable));
+                }
+            }
             CtrlMsg::ProcChannelSevered { proc } => self.on_proc_severed(ctx, proc),
             CtrlMsg::PeerFailed { peer } => self.on_peer_failed(ctx, peer),
+            CtrlMsg::PeerRecovered { peer } => {
+                // The watchdog saw the peer answer pings again: the outage
+                // was a partition, not a crash. New operations may flow;
+                // operations failed meanwhile stay failed.
+                self.peers_dead.remove(&peer);
+            }
             CtrlMsg::Kill => {
                 self.dead = true;
                 self.dir.borrow_mut().kill_ctrl(self.addr);
@@ -1756,7 +1940,9 @@ impl Actor for ControllerActor {
                 watchdog_ep,
                 seq,
             } => {
-                let delay = self.fabric.borrow_mut().send(
+                // Pongs are droppable and never retransmitted: their loss
+                // IS the watchdog's failure signal (§3.6).
+                let outcome = self.fabric.borrow_mut().try_send(
                     ctx.now(),
                     ctx.rng(),
                     self.endpoint,
@@ -1764,14 +1950,16 @@ impl Actor for ControllerActor {
                     16,
                     TrafficClass::Control,
                 );
-                ctx.send_after(
-                    delay,
-                    watchdog,
-                    crate::watchdog::WatchdogMsg::Pong {
-                        from: self.addr,
-                        seq,
-                    },
-                );
+                if let SendOutcome::Delivered(delay) = outcome {
+                    ctx.send_after(
+                        delay,
+                        watchdog,
+                        crate::watchdog::WatchdogMsg::Pong {
+                            from: self.addr,
+                            seq,
+                        },
+                    );
+                }
             }
         }
     }

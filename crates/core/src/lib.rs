@@ -19,6 +19,8 @@
 //! * [`controller`] — the Controller actor (the trusted OS layer);
 //! * [`directory`] — shared cluster directory;
 //! * [`testbed`] — cluster assembly and failure injection;
+//! * [`retry`] — retransmission policy + duplicate suppression for the
+//!   control plane under an armed fault plan;
 //! * [`msgmodel`] — the analytic message-complexity model of §2.1.
 //!
 //! # Examples
@@ -69,6 +71,7 @@ pub mod memstore;
 pub mod messages;
 pub mod msgmodel;
 pub mod process;
+pub mod retry;
 pub mod testbed;
 pub mod types;
 pub mod watchdog;

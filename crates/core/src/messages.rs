@@ -16,10 +16,34 @@ pub enum ProcMsg {
     /// Kick-off event posted by the testbed; triggers `Service::on_start`.
     Start,
     /// A message from the Process's Controller.
-    FromCtrl(CtrlToProc),
+    FromCtrl {
+        /// Wire-level sequence number (per Controller → Process channel);
+        /// the Process suppresses duplicates by it.
+        seq: u64,
+        /// The payload.
+        msg: CtrlToProc,
+    },
     /// A local timer armed via `Fos::sleep` fired.
     Timer {
         /// Token identifying the armed continuation.
+        token: u64,
+    },
+    /// Self-scheduled retransmit of a syscall whose previous transmit was
+    /// lost (only armed while a fault plan is active).
+    Retransmit {
+        /// Completion token of the pending syscall.
+        token: u64,
+        /// The operation to re-send.
+        sc: Syscall,
+        /// Original sequence number (unchanged across retransmits).
+        seq: u64,
+        /// Transmit attempt about to be made (1-based after the original).
+        attempt: u32,
+    },
+    /// Last-resort request timeout: if the syscall is still pending when
+    /// this fires, it resolves to `FosError::ControllerUnreachable`.
+    SyscallTimeout {
+        /// Completion token of the pending syscall.
         token: u64,
     },
     /// Harness-injected Process failure.
@@ -64,6 +88,10 @@ pub enum CtrlMsg {
         token: u64,
         /// The operation.
         sc: Syscall,
+        /// Wire-level sequence number (per Process → Controller channel);
+        /// the Controller suppresses duplicates by it so retransmitted
+        /// syscalls stay idempotent.
+        seq: u64,
     },
     /// A peer-Controller operation.
     FromPeer {
@@ -71,6 +99,46 @@ pub enum CtrlMsg {
         from: ControllerAddr,
         /// The operation.
         op: PeerOp,
+        /// Wire-level sequence number (per directed peer channel).
+        seq: u64,
+    },
+    /// Self-scheduled retransmit of a Controller → Process message whose
+    /// previous transmit was lost (only armed while faults are active).
+    RetransmitProc {
+        /// The destination Process.
+        proc: ProcId,
+        /// The payload to re-send.
+        msg: CtrlToProc,
+        /// Original sequence number (unchanged across retransmits).
+        seq: u64,
+        /// Transmit attempt about to be made (1-based after the original).
+        attempt: u32,
+    },
+    /// Self-scheduled retransmit of a peer operation whose previous
+    /// transmit was lost (only armed while faults are active).
+    RetransmitPeer {
+        /// The destination Controller.
+        to: ControllerAddr,
+        /// The operation to re-send.
+        op: PeerOp,
+        /// Original sequence number (unchanged across retransmits).
+        seq: u64,
+        /// Transmit attempt about to be made (1-based after the original).
+        attempt: u32,
+    },
+    /// Last-resort ack timeout for a pending peer operation: if the op is
+    /// still pending when this fires it resolves to
+    /// `FosError::ControllerUnreachable`.
+    AckTimeout {
+        /// The pending-operation token.
+        token: u64,
+    },
+    /// The watchdog observed a previously-declared-dead Controller answer
+    /// pings again (a healed partition, not a real crash); peers may lift
+    /// their unreachability verdict.
+    PeerRecovered {
+        /// The recovered Controller.
+        peer: ControllerAddr,
     },
     /// The request/response channel to a managed Process was severed
     /// (Process failure detection, §3.6).
@@ -295,6 +363,31 @@ impl PeerOp {
     /// Serialized size (the real wire encoding; see `crate::wire_peer`).
     pub fn wire_size(&self) -> u64 {
         crate::wire::Wire::wire_size(self)
+    }
+
+    /// The pending-operation token a request-type op expects an ack for
+    /// (`None` for acks and one-way ops). Senders arm last-resort ack
+    /// timeouts by it while a fault plan is active.
+    pub fn ack_token(&self) -> Option<u64> {
+        match self {
+            PeerOp::Invoke { token, .. }
+            | PeerOp::Derive { token, .. }
+            | PeerOp::Delegate { token, .. }
+            | PeerOp::Revoke { token, .. }
+            | PeerOp::Monitor { token, .. }
+            | PeerOp::KvPut { token, .. }
+            | PeerOp::KvGet { token, .. } => Some(*token),
+            PeerOp::InvokeAck { .. }
+            | PeerOp::DeriveAck { .. }
+            | PeerOp::DelegateAck { .. }
+            | PeerOp::RevokeAck { .. }
+            | PeerOp::MonitorAck { .. }
+            | PeerOp::KvPutAck { .. }
+            | PeerOp::KvGetAck { .. }
+            | PeerOp::MonitorEvent { .. }
+            | PeerOp::Cleanup { .. }
+            | PeerOp::FailProcess { .. } => None,
+        }
     }
 
     /// Number of capabilities this message carries (for Fig 7 serialization

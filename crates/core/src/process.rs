@@ -12,12 +12,13 @@
 use std::collections::{HashMap, VecDeque};
 
 use fractos_cap::{Cid, Perms};
-use fractos_net::{Endpoint, TrafficClass};
+use fractos_net::{Endpoint, SendOutcome, TrafficClass};
 use fractos_sim::{Actor, Ctx, Msg, Shared, SimDuration, SimTime};
 
 use crate::directory::Directory;
 use crate::memstore::MemoryStore;
 use crate::messages::{syscall_msg_size, CtrlMsg, CtrlToProc, ProcMsg};
+use crate::retry::{rto, DedupFilter, SeqGen, MAX_ATTEMPTS, SYSCALL_TIMEOUT};
 use crate::types::{FosError, IncomingRequest, MonitorCb, ProcId, Syscall, SyscallResult};
 
 /// Application logic of a FractOS Process (user service or device adaptor).
@@ -382,6 +383,10 @@ pub struct ProcessActor<S: Service> {
     dir: Shared<Directory>,
     fabric: Shared<fractos_net::Fabric>,
     dead: bool,
+    /// Outgoing wire sequence numbers on the syscall channel.
+    seq_gen: SeqGen,
+    /// Duplicate suppression for messages from the Controller.
+    seen: DedupFilter,
 }
 
 /// Virtual time a Controller needs to notice a severed Process channel.
@@ -420,7 +425,20 @@ impl<S: Service> ProcessActor<S> {
             dir,
             fabric,
             dead: false,
+            seq_gen: SeqGen::new(),
+            seen: DedupFilter::new(),
         }
+    }
+
+    /// Number of syscalls whose continuations are still pending (tests: a
+    /// drained run must leave none behind).
+    pub fn pending_syscalls(&self) -> usize {
+        self.fos.inner.borrow().conts.len()
+    }
+
+    /// Number of backlogged (window-throttled) syscalls (tests).
+    pub fn backlogged(&self) -> usize {
+        self.fos.inner.borrow().backlog.len()
     }
 
     /// Read-only access to the service (harness inspection between events).
@@ -459,6 +477,18 @@ impl<S: Service> ProcessActor<S> {
     }
 
     fn post_syscall(&mut self, ctx: &mut Ctx<'_>, token: u64, sc: Syscall) {
+        let seq = self.seq_gen.next_seq();
+        self.transmit_syscall(ctx, token, sc, seq, 0);
+    }
+
+    fn transmit_syscall(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        token: u64,
+        sc: Syscall,
+        seq: u64,
+        attempt: u32,
+    ) {
         let (ctrl_actor, ctrl_ep, ctrl_alive) = {
             let dir = self.dir.borrow();
             let pe = dir.proc(self.proc).expect("process registered");
@@ -467,23 +497,17 @@ impl<S: Service> ProcessActor<S> {
         };
         if !ctrl_alive {
             // The QP to a failed Controller errors out locally.
-            let fos = self.fos.clone();
-            let cont = {
-                let mut inner = fos.inner.borrow_mut();
-                inner.outstanding = inner.outstanding.saturating_sub(1);
-                inner.conts.remove(&token)
-            };
-            if let Some(k) = cont {
-                k(
-                    &mut self.service,
-                    SyscallResult::Err(FosError::ControllerUnreachable),
-                    &fos,
-                );
-            }
+            self.deliver_reply(token, SyscallResult::Err(FosError::ControllerUnreachable));
             return;
         }
         let size = syscall_msg_size(&sc);
-        let delay = self.fabric.borrow_mut().send(
+        let faults = self.fabric.borrow().has_faults();
+        if faults && attempt == 0 {
+            // Last-resort request timeout: covers replies the Controller
+            // could not get back to us despite its own retries.
+            ctx.schedule_self(SYSCALL_TIMEOUT, ProcMsg::SyscallTimeout { token });
+        }
+        let outcome = self.fabric.borrow_mut().try_send(
             ctx.now(),
             ctx.rng(),
             self.endpoint,
@@ -491,23 +515,75 @@ impl<S: Service> ProcessActor<S> {
             size,
             TrafficClass::Control,
         );
-        ctx.send_after(
-            delay,
-            ctrl_actor,
-            CtrlMsg::FromProc {
-                proc: self.proc,
-                token,
-                sc,
-            },
-        );
+        match outcome {
+            SendOutcome::Delivered(delay) => {
+                // A delivery slower than one RTO under active faults is
+                // presumed lost and re-fired once; the Controller's
+                // sequence filter absorbs the duplicate.
+                if attempt == 0 && delay > rto(0) && faults {
+                    let dup = self.fabric.borrow_mut().try_send(
+                        ctx.now(),
+                        ctx.rng(),
+                        self.endpoint,
+                        ctrl_ep,
+                        size,
+                        TrafficClass::Control,
+                    );
+                    if let SendOutcome::Delivered(d2) = dup {
+                        ctx.send_after(
+                            d2,
+                            ctrl_actor,
+                            CtrlMsg::FromProc {
+                                proc: self.proc,
+                                token,
+                                sc: sc.clone(),
+                                seq,
+                            },
+                        );
+                    }
+                }
+                ctx.send_after(
+                    delay,
+                    ctrl_actor,
+                    CtrlMsg::FromProc {
+                        proc: self.proc,
+                        token,
+                        sc,
+                        seq,
+                    },
+                );
+            }
+            SendOutcome::Dropped => {
+                if attempt + 1 < MAX_ATTEMPTS {
+                    ctx.schedule_self(
+                        rto(attempt),
+                        ProcMsg::Retransmit {
+                            token,
+                            sc,
+                            seq,
+                            attempt: attempt + 1,
+                        },
+                    );
+                } else {
+                    // Retry budget exhausted: resolve the syscall with the
+                    // §3.6 verdict instead of hanging the continuation.
+                    self.deliver_reply(token, SyscallResult::Err(FosError::ControllerUnreachable));
+                }
+            }
+        }
     }
 
     fn deliver_reply(&mut self, token: u64, result: SyscallResult) {
         let fos = self.fos.clone();
         let (cont, next) = {
             let mut inner = fos.inner.borrow_mut();
+            // A token with no continuation was already resolved (e.g. a
+            // real reply racing a timeout verdict): nothing to do, and the
+            // window accounting must not be decremented twice.
+            let Some(cont) = inner.conts.remove(&token) else {
+                return;
+            };
             inner.outstanding = inner.outstanding.saturating_sub(1);
-            let cont = inner.conts.remove(&token);
             let next = if inner.outstanding < inner.window {
                 inner.backlog.pop_front()
             } else {
@@ -524,9 +600,7 @@ impl<S: Service> ProcessActor<S> {
                 .out
                 .push(Out::Syscall { token: tok, sc });
         }
-        if let Some(k) = cont {
-            k(&mut self.service, result, &fos);
-        }
+        cont(&mut self.service, result, &fos);
     }
 }
 
@@ -544,17 +618,40 @@ impl<S: Service> Actor for ProcessActor<S> {
                 let fos = self.fos.clone();
                 self.service.on_start(&fos);
             }
-            ProcMsg::FromCtrl(CtrlToProc::Reply { token, result }) => {
-                self.deliver_reply(token, result);
+            ProcMsg::FromCtrl { seq, msg } => {
+                if !self.seen.fresh(seq) {
+                    // Duplicate transmit of an already-delivered message.
+                    return;
+                }
+                match msg {
+                    CtrlToProc::Reply { token, result } => {
+                        self.deliver_reply(token, result);
+                    }
+                    CtrlToProc::Deliver(req) => {
+                        ctx.trace(format!("{} deliver tag={:#x}", self.proc, req.tag));
+                        let fos = self.fos.clone();
+                        self.service.on_request(req, &fos);
+                    }
+                    CtrlToProc::Monitor(cb) => {
+                        let fos = self.fos.clone();
+                        self.service.on_monitor(cb, &fos);
+                    }
+                }
             }
-            ProcMsg::FromCtrl(CtrlToProc::Deliver(req)) => {
-                ctx.trace(format!("{} deliver tag={:#x}", self.proc, req.tag));
-                let fos = self.fos.clone();
-                self.service.on_request(req, &fos);
+            ProcMsg::Retransmit {
+                token,
+                sc,
+                seq,
+                attempt,
+            } => {
+                // Only retransmit while the syscall is still unresolved; a
+                // timeout verdict may have raced the retry timer.
+                if self.fos.inner.borrow().conts.contains_key(&token) {
+                    self.transmit_syscall(ctx, token, sc, seq, attempt);
+                }
             }
-            ProcMsg::FromCtrl(CtrlToProc::Monitor(cb)) => {
-                let fos = self.fos.clone();
-                self.service.on_monitor(cb, &fos);
+            ProcMsg::SyscallTimeout { token } => {
+                self.deliver_reply(token, SyscallResult::Err(FosError::ControllerUnreachable));
             }
             ProcMsg::Timer { token } => {
                 let fos = self.fos.clone();

@@ -1,0 +1,156 @@
+//! Retransmission policy and duplicate suppression for control messages.
+//!
+//! The fabric's fault plan can drop control-plane messages
+//! ([`fractos_net::Fabric::try_send`]). Every control channel therefore
+//! carries wire-level sequence numbers (modeled inside the already-charged
+//! 64-byte wire header, like a RoCE BTH PSN, so traffic accounting is
+//! unchanged), and senders retransmit lost messages with exponential
+//! backoff under a bounded retry budget. Receivers suppress duplicates with
+//! a per-channel [`DedupFilter`], which keeps retransmitted Controller
+//! operations idempotent.
+//!
+//! Exhausting the retry budget is translated into the existing §3.6 failure
+//! verdicts by the caller (`ControllerUnreachable` for pending operations,
+//! channel-severed translation for Processes) — it never *declares* a peer
+//! dead; only the external watchdog does that.
+//!
+//! Sequence assignment and duplicate filtering are always on (they are
+//! cheap and memory-bounded); retransmit and timeout timers are armed only
+//! while a fault plan is active, so fault-free runs schedule no extra
+//! events and stay bit-identical to a build without this layer.
+
+use std::collections::BTreeSet;
+
+use fractos_sim::SimDuration;
+
+/// Initial retransmission timeout; doubles on every attempt.
+pub const RTO_BASE: SimDuration = SimDuration::from_micros(30);
+
+/// Total transmit attempts (the original plus retries) before the sender
+/// gives up and applies a §3.6 failure verdict.
+pub const MAX_ATTEMPTS: u32 = 5;
+
+/// Last-resort timeout for a pending peer-operation ack. Covers the case
+/// where the request was delivered but the answering side gave up on its
+/// (also faulty) return path.
+pub const ACK_TIMEOUT: SimDuration = SimDuration::from_millis(1);
+
+/// Last-resort timeout for a pending syscall at the issuing Process.
+pub const SYSCALL_TIMEOUT: SimDuration = SimDuration::from_millis(5);
+
+/// Retransmission backoff: `RTO_BASE * 2^attempt`, saturating.
+pub fn rto(attempt: u32) -> SimDuration {
+    let shift = attempt.min(16);
+    SimDuration::from_nanos(RTO_BASE.as_nanos().saturating_mul(1u64 << shift))
+}
+
+/// Monotonic per-channel sequence assigner.
+#[derive(Debug, Default, Clone)]
+pub struct SeqGen(u64);
+
+impl SeqGen {
+    /// A generator starting at sequence 0.
+    pub fn new() -> Self {
+        SeqGen(0)
+    }
+
+    /// Returns the next sequence number.
+    pub fn next_seq(&mut self) -> u64 {
+        let s = self.0;
+        self.0 += 1;
+        s
+    }
+}
+
+/// Sliding-window duplicate filter over per-channel sequence numbers.
+///
+/// Tracks a contiguous frontier (`everything below `next` was delivered`)
+/// plus the out-of-order set above it, so memory is bounded by the
+/// reordering window plus the (finite) number of sequences whose every
+/// transmit was lost.
+#[derive(Debug, Default, Clone)]
+pub struct DedupFilter {
+    next: u64,
+    pending: BTreeSet<u64>,
+}
+
+impl DedupFilter {
+    /// An empty filter (no sequence seen yet).
+    pub fn new() -> Self {
+        DedupFilter::default()
+    }
+
+    /// Records a delivery. Returns `true` the first time `seq` is seen and
+    /// `false` for duplicates.
+    pub fn fresh(&mut self, seq: u64) -> bool {
+        if seq < self.next {
+            return false;
+        }
+        if !self.pending.insert(seq) {
+            return false;
+        }
+        while self.pending.remove(&self.next) {
+            self.next += 1;
+        }
+        true
+    }
+
+    /// Number of sequences seen above the contiguous frontier (tests).
+    pub fn out_of_order(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rto_doubles_and_saturates() {
+        assert_eq!(rto(0), RTO_BASE);
+        assert_eq!(rto(1), SimDuration::from_micros(60));
+        assert_eq!(rto(3), SimDuration::from_micros(240));
+        // Far past the budget: still finite.
+        assert!(rto(200) > rto(4));
+    }
+
+    #[test]
+    fn seq_gen_is_monotonic() {
+        let mut g = SeqGen::new();
+        assert_eq!(g.next_seq(), 0);
+        assert_eq!(g.next_seq(), 1);
+        assert_eq!(g.next_seq(), 2);
+    }
+
+    #[test]
+    fn dedup_accepts_in_order_with_no_memory_growth() {
+        let mut f = DedupFilter::new();
+        for s in 0..1000 {
+            assert!(f.fresh(s));
+        }
+        assert_eq!(f.out_of_order(), 0);
+    }
+
+    #[test]
+    fn dedup_rejects_duplicates_before_and_after_frontier() {
+        let mut f = DedupFilter::new();
+        assert!(f.fresh(0));
+        assert!(f.fresh(1));
+        assert!(!f.fresh(0), "below the frontier");
+        assert!(f.fresh(5));
+        assert!(!f.fresh(5), "above the frontier");
+        assert_eq!(f.out_of_order(), 1);
+    }
+
+    #[test]
+    fn dedup_handles_reordering_then_compacts() {
+        let mut f = DedupFilter::new();
+        assert!(f.fresh(2));
+        assert!(f.fresh(1));
+        assert_eq!(f.out_of_order(), 2);
+        assert!(f.fresh(0));
+        // Frontier advanced through the gap: set drained.
+        assert_eq!(f.out_of_order(), 0);
+        assert!(!f.fresh(2));
+    }
+}

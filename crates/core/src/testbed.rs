@@ -8,7 +8,7 @@
 
 use fractos_cap::ControllerAddr;
 use fractos_net::{
-    ComputeDomain, Endpoint, Fabric, Location, NetParams, NodeId, Topology, TrafficStats,
+    ComputeDomain, Endpoint, Fabric, FaultPlan, Location, NetParams, NodeId, Topology, TrafficStats,
 };
 use fractos_sim::{
     build_runtime, runtime_from_env, ActorId, RunOutcome, Runtime, RuntimeConfig, RuntimeExt,
@@ -212,6 +212,18 @@ impl Testbed {
     /// Clears the fabric's traffic statistics (e.g. after a warm-up phase).
     pub fn reset_traffic(&self) {
         self.fabric.borrow_mut().reset_stats();
+    }
+
+    /// Arms a fault plan on the shared fabric. Every chaos run is
+    /// replayable from `(seed, plan)`; an empty plan leaves the fabric
+    /// bit-identical to one with no plan installed.
+    pub fn install_fault_plan(&self, plan: FaultPlan, seed: u64) {
+        self.fabric.borrow_mut().install_fault_plan(plan, seed);
+    }
+
+    /// Disarms any installed fault plan (e.g. before a measurement phase).
+    pub fn clear_fault_plan(&self) {
+        self.fabric.borrow_mut().clear_fault_plan();
     }
 
     /// The simulation actor of a Controller.

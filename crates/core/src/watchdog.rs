@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 
 use fractos_cap::ControllerAddr;
-use fractos_net::{Endpoint, Fabric, TrafficClass};
+use fractos_net::{Endpoint, Fabric, SendOutcome, TrafficClass};
 use fractos_sim::{Actor, ActorId, Ctx, Msg, Shared, SimDuration};
 
 use crate::directory::Directory;
@@ -51,6 +51,9 @@ pub struct WatchdogActor {
     declared_dead: HashMap<ControllerAddr, bool>,
     /// Failures detected so far (tests).
     pub detected: Vec<ControllerAddr>,
+    /// Declared-dead Controllers later observed answering again (healed
+    /// partitions, §3.6 false positives) (tests).
+    pub recovered: Vec<ControllerAddr>,
 }
 
 impl WatchdogActor {
@@ -67,6 +70,7 @@ impl WatchdogActor {
             misses: HashMap::new(),
             declared_dead: HashMap::new(),
             detected: Vec::new(),
+            recovered: Vec::new(),
         }
     }
 
@@ -81,11 +85,10 @@ impl WatchdogActor {
         self.seq += 1;
         let me = ctx.self_id();
         for (addr, actor, ep) in ctrls {
-            if self.declared_dead.get(&addr).copied().unwrap_or(false) {
-                continue;
-            }
-            // Unanswered previous ping counts as a miss.
-            if self.outstanding.contains_key(&addr) {
+            let dead = self.declared_dead.get(&addr).copied().unwrap_or(false);
+            // Unanswered previous ping counts as a miss (not while declared
+            // dead — then we only probe for recovery).
+            if !dead && self.outstanding.contains_key(&addr) {
                 let m = self.misses.entry(addr).or_insert(0);
                 *m += 1;
                 if *m >= self.missed_limit {
@@ -93,8 +96,14 @@ impl WatchdogActor {
                     continue;
                 }
             }
-            self.outstanding.insert(addr, self.seq);
-            let delay = self.fabric.borrow_mut().send(
+            if !dead {
+                self.outstanding.insert(addr, self.seq);
+            }
+            // Pings ride the droppable control plane: a partitioned (or
+            // crashed) Controller misses them, which IS the detection
+            // signal. Declared-dead Controllers keep being probed so a
+            // healed partition is noticed.
+            let outcome = self.fabric.borrow_mut().try_send(
                 ctx.now(),
                 ctx.rng(),
                 self.endpoint,
@@ -102,15 +111,17 @@ impl WatchdogActor {
                 16,
                 TrafficClass::Control,
             );
-            ctx.send_after(
-                delay,
-                actor,
-                CtrlMsg::Ping {
-                    watchdog: me,
-                    watchdog_ep: self.endpoint,
-                    seq: self.seq,
-                },
-            );
+            if let SendOutcome::Delivered(delay) = outcome {
+                ctx.send_after(
+                    delay,
+                    actor,
+                    CtrlMsg::Ping {
+                        watchdog: me,
+                        watchdog_ep: self.endpoint,
+                        seq: self.seq,
+                    },
+                );
+            }
         }
         ctx.schedule_self(self.period, WatchdogMsg::Tick);
     }
@@ -118,13 +129,28 @@ impl WatchdogActor {
     fn declare_dead(&mut self, ctx: &mut Ctx<'_>, dead: ControllerAddr) {
         self.declared_dead.insert(dead, true);
         self.outstanding.remove(&dead);
+        self.misses.remove(&dead);
         self.detected.push(dead);
-        // Notify every surviving Controller.
+        self.broadcast(ctx, dead, true);
+    }
+
+    fn declare_recovered(&mut self, ctx: &mut Ctx<'_>, peer: ControllerAddr) {
+        self.declared_dead.insert(peer, false);
+        self.outstanding.remove(&peer);
+        self.misses.insert(peer, 0);
+        self.recovered.push(peer);
+        self.broadcast(ctx, peer, false);
+    }
+
+    /// Notifies every other Controller of a verdict about `subject`.
+    /// Verdict broadcasts model an out-of-band management network (the
+    /// external Zookeeper-like service), so they are not droppable.
+    fn broadcast(&mut self, ctx: &mut Ctx<'_>, subject: ControllerAddr, failed: bool) {
         let peers: Vec<(ActorId, Endpoint)> = {
             let dir = self.dir.borrow();
             dir.all_ctrls()
                 .into_iter()
-                .filter(|&a| a != dead)
+                .filter(|&a| a != subject)
                 .filter_map(|a| dir.ctrl(a).map(|e| (e.actor, e.endpoint)))
                 .collect()
         };
@@ -137,7 +163,12 @@ impl WatchdogActor {
                 24,
                 TrafficClass::Control,
             );
-            ctx.send_after(delay, actor, CtrlMsg::PeerFailed { peer: dead });
+            let msg = if failed {
+                CtrlMsg::PeerFailed { peer: subject }
+            } else {
+                CtrlMsg::PeerRecovered { peer: subject }
+            };
+            ctx.send_after(delay, actor, msg);
         }
     }
 }
@@ -150,7 +181,12 @@ impl Actor for WatchdogActor {
         match msg {
             WatchdogMsg::Tick => self.tick(ctx),
             WatchdogMsg::Pong { from, seq } => {
-                if self.outstanding.get(&from) == Some(&seq) {
+                if self.declared_dead.get(&from).copied().unwrap_or(false) {
+                    // A declared-dead Controller answered a recovery probe:
+                    // the outage was a partition that healed, not a crash
+                    // (a crashed Controller's dead-gate never pongs).
+                    self.declare_recovered(ctx, from);
+                } else if self.outstanding.get(&from) == Some(&seq) {
                     self.outstanding.remove(&from);
                     self.misses.insert(from, 0);
                 }

@@ -1,0 +1,247 @@
+//! Property tests for the robustness layer: under *any* finite-drop fault
+//! plan, every Request the workload issues must resolve — either complete
+//! or fail with a typed error — and the system must drain clean.
+//!
+//! "Finite-drop" means the plan cannot censor the fabric forever: drop
+//! probabilities stay at or below 0.5 (so a 5-attempt retry budget gets a
+//! message through with probability ≥ 1 − 0.5⁵, and an unlucky message
+//! fails *typed*, not silently), and every partition carries a heal time.
+//! The invariants checked after the run drains:
+//!
+//! - every continuation ran (`issued == resolved`; no lost callbacks),
+//! - no Process holds pending or backlogged syscalls,
+//! - no Controller holds pending peer ops or armed retransmit timers,
+//! - the client's capability space holds exactly one entry per
+//!   *successful* capability-minting call — failed ops leak nothing.
+
+use proptest::prelude::*;
+
+use fractos_cap::Cid;
+use fractos_core::prelude::*;
+use fractos_net::{FaultPlan, NodeId};
+use fractos_sim::SimTime;
+
+const TAG: u64 = 0x6100;
+
+fn us(n: u64) -> SimTime {
+    SimTime::from_nanos(n * 1_000)
+}
+
+/// One generated fault plan, kept as plain data so failing cases print.
+#[derive(Debug, Clone)]
+struct PlanSpec {
+    /// Directed lossy links: (src, dst, drop probability ≤ 0.5).
+    drops: Vec<(u32, u32, f64)>,
+    /// Guaranteed single drops: (src, dst, at µs).
+    one_shots: Vec<(u32, u32, u64)>,
+    /// Transient slowdowns: (src, dst, from µs, duration µs, factor).
+    degradations: Vec<(u32, u32, u64, u64, f64)>,
+    /// Healing partitions: (a, b, from µs, duration µs). Never permanent.
+    partitions: Vec<(u32, u32, u64, u64)>,
+    seed: u64,
+}
+
+impl PlanSpec {
+    fn build(&self) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        for &(src, dst, p) in &self.drops {
+            plan = plan.drop_prob(NodeId(src), NodeId(dst), p);
+        }
+        for &(src, dst, at) in &self.one_shots {
+            plan = plan.one_shot(NodeId(src), NodeId(dst), us(at));
+        }
+        for &(src, dst, from, dur, factor) in &self.degradations {
+            plan = plan.degrade(NodeId(src), NodeId(dst), us(from), us(from + dur), factor);
+        }
+        for &(a, b, from, dur) in &self.partitions {
+            plan = plan.partition(NodeId(a), NodeId(b), us(from), Some(us(from + dur)));
+        }
+        plan
+    }
+}
+
+fn arb_plan() -> impl Strategy<Value = PlanSpec> {
+    let node = 0u32..3;
+    let drops = prop::collection::vec((node.clone(), 0u32..3, 0.0f64..0.5), 0..4);
+    let one_shots = prop::collection::vec((node.clone(), 0u32..3, 0u64..200), 0..3);
+    let degradations = prop::collection::vec(
+        (node.clone(), 0u32..3, 0u64..100, 10u64..500, 1.0f64..8.0),
+        0..3,
+    );
+    let partitions = prop::collection::vec((node, 0u32..3, 0u64..150, 50u64..1_000), 0..2);
+    (drops, one_shots, degradations, partitions, any::<u64>()).prop_map(
+        |(drops, one_shots, degradations, partitions, seed)| PlanSpec {
+            drops,
+            one_shots,
+            degradations,
+            partitions: partitions
+                .into_iter()
+                .filter(|&(a, b, _, _)| a != b)
+                .collect(),
+            seed,
+        },
+    )
+}
+
+/// Provider: publishes one Request endpoint under "svc". Its bootstrap
+/// syscalls run before the plan is armed, so the endpoint always exists.
+struct Provider;
+
+impl Service for Provider {
+    fn on_start(&mut self, fos: &Fos<Self>) {
+        fos.request_create_new(TAG, vec![], vec![], |_s, res, fos| {
+            fos.kv_put("svc", res.cid(), |_, _, _| {});
+        });
+    }
+    fn on_request(&mut self, _req: IncomingRequest, _fos: &Fos<Self>) {}
+}
+
+/// Client: resolves "svc", then runs `n` derive→invoke chains across the
+/// faulty fabric, counting every issued call and every resolution.
+struct Client {
+    n: u64,
+    pub issued: u64,
+    pub resolved: u64,
+    /// Capability-minting calls that succeeded (kv_get + derives): the
+    /// client's capability space must hold exactly this many entries.
+    pub caps_minted: u64,
+    pub typed_failures: u64,
+}
+
+impl Client {
+    fn new(n: u64) -> Self {
+        Client {
+            n,
+            issued: 0,
+            resolved: 0,
+            caps_minted: 0,
+            typed_failures: 0,
+        }
+    }
+
+    fn settle(&mut self, res: &SyscallResult) -> Option<Cid> {
+        self.resolved += 1;
+        match res {
+            SyscallResult::NewCid(cid) => {
+                self.caps_minted += 1;
+                Some(*cid)
+            }
+            SyscallResult::Err(_) => {
+                self.typed_failures += 1;
+                None
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Service for Client {
+    fn on_start(&mut self, fos: &Fos<Self>) {
+        self.issued += 1;
+        fos.kv_get("svc", |s: &mut Self, res, fos| {
+            let Some(base) = s.settle(&res) else { return };
+            for i in 0..s.n {
+                s.issued += 1;
+                fos.request_derive(
+                    base,
+                    vec![vec![i as u8]],
+                    vec![],
+                    |s: &mut Self, res, fos| {
+                        let Some(derived) = s.settle(&res) else {
+                            return;
+                        };
+                        s.issued += 1;
+                        fos.request_invoke(derived, |s: &mut Self, res, _| {
+                            s.resolved += 1;
+                            if matches!(res, SyscallResult::Err(_)) {
+                                s.typed_failures += 1;
+                            }
+                        });
+                    },
+                );
+            }
+        });
+    }
+    fn on_request(&mut self, _req: IncomingRequest, _fos: &Fos<Self>) {}
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Liveness and leak-freedom under arbitrary recoverable chaos.
+    #[test]
+    fn requests_always_resolve_under_finite_drop_plans(spec in arb_plan()) {
+        let mut tb = Testbed::paper(spec.seed);
+        let ctrls = tb.controllers_per_node(false);
+        let provider = tb.add_process("provider", cpu(0), ctrls[0], Provider);
+        tb.start_process(provider);
+        tb.run();
+
+        // Arm the plan only for the client's workload: the property is
+        // about request handling, not bootstrap.
+        tb.install_fault_plan(spec.build(), spec.seed);
+        let client = tb.add_process("client", cpu(2), ctrls[2], Client::new(6));
+        tb.start_process(client);
+        tb.run();
+
+        // Every issued call resolved: completed or failed typed, but the
+        // continuation always ran.
+        let (issued, resolved, minted) = tb.with_service::<Client, _>(client, |c| {
+            (c.issued, c.resolved, c.caps_minted)
+        });
+        prop_assert!(issued > 0, "workload issued nothing");
+        prop_assert_eq!(resolved, issued, "lost continuations under {:?}", spec.clone());
+
+        // Nothing in flight anywhere once the queue drained.
+        for &(proc, svc) in &[(provider, false), (client, true)] {
+            let actor = tb.proc_actor(proc);
+            let (pending, backlog) = if svc {
+                tb.sim.with_actor::<ProcessActor<Client>, _>(actor, |p| {
+                    (p.pending_syscalls(), p.backlogged())
+                })
+            } else {
+                tb.sim.with_actor::<ProcessActor<Provider>, _>(actor, |p| {
+                    (p.pending_syscalls(), p.backlogged())
+                })
+            };
+            prop_assert_eq!(pending, 0, "pending syscalls under {:?}", spec.clone());
+            prop_assert_eq!(backlog, 0, "backlogged syscalls under {:?}", spec.clone());
+        }
+        for &ctrl in &ctrls {
+            let ops = tb.with_controller(ctrl, |c| c.pending_ops());
+            prop_assert_eq!(ops, 0, "pending peer ops at {:?} under {:?}", ctrl, spec.clone());
+        }
+
+        // No leaked capability-table entries: the client's space holds
+        // exactly one capability per successful minting call.
+        let caps = tb.with_controller(ctrls[2], |c| c.capspace_len(client)) as u64;
+        prop_assert_eq!(caps, minted, "capability leak under {:?}", spec.clone());
+    }
+
+    /// The exact same `(seed, plan)` drains to the exact same end state —
+    /// the chaos layer never adds nondeterminism of its own.
+    #[test]
+    fn faulty_runs_replay_bit_identically(spec in arb_plan()) {
+        let run = || {
+            let mut tb = Testbed::paper(spec.seed);
+            let ctrls = tb.controllers_per_node(false);
+            let provider = tb.add_process("provider", cpu(0), ctrls[0], Provider);
+            tb.start_process(provider);
+            tb.run();
+            tb.install_fault_plan(spec.build(), spec.seed);
+            let client = tb.add_process("client", cpu(2), ctrls[2], Client::new(4));
+            tb.start_process(client);
+            tb.run();
+            let counts = tb.with_service::<Client, _>(client, |c| {
+                (c.issued, c.resolved, c.caps_minted, c.typed_failures)
+            });
+            let faults: Vec<_> = tb
+                .traffic()
+                .fault_links()
+                .map(|(k, v)| (*k, *v))
+                .collect();
+            (tb.now(), counts, faults)
+        };
+        prop_assert_eq!(run(), run(), "replay diverged for {:?}", spec.clone());
+    }
+}

@@ -11,6 +11,7 @@ use std::collections::HashMap;
 
 use fractos_sim::{SimDuration, SimRng, SimTime};
 
+use crate::fault::{FaultPlan, FaultState, LinkKey, SendOutcome};
 use crate::params::NetParams;
 use crate::stats::{Medium, TrafficClass, TrafficStats};
 use crate::topology::{Endpoint, Location, NodeId, Topology};
@@ -107,6 +108,7 @@ pub struct Fabric {
     topology: Topology,
     schedules: HashMap<Edge, LinkSchedule>,
     stats: TrafficStats,
+    faults: Option<FaultState>,
 }
 
 impl Fabric {
@@ -117,7 +119,35 @@ impl Fabric {
             topology,
             schedules: HashMap::new(),
             stats: TrafficStats::new(),
+            faults: None,
         }
+    }
+
+    /// Arms `plan` with the given decision seed. An empty plan is
+    /// equivalent to [`clear_fault_plan`](Fabric::clear_fault_plan):
+    /// behavior stays bit-identical to a fabric with no plan installed.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan, seed: u64) {
+        self.faults = if plan.is_empty() {
+            None
+        } else {
+            Some(FaultState::new(plan, seed))
+        };
+    }
+
+    /// Disarms any installed fault plan.
+    pub fn clear_fault_plan(&mut self) {
+        self.faults = None;
+    }
+
+    /// True when a non-empty fault plan is armed. Senders use this to
+    /// decide whether retransmit/timeout machinery is worth arming.
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The armed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| f.plan())
     }
 
     /// The fabric's parameters.
@@ -210,9 +240,59 @@ impl Fabric {
             delay = delay * f;
         }
 
+        // Transient degradation applies to everything physically on the
+        // link, including "reliable" traffic (drops and partitions do not:
+        // those only gate `try_send`).
+        if let Some(state) = &self.faults {
+            let f = state.degrade_factor(now, LinkKey::new(src.node, dst.node));
+            if f > 1.0 {
+                delay = delay * f;
+                self.stats.record_degraded(src.node, dst.node);
+            }
+        }
+
         self.stats
             .record(src.node, dst.node, class, medium, payload);
         delay
+    }
+
+    /// Like [`send`](Fabric::send), but subject to the armed fault plan:
+    /// the message may be dropped (partition, scheduled one-shot, or
+    /// probabilistic loss) instead of delivered. Dropped messages consume
+    /// no link capacity, record no traffic, and show up only in the
+    /// per-link fault counters. With no plan armed this is exactly `send`.
+    ///
+    /// Fault decisions consume no randomness from `rng`; see
+    /// [`crate::fault`] for the determinism contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid endpoints, exactly like `send` — a drop never
+    /// masks a harness wiring bug.
+    pub fn try_send(
+        &mut self,
+        now: SimTime,
+        rng: &mut SimRng,
+        src: Endpoint,
+        dst: Endpoint,
+        payload: u64,
+        class: TrafficClass,
+    ) -> SendOutcome {
+        let dropped = match &mut self.faults {
+            Some(state) => state.decide_drop(now, LinkKey::new(src.node, dst.node)),
+            None => false,
+        };
+        if dropped {
+            self.topology
+                .validate(src)
+                .unwrap_or_else(|e| panic!("fabric send from invalid endpoint: {e}"));
+            self.topology
+                .validate(dst)
+                .unwrap_or_else(|e| panic!("fabric send to invalid endpoint: {e}"));
+            self.stats.record_drop(src.node, dst.node);
+            return SendOutcome::Dropped;
+        }
+        SendOutcome::Delivered(self.send(now, rng, src, dst, payload, class))
     }
 
     /// Latency of a one-sided RDMA read: `reader` pulls `size` bytes from
@@ -556,6 +636,136 @@ mod tests {
         ] {
             assert_eq!(f.base_latency(a, b), f.base_latency(b, a));
         }
+    }
+
+    #[test]
+    fn try_send_without_plan_is_exactly_send() {
+        let mut f = fabric();
+        let mut g = fabric();
+        let mut r1 = rng();
+        let mut r2 = rng();
+        let a = Endpoint::cpu(N0);
+        let b = Endpoint::cpu(N1);
+        let d1 = f.send(SimTime::ZERO, &mut r1, a, b, 256, TrafficClass::Control);
+        let d2 = g.try_send(SimTime::ZERO, &mut r2, a, b, 256, TrafficClass::Control);
+        assert_eq!(d2, SendOutcome::Delivered(d1));
+        assert_eq!(g.stats().total_dropped(), 0);
+        assert_eq!(
+            f.stats().flow(N0, N1, TrafficClass::Control),
+            g.stats().flow(N0, N1, TrafficClass::Control)
+        );
+    }
+
+    #[test]
+    fn empty_plan_is_equivalent_to_no_plan() {
+        let mut f = fabric();
+        f.install_fault_plan(FaultPlan::default(), 99);
+        assert!(!f.has_faults());
+        let mut r = rng();
+        let out = f.try_send(
+            SimTime::ZERO,
+            &mut r,
+            Endpoint::cpu(N0),
+            Endpoint::cpu(N1),
+            0,
+            TrafficClass::Control,
+        );
+        assert!(!out.is_dropped());
+    }
+
+    #[test]
+    fn dropped_messages_record_faults_not_traffic() {
+        let mut f = fabric();
+        f.install_fault_plan(FaultPlan::new().partition(N0, N1, SimTime::ZERO, None), 7);
+        assert!(f.has_faults());
+        let mut r = rng();
+        let out = f.try_send(
+            SimTime::ZERO,
+            &mut r,
+            Endpoint::cpu(N0),
+            Endpoint::cpu(N1),
+            128,
+            TrafficClass::Control,
+        );
+        assert!(out.is_dropped());
+        assert_eq!(out.delivered(), None);
+        assert_eq!(f.stats().network_msgs(), 0);
+        assert_eq!(f.stats().link_faults(N0, N1).dropped, 1);
+        // Intra-node traffic is unaffected by the partition.
+        let out = f.try_send(
+            SimTime::ZERO,
+            &mut r,
+            Endpoint::cpu(N0),
+            Endpoint::cpu(N0),
+            128,
+            TrafficClass::Control,
+        );
+        assert!(!out.is_dropped());
+    }
+
+    #[test]
+    fn degradation_slows_reliable_sends_too() {
+        let from = SimTime::ZERO;
+        let until = SimTime::ZERO + SimDuration::from_millis(1);
+        let mut f = fabric();
+        f.install_fault_plan(FaultPlan::new().degrade(N0, N1, from, until, 3.0), 7);
+        let mut clean = fabric();
+        let mut r = rng();
+        let a = Endpoint::cpu(N0);
+        let b = Endpoint::cpu(N1);
+        let base = clean.send(SimTime::ZERO, &mut r, a, b, 0, TrafficClass::Control);
+        let slow = f.send(SimTime::ZERO, &mut r, a, b, 0, TrafficClass::Control);
+        assert_eq!(slow, base * 3.0);
+        assert_eq!(f.stats().link_faults(N0, N1).degraded, 1);
+        // After the window the link is back to nominal.
+        let after = SimTime::ZERO + SimDuration::from_millis(2);
+        let normal = f.send(after, &mut r, a, b, 0, TrafficClass::Control);
+        assert_eq!(normal, base);
+    }
+
+    #[test]
+    fn faulty_run_replays_from_seed_and_plan() {
+        let plan = FaultPlan::new().drop_prob_between(N0, N1, 0.4);
+        let run = |seed: u64| -> Vec<bool> {
+            let mut f = fabric();
+            f.install_fault_plan(plan.clone(), seed);
+            let mut r = rng();
+            (0..100)
+                .map(|i| {
+                    let t = SimTime::from_nanos(i * 10_000);
+                    f.try_send(
+                        t,
+                        &mut r,
+                        Endpoint::cpu(N0),
+                        Endpoint::cpu(N1),
+                        64,
+                        TrafficClass::Control,
+                    )
+                    .is_dropped()
+                })
+                .collect()
+        };
+        assert_eq!(run(61), run(61));
+        assert_ne!(run(61), run(62));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid endpoint")]
+    fn dropped_send_still_validates_endpoints() {
+        let mut topo = Topology::new();
+        topo.add_node(NodeConfig::cpu_only("a"));
+        topo.add_node(NodeConfig::cpu_only("b"));
+        let mut f = Fabric::new(topo, NetParams::paper());
+        f.install_fault_plan(FaultPlan::new().partition(N0, N1, SimTime::ZERO, None), 7);
+        let mut r = rng();
+        f.try_send(
+            SimTime::ZERO,
+            &mut r,
+            Endpoint::cpu(N0),
+            Endpoint::gpu(N1),
+            0,
+            TrafficClass::Control,
+        );
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! Deterministic fault injection for the simulated fabric.
+//!
+//! A [`FaultPlan`] describes everything the fabric may do to droppable
+//! traffic: per-link message-drop probabilities, one-shot drops scheduled at
+//! virtual times, transient link degradation (latency multipliers over a
+//! window), and bidirectional node partitions with optional heal times.
+//!
+//! Determinism contract: fault decisions never consume the caller's RNG.
+//! Probabilistic drops hash `(plan seed, directed link, per-link message
+//! index)` through a splitmix64 mixer, and windows are pure predicates over
+//! virtual time. Because every decision depends only on the per-link order
+//! of droppable sends — which both the single-threaded and sharded engines
+//! preserve — a chaos run is replayable from `(seed, plan)` on either
+//! backend, and an empty plan is bit-identical to no plan at all.
+
+use std::collections::BTreeMap;
+
+use fractos_sim::{SimDuration, SimTime};
+
+use crate::topology::NodeId;
+
+/// A directed node-pair link, the granularity at which faults apply.
+///
+/// The fabric models several physical edges per node pair (NIC loopback,
+/// switch up/down, PCIe crossings); faults act on the coarser directed
+/// `src → dst` pair because that is what a retransmitting sender observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkKey {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+}
+
+impl LinkKey {
+    /// The directed link from `src` to `dst`.
+    pub fn new(src: NodeId, dst: NodeId) -> Self {
+        LinkKey { src, dst }
+    }
+}
+
+/// A single message drop scheduled at a virtual time: the first droppable
+/// message on `link` departing at or after `at` is lost.
+#[derive(Debug, Clone, Copy)]
+pub struct OneShotDrop {
+    /// The directed link the drop arms on.
+    pub link: LinkKey,
+    /// Earliest departure time the drop applies to.
+    pub at: SimTime,
+}
+
+/// A transient degradation window: deliveries on `link` departing inside
+/// `[from, until)` take `factor` times their modeled latency.
+#[derive(Debug, Clone, Copy)]
+pub struct Degradation {
+    /// The directed link that degrades.
+    pub link: LinkKey,
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+    /// Latency multiplier (> 1.0 slows the link down).
+    pub factor: f64,
+}
+
+/// A bidirectional partition between two nodes: every droppable message
+/// between `a` and `b` (either direction) departing inside the window is
+/// lost.
+#[derive(Debug, Clone, Copy)]
+pub struct Partition {
+    /// One side of the cut.
+    pub a: NodeId,
+    /// The other side of the cut.
+    pub b: NodeId,
+    /// When the partition starts (inclusive).
+    pub from: SimTime,
+    /// When the partition heals (exclusive); `None` means it never does.
+    pub heal: Option<SimTime>,
+}
+
+impl Partition {
+    fn cuts(&self, link: LinkKey, now: SimTime) -> bool {
+        let pair = (link.src == self.a && link.dst == self.b)
+            || (link.src == self.b && link.dst == self.a);
+        pair && now >= self.from && self.heal.is_none_or(|h| now < h)
+    }
+}
+
+/// Everything the fabric may inject into a run. An empty (default) plan
+/// injects nothing and leaves the fabric's behavior bit-identical to a
+/// fabric with no plan installed.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Per-link probability that a droppable message is lost.
+    pub drop_probs: BTreeMap<LinkKey, f64>,
+    /// Scheduled single-message drops.
+    pub one_shots: Vec<OneShotDrop>,
+    /// Transient latency-degradation windows.
+    pub degradations: Vec<Degradation>,
+    /// Bidirectional partitions.
+    pub partitions: Vec<Partition>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.drop_probs.is_empty()
+            && self.one_shots.is_empty()
+            && self.degradations.is_empty()
+            && self.partitions.is_empty()
+    }
+
+    /// Drops each droppable `src → dst` message with probability `p`.
+    pub fn drop_prob(mut self, src: NodeId, dst: NodeId, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability {p} not in [0, 1]"
+        );
+        self.drop_probs.insert(LinkKey::new(src, dst), p);
+        self
+    }
+
+    /// Drops each droppable message between `a` and `b` (both directions)
+    /// with probability `p`.
+    pub fn drop_prob_between(self, a: NodeId, b: NodeId, p: f64) -> Self {
+        self.drop_prob(a, b, p).drop_prob(b, a, p)
+    }
+
+    /// Drops the first droppable `src → dst` message departing at or after
+    /// `at`.
+    pub fn one_shot(mut self, src: NodeId, dst: NodeId, at: SimTime) -> Self {
+        self.one_shots.push(OneShotDrop {
+            link: LinkKey::new(src, dst),
+            at,
+        });
+        self
+    }
+
+    /// Multiplies `src → dst` latency by `factor` for departures in
+    /// `[from, until)`.
+    pub fn degrade(
+        mut self,
+        src: NodeId,
+        dst: NodeId,
+        from: SimTime,
+        until: SimTime,
+        factor: f64,
+    ) -> Self {
+        assert!(factor >= 1.0, "degradation factor {factor} below 1.0");
+        self.degradations.push(Degradation {
+            link: LinkKey::new(src, dst),
+            from,
+            until,
+            factor,
+        });
+        self
+    }
+
+    /// Cuts all droppable traffic between `a` and `b` from `from` until
+    /// `heal` (or forever when `heal` is `None`).
+    pub fn partition(mut self, a: NodeId, b: NodeId, from: SimTime, heal: Option<SimTime>) -> Self {
+        self.partitions.push(Partition { a, b, from, heal });
+        self
+    }
+}
+
+/// What [`Fabric::try_send`](crate::Fabric::try_send) did with a message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SendOutcome {
+    /// The message will arrive after the returned one-way delay.
+    Delivered(SimDuration),
+    /// The fault plan dropped the message; nothing arrives.
+    Dropped,
+}
+
+impl SendOutcome {
+    /// The delivery delay, or `None` if the message was dropped.
+    pub fn delivered(self) -> Option<SimDuration> {
+        match self {
+            SendOutcome::Delivered(d) => Some(d),
+            SendOutcome::Dropped => None,
+        }
+    }
+
+    /// True if the message was dropped.
+    pub fn is_dropped(&self) -> bool {
+        matches!(self, SendOutcome::Dropped)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to the unit interval with 53 bits of precision.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Armed fault state inside a fabric: the plan plus the mutable bits
+/// (one-shot arming, per-link message indices) that make replay exact.
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    seed: u64,
+    /// Whether each one-shot drop has fired.
+    fired: Vec<bool>,
+    /// Droppable-message index per directed link; the probabilistic-drop
+    /// hash input, so decision `k` on a link is the same in every replay.
+    msg_idx: BTreeMap<LinkKey, u64>,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan, seed: u64) -> Self {
+        let fired = vec![false; plan.one_shots.len()];
+        FaultState {
+            plan,
+            seed,
+            fired,
+            msg_idx: BTreeMap::new(),
+        }
+    }
+
+    pub(crate) fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decides whether the droppable message departing `now` on `link` is
+    /// lost. Consumes no external randomness.
+    pub(crate) fn decide_drop(&mut self, now: SimTime, link: LinkKey) -> bool {
+        let idx = {
+            let c = self.msg_idx.entry(link).or_insert(0);
+            let i = *c;
+            *c += 1;
+            i
+        };
+        if self.plan.partitions.iter().any(|p| p.cuts(link, now)) {
+            return true;
+        }
+        for (i, shot) in self.plan.one_shots.iter().enumerate() {
+            if !self.fired[i] && shot.link == link && now >= shot.at {
+                self.fired[i] = true;
+                return true;
+            }
+        }
+        if let Some(&p) = self.plan.drop_probs.get(&link) {
+            if p > 0.0 {
+                let mut h = self.seed;
+                h = splitmix64(h ^ u64::from(link.src.0));
+                h = splitmix64(h ^ u64::from(link.dst.0).rotate_left(32));
+                h = splitmix64(h ^ idx);
+                return unit(h) < p;
+            }
+        }
+        false
+    }
+
+    /// Combined latency multiplier of the degradation windows active for a
+    /// departure at `now` on `link` (1.0 when none are).
+    pub(crate) fn degrade_factor(&self, now: SimTime, link: LinkKey) -> f64 {
+        self.plan
+            .degradations
+            .iter()
+            .filter(|d| d.link == link && now >= d.from && now < d.until)
+            .map(|d| d.factor)
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N0: NodeId = NodeId(0);
+    const N1: NodeId = NodeId(1);
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        let mut state = FaultState::new(plan, 7);
+        let link = LinkKey::new(N0, N1);
+        for i in 0..100 {
+            assert!(!state.decide_drop(t(i), link));
+        }
+        assert_eq!(state.degrade_factor(t(0), link), 1.0);
+    }
+
+    #[test]
+    fn drop_decisions_replay_from_seed_and_index() {
+        let plan = FaultPlan::new().drop_prob(N0, N1, 0.3);
+        let mut a = FaultState::new(plan.clone(), 42);
+        let mut b = FaultState::new(plan, 42);
+        let link = LinkKey::new(N0, N1);
+        let da: Vec<bool> = (0..200).map(|i| a.decide_drop(t(i), link)).collect();
+        let db: Vec<bool> = (0..200).map(|i| b.decide_drop(t(i), link)).collect();
+        assert_eq!(da, db);
+        let drops = da.iter().filter(|&&d| d).count();
+        assert!((30..=90).contains(&drops), "{drops} drops at p=0.3");
+    }
+
+    #[test]
+    fn drop_rate_tracks_probability_and_seed() {
+        let plan = FaultPlan::new().drop_prob(N0, N1, 0.5);
+        let mut a = FaultState::new(plan.clone(), 1);
+        let mut b = FaultState::new(plan, 2);
+        let link = LinkKey::new(N0, N1);
+        let da: Vec<bool> = (0..200).map(|i| a.decide_drop(t(i), link)).collect();
+        let db: Vec<bool> = (0..200).map(|i| b.decide_drop(t(i), link)).collect();
+        assert_ne!(da, db, "different seeds should disagree somewhere");
+    }
+
+    #[test]
+    fn reverse_direction_is_unaffected() {
+        let plan = FaultPlan::new().drop_prob(N0, N1, 1.0);
+        let mut state = FaultState::new(plan, 3);
+        assert!(state.decide_drop(t(0), LinkKey::new(N0, N1)));
+        assert!(!state.decide_drop(t(0), LinkKey::new(N1, N0)));
+    }
+
+    #[test]
+    fn one_shot_fires_once_at_or_after_its_time() {
+        let plan = FaultPlan::new().one_shot(N0, N1, t(10));
+        let mut state = FaultState::new(plan, 0);
+        let link = LinkKey::new(N0, N1);
+        assert!(!state.decide_drop(t(9), link));
+        assert!(state.decide_drop(t(11), link));
+        assert!(!state.decide_drop(t(12), link));
+    }
+
+    #[test]
+    fn partition_cuts_both_directions_and_heals() {
+        let plan = FaultPlan::new().partition(N0, N1, t(10), Some(t(20)));
+        let mut state = FaultState::new(plan, 0);
+        let fwd = LinkKey::new(N0, N1);
+        let rev = LinkKey::new(N1, N0);
+        assert!(!state.decide_drop(t(9), fwd));
+        assert!(state.decide_drop(t(10), fwd));
+        assert!(state.decide_drop(t(15), rev));
+        assert!(!state.decide_drop(t(20), fwd));
+        assert!(!state.decide_drop(t(25), rev));
+    }
+
+    #[test]
+    fn unhealed_partition_never_heals() {
+        let plan = FaultPlan::new().partition(N0, N1, t(0), None);
+        let mut state = FaultState::new(plan, 0);
+        assert!(state.decide_drop(t(1_000_000), LinkKey::new(N1, N0)));
+    }
+
+    #[test]
+    fn degradation_window_is_half_open() {
+        let plan = FaultPlan::new().degrade(N0, N1, t(10), t(20), 4.0);
+        let state = FaultState::new(plan, 0);
+        let link = LinkKey::new(N0, N1);
+        assert_eq!(state.degrade_factor(t(9), link), 1.0);
+        assert_eq!(state.degrade_factor(t(10), link), 4.0);
+        assert_eq!(state.degrade_factor(t(19), link), 4.0);
+        assert_eq!(state.degrade_factor(t(20), link), 1.0);
+        assert_eq!(state.degrade_factor(t(15), LinkKey::new(N1, N0)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn out_of_range_probability_panics() {
+        let _ = FaultPlan::new().drop_prob(N0, N1, 1.5);
+    }
+}

@@ -11,7 +11,9 @@
 //! * [`fabric`] — the message-level latency and link-contention model plus
 //!   RDMA verbs;
 //! * [`stats`] — per-flow traffic accounting used to measure the paper's
-//!   message-complexity and traffic-reduction claims.
+//!   message-complexity and traffic-reduction claims;
+//! * [`fault`] — deterministic fault injection (drops, partitions, link
+//!   degradation) replayable from a `(seed, plan)` pair.
 //!
 //! # Examples
 //!
@@ -34,11 +36,13 @@
 //! ```
 
 pub mod fabric;
+pub mod fault;
 pub mod params;
 pub mod stats;
 pub mod topology;
 
 pub use fabric::{Fabric, WIRE_HEADER_BYTES};
+pub use fault::{FaultPlan, LinkKey, SendOutcome};
 pub use params::{ComputeDomain, NetParams};
-pub use stats::{FlowCounter, Medium, TrafficClass, TrafficStats};
+pub use stats::{FaultCounter, FlowCounter, Medium, TrafficClass, TrafficStats};
 pub use topology::{Endpoint, Location, NodeConfig, NodeId, Topology, TopologyError};

@@ -42,11 +42,21 @@ pub struct FlowCounter {
     pub bytes: u64,
 }
 
+/// Injected-fault counters for one directed `(src, dst)` link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounter {
+    /// Messages dropped by the fault plan.
+    pub dropped: u64,
+    /// Deliveries slowed by an active degradation window.
+    pub degraded: u64,
+}
+
 /// All traffic counters for a fabric.
 #[derive(Debug, Clone, Default)]
 pub struct TrafficStats {
     flows: BTreeMap<(NodeId, NodeId, TrafficClass), FlowCounter>,
     by_medium: BTreeMap<(Medium, TrafficClass), FlowCounter>,
+    faults: BTreeMap<(NodeId, NodeId), FaultCounter>,
 }
 
 impl TrafficStats {
@@ -70,6 +80,36 @@ impl TrafficStats {
         let med = self.by_medium.entry((medium, class)).or_default();
         med.msgs += 1;
         med.bytes += bytes;
+    }
+
+    /// Records one message dropped by the fault plan on `src → dst`.
+    pub fn record_drop(&mut self, src: NodeId, dst: NodeId) {
+        self.faults.entry((src, dst)).or_default().dropped += 1;
+    }
+
+    /// Records one delivery slowed by a degradation window on `src → dst`.
+    pub fn record_degraded(&mut self, src: NodeId, dst: NodeId) {
+        self.faults.entry((src, dst)).or_default().degraded += 1;
+    }
+
+    /// Injected-fault counters for one directed link.
+    pub fn link_faults(&self, src: NodeId, dst: NodeId) -> FaultCounter {
+        self.faults.get(&(src, dst)).copied().unwrap_or_default()
+    }
+
+    /// Iterates over all per-link fault counters.
+    pub fn fault_links(&self) -> impl Iterator<Item = (&(NodeId, NodeId), &FaultCounter)> {
+        self.faults.iter()
+    }
+
+    /// Total messages dropped by the fault plan.
+    pub fn total_dropped(&self) -> u64 {
+        self.faults.values().map(|c| c.dropped).sum()
+    }
+
+    /// Total deliveries slowed by degradation windows.
+    pub fn total_degraded(&self) -> u64 {
+        self.faults.values().map(|c| c.degraded).sum()
     }
 
     /// Counter for one `(src, dst, class)` flow.
@@ -153,6 +193,16 @@ impl TrafficStats {
                 diff.by_medium.insert(*key, d);
             }
         }
+        for (key, cur) in &self.faults {
+            let base = baseline.faults.get(key).copied().unwrap_or_default();
+            let d = FaultCounter {
+                dropped: cur.dropped - base.dropped,
+                degraded: cur.degraded - base.degraded,
+            };
+            if d != FaultCounter::default() {
+                diff.faults.insert(*key, d);
+            }
+        }
         diff
     }
 
@@ -160,6 +210,7 @@ impl TrafficStats {
     pub fn reset(&mut self) {
         self.flows.clear();
         self.by_medium.clear();
+        self.faults.clear();
     }
 }
 
@@ -212,5 +263,27 @@ mod tests {
     fn unknown_flow_is_zero() {
         let s = TrafficStats::new();
         assert_eq!(s.flow(N0, N1, TrafficClass::Data), FlowCounter::default());
+    }
+
+    #[test]
+    fn fault_counters_diff_and_reset() {
+        let mut s = TrafficStats::new();
+        s.record_drop(N0, N1);
+        let snapshot = s.clone();
+        s.record_drop(N0, N1);
+        s.record_degraded(N1, N0);
+
+        assert_eq!(s.link_faults(N0, N1).dropped, 2);
+        assert_eq!(s.total_dropped(), 2);
+        assert_eq!(s.total_degraded(), 1);
+
+        let d = s.since(&snapshot);
+        assert_eq!(d.link_faults(N0, N1).dropped, 1);
+        assert_eq!(d.link_faults(N1, N0).degraded, 1);
+        assert_eq!(d.fault_links().count(), 2);
+
+        s.reset();
+        assert_eq!(s.total_dropped() + s.total_degraded(), 0);
+        assert_eq!(s.link_faults(N0, N1), FaultCounter::default());
     }
 }

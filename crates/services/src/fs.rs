@@ -52,6 +52,33 @@ pub const TAG_FS_DELETE: u64 = 0x0304;
 /// Internal completion continuations the FS hands to the block device.
 const TAG_FS_INTERNAL: u64 = 0x0310;
 
+/// Typed FS failure codes.
+///
+/// A failed operation replies `[code]` imms with *zero* capabilities on the
+/// client's continuation (create/open) or error Request (read/write).
+/// Success replies always carry at least one capability (handles) or ride
+/// the dedicated success Request, so the two shapes cannot be confused.
+/// Under an armed fault plan these codes are how the FS degrades instead of
+/// hanging: a partitioned block adaptor or an exhausted retry budget
+/// surfaces here rather than as a lost continuation.
+pub mod fs_err {
+    /// Read/write range straddles extents or exceeds the file.
+    pub const RANGE: u64 = 1;
+    /// Dynamic composition failed (block Request unreachable or revoked).
+    pub const COMPOSE: u64 = 2;
+    /// Staging-buffer setup failed.
+    pub const STAGING: u64 = 3;
+    /// FS degraded: the block adaptor is unreachable (bootstrap failed or
+    /// its Controller is partitioned), so no volumes can be provisioned.
+    pub const DEGRADED: u64 = 4;
+    /// No such file.
+    pub const NO_FILE: u64 = 5;
+    /// Minting an internal continuation or per-file handle failed.
+    pub const INTERNAL: u64 = 6;
+    /// Block-device operation failed.
+    pub const IO: u64 = 9;
+}
+
 /// Data-path mode of the storage stack.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FsMode {
@@ -165,19 +192,24 @@ impl FsService {
     }
 
     /// Creates an internal continuation Request carrying `[kind, op]` and
-    /// passes its cid on.
+    /// passes its cid on. Under an armed fault plan the Controller may be
+    /// unable to mint the Request (retry budget exhausted); the callback
+    /// then receives the error so callers can fail the pending operation
+    /// instead of hanging it.
     fn internal_cont(
         fos: &Fos<Self>,
         kind: u64,
         op: u64,
-        k: impl FnOnce(&mut Self, Cid, &Fos<Self>) + Send + 'static,
+        k: impl FnOnce(&mut Self, Result<Cid, FosError>, &Fos<Self>) + Send + 'static,
     ) {
         fos.request_create_new(
             TAG_FS_INTERNAL,
             vec![imm(kind), imm(op)],
             vec![],
-            move |s, res, fos| {
-                k(s, res.cid(), fos);
+            move |s, res, fos| match res {
+                SyscallResult::NewCid(cid) => k(s, Ok(cid), fos),
+                SyscallResult::Err(e) => k(s, Err(e), fos),
+                _ => k(s, Err(FosError::WrongObjectKind), fos),
             },
         );
     }
@@ -188,22 +220,25 @@ impl FsService {
     fn grab_staging(
         &mut self,
         fos: &Fos<Self>,
-        k: impl FnOnce(&mut Self, usize, &Fos<Self>) + Send + 'static,
+        k: impl FnOnce(&mut Self, Result<usize, FosError>, &Fos<Self>) + Send + 'static,
     ) {
         if let Some(i) = self.staging.iter().position(|s| !s.busy) {
             self.staging[i].busy = true;
-            k(self, i, fos);
+            k(self, Ok(i), fos);
             return;
         }
         let size = self.extent_size;
         let addr = fos.mem_alloc(size);
         fos.memory_create(addr, size, Perms::RW, move |s: &mut Self, res, fos| {
             let SyscallResult::NewCid(cid) = res else {
+                // Growing the pool failed (e.g. the Controller link is
+                // down): surface the failure instead of dropping the op.
+                k(s, Err(FosError::ControllerUnreachable), fos);
                 return;
             };
             s.staging.push(StagingBuf { cid, busy: true });
             let i = s.staging.len() - 1;
-            k(s, i, fos);
+            k(s, Ok(i), fos);
         });
     }
 
@@ -214,6 +249,9 @@ impl FsService {
             return;
         };
         let Some(create_vol) = self.create_vol_req else {
+            // Bootstrap never reached the block adaptor: the FS is up but
+            // degraded — creates fail typed instead of hanging the client.
+            fos.reply_via(cont, vec![imm(fs_err::DEGRADED)], vec![]);
             return;
         };
         let n = size.div_ceil(self.extent_size).max(1);
@@ -231,16 +269,41 @@ impl FsService {
 
     fn request_extent(&mut self, fos: &Fos<Self>, create_vol: Cid, op: u64) {
         let extent_size = self.extent_size;
-        FsService::internal_cont(fos, 0, op, move |_s, cont, fos| {
+        FsService::internal_cont(fos, 0, op, move |s, cont, fos| {
+            let Ok(cont) = cont else {
+                s.fail_create(op, fos);
+                return;
+            };
             fos.request_derive(
                 create_vol,
                 vec![imm(extent_size)],
                 vec![cont],
-                |_s, res, fos| {
-                    fos.request_invoke(res.cid(), |_, res, _| debug_assert!(res.is_ok()));
+                move |s: &mut Self, res, fos| {
+                    let SyscallResult::NewCid(cid) = res else {
+                        s.fail_create(op, fos);
+                        return;
+                    };
+                    fos.request_invoke(cid, move |s: &mut Self, res, fos| {
+                        if !res.is_ok() {
+                            s.fail_create(op, fos);
+                        }
+                    });
                 },
             );
         });
+    }
+
+    /// Fails a pending create with a typed reply, releasing any extents
+    /// already provisioned.
+    fn fail_create(&mut self, op: u64, fos: &Fos<Self>) {
+        let Some(pending) = self.creates.remove(&op) else {
+            return;
+        };
+        for e in pending.extents {
+            fos.call_ignore(Syscall::CapRevoke { cid: e.read_req });
+            fos.call_ignore(Syscall::CapRevoke { cid: e.write_req });
+        }
+        fos.reply_via(pending.cont, vec![imm(fs_err::DEGRADED)], vec![]);
     }
 
     /// A `create_vol` completion arrived: `[vol]` imm plus
@@ -258,7 +321,10 @@ impl FsService {
             write_req,
         });
         if (pending.extents.len() as u64) < pending.extents_needed {
-            let create_vol = self.create_vol_req.expect("bootstrap done");
+            let Some(create_vol) = self.create_vol_req else {
+                self.fail_create(op, fos);
+                return;
+            };
             self.request_extent(fos, create_vol, op);
             return;
         }
@@ -285,14 +351,20 @@ impl FsService {
                     vec![imm(file_id)],
                     vec![],
                     move |_s: &mut Self, res, fos| {
-                        let fs_read = res.cid();
+                        let SyscallResult::NewCid(fs_read) = res else {
+                            fos.reply_via(cont, vec![imm(fs_err::INTERNAL)], vec![]);
+                            return;
+                        };
                         if writable {
                             fos.request_create_new(
                                 TAG_FS_WRITE,
                                 vec![imm(file_id)],
                                 vec![],
                                 move |_s: &mut Self, res, fos| {
-                                    let fs_write = res.cid();
+                                    let SyscallResult::NewCid(fs_write) = res else {
+                                        fos.reply_via(cont, vec![imm(fs_err::INTERNAL)], vec![]);
+                                        return;
+                                    };
                                     fos.reply_via(
                                         cont,
                                         vec![imm(file_id), imm(extent_size)],
@@ -315,6 +387,7 @@ impl FsService {
                 // (read-only opens withhold the write Requests — the
                 // "access permissions according to the file's open mode").
                 let Some(file) = self.files.get(&file_id) else {
+                    fos.reply_via(cont, vec![imm(fs_err::NO_FILE)], vec![]);
                     return;
                 };
                 let mut caps = Vec::new();
@@ -356,6 +429,7 @@ impl FsService {
             return;
         };
         if !self.files.contains_key(&file_id) {
+            fos.reply_via(cont, vec![imm(fs_err::NO_FILE)], vec![]);
             return;
         }
         self.reply_handles(file_id, mode == 1, cont, fos);
@@ -387,7 +461,7 @@ impl FsService {
             return;
         };
         let Some((ext_idx, ext_off)) = self.locate(file, offset, size) else {
-            fos.reply_via(error, vec![imm(1)], vec![]);
+            fos.reply_via(error, vec![imm(fs_err::RANGE)], vec![]);
             return;
         };
         let f = &self.files[&file];
@@ -407,10 +481,16 @@ impl FsService {
                     blk_req,
                     vec![imm(ext_off), imm(size)],
                     vec![client_mem, success, error],
-                    |_s, res, fos| {
-                        if let SyscallResult::NewCid(cid) = res {
-                            fos.request_invoke(cid, |_, res, _| debug_assert!(res.is_ok()));
-                        }
+                    move |_s, res, fos| {
+                        let SyscallResult::NewCid(cid) = res else {
+                            fos.reply_via(error, vec![imm(fs_err::COMPOSE)], vec![]);
+                            return;
+                        };
+                        fos.request_invoke(cid, move |_, res, fos| {
+                            if !res.is_ok() {
+                                fos.reply_via(error, vec![imm(fs_err::COMPOSE)], vec![]);
+                            }
+                        });
                     },
                 );
             }
@@ -418,6 +498,10 @@ impl FsService {
                 // (A DAX client normally bypasses the FS, but the mediated
                 // path still works for it.)
                 self.grab_staging(fos, move |s: &mut Self, slot, fos| {
+                    let Ok(slot) = slot else {
+                        fos.reply_via(error, vec![imm(fs_err::STAGING)], vec![]);
+                        return;
+                    };
                     s.mediated_io(
                         slot, blk_req, ext_off, size, client_mem, success, error, is_read, fos,
                     );
@@ -453,7 +537,7 @@ impl FsService {
             move |s: &mut Self, res, fos| {
                 let SyscallResult::NewCid(view) = res else {
                     s.staging[slot].busy = false;
-                    fos.reply_via(error, vec![imm(3)], vec![]);
+                    fos.reply_via(error, vec![imm(fs_err::STAGING)], vec![]);
                     return;
                 };
                 s.ops.insert(
@@ -470,18 +554,17 @@ impl FsService {
                 );
                 if is_read {
                     // Device → staging, then staging → client.
-                    FsService::internal_cont(fos, 1, op, move |_s, done, fos| {
-                        FsService::internal_cont(fos, 2, op, move |_s, fail, fos| {
-                            fos.request_derive(
-                                blk_req,
-                                vec![imm(ext_off), imm(size)],
-                                vec![view, done, fail],
-                                |_s, res, fos| {
-                                    if let SyscallResult::NewCid(cid) = res {
-                                        fos.request_invoke(cid, |_, _, _| {});
-                                    }
-                                },
-                            );
+                    FsService::internal_cont(fos, 1, op, move |s, done, fos| {
+                        let Ok(done) = done else {
+                            s.finish_op(op, false, fos);
+                            return;
+                        };
+                        FsService::internal_cont(fos, 2, op, move |s, fail, fos| {
+                            let Ok(fail) = fail else {
+                                s.finish_op(op, false, fos);
+                                return;
+                            };
+                            Self::invoke_blk(blk_req, ext_off, size, view, done, fail, op, fos);
                         });
                     });
                 } else {
@@ -491,22 +574,52 @@ impl FsService {
                             s.finish_op(op, false, fos);
                             return;
                         }
-                        FsService::internal_cont(fos, 1, op, move |_s, done, fos| {
-                            FsService::internal_cont(fos, 2, op, move |_s, fail, fos| {
-                                fos.request_derive(
-                                    blk_req,
-                                    vec![imm(ext_off), imm(size)],
-                                    vec![view, done, fail],
-                                    |_s, res, fos| {
-                                        if let SyscallResult::NewCid(cid) = res {
-                                            fos.request_invoke(cid, |_, _, _| {});
-                                        }
-                                    },
-                                );
+                        FsService::internal_cont(fos, 1, op, move |s, done, fos| {
+                            let Ok(done) = done else {
+                                s.finish_op(op, false, fos);
+                                return;
+                            };
+                            FsService::internal_cont(fos, 2, op, move |s, fail, fos| {
+                                let Ok(fail) = fail else {
+                                    s.finish_op(op, false, fos);
+                                    return;
+                                };
+                                Self::invoke_blk(blk_req, ext_off, size, view, done, fail, op, fos);
                             });
                         });
                     });
                 }
+            },
+        );
+    }
+
+    /// Derives the block-device Request with the staging view and internal
+    /// continuations, then fires it. Any failure fails op `op` typed.
+    #[allow(clippy::too_many_arguments)]
+    fn invoke_blk(
+        blk_req: Cid,
+        ext_off: u64,
+        size: u64,
+        view: Cid,
+        done: Cid,
+        fail: Cid,
+        op: u64,
+        fos: &Fos<Self>,
+    ) {
+        fos.request_derive(
+            blk_req,
+            vec![imm(ext_off), imm(size)],
+            vec![view, done, fail],
+            move |s: &mut Self, res, fos| {
+                let SyscallResult::NewCid(cid) = res else {
+                    s.finish_op(op, false, fos);
+                    return;
+                };
+                fos.request_invoke(cid, move |s: &mut Self, res, fos| {
+                    if !res.is_ok() {
+                        s.finish_op(op, false, fos);
+                    }
+                });
             },
         );
     }
@@ -540,7 +653,7 @@ impl FsService {
             self.completed_ops += 1;
             fos.reply_via(p.client_success, vec![imm(p.size)], vec![]);
         } else {
-            fos.reply_via(p.client_error, vec![imm(9)], vec![]);
+            fos.reply_via(p.client_error, vec![imm(fs_err::IO)], vec![]);
         }
     }
 }
@@ -563,21 +676,28 @@ impl Service for FsService {
         fos.call(
             Syscall::KvGet { key: blk_key },
             move |s: &mut Self, res, fos| {
-                s.create_vol_req = Some(res.cid());
+                // Under faults the KvGet can fail: come up degraded
+                // (creates reply `fs_err::DEGRADED`) rather than not at all.
+                if let SyscallResult::NewCid(cid) = res {
+                    s.create_vol_req = Some(cid);
+                }
                 let create_key = format!("{key}.create");
                 let open_key = format!("{key}.open");
                 fos.request_create_new(TAG_FS_CREATE, vec![], vec![], move |_s, res, fos| {
-                    let c = res.cid();
-                    fos.kv_put(&create_key, c, |_, res, _| debug_assert!(res.is_ok()));
+                    if let SyscallResult::NewCid(c) = res {
+                        fos.kv_put(&create_key, c, |_, _, _| {});
+                    }
                 });
                 fos.request_create_new(TAG_FS_OPEN, vec![], vec![], move |_s, res, fos| {
-                    let o = res.cid();
-                    fos.kv_put(&open_key, o, |_, res, _| debug_assert!(res.is_ok()));
+                    if let SyscallResult::NewCid(o) = res {
+                        fos.kv_put(&open_key, o, |_, _, _| {});
+                    }
                 });
                 let delete_key = format!("{key}.delete");
                 fos.request_create_new(TAG_FS_DELETE, vec![], vec![], move |_s, res, fos| {
-                    let del = res.cid();
-                    fos.kv_put(&delete_key, del, |_, res, _| debug_assert!(res.is_ok()));
+                    if let SyscallResult::NewCid(del) = res {
+                        fos.kv_put(&delete_key, del, |_, _, _| {});
+                    }
                 });
             },
         );
