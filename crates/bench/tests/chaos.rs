@@ -15,10 +15,10 @@
 use fractos_core::prelude::*;
 use fractos_core::WatchdogActor;
 use fractos_net::stats::{FaultCounter, FlowCounter, TrafficClass};
-use fractos_net::{FaultPlan, NetParams, NodeId, Topology};
+use fractos_net::{DeviceFaultCounter, Endpoint, FaultPlan, NetParams, NodeId, Topology};
 use fractos_services::deploy::deploy_faceverify;
 use fractos_services::faceverify::FvClient;
-use fractos_services::FvConfig;
+use fractos_services::{FaceVerifyFrontend, FvConfig};
 use fractos_sim::{RuntimeKind, SimTime};
 
 const IMG: u64 = 4096;
@@ -54,13 +54,24 @@ fn recoverable_plan() -> FaultPlan {
         .degrade(NodeId(0), NodeId(2), us(10), us(10_000), 4.0)
 }
 
+/// Everything a chaos run produces, for completion and replay checks.
+#[derive(Debug, PartialEq)]
+struct RunOut {
+    flows: Flows,
+    faults: Faults,
+    dev_faults: Vec<(Endpoint, DeviceFaultCounter)>,
+    verdicts: Vec<bool>,
+    fv_retried: u64,
+}
+
 /// Runs the FractOS Fig 2 deployment on `kind` with `plan` armed from the
-/// workload start; returns per-link traffic counters, per-link fault
-/// counters, and the per-request match verdicts.
-fn run_faulty(kind: RuntimeKind, seed: u64, plan: Option<FaultPlan>) -> (Flows, Faults, Vec<bool>) {
-    let mut tb = Testbed::new_on(Topology::paper_testbed(), NetParams::paper(), seed, kind);
+/// workload start and `params` on the wire; returns per-link traffic and
+/// fault counters, per-device fault counters, the per-request match
+/// verdicts, and the frontend's retry count.
+fn run_fv(kind: RuntimeKind, seed: u64, plan: Option<FaultPlan>, params: NetParams) -> RunOut {
+    let mut tb = Testbed::new_on(Topology::paper_testbed(), params, seed, kind);
     let ctrls = tb.controllers_per_node(false);
-    deploy_faceverify(&mut tb, &ctrls, FvConfig::default(), 256);
+    let dep = deploy_faceverify(&mut tb, &ctrls, FvConfig::default(), 256);
     tb.reset_traffic();
     if let Some(plan) = plan {
         tb.install_fault_plan(plan, seed);
@@ -81,10 +92,24 @@ fn run_faulty(kind: RuntimeKind, seed: u64, plan: Option<FaultPlan>) -> (Flows, 
         );
         c.samples.iter().map(|s| s.all_matched).collect::<Vec<_>>()
     });
+    let fv_retried = tb.with_service::<FaceVerifyFrontend, _>(dep.frontend, |f| f.retried);
     let traffic = tb.traffic();
-    let flows = traffic.flows().map(|(k, v)| (*k, *v)).collect();
-    let faults = traffic.fault_links().map(|(k, v)| (*k, *v)).collect();
-    (flows, faults, verdicts)
+    RunOut {
+        flows: traffic.flows().map(|(k, v)| (*k, *v)).collect(),
+        faults: traffic.fault_links().map(|(k, v)| (*k, *v)).collect(),
+        dev_faults: traffic
+            .device_fault_devices()
+            .map(|(k, v)| (*k, *v))
+            .collect(),
+        verdicts,
+        fv_retried,
+    }
+}
+
+/// [`run_fv`] with the paper's wire parameters (integrity checking on).
+fn run_faulty(kind: RuntimeKind, seed: u64, plan: Option<FaultPlan>) -> (Flows, Faults, Vec<bool>) {
+    let out = run_fv(kind, seed, plan, NetParams::paper());
+    (out.flows, out.faults, out.verdicts)
 }
 
 /// Under the recoverable plan, every request completes and verifies on the
@@ -140,6 +165,136 @@ fn chaos_same_seed_and_plan_bit_identical_across_backends() {
     assert_eq!(
         single_verdicts, sharded_verdicts,
         "verdicts diverged across backends"
+    );
+}
+
+/// A recoverable *device*-fault plan for the Fig 2 deployment: the GPU
+/// occasionally fails launches and corrupts outputs, the NVMe behind the
+/// FS fails media reads and tears writes. Every fault is transient, so
+/// the per-stage retry budgets (`FV_RETRIES`, `FS_IO_RETRIES`) must carry
+/// every request to completion with verified payloads.
+fn recoverable_device_plan() -> FaultPlan {
+    FaultPlan::new()
+        .gpu_launch_errors(gpu(1), 0.15)
+        .gpu_output_corruption(gpu(1), 0.05)
+        .device_latency_spikes(gpu(1), 0.1, 4.0)
+        .nvme_read_errors(nvme(0), 0.2)
+        .nvme_torn_writes(nvme(0), 0.1)
+}
+
+/// Under the recoverable device plan, every Fig 2 request completes with
+/// a verified payload on the backend selected by `FRACTOS_RUNTIME`, and
+/// the injected device faults demonstrably fired and were recovered.
+#[test]
+fn chaos_fig2_completes_under_device_faults() {
+    let seed = chaos_seed();
+    let out = run_fv(
+        RuntimeKind::from_env(),
+        seed,
+        Some(recoverable_device_plan()),
+        NetParams::paper(),
+    );
+    assert!(
+        out.verdicts.iter().all(|&m| m),
+        "a request failed verification under device faults, seed {seed}"
+    );
+    let total: u64 = out
+        .dev_faults
+        .iter()
+        .map(|(_, c)| c.failed + c.torn + c.corrupted + c.spiked)
+        .sum();
+    assert!(
+        total > 0,
+        "device plan armed but nothing fired (seed {seed})"
+    );
+    let gpu_errors: u64 = out
+        .dev_faults
+        .iter()
+        .filter(|(e, _)| *e == gpu(1))
+        .map(|(_, c)| c.failed + c.corrupted)
+        .sum();
+    if gpu_errors > 0 {
+        assert!(
+            out.fv_retried > 0,
+            "GPU faults fired but the frontend never retried (seed {seed})"
+        );
+    }
+}
+
+/// The same `(seed, device plan)` replays bit-identically: twice on one
+/// backend, and the device-fault counters and verdicts also agree across
+/// backends (draws are keyed by per-device op index, not wall clock).
+#[test]
+fn chaos_device_faults_replay_bit_identically() {
+    let seed = chaos_seed();
+    let a = run_fv(
+        RuntimeKind::SingleThreaded,
+        seed,
+        Some(recoverable_device_plan()),
+        NetParams::paper(),
+    );
+    let b = run_fv(
+        RuntimeKind::SingleThreaded,
+        seed,
+        Some(recoverable_device_plan()),
+        NetParams::paper(),
+    );
+    assert_eq!(a, b, "same (seed, plan, backend) diverged");
+    let c = run_fv(
+        RuntimeKind::Sharded,
+        seed,
+        Some(recoverable_device_plan()),
+        NetParams::paper(),
+    );
+    assert_eq!(
+        a.dev_faults, c.dev_faults,
+        "device-fault counters diverged across backends"
+    );
+    assert_eq!(a.verdicts, c.verdicts, "verdicts diverged across backends");
+    assert_eq!(
+        a.fv_retried, c.fv_retried,
+        "recovery retries diverged across backends"
+    );
+}
+
+/// Tentpole acceptance: payload corruption injected on the GPU → frontend
+/// data link is *observable* without integrity envelopes (wrong bytes
+/// reach the application) and *detected and recovered* with them.
+#[test]
+fn chaos_payload_corruption_detected_and_recovered() {
+    // Pinned seed: the unchecked half asserts that a bit flip actually
+    // lands in a result byte, which is a property of the specific draws.
+    let seed = 61;
+    let plan = || Some(FaultPlan::new().corrupt_data(NodeId(1), NodeId(2), 0.35));
+
+    // Checked (the paper's wire, end-to-end integrity on): every
+    // corrupted copy is caught by the envelope and retried; all verdicts
+    // hold.
+    let checked = run_fv(
+        RuntimeKind::SingleThreaded,
+        seed,
+        plan(),
+        NetParams::paper(),
+    );
+    let corrupted: u64 = checked.faults.iter().map(|(_, c)| c.corrupted).sum();
+    assert!(corrupted > 0, "corruption plan armed but never fired");
+    assert!(
+        checked.verdicts.iter().all(|&m| m),
+        "corruption leaked past the integrity envelope"
+    );
+    assert!(
+        checked.fv_retried > 0,
+        "corruption detected but never recovered"
+    );
+
+    // Unchecked (integrity verification off): the same plan delivers
+    // wrong bytes all the way to the application.
+    let mut params = NetParams::paper();
+    params.end_to_end_integrity = false;
+    let unchecked = run_fv(RuntimeKind::SingleThreaded, seed, plan(), params);
+    assert!(
+        unchecked.verdicts.iter().any(|&m| !m),
+        "unchecked run did not observe the injected corruption"
     );
 }
 

@@ -1154,12 +1154,30 @@ impl ControllerActor {
         // Move the actual bytes through the windows (one-sided access with
         // validity, permission and bounds checks at the owner side).
         let read = { self.mem.borrow().rdma_read_window(src_ref, 0, size) };
-        let data = match read {
+        let mut data = match read {
             Ok(d) => d,
             Err(e) => {
                 let extra = self.charge(ctx.now(), h);
                 self.reply(ctx, proc, token, SyscallResult::Err(e), extra);
                 return;
+            }
+        };
+        // Data-plane corruption: on links the armed plan names, one bit of
+        // the payload may flip in flight (data class only — the control
+        // plane keeps the drop model). The source checksum is the
+        // producer-side integrity envelope; it is captured before the flip
+        // so the destination read-back below can catch the corruption.
+        let (src_node, dst_node) = (src_desc.location.node, dst_desc.location.node);
+        let src_sum = {
+            let mut fabric = self.fabric.borrow_mut();
+            if fabric.corrupts_data(src_node, dst_node) {
+                let sum = crate::integrity::fnv1a(&data);
+                if let Some(bit) = fabric.corrupt_payload(src_node, dst_node) {
+                    crate::integrity::flip_bit(&mut data, bit);
+                }
+                Some(sum)
+            } else {
+                None
             }
         };
         let write = { self.mem.borrow_mut().rdma_write_window(dst_ref, 0, &data) };
@@ -1258,6 +1276,28 @@ impl ControllerActor {
             };
             (last_write_arrival + ack).duration_since(ctx.now())
         };
+        // Integrity envelope at the consumption boundary: re-read the
+        // destination and compare against the producer-side checksum. This
+        // models the NIC's inline CRC engine, so it adds no simulated
+        // time; it only runs on links the plan can corrupt, keeping clean
+        // runs byte-identical. A mismatch surfaces as a typed error — the
+        // corrupted bytes stay in the destination, exactly as they would
+        // on real hardware, and the caller decides whether to retry.
+        if params.end_to_end_integrity {
+            if let Some(sum) = src_sum {
+                let back = { self.mem.borrow().rdma_read_window(dst_ref, 0, size) };
+                if !back.is_ok_and(|b| crate::integrity::fnv1a(&b) == sum) {
+                    self.reply(
+                        ctx,
+                        proc,
+                        token,
+                        SyscallResult::Err(FosError::IntegrityViolation),
+                        extra,
+                    );
+                    return;
+                }
+            }
+        }
         self.reply(ctx, proc, token, SyscallResult::Ok, extra);
     }
 

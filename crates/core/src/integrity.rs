@@ -1,0 +1,162 @@
+//! Integrity envelopes: checksums over memory-object extents.
+//!
+//! The disaggregated data plane moves payloads through devices and RDMA
+//! transfers that can silently corrupt them (an ECC escape on the GPU, a
+//! torn NVMe write, a bit flip in flight). FractOS's answer is an
+//! *integrity envelope*: the producer of a payload stamps an FNV-1a
+//! checksum over the extent it wrote, and every consumption boundary —
+//! `memory_copy` completion, an FS extent read, a GPU kernel's
+//! input/output — re-derives the sum and compares. A mismatch surfaces as
+//! the typed [`FosError::IntegrityViolation`](crate::types::FosError)
+//! instead of a silently wrong answer, which the error-continuation
+//! machinery (§3.6) can then retry or degrade.
+//!
+//! The checks model the inline CRC engines of real NICs and drives, so
+//! they charge no simulated time.
+
+use std::collections::BTreeMap;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit checksum of `data`.
+pub fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Flips bit `bit % (8 * data.len())` in place (no-op on an empty slice).
+/// Fault injectors hand out a raw hash; this reduces it to a position.
+pub fn flip_bit(data: &mut [u8], bit: u64) {
+    if data.is_empty() {
+        return;
+    }
+    let pos = bit % (8 * data.len() as u64);
+    data[(pos / 8) as usize] ^= 1 << (pos % 8);
+}
+
+/// Producer-stamped checksums over extents of identified objects.
+///
+/// Keys are `(object id, extent offset)` — the object id is whatever the
+/// owner uses to name a buffer (a volume id, a memory address, a slot
+/// index). Stamping an extent invalidates any previously stamped extent
+/// it overlaps, so stale sums can never false-positive after a rewrite.
+#[derive(Debug, Default)]
+pub struct ExtentSums {
+    /// `(obj, offset)` → `(len, checksum)`.
+    sums: BTreeMap<(u64, u64), (u64, u64)>,
+}
+
+impl ExtentSums {
+    /// An empty table.
+    pub fn new() -> Self {
+        ExtentSums::default()
+    }
+
+    /// Stamps the checksum of `data` as the envelope of
+    /// `[off, off + data.len())` in `obj`, dropping overlapped stamps.
+    pub fn stamp(&mut self, obj: u64, off: u64, data: &[u8]) {
+        let end = off + data.len() as u64;
+        let stale: Vec<(u64, u64)> = self
+            .sums
+            .range((obj, 0)..(obj, u64::MAX))
+            .filter(|(&(_, o), &(l, _))| o < end && o + l > off)
+            .map(|(&k, _)| k)
+            .collect();
+        for k in stale {
+            self.sums.remove(&k);
+        }
+        self.sums
+            .insert((obj, off), (data.len() as u64, fnv1a(data)));
+    }
+
+    /// Verifies `data` against the stamp of exactly `(obj, off)` with the
+    /// same length. `Some(true)` on match, `Some(false)` on mismatch,
+    /// `None` when no matching stamp exists (nothing to verify against).
+    pub fn verify(&self, obj: u64, off: u64, data: &[u8]) -> Option<bool> {
+        let &(len, sum) = self.sums.get(&(obj, off))?;
+        if len != data.len() as u64 {
+            return None;
+        }
+        Some(fnv1a(data) == sum)
+    }
+
+    /// Drops every stamp of `obj`.
+    pub fn forget(&mut self, obj: u64) {
+        let keys: Vec<(u64, u64)> = self
+            .sums
+            .range((obj, 0)..(obj, u64::MAX))
+            .map(|(&k, _)| k)
+            .collect();
+        for k in keys {
+            self.sums.remove(&k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_discriminates_single_bits() {
+        let a = vec![0u8; 64];
+        let mut b = a.clone();
+        flip_bit(&mut b, 77);
+        assert_ne!(fnv1a(&a), fnv1a(&b));
+        assert_ne!(a, b);
+        flip_bit(&mut b, 77);
+        assert_eq!(a, b, "double flip restores");
+    }
+
+    #[test]
+    fn flip_bit_reduces_modulo_length() {
+        let mut d = vec![0u8; 4];
+        flip_bit(&mut d, 32); // == bit 0
+        assert_eq!(d, vec![1, 0, 0, 0]);
+        flip_bit(&mut [], 5); // must not panic
+    }
+
+    #[test]
+    fn stamp_verify_roundtrip() {
+        let mut t = ExtentSums::new();
+        let data: Vec<u8> = (0..32).collect();
+        t.stamp(9, 128, &data);
+        assert_eq!(t.verify(9, 128, &data), Some(true));
+        let mut bad = data.clone();
+        bad[3] ^= 0x10;
+        assert_eq!(t.verify(9, 128, &bad), Some(false));
+        assert_eq!(t.verify(9, 0, &data), None, "unstamped offset");
+        assert_eq!(t.verify(8, 128, &data), None, "other object");
+        assert_eq!(t.verify(9, 128, &data[..16]), None, "length mismatch");
+    }
+
+    #[test]
+    fn overlapping_stamp_invalidates_stale_sums() {
+        let mut t = ExtentSums::new();
+        t.stamp(1, 0, &[1, 2, 3, 4]);
+        t.stamp(1, 2, &[9, 9, 9, 9]); // overlaps [0,4)
+        assert_eq!(t.verify(1, 0, &[1, 2, 3, 4]), None, "stale stamp dropped");
+        assert_eq!(t.verify(1, 2, &[9, 9, 9, 9]), Some(true));
+        // Disjoint extents coexist.
+        t.stamp(1, 100, &[5; 8]);
+        assert_eq!(t.verify(1, 2, &[9, 9, 9, 9]), Some(true));
+        assert_eq!(t.verify(1, 100, &[5; 8]), Some(true));
+    }
+
+    #[test]
+    fn forget_drops_only_that_object() {
+        let mut t = ExtentSums::new();
+        t.stamp(1, 0, &[1]);
+        t.stamp(2, 0, &[2]);
+        t.forget(1);
+        assert_eq!(t.verify(1, 0, &[1]), None);
+        assert_eq!(t.verify(2, 0, &[2]), Some(true));
+    }
+}

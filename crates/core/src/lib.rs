@@ -67,6 +67,7 @@
 
 pub mod controller;
 pub mod directory;
+pub mod integrity;
 pub mod memstore;
 pub mod messages;
 pub mod msgmodel;
@@ -92,6 +93,7 @@ pub mod prelude {
 
 pub use controller::ControllerActor;
 pub use directory::Directory;
+pub use integrity::{flip_bit, fnv1a, ExtentSums};
 pub use memstore::MemoryStore;
 pub use process::{Fos, NullService, ProcessActor, Service};
 pub use testbed::{CtrlPlacement, Testbed};

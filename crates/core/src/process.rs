@@ -70,6 +70,7 @@ struct FosInner<S> {
     window: u32,
     backlog: VecDeque<(u64, Syscall)>,
     mem: Shared<MemoryStore>,
+    fabric: Shared<fractos_net::Fabric>,
 }
 
 /// Handle through which a [`Service`] uses FractOS.
@@ -254,6 +255,24 @@ impl<S: Service> Fos<S> {
         r
     }
 
+    /// Draws the fault-plan decision for the next operation of class `op`
+    /// on the device this adaptor fronts. Deterministic (hashed from the
+    /// plan seed and the per-device op index, not this Process's RNG);
+    /// returns `None` when no plan names the device. Device adaptors call
+    /// this once per media/launch operation, in their own serial order, so
+    /// the sequence replays bit-identically on both runtime backends.
+    pub fn device_fault(
+        &self,
+        device: Endpoint,
+        op: fractos_net::DeviceOp,
+    ) -> fractos_net::DeviceFaultOutcome {
+        let inner = self.inner.borrow();
+        let fabric = inner.fabric.clone();
+        drop(inner);
+        let outcome = fabric.borrow_mut().device_fault(device, op);
+        outcome
+    }
+
     // ---- Table 1 convenience wrappers -------------------------------
 
     /// `memory_create`: registers `[addr, addr+size)` and continues with the
@@ -415,6 +434,7 @@ impl<S: Service> ProcessActor<S> {
                 window: 256,
                 backlog: VecDeque::new(),
                 mem,
+                fabric: fabric.clone(),
             }),
         };
         ProcessActor {
@@ -698,6 +718,13 @@ impl Service for NullService {
 mod tests {
     use super::*;
 
+    fn test_fabric() -> Shared<fractos_net::Fabric> {
+        Shared::new(fractos_net::Fabric::new(
+            fractos_net::Topology::paper_testbed(),
+            fractos_net::NetParams::paper(),
+        ))
+    }
+
     #[test]
     fn fos_queues_syscalls_beyond_window() {
         let mem = Shared::new(MemoryStore::new());
@@ -712,6 +739,7 @@ mod tests {
             window: 2,
             backlog: VecDeque::new(),
             mem,
+            fabric: test_fabric(),
         };
         let fos = Fos {
             inner: Shared::new(inner),
@@ -739,6 +767,7 @@ mod tests {
             window: 8,
             backlog: VecDeque::new(),
             mem,
+            fabric: test_fabric(),
         };
         let fos = Fos {
             inner: Shared::new(inner),

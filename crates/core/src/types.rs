@@ -356,6 +356,10 @@ pub enum FosError {
     Topology(TopologyError),
     /// The RDMA window was invalidated (object revoked at its owner).
     WindowInvalid,
+    /// An integrity envelope over the payload failed to verify at a
+    /// consumption boundary (the bytes differ from what the producer
+    /// stamped — corruption, a torn write, or a faulty device output).
+    IntegrityViolation,
 }
 
 impl From<CapError> for FosError {
@@ -377,6 +381,7 @@ impl fmt::Display for FosError {
             FosError::ProcessFailed => write!(f, "process failed"),
             FosError::Topology(e) => write!(f, "topology error: {e}"),
             FosError::WindowInvalid => write!(f, "memory window invalidated"),
+            FosError::IntegrityViolation => write!(f, "payload integrity violation"),
         }
     }
 }

@@ -509,6 +509,7 @@ impl Wire for FosError {
             FosError::ProcessFailed => 7,
             FosError::Topology(_) => 8,
             FosError::WindowInvalid => 9,
+            FosError::IntegrityViolation => 10,
         };
         e.u8(code);
         if let FosError::Cap(c) = self {
@@ -556,6 +557,7 @@ impl Wire for FosError {
             7 => FosError::ProcessFailed,
             8 => FosError::Topology(fractos_net::TopologyError::UnknownNode(NodeId(0))),
             9 => FosError::WindowInvalid,
+            10 => FosError::IntegrityViolation,
             t => return Err(DecodeError::BadTag(t)),
         })
     }

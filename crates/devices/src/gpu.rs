@@ -15,13 +15,14 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use fractos_cap::{Cid, Perms};
+use fractos_core::integrity::{flip_bit, fnv1a};
 use fractos_core::prelude::*;
 use fractos_core::types::Syscall;
-use fractos_net::Endpoint;
+use fractos_net::{DeviceFaultOutcome, DeviceOp, Endpoint};
 use fractos_sim::{SimDuration, SimTime};
 
 use crate::proto::{
-    imm, imm_at, TAG_GPU_ALLOC, TAG_GPU_FINI, TAG_GPU_INIT, TAG_GPU_INVOKE, TAG_GPU_LOAD,
+    imm, imm_at, DevError, TAG_GPU_ALLOC, TAG_GPU_FINI, TAG_GPU_INIT, TAG_GPU_INVOKE, TAG_GPU_LOAD,
 };
 
 /// Timing model of the GPU (calibrated to a Tesla-K80-class device).
@@ -138,6 +139,10 @@ pub struct GpuAdaptor {
     pub invocations: u64,
     /// Contexts torn down after their client vanished (monitor-driven).
     pub reaped_contexts: u64,
+    /// Control-plane setup operations (monitor arms, registry publishes)
+    /// that failed. Surfaced as a metric instead of a debug-only assert
+    /// so release builds do not silently degrade reaping/publication.
+    pub setup_failures: u64,
 }
 
 impl GpuAdaptor {
@@ -153,6 +158,7 @@ impl GpuAdaptor {
             key_prefix: key_prefix.to_string(),
             invocations: 0,
             reaped_contexts: 0,
+            setup_failures: 0,
         }
     }
 
@@ -200,8 +206,12 @@ impl GpuAdaptor {
                                     cid: alloc_req,
                                     callback_id: ctx_id,
                                 },
-                                move |_s, res, fos| {
-                                    debug_assert!(res.is_ok());
+                                move |s: &mut Self, res, fos| {
+                                    if !res.is_ok() {
+                                        // Reaping for this context is
+                                        // degraded; the context still works.
+                                        s.setup_failures += 1;
+                                    }
                                     fos.reply_via(cont, vec![], vec![alloc_req, load_req]);
                                 },
                             );
@@ -266,7 +276,12 @@ impl GpuAdaptor {
         // integer kernel parameters; any other immediate is inline input
         // data prepended to the buffer contents ("all other immediate
         // arguments are forwarded to the GPU kernel itself", §5).
+        let [input, output, success, error] = req.caps[..] else {
+            // Wrong capability count: no identifiable error continuation.
+            return;
+        };
         let (Some(_ctx), Some(kernel_id)) = (imm_at(&req.imms, 0), imm_at(&req.imms, 1)) else {
+            fos.reply_via(error, vec![DevError::BadRequest.imm()], vec![]);
             return;
         };
         let params: Vec<u64> = (2..req.imms.len())
@@ -277,13 +292,22 @@ impl GpuAdaptor {
             .filter(|b| b.len() != 8)
             .flat_map(|b| b.iter().copied())
             .collect();
-        let [input, output, success, error] = req.caps[..] else {
-            return;
-        };
         let Some(kernel) = self.kernels.get(&kernel_id).cloned() else {
-            fos.reply_via(error, vec![imm(1)], vec![]);
+            fos.reply_via(error, vec![DevError::NoKernel.imm()], vec![]);
             return;
         };
+        // One fault-plan draw per launch, in the adaptor's serial op
+        // order (replay contract).
+        let fault = fos.device_fault(self.gpu_endpoint, DeviceOp::GpuLaunch);
+        if matches!(fault, DeviceFaultOutcome::Fail) {
+            // Launch failure: the driver reports it after the launch
+            // overhead; nothing executes.
+            let overhead = self.device.params.launch_overhead;
+            fos.sleep(overhead, move |_s: &mut Self, fos| {
+                fos.reply_via(error, vec![DevError::Launch.imm()], vec![]);
+            });
+            return;
+        }
         // Resolve both buffers (they are in this adaptor's device memory),
         // then compute.
         fos.memory_stat(input, move |_s: &mut Self, res, fos| {
@@ -293,7 +317,7 @@ impl GpuAdaptor {
                 size: in_size,
             } = res
             else {
-                fos.reply_via(error, vec![imm(2)], vec![]);
+                fos.reply_via(error, vec![DevError::BadBuffer.imm()], vec![]);
                 return;
             };
             fos.memory_stat(output, move |s: &mut Self, res, fos| {
@@ -303,29 +327,48 @@ impl GpuAdaptor {
                     size: out_size,
                 } = res
                 else {
-                    fos.reply_via(error, vec![imm(3)], vec![]);
+                    fos.reply_via(error, vec![DevError::BadBuffer.imm()], vec![]);
                     return;
                 };
                 // Launch: device executes serially; real bytes compute.
                 let buffer = match fos.mem_read(in_addr, in_off, in_size) {
                     Ok(d) => d,
                     Err(_) => {
-                        fos.reply_via(error, vec![imm(4)], vec![]);
+                        fos.reply_via(error, vec![DevError::Bounds.imm()], vec![]);
                         return;
                     }
                 };
                 let mut data = inline;
                 data.extend_from_slice(&buffer);
                 let items = kernel.items(data.len() as u64, &params);
-                let delay = s.device.execute(fos.now(), items);
+                let mut delay = s.device.execute(fos.now(), items);
+                if let DeviceFaultOutcome::Spike { factor } = fault {
+                    delay = SimDuration::from_secs_f64(delay.as_secs_f64() * factor);
+                }
                 fos.sleep(delay, move |s: &mut Self, fos| {
-                    let out = kernel.run(&data, &params);
-                    let n = (out.len() as u64).min(out_size);
-                    if fos
-                        .mem_write(out_addr, out_off, &out[..n as usize])
-                        .is_err()
-                    {
-                        fos.reply_via(error, vec![imm(5)], vec![]);
+                    let mut out = kernel.run(&data, &params);
+                    out.truncate(out_size as usize);
+                    let n = out.len() as u64;
+                    // Producer-side envelope over the computed output.
+                    let sum = fnv1a(&out);
+                    if let DeviceFaultOutcome::Corrupt { bit } = fault {
+                        // ECC-escape: one flipped bit in the result.
+                        flip_bit(&mut out, bit);
+                    }
+                    if fos.mem_write(out_addr, out_off, &out).is_err() {
+                        fos.reply_via(error, vec![DevError::Bounds.imm()], vec![]);
+                        return;
+                    }
+                    // Verify the delivered output against the envelope
+                    // before signalling success; a mismatch is a typed,
+                    // recoverable error (relaunch re-stamps it). The
+                    // corrupt bytes stay in the buffer — exactly what an
+                    // unchecked consumer would read.
+                    let intact = fos
+                        .mem_read(out_addr, out_off, n)
+                        .is_ok_and(|back| fnv1a(&back) == sum);
+                    if !intact {
+                        fos.reply_via(error, vec![DevError::Integrity.imm()], vec![]);
                         return;
                     }
                     s.invocations += 1;
@@ -346,8 +389,10 @@ impl Service for GpuAdaptor {
     fn on_start(&mut self, fos: &Fos<Self>) {
         let key = format!("{}.init", self.key_prefix);
         fos.request_create_new(TAG_GPU_INIT, vec![], vec![], move |_s, res, fos| {
-            fos.kv_put(&key, res.cid(), |_, res, _| {
-                debug_assert!(res.is_ok(), "publishing gpu.init failed");
+            fos.kv_put(&key, res.cid(), |s: &mut Self, res, _| {
+                if !res.is_ok() {
+                    s.setup_failures += 1;
+                }
             });
         });
     }

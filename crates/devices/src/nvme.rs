@@ -14,12 +14,13 @@
 use std::collections::HashMap;
 
 use fractos_cap::{Cid, Perms};
+use fractos_core::integrity::ExtentSums;
 use fractos_core::prelude::*;
 use fractos_core::types::Syscall;
-use fractos_net::Endpoint;
+use fractos_net::{DeviceFaultOutcome, DeviceOp, Endpoint};
 use fractos_sim::{SimDuration, SimTime};
 
-use crate::proto::{imm, imm_at, TAG_BLK_CREATE_VOL, TAG_BLK_READ, TAG_BLK_WRITE};
+use crate::proto::{imm, imm_at, DevError, TAG_BLK_CREATE_VOL, TAG_BLK_READ, TAG_BLK_WRITE};
 
 /// Timing model of the NVMe device.
 #[derive(Debug, Clone)]
@@ -171,6 +172,19 @@ impl NvmeDevice {
         self.volumes.remove(&vol).is_some()
     }
 
+    /// Reads bytes without counting a host-visible operation — the
+    /// adaptor's post-write CRC read-back, which runs inside the device
+    /// and never crosses the block interface.
+    pub fn peek(&self, vol: u64, offset: u64, len: u64) -> Result<Vec<u8>, FosError> {
+        let v = self.volumes.get(&vol).ok_or(FosError::OutOfBounds)?;
+        let start = offset as usize;
+        let end = start + len as usize;
+        if end > v.len() {
+            return Err(FosError::OutOfBounds);
+        }
+        Ok(v[start..end].to_vec())
+    }
+
     /// Reads bytes from a volume.
     pub fn read(&mut self, vol: u64, offset: u64, len: u64) -> Result<Vec<u8>, FosError> {
         let v = self.volumes.get(&vol).ok_or(FosError::OutOfBounds)?;
@@ -230,10 +244,21 @@ pub struct BlockAdaptor {
     staging: Vec<Staging>,
     staging_size: u64,
     kernel_cache: Option<KernelCache>,
+    /// Integrity envelopes over committed extents, keyed by volume id:
+    /// stamped with the *intended* payload at write commit, verified by
+    /// the device-side read-back and again on exact-extent reads. A torn
+    /// write therefore surfaces as [`DevError::Integrity`] instead of
+    /// silently handing corrupt bytes to the reader.
+    sums: ExtentSums,
     /// Completed reads and writes delivered to continuations (tests).
     pub completed: u64,
     /// Volumes reclaimed after their capability trees drained (§3.5).
     pub reaped_volumes: u64,
+    /// Control-plane setup operations (monitor arms, registry publishes)
+    /// that failed. Release builds must not silently discard these —
+    /// reaping/publication is degraded, so they are surfaced as a metric
+    /// instead of a debug-only assert.
+    pub setup_failures: u64,
 }
 
 /// Default size of each staging buffer (covers the paper's largest I/O,
@@ -254,8 +279,10 @@ impl BlockAdaptor {
             staging: Vec::new(),
             staging_size: STAGING_BUF_SIZE,
             kernel_cache: None,
+            sums: ExtentSums::new(),
             completed: 0,
             reaped_volumes: 0,
+            setup_failures: 0,
         }
     }
 
@@ -339,8 +366,12 @@ impl BlockAdaptor {
                                 cid: read_req,
                                 callback_id: vol,
                             },
-                            move |_s, res, fos| {
-                                debug_assert!(res.is_ok(), "monitor arm failed: {res:?}");
+                            move |s: &mut Self, res, fos| {
+                                if !res.is_ok() {
+                                    // Reaping for this volume is degraded;
+                                    // the volume itself still works.
+                                    s.setup_failures += 1;
+                                }
                                 fos.reply_via(cont, vec![imm(vol)], vec![read_req, write_req]);
                             },
                         );
@@ -351,18 +382,21 @@ impl BlockAdaptor {
     }
 
     fn on_read(&mut self, req: IncomingRequest, fos: &Fos<Self>) {
+        let [dst, success, error] = req.caps[..] else {
+            // Wrong capability count: there is no identifiable error
+            // continuation to reply on, so the request is dropped.
+            return;
+        };
         let (Some(vol), Some(offset), Some(size)) = (
             imm_at(&req.imms, 0),
             imm_at(&req.imms, 1),
             imm_at(&req.imms, 2),
         ) else {
-            return;
-        };
-        let [dst, success, error] = req.caps[..] else {
+            fos.reply_via(error, vec![DevError::BadRequest.imm()], vec![]);
             return;
         };
         if size > self.staging_size {
-            fos.reply_via(error, vec![imm(1)], vec![]);
+            fos.reply_via(error, vec![DevError::TooLarge.imm()], vec![]);
             return;
         }
         // Device access first, then a third-party transfer into the
@@ -372,21 +406,44 @@ impl BlockAdaptor {
             .kernel_cache
             .as_mut()
             .is_some_and(|cache| cache.read(vol, offset, size));
-        let delay = if hit {
+        let mut delay = if hit {
             self.device.params().cache_latency
         } else {
             self.device.service_time(fos.now(), BlockOp::Read, size)
         };
+        // One fault-plan draw per media read, in the adaptor's serial
+        // op order (replay contract).
+        let fault = fos.device_fault(self.nvme_endpoint, DeviceOp::NvmeRead);
+        if let DeviceFaultOutcome::Spike { factor } = fault {
+            delay = SimDuration::from_secs_f64(delay.as_secs_f64() * factor);
+        }
+        if matches!(fault, DeviceFaultOutcome::Fail) {
+            // Media error: the flash array gives up only after the
+            // access latency, as on real hardware.
+            fos.sleep(delay, move |_s: &mut Self, fos| {
+                fos.reply_via(error, vec![DevError::Media.imm()], vec![]);
+            });
+            return;
+        }
         self.grab_staging(fos, move |s: &mut Self, slot, fos| {
             fos.sleep(delay, move |s: &mut Self, fos| {
                 let data = match s.device.read(vol, offset, size) {
                     Ok(d) => d,
                     Err(_) => {
                         s.release_staging(slot);
-                        fos.reply_via(error, vec![imm(2)], vec![]);
+                        fos.reply_via(error, vec![DevError::Bounds.imm()], vec![]);
                         return;
                     }
                 };
+                // Consumption-boundary check: if this exact extent was
+                // stamped at write commit, verify its envelope before
+                // handing the bytes to the client (catches torn writes
+                // that persisted past the write-time read-back).
+                if s.sums.verify(vol, offset, &data) == Some(false) {
+                    s.release_staging(slot);
+                    fos.reply_via(error, vec![DevError::Integrity.imm()], vec![]);
+                    return;
+                }
                 let st = &s.staging[slot];
                 let (st_addr, st_cid) = (st.addr, st.cid);
                 fos.mem_write(st_addr, 0, &data).expect("staging write");
@@ -412,7 +469,10 @@ impl BlockAdaptor {
                                     s.completed += 1;
                                     fos.reply_via(success, vec![imm(size)], vec![]);
                                 }
-                                _ => fos.reply_via(error, vec![imm(3)], vec![]),
+                                SyscallResult::Err(FosError::IntegrityViolation) => {
+                                    fos.reply_via(error, vec![DevError::Integrity.imm()], vec![])
+                                }
+                                _ => fos.reply_via(error, vec![DevError::Transfer.imm()], vec![]),
                             }
                         });
                     },
@@ -423,18 +483,19 @@ impl BlockAdaptor {
     }
 
     fn on_write(&mut self, req: IncomingRequest, fos: &Fos<Self>) {
+        let [src, success, error] = req.caps[..] else {
+            return;
+        };
         let (Some(vol), Some(offset), Some(size)) = (
             imm_at(&req.imms, 0),
             imm_at(&req.imms, 1),
             imm_at(&req.imms, 2),
         ) else {
-            return;
-        };
-        let [src, success, error] = req.caps[..] else {
+            fos.reply_via(error, vec![DevError::BadRequest.imm()], vec![]);
             return;
         };
         if size > self.staging_size {
-            fos.reply_via(error, vec![imm(1)], vec![]);
+            fos.reply_via(error, vec![DevError::TooLarge.imm()], vec![]);
             return;
         }
         self.grab_staging(fos, move |s: &mut Self, slot, fos| {
@@ -455,13 +516,24 @@ impl BlockAdaptor {
                     };
                     fos.memory_copy(src, view, move |s: &mut Self, res, fos| {
                         fos.call_ignore(Syscall::CapRevoke { cid: view });
-                        if res != SyscallResult::Ok {
-                            s.release_staging(slot);
-                            fos.reply_via(error, vec![imm(2)], vec![]);
-                            return;
+                        match res {
+                            SyscallResult::Ok => {}
+                            SyscallResult::Err(FosError::IntegrityViolation) => {
+                                s.release_staging(slot);
+                                fos.reply_via(error, vec![DevError::Integrity.imm()], vec![]);
+                                return;
+                            }
+                            _ => {
+                                s.release_staging(slot);
+                                fos.reply_via(error, vec![DevError::Transfer.imm()], vec![]);
+                                return;
+                            }
                         }
                         let data = fos.mem_read(st_addr, 0, size).expect("staging read");
-                        let delay = match s.kernel_cache.as_mut() {
+                        // One fault-plan draw per media write (replay
+                        // contract: serial adaptor op order).
+                        let fault = fos.device_fault(s.nvme_endpoint, DeviceOp::NvmeWrite);
+                        let mut delay = match s.kernel_cache.as_mut() {
                             Some(cache) => {
                                 // Absorbed: ack after the cache latency;
                                 // write-back runs off the measured path.
@@ -470,14 +542,50 @@ impl BlockAdaptor {
                             }
                             None => s.device.service_time(fos.now(), BlockOp::Write, size),
                         };
+                        if let DeviceFaultOutcome::Spike { factor } = fault {
+                            delay = SimDuration::from_secs_f64(delay.as_secs_f64() * factor);
+                        }
                         fos.sleep(delay, move |s: &mut Self, fos| {
                             s.release_staging(slot);
-                            match s.device.write(vol, offset, &data) {
+                            if matches!(fault, DeviceFaultOutcome::Fail) {
+                                fos.reply_via(error, vec![DevError::Media.imm()], vec![]);
+                                return;
+                            }
+                            // A torn write persists only a prefix of the
+                            // payload; the envelope below catches it.
+                            let commit: &[u8] = match fault {
+                                DeviceFaultOutcome::Torn { keep_frac } => {
+                                    let keep = (size as f64 * keep_frac) as usize;
+                                    &data[..keep.min(data.len())]
+                                }
+                                _ => &data,
+                            };
+                            match s.device.write(vol, offset, commit) {
                                 Ok(()) => {
+                                    // Stamp the *intended* payload's
+                                    // envelope, then read back and verify
+                                    // — the device-side CRC that turns a
+                                    // torn write into a typed, recoverable
+                                    // error the caller can re-issue.
+                                    s.sums.stamp(vol, offset, &data);
+                                    let intact =
+                                        s.device.peek(vol, offset, size).is_ok_and(|back| {
+                                            s.sums.verify(vol, offset, &back) == Some(true)
+                                        });
+                                    if !intact {
+                                        fos.reply_via(
+                                            error,
+                                            vec![DevError::Integrity.imm()],
+                                            vec![],
+                                        );
+                                        return;
+                                    }
                                     s.completed += 1;
                                     fos.reply_via(success, vec![imm(size)], vec![]);
                                 }
-                                Err(_) => fos.reply_via(error, vec![imm(3)], vec![]),
+                                Err(_) => {
+                                    fos.reply_via(error, vec![DevError::Bounds.imm()], vec![])
+                                }
                             }
                         });
                     });
@@ -491,6 +599,7 @@ impl Service for BlockAdaptor {
     fn on_monitor(&mut self, cb: MonitorCb, _fos: &Fos<Self>) {
         if let MonitorCb::DelegateDrained { callback_id: vol } = cb {
             if self.device.delete_volume(vol) {
+                self.sums.forget(vol);
                 self.reaped_volumes += 1;
             }
         }
@@ -514,8 +623,10 @@ impl Service for BlockAdaptor {
         }
         let key = format!("{}.create_vol", self.key);
         fos.request_create_new(TAG_BLK_CREATE_VOL, vec![], vec![], move |_s, res, fos| {
-            fos.kv_put(&key, res.cid(), |_, res, _| {
-                debug_assert!(res.is_ok(), "publishing create_vol failed");
+            fos.kv_put(&key, res.cid(), |s: &mut Self, res, _| {
+                if !res.is_ok() {
+                    s.setup_failures += 1;
+                }
             });
         });
     }

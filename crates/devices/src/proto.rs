@@ -44,6 +44,80 @@ pub const TAG_BLK_READ: u64 = 0x0201;
 /// Caps: `[source Memory, success Request, error Request]`.
 pub const TAG_BLK_WRITE: u64 = 0x0202;
 
+/// Typed error codes carried in the first appended immediate of a device
+/// adaptor's error-continuation reply (§3.6: adaptors translate device
+/// failures into typed error invocations the caller can act on).
+///
+/// The discriminant is the wire code: `DevError::Media as u64` is what
+/// `imm_at(&req.imms, N)` yields at the error continuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum DevError {
+    /// The request was malformed: wrong capability count or undecodable
+    /// immediates. Not recoverable by retrying the same request.
+    BadRequest = 1,
+    /// The transfer exceeds the adaptor's staging capacity.
+    TooLarge = 2,
+    /// The volume/offset/size triple falls outside the volume, or the
+    /// context/volume does not exist.
+    Bounds = 3,
+    /// A `memory_copy` leg of the operation failed (revoked window,
+    /// unreachable peer, or an integrity-envelope mismatch in flight).
+    /// Recoverable when the cause is transient.
+    Transfer = 4,
+    /// The requested GPU kernel is not loaded.
+    NoKernel = 5,
+    /// A GPU input/output buffer capability failed to stat or read.
+    BadBuffer = 6,
+    /// An injected (or real) NVMe media error. Recoverable: the adaptor's
+    /// caller may re-issue the read/write.
+    Media = 7,
+    /// A GPU kernel launch failure. Recoverable by relaunching.
+    Launch = 8,
+    /// The payload failed its integrity envelope at a consumption
+    /// boundary (torn write, corrupted output). Recoverable: re-running
+    /// the producing operation re-stamps the envelope.
+    Integrity = 9,
+}
+
+impl DevError {
+    /// The wire code of this error.
+    pub fn code(self) -> u64 {
+        self as u64
+    }
+
+    /// The immediate encoding of this error.
+    pub fn imm(self) -> Vec<u8> {
+        imm(self.code())
+    }
+
+    /// Decodes a wire code.
+    pub fn from_code(code: u64) -> Option<Self> {
+        Some(match code {
+            1 => DevError::BadRequest,
+            2 => DevError::TooLarge,
+            3 => DevError::Bounds,
+            4 => DevError::Transfer,
+            5 => DevError::NoKernel,
+            6 => DevError::BadBuffer,
+            7 => DevError::Media,
+            8 => DevError::Launch,
+            9 => DevError::Integrity,
+            _ => return None,
+        })
+    }
+
+    /// Whether re-issuing the same operation can plausibly succeed
+    /// (transient device/transfer faults, as opposed to malformed or
+    /// out-of-bounds requests, which fail identically every time).
+    pub fn is_recoverable(self) -> bool {
+        matches!(
+            self,
+            DevError::Transfer | DevError::Media | DevError::Launch | DevError::Integrity
+        )
+    }
+}
+
 /// Encodes an integer immediate.
 pub fn imm(v: u64) -> Vec<u8> {
     v.to_le_bytes().to_vec()
@@ -67,5 +141,27 @@ mod tests {
         assert_eq!(imm_at(&imms, 1), Some(u64::MAX));
         assert_eq!(imm_at(&imms, 2), None, "short immediates rejected");
         assert_eq!(imm_at(&imms, 3), None);
+    }
+
+    #[test]
+    fn dev_error_codes_roundtrip() {
+        for e in [
+            DevError::BadRequest,
+            DevError::TooLarge,
+            DevError::Bounds,
+            DevError::Transfer,
+            DevError::NoKernel,
+            DevError::BadBuffer,
+            DevError::Media,
+            DevError::Launch,
+            DevError::Integrity,
+        ] {
+            assert_eq!(DevError::from_code(e.code()), Some(e));
+            assert_eq!(imm_at(&[e.imm()], 0), Some(e.code()));
+        }
+        assert_eq!(DevError::from_code(0), None);
+        assert_eq!(DevError::from_code(99), None);
+        assert!(DevError::Media.is_recoverable());
+        assert!(!DevError::Bounds.is_recoverable());
     }
 }

@@ -4,8 +4,9 @@
 
 use fractos_cap::{Cid, Perms};
 use fractos_core::prelude::*;
-use fractos_devices::proto::{imm, imm_at};
+use fractos_devices::proto::{imm, imm_at, DevError};
 use fractos_devices::{BlockAdaptor, GpuAdaptor, GpuParams, NvmeParams, XorKernel};
+use fractos_net::FaultPlan;
 
 /// Client tag for reply continuations.
 const TAG_REPLY: u64 = 0x9000;
@@ -583,4 +584,422 @@ fn gpu_context_teardown_rpc() {
     tb.with_service::<GpuAdaptor, _>(gpu_proc, |a| {
         assert_eq!(a.invocations, 0, "no kernel ran");
     });
+}
+
+// ---------------------------------------------------------------------------
+// Typed error continuations: malformed requests and injected device faults.
+// ---------------------------------------------------------------------------
+
+/// Makes a reply continuation carrying `phase` and runs `f` with its cid
+/// (the generic sibling of [`GpuClient::with_cont`]).
+fn reply_cont<S: Service>(
+    fos: &Fos<S>,
+    phase: u64,
+    f: impl FnOnce(&mut S, Cid, &Fos<S>) + Send + 'static,
+) {
+    fos.request_create_new(TAG_REPLY, vec![imm(phase)], vec![], move |s, res, fos| {
+        f(s, res.cid(), fos);
+    });
+}
+
+/// Makes a success/error continuation pair and hands both cids to `f`.
+fn io_pair<S: Service>(
+    fos: &Fos<S>,
+    ok: u64,
+    err: u64,
+    f: impl FnOnce(&mut S, Cid, Cid, &Fos<S>) + Send + 'static,
+) {
+    fos.request_create_new(TAG_REPLY, vec![imm(ok)], vec![], move |_s, res, fos| {
+        let success = res.cid();
+        fos.request_create_new(TAG_REPLY, vec![imm(err)], vec![], move |s, res, fos| {
+            f(s, success, res.cid(), fos);
+        });
+    });
+}
+
+/// A block client that fires deliberately malformed reads and records the
+/// typed error code each error continuation carries.
+struct MalformedBlk {
+    pub errs: Vec<(u64, u64)>,
+    pub dropped_replied: bool,
+}
+
+impl Service for MalformedBlk {
+    fn on_start(&mut self, fos: &Fos<Self>) {
+        fos.kv_get("blk.create_vol", |_s, res, fos| {
+            let create = res.cid();
+            fos.request_create_new(TAG_REPLY, vec![imm(0)], vec![], move |_s, res, fos| {
+                let cont = res.cid();
+                fos.request_derive(create, vec![imm(65536)], vec![cont], |_s, res, fos| {
+                    fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+                });
+            });
+        });
+    }
+
+    fn on_request(&mut self, req: IncomingRequest, fos: &Fos<Self>) {
+        let phase = imm_at(&req.imms, 0).unwrap();
+        match phase {
+            0 => {
+                let rreq = req.caps[0];
+                // (a) Correct caps, missing offset/size imms → BadRequest.
+                io_pair(fos, 10, 90, move |_s, success, error, fos| {
+                    fos.request_derive(
+                        rreq,
+                        vec![],
+                        vec![error, success, error],
+                        |_s, res, fos| {
+                            fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+                        },
+                    );
+                });
+                // (b) Size beyond the staging pool → TooLarge.
+                let too_big = fractos_devices::nvme::STAGING_BUF_SIZE + 1;
+                io_pair(fos, 11, 91, move |_s, success, error, fos| {
+                    fos.request_derive(
+                        rreq,
+                        vec![imm(0), imm(too_big)],
+                        vec![error, success, error],
+                        |_s, res, fos| {
+                            fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+                        },
+                    );
+                });
+                // (c) Offset beyond the 64 KiB volume → Bounds.
+                io_pair(fos, 12, 92, move |_s, success, error, fos| {
+                    fos.request_derive(
+                        rreq,
+                        vec![imm(1 << 20), imm(512)],
+                        vec![error, success, error],
+                        |_s, res, fos| {
+                            fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+                        },
+                    );
+                });
+                // (d) Wrong capability count → the request is silently
+                // dropped (no identifiable error continuation to reply on).
+                io_pair(fos, 13, 93, move |_s, success, _error, fos| {
+                    fos.request_derive(
+                        rreq,
+                        vec![imm(0), imm(512)],
+                        vec![success, success],
+                        |_s, res, fos| {
+                            fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+                        },
+                    );
+                });
+            }
+            90..=92 => self
+                .errs
+                .push((phase, imm_at(&req.imms, 1).unwrap_or(u64::MAX))),
+            13 | 93 => self.dropped_replied = true,
+            other => panic!("unexpected reply phase {other}"),
+        }
+    }
+}
+
+#[test]
+fn malformed_block_requests_reply_typed_codes() {
+    let mut tb = Testbed::paper(41);
+    let ctrls = tb.controllers_per_node(false);
+    let blk = BlockAdaptor::new(NvmeParams::default(), nvme(0), "blk");
+    let blk_proc = tb.add_process("blk-adaptor", cpu(0), ctrls[0], blk);
+    tb.start_process(blk_proc);
+    tb.run();
+
+    let client = tb.add_process(
+        "client",
+        cpu(2),
+        ctrls[2],
+        MalformedBlk {
+            errs: Vec::new(),
+            dropped_replied: false,
+        },
+    );
+    tb.start_process(client);
+    tb.run();
+
+    tb.with_service::<MalformedBlk, _>(client, |c| {
+        let code = |p: u64| c.errs.iter().find(|(ph, _)| *ph == p).map(|&(_, c)| c);
+        assert_eq!(code(90), Some(DevError::BadRequest.code()));
+        assert_eq!(code(91), Some(DevError::TooLarge.code()));
+        assert_eq!(code(92), Some(DevError::Bounds.code()));
+        assert!(
+            !c.dropped_replied,
+            "wrong-cap-count request must be dropped without a reply"
+        );
+    });
+    // The adaptor survived all of it and completed no I/O.
+    tb.with_service::<BlockAdaptor, _>(blk_proc, |a| assert_eq!(a.completed, 0));
+}
+
+/// A block client that runs a write and then a read under an injected
+/// device-fault plan and records the typed codes the error continuations
+/// carry (no retry: this observes the raw adaptor contract).
+struct ChaosBlk {
+    read_req: Option<Cid>,
+    pub write_err: Option<u64>,
+    pub read_err: Option<u64>,
+}
+
+impl Service for ChaosBlk {
+    fn on_start(&mut self, fos: &Fos<Self>) {
+        fos.kv_get("blk.create_vol", |_s, res, fos| {
+            let create = res.cid();
+            fos.request_create_new(TAG_REPLY, vec![imm(0)], vec![], move |_s, res, fos| {
+                let cont = res.cid();
+                fos.request_derive(create, vec![imm(65536)], vec![cont], |_s, res, fos| {
+                    fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+                });
+            });
+        });
+    }
+
+    fn on_request(&mut self, req: IncomingRequest, fos: &Fos<Self>) {
+        let phase = imm_at(&req.imms, 0).unwrap();
+        match phase {
+            0 => {
+                self.read_req = Some(req.caps[0]);
+                let wreq = req.caps[1];
+                let addr = fos.mem_alloc(IO);
+                let data: Vec<u8> = (0..IO).map(|i| (i % 253) as u8 + 1).collect();
+                fos.mem_write(addr, 0, &data).unwrap();
+                fos.memory_create(addr, IO, Perms::RW, move |_s: &mut Self, res, fos| {
+                    let src = res.cid();
+                    io_pair(fos, 1, 98, move |_s, success, error, fos| {
+                        fos.request_derive(
+                            wreq,
+                            vec![imm(0), imm(IO)],
+                            vec![src, success, error],
+                            |_s, res, fos| {
+                                fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+                            },
+                        );
+                    });
+                });
+            }
+            98 => {
+                // Torn write detected by the adaptor's read-back envelope.
+                self.write_err = imm_at(&req.imms, 1);
+                let rreq = self.read_req.unwrap();
+                let addr = fos.mem_alloc(IO);
+                fos.memory_create(addr, IO, Perms::RW, move |_s: &mut Self, res, fos| {
+                    let dst = res.cid();
+                    io_pair(fos, 2, 97, move |_s, success, error, fos| {
+                        fos.request_derive(
+                            rreq,
+                            vec![imm(0), imm(IO)],
+                            vec![dst, success, error],
+                            |_s, res, fos| {
+                                fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+                            },
+                        );
+                    });
+                });
+            }
+            97 => self.read_err = imm_at(&req.imms, 1),
+            1 => panic!("write must fail under a p=1.0 torn-write plan"),
+            2 => panic!("read must fail under a p=1.0 read-error plan"),
+            other => panic!("unexpected reply phase {other}"),
+        }
+    }
+}
+
+#[test]
+fn injected_nvme_faults_reply_typed_codes() {
+    let mut tb = Testbed::paper(43);
+    let plan = FaultPlan::new()
+        .nvme_torn_writes(nvme(0), 1.0)
+        .nvme_read_errors(nvme(0), 1.0);
+    tb.install_fault_plan(plan, 43);
+    let ctrls = tb.controllers_per_node(false);
+    let blk = BlockAdaptor::new(NvmeParams::default(), nvme(0), "blk");
+    let blk_proc = tb.add_process("blk-adaptor", cpu(0), ctrls[0], blk);
+    tb.start_process(blk_proc);
+    tb.run();
+
+    let client = tb.add_process(
+        "client",
+        cpu(2),
+        ctrls[2],
+        ChaosBlk {
+            read_req: None,
+            write_err: None,
+            read_err: None,
+        },
+    );
+    tb.start_process(client);
+    tb.run();
+
+    tb.with_service::<ChaosBlk, _>(client, |c| {
+        assert_eq!(
+            c.write_err,
+            Some(DevError::Integrity.code()),
+            "torn write must surface as an integrity-envelope violation"
+        );
+        assert_eq!(
+            c.read_err,
+            Some(DevError::Media.code()),
+            "injected media read error must carry the Media code"
+        );
+    });
+    let stats = tb.traffic();
+    let faults = stats.device_faults_at(nvme(0));
+    assert!(faults.torn >= 1, "torn-write counter must tick");
+    assert!(faults.failed >= 1, "media-failure counter must tick");
+    let _ = blk_proc;
+}
+
+/// A minimal GPU client: init → alloc one buffer → load kernel 7 → invoke,
+/// recording success or the typed error code. `mode` selects the failure
+/// shape: 0 = well-formed, 1 = non-memory input capability, 2 = wrong
+/// capability count.
+struct GpuFault {
+    alloc_req: Option<Cid>,
+    load_req: Option<Cid>,
+    mem: Option<Cid>,
+    mode: u8,
+    pub ok: bool,
+    pub err_code: Option<u64>,
+}
+
+impl GpuFault {
+    fn new(mode: u8) -> Self {
+        GpuFault {
+            alloc_req: None,
+            load_req: None,
+            mem: None,
+            mode,
+            ok: false,
+            err_code: None,
+        }
+    }
+}
+
+impl Service for GpuFault {
+    fn on_start(&mut self, fos: &Fos<Self>) {
+        fos.kv_get("gpu.init", |_s, res, fos| {
+            let init = res.cid();
+            fos.request_create_new(TAG_REPLY, vec![imm(0)], vec![], move |_s, res, fos| {
+                let cont = res.cid();
+                fos.request_derive(init, vec![], vec![cont], |_s, res, fos| {
+                    fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+                });
+            });
+        });
+    }
+
+    fn on_request(&mut self, req: IncomingRequest, fos: &Fos<Self>) {
+        let phase = imm_at(&req.imms, 0).unwrap();
+        match phase {
+            0 => {
+                self.alloc_req = Some(req.caps[0]);
+                self.load_req = Some(req.caps[1]);
+                let alloc = req.caps[0];
+                reply_cont(fos, 1, move |_s, cont, fos| {
+                    fos.request_derive(alloc, vec![imm(N)], vec![cont], |_s, res, fos| {
+                        fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+                    });
+                });
+            }
+            1 => {
+                self.mem = Some(req.caps[0]);
+                let load = self.load_req.unwrap();
+                reply_cont(fos, 2, move |_s, cont, fos| {
+                    fos.request_derive(load, vec![imm(7)], vec![cont], |_s, res, fos| {
+                        fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+                    });
+                });
+            }
+            2 => {
+                let invoke = req.caps[0];
+                let mem = self.mem.unwrap();
+                let mode = self.mode;
+                reply_cont(fos, 5, move |_s, success, fos| {
+                    reply_cont(fos, 99, move |_s, error, fos| {
+                        let caps = match mode {
+                            // Non-memory input: the error continuation
+                            // itself stands in for a buffer.
+                            1 => vec![error, mem, success, error],
+                            // Wrong capability count: silently dropped.
+                            2 => vec![mem, success],
+                            _ => vec![mem, mem, success, error],
+                        };
+                        fos.request_derive(invoke, vec![imm(1)], caps, |_s, res, fos| {
+                            fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+                        });
+                    });
+                });
+            }
+            5 => self.ok = true,
+            99 => self.err_code = imm_at(&req.imms, 1),
+            other => panic!("unexpected reply phase {other}"),
+        }
+    }
+}
+
+/// Boots a GPU adaptor plus a [`GpuFault`] client under `plan` and returns
+/// (success, error code, completed invocations, per-device fault counters).
+fn run_gpu_fault(
+    seed: u64,
+    plan: FaultPlan,
+    mode: u8,
+) -> (bool, Option<u64>, u64, fractos_net::DeviceFaultCounter) {
+    let mut tb = Testbed::paper(seed);
+    tb.install_fault_plan(plan, seed);
+    let ctrls = tb.controllers_per_node(false);
+    let gpu_adaptor =
+        GpuAdaptor::new(GpuParams::default(), gpu(1), "gpu").with_kernel(7, XorKernel(0x5A));
+    let gpu_proc = tb.add_process("gpu-adaptor", cpu(1), ctrls[1], gpu_adaptor);
+    tb.start_process(gpu_proc);
+    tb.run();
+
+    let client = tb.add_process("client", cpu(2), ctrls[2], GpuFault::new(mode));
+    tb.start_process(client);
+    tb.run();
+
+    let (ok, err) = tb.with_service::<GpuFault, _>(client, |c| (c.ok, c.err_code));
+    let invocations = tb.with_service::<GpuAdaptor, _>(gpu_proc, |a| a.invocations);
+    let faults = tb.traffic().device_faults_at(gpu(1));
+    (ok, err, invocations, faults)
+}
+
+#[test]
+fn injected_gpu_launch_failure_replies_typed_code() {
+    let plan = FaultPlan::new().gpu_launch_errors(gpu(1), 1.0);
+    let (ok, err, invocations, faults) = run_gpu_fault(47, plan, 0);
+    assert!(!ok);
+    assert_eq!(err, Some(DevError::Launch.code()));
+    assert_eq!(invocations, 0, "nothing executes on a failed launch");
+    assert!(faults.failed >= 1, "launch-failure counter must tick");
+}
+
+#[test]
+fn injected_gpu_output_corruption_is_detected() {
+    let plan = FaultPlan::new().gpu_output_corruption(gpu(1), 1.0);
+    let (ok, err, invocations, faults) = run_gpu_fault(53, plan, 0);
+    assert!(!ok);
+    assert_eq!(
+        err,
+        Some(DevError::Integrity.code()),
+        "ECC-style output corruption must surface as an integrity violation"
+    );
+    assert_eq!(invocations, 0, "a corrupted invocation does not count");
+    assert!(faults.corrupted >= 1, "corruption counter must tick");
+}
+
+#[test]
+fn gpu_non_memory_input_replies_bad_buffer() {
+    let (ok, err, invocations, _) = run_gpu_fault(59, FaultPlan::new(), 1);
+    assert!(!ok);
+    assert_eq!(err, Some(DevError::BadBuffer.code()));
+    assert_eq!(invocations, 0);
+}
+
+#[test]
+fn gpu_wrong_cap_count_is_silently_dropped() {
+    let (ok, err, invocations, _) = run_gpu_fault(61, FaultPlan::new(), 2);
+    assert!(!ok, "no success reply for a dropped request");
+    assert_eq!(err, None, "no error reply either: the request is dropped");
+    assert_eq!(invocations, 0);
 }

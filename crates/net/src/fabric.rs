@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 use fractos_sim::{SimDuration, SimRng, SimTime};
 
-use crate::fault::{FaultPlan, FaultState, LinkKey, SendOutcome};
+use crate::fault::{DeviceFaultOutcome, DeviceOp, FaultPlan, FaultState, LinkKey, SendOutcome};
 use crate::params::NetParams;
 use crate::stats::{Medium, TrafficClass, TrafficStats};
 use crate::topology::{Endpoint, Location, NodeId, Topology};
@@ -173,6 +173,50 @@ impl Fabric {
     /// Clears traffic statistics (links stay warm).
     pub fn reset_stats(&mut self) {
         self.stats.reset();
+    }
+
+    /// Decides the fault outcome of the next operation of class `op` on
+    /// `device`, recording the injection in the per-device fault counters.
+    /// Deterministic: hashed from `(plan seed, device, per-device op
+    /// index)`, never from the caller's RNG. Without a plan (or without an
+    /// entry for `device`) this returns `None` and touches no state.
+    pub fn device_fault(&mut self, device: Endpoint, op: DeviceOp) -> DeviceFaultOutcome {
+        let Some(state) = &mut self.faults else {
+            return DeviceFaultOutcome::None;
+        };
+        let outcome = state.decide_device(device, op);
+        match outcome {
+            DeviceFaultOutcome::None => {}
+            DeviceFaultOutcome::Fail => self.stats.record_device_fault(device, |c| c.failed += 1),
+            DeviceFaultOutcome::Torn { .. } => {
+                self.stats.record_device_fault(device, |c| c.torn += 1)
+            }
+            DeviceFaultOutcome::Corrupt { .. } => {
+                self.stats.record_device_fault(device, |c| c.corrupted += 1)
+            }
+            DeviceFaultOutcome::Spike { .. } => {
+                self.stats.record_device_fault(device, |c| c.spiked += 1)
+            }
+        }
+        outcome
+    }
+
+    /// Decides whether the next data-class payload moving `src → dst` is
+    /// bit-flipped in flight; returns the bit-position hash when it is and
+    /// records the injection. Control-plane traffic is never corrupted.
+    pub fn corrupt_payload(&mut self, src: NodeId, dst: NodeId) -> Option<u64> {
+        let state = self.faults.as_mut()?;
+        let bit = state.decide_corrupt(LinkKey::new(src, dst))?;
+        self.stats.record_corrupted(src, dst);
+        Some(bit)
+    }
+
+    /// True when the armed plan names data corruption on `src → dst`
+    /// (consumers use this to decide whether verification can ever fire).
+    pub fn corrupts_data(&self, src: NodeId, dst: NodeId) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.corrupts_link(LinkKey::new(src, dst)))
     }
 
     /// Sends one message of `payload` bytes from `src` to `dst`, departing at

@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 
 use fractos_sim::{SimDuration, SimTime};
 
-use crate::topology::NodeId;
+use crate::topology::{Endpoint, Location, NodeId};
 
 /// A directed node-pair link, the granularity at which faults apply.
 ///
@@ -86,6 +86,99 @@ impl Partition {
     }
 }
 
+/// The class of device operation a fault decision applies to.
+///
+/// Device faults are keyed per [`Endpoint`] and decided per operation in
+/// that device's own deterministic order (device adaptors are single
+/// actors, so the per-device op sequence is identical on both runtime
+/// backends — the same contract that makes link faults replayable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceOp {
+    /// An NVMe media read.
+    NvmeRead,
+    /// An NVMe media write.
+    NvmeWrite,
+    /// A GPU kernel launch.
+    GpuLaunch,
+}
+
+/// Per-device fault probabilities. All default to zero (inject nothing);
+/// `spike_factor` is the service-time multiplier applied when a latency
+/// spike fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceFaults {
+    /// Probability that a media read fails with a media error.
+    pub read_error: f64,
+    /// Probability that a media write fails with a media error.
+    pub write_error: f64,
+    /// Probability that a media write is torn: only a prefix of the
+    /// payload reaches the medium (the rest keeps its prior contents).
+    pub torn_write: f64,
+    /// Probability that an operation takes `spike_factor`× its modeled
+    /// service time (firmware retry / thermal throttle analogue).
+    pub latency_spike: f64,
+    /// Service-time multiplier of a latency spike (≥ 1).
+    pub spike_factor: f64,
+    /// Probability that a GPU kernel launch fails outright.
+    pub launch_error: f64,
+    /// Probability that a completed GPU kernel's output suffers an
+    /// ECC-escape single-bit corruption.
+    pub corrupt_output: f64,
+}
+
+impl Default for DeviceFaults {
+    fn default() -> Self {
+        DeviceFaults {
+            read_error: 0.0,
+            write_error: 0.0,
+            torn_write: 0.0,
+            latency_spike: 0.0,
+            spike_factor: 8.0,
+            launch_error: 0.0,
+            corrupt_output: 0.0,
+        }
+    }
+}
+
+impl DeviceFaults {
+    /// True when every probability is zero.
+    pub fn is_empty(&self) -> bool {
+        self.read_error == 0.0
+            && self.write_error == 0.0
+            && self.torn_write == 0.0
+            && self.latency_spike == 0.0
+            && self.launch_error == 0.0
+            && self.corrupt_output == 0.0
+    }
+}
+
+/// What the fault plan decided for one device operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeviceFaultOutcome {
+    /// The operation proceeds untouched.
+    None,
+    /// The operation fails (media error / launch failure). The device
+    /// still charges its service time — the failure is detected at
+    /// completion, as on real hardware.
+    Fail,
+    /// A torn write: only the first `keep_frac` of the payload commits.
+    Torn {
+        /// Fraction of the payload that reached the medium, in `[0, 1)`.
+        keep_frac: f64,
+    },
+    /// The operation completes but its output has one flipped bit.
+    Corrupt {
+        /// Hash the consumer reduces modulo the payload bit-length to
+        /// pick the flipped bit.
+        bit: u64,
+    },
+    /// The operation completes but takes `factor`× its service time.
+    Spike {
+        /// Service-time multiplier (≥ 1).
+        factor: f64,
+    },
+}
+
 /// Everything the fabric may inject into a run. An empty (default) plan
 /// injects nothing and leaves the fabric's behavior bit-identical to a
 /// fabric with no plan installed.
@@ -99,6 +192,11 @@ pub struct FaultPlan {
     pub degradations: Vec<Degradation>,
     /// Bidirectional partitions.
     pub partitions: Vec<Partition>,
+    /// Per-device fault probabilities.
+    pub device_faults: BTreeMap<Endpoint, DeviceFaults>,
+    /// Per-link probability that a data-class payload suffers a bit flip
+    /// in flight (the control plane keeps the drop model).
+    pub corrupt_probs: BTreeMap<LinkKey, f64>,
 }
 
 impl FaultPlan {
@@ -113,6 +211,8 @@ impl FaultPlan {
             && self.one_shots.is_empty()
             && self.degradations.is_empty()
             && self.partitions.is_empty()
+            && self.device_faults.values().all(DeviceFaults::is_empty)
+            && self.corrupt_probs.is_empty()
     }
 
     /// Drops each droppable `src → dst` message with probability `p`.
@@ -167,6 +267,76 @@ impl FaultPlan {
         self.partitions.push(Partition { a, b, from, heal });
         self
     }
+
+    fn assert_prob(p: f64, what: &str) {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "{what} probability {p} not in [0, 1]"
+        );
+    }
+
+    /// Fails each media read on the NVMe at `device` with probability `p`.
+    pub fn nvme_read_errors(mut self, device: Endpoint, p: f64) -> Self {
+        Self::assert_prob(p, "read-error");
+        self.device_faults.entry(device).or_default().read_error = p;
+        self
+    }
+
+    /// Fails each media write on the NVMe at `device` with probability `p`.
+    pub fn nvme_write_errors(mut self, device: Endpoint, p: f64) -> Self {
+        Self::assert_prob(p, "write-error");
+        self.device_faults.entry(device).or_default().write_error = p;
+        self
+    }
+
+    /// Tears each media write on the NVMe at `device` with probability
+    /// `p`: only a prefix of the payload reaches the medium.
+    pub fn nvme_torn_writes(mut self, device: Endpoint, p: f64) -> Self {
+        Self::assert_prob(p, "torn-write");
+        self.device_faults.entry(device).or_default().torn_write = p;
+        self
+    }
+
+    /// Stretches each operation on `device` to `factor`× its service time
+    /// with probability `p`.
+    pub fn device_latency_spikes(mut self, device: Endpoint, p: f64, factor: f64) -> Self {
+        Self::assert_prob(p, "latency-spike");
+        assert!(factor >= 1.0, "spike factor {factor} below 1.0");
+        let f = self.device_faults.entry(device).or_default();
+        f.latency_spike = p;
+        f.spike_factor = factor;
+        self
+    }
+
+    /// Fails each kernel launch on the GPU at `device` with probability
+    /// `p`.
+    pub fn gpu_launch_errors(mut self, device: Endpoint, p: f64) -> Self {
+        Self::assert_prob(p, "launch-error");
+        self.device_faults.entry(device).or_default().launch_error = p;
+        self
+    }
+
+    /// Flips one bit of each completed kernel's output on the GPU at
+    /// `device` with probability `p` (an ECC escape).
+    pub fn gpu_output_corruption(mut self, device: Endpoint, p: f64) -> Self {
+        Self::assert_prob(p, "output-corruption");
+        self.device_faults.entry(device).or_default().corrupt_output = p;
+        self
+    }
+
+    /// Flips one bit of each data-class `src → dst` payload with
+    /// probability `p`.
+    pub fn corrupt_data(mut self, src: NodeId, dst: NodeId, p: f64) -> Self {
+        Self::assert_prob(p, "payload-corruption");
+        self.corrupt_probs.insert(LinkKey::new(src, dst), p);
+        self
+    }
+
+    /// Flips one bit of each data-class payload between `a` and `b`
+    /// (both directions) with probability `p`.
+    pub fn corrupt_data_between(self, a: NodeId, b: NodeId, p: f64) -> Self {
+        self.corrupt_data(a, b, p).corrupt_data(b, a, p)
+    }
 }
 
 /// What [`Fabric::try_send`](crate::Fabric::try_send) did with a message.
@@ -206,6 +376,17 @@ fn unit(h: u64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
+/// Stable numeric encoding of a [`Location`] for hashing (part of the
+/// replay contract — never reorder).
+fn loc_code(loc: Location) -> u64 {
+    match loc {
+        Location::HostCpu => 0,
+        Location::SmartNic => 1,
+        Location::Gpu(n) => 0x100 + u64::from(n),
+        Location::Nvme(n) => 0x200 + u64::from(n),
+    }
+}
+
 /// Armed fault state inside a fabric: the plan plus the mutable bits
 /// (one-shot arming, per-link message indices) that make replay exact.
 #[derive(Debug)]
@@ -217,6 +398,12 @@ pub(crate) struct FaultState {
     /// Droppable-message index per directed link; the probabilistic-drop
     /// hash input, so decision `k` on a link is the same in every replay.
     msg_idx: BTreeMap<LinkKey, u64>,
+    /// Operation index per device endpoint (only devices the plan names
+    /// get a counter, so an empty plan stays bit-identical to no plan).
+    dev_idx: BTreeMap<Endpoint, u64>,
+    /// Data-class payload index per directed link (only links the plan
+    /// names corruption for).
+    data_idx: BTreeMap<LinkKey, u64>,
 }
 
 impl FaultState {
@@ -227,6 +414,8 @@ impl FaultState {
             seed,
             fired,
             msg_idx: BTreeMap::new(),
+            dev_idx: BTreeMap::new(),
+            data_idx: BTreeMap::new(),
         }
     }
 
@@ -273,6 +462,96 @@ impl FaultState {
             .filter(|d| d.link == link && now >= d.from && now < d.until)
             .map(|d| d.factor)
             .product()
+    }
+
+    /// One salted hash draw for device op `idx` on `device`.
+    fn device_hash(&self, device: Endpoint, idx: u64, salt: u64) -> u64 {
+        let mut h = self.seed;
+        h = splitmix64(h ^ u64::from(device.node.0));
+        h = splitmix64(h ^ loc_code(device.loc).rotate_left(32));
+        h = splitmix64(h ^ idx);
+        splitmix64(h ^ salt)
+    }
+
+    /// Decides the fault outcome of the next operation of class `op` on
+    /// `device`. Consumes no external randomness; the decision is a pure
+    /// function of `(plan seed, device, per-device op index)`. Priority
+    /// when several classes draw true: fail > torn > corrupt > spike.
+    pub(crate) fn decide_device(&mut self, device: Endpoint, op: DeviceOp) -> DeviceFaultOutcome {
+        let Some(&f) = self.plan.device_faults.get(&device) else {
+            return DeviceFaultOutcome::None;
+        };
+        if f.is_empty() {
+            return DeviceFaultOutcome::None;
+        }
+        let idx = {
+            let c = self.dev_idx.entry(device).or_insert(0);
+            let i = *c;
+            *c += 1;
+            i
+        };
+        let fail_p = match op {
+            DeviceOp::NvmeRead => f.read_error,
+            DeviceOp::NvmeWrite => f.write_error,
+            DeviceOp::GpuLaunch => f.launch_error,
+        };
+        if fail_p > 0.0 && unit(self.device_hash(device, idx, 1)) < fail_p {
+            return DeviceFaultOutcome::Fail;
+        }
+        if op == DeviceOp::NvmeWrite
+            && f.torn_write > 0.0
+            && unit(self.device_hash(device, idx, 2)) < f.torn_write
+        {
+            return DeviceFaultOutcome::Torn {
+                keep_frac: unit(self.device_hash(device, idx, 5)),
+            };
+        }
+        if op == DeviceOp::GpuLaunch
+            && f.corrupt_output > 0.0
+            && unit(self.device_hash(device, idx, 3)) < f.corrupt_output
+        {
+            return DeviceFaultOutcome::Corrupt {
+                bit: self.device_hash(device, idx, 6),
+            };
+        }
+        if f.latency_spike > 0.0 && unit(self.device_hash(device, idx, 4)) < f.latency_spike {
+            return DeviceFaultOutcome::Spike {
+                factor: f.spike_factor,
+            };
+        }
+        DeviceFaultOutcome::None
+    }
+
+    /// Decides whether the next data-class payload on `link` is corrupted
+    /// in flight; returns the bit-position hash when it is. Links without
+    /// a corruption entry get no counter, so an empty plan stays
+    /// bit-identical to no plan.
+    pub(crate) fn decide_corrupt(&mut self, link: LinkKey) -> Option<u64> {
+        let &p = self.plan.corrupt_probs.get(&link)?;
+        if p <= 0.0 {
+            return None;
+        }
+        let idx = {
+            let c = self.data_idx.entry(link).or_insert(0);
+            let i = *c;
+            *c += 1;
+            i
+        };
+        let mut h = self.seed;
+        h = splitmix64(h ^ u64::from(link.src.0));
+        h = splitmix64(h ^ u64::from(link.dst.0).rotate_left(32));
+        h = splitmix64(h ^ idx);
+        let decide = splitmix64(h ^ 0x0DA7_A0C0_44BE);
+        if unit(decide) < p {
+            Some(splitmix64(h ^ 0xB17F_11B5))
+        } else {
+            None
+        }
+    }
+
+    /// True when the plan names data corruption on `link`.
+    pub(crate) fn corrupts_link(&self, link: LinkKey) -> bool {
+        self.plan.corrupt_probs.get(&link).copied().unwrap_or(0.0) > 0.0
     }
 }
 
@@ -377,5 +656,100 @@ mod tests {
     #[should_panic(expected = "not in [0, 1]")]
     fn out_of_range_probability_panics() {
         let _ = FaultPlan::new().drop_prob(N0, N1, 1.5);
+    }
+
+    #[test]
+    fn device_decisions_replay_from_seed_and_index() {
+        let dev = Endpoint::nvme(N0);
+        let plan = FaultPlan::new()
+            .nvme_read_errors(dev, 0.2)
+            .nvme_torn_writes(dev, 0.2)
+            .device_latency_spikes(dev, 0.2, 6.0);
+        let mut a = FaultState::new(plan.clone(), 99);
+        let mut b = FaultState::new(plan, 99);
+        let ops = [DeviceOp::NvmeRead, DeviceOp::NvmeWrite];
+        let da: Vec<_> = (0..200).map(|i| a.decide_device(dev, ops[i % 2])).collect();
+        let db: Vec<_> = (0..200).map(|i| b.decide_device(dev, ops[i % 2])).collect();
+        assert_eq!(da, db);
+        let fails = da
+            .iter()
+            .filter(|o| matches!(o, DeviceFaultOutcome::Fail))
+            .count();
+        let torn = da
+            .iter()
+            .filter(|o| matches!(o, DeviceFaultOutcome::Torn { .. }))
+            .count();
+        let spikes = da
+            .iter()
+            .filter(|o| matches!(o, DeviceFaultOutcome::Spike { .. }))
+            .count();
+        assert!(fails > 0, "no injected failures at p=0.2 over 200 ops");
+        assert!(torn > 0, "no torn writes at p=0.2 over 100 writes");
+        assert!(spikes > 0, "no latency spikes at p=0.2 over 200 ops");
+    }
+
+    #[test]
+    fn device_faults_are_scoped_to_the_named_endpoint() {
+        let dev = Endpoint::nvme(N0);
+        let other = Endpoint::nvme(N1);
+        let plan = FaultPlan::new().nvme_read_errors(dev, 1.0);
+        let mut state = FaultState::new(plan, 5);
+        assert_eq!(
+            state.decide_device(dev, DeviceOp::NvmeRead),
+            DeviceFaultOutcome::Fail
+        );
+        assert_eq!(
+            state.decide_device(other, DeviceOp::NvmeRead),
+            DeviceFaultOutcome::None
+        );
+        // Write ops on the faulty device draw from `write_error`, which
+        // is zero here.
+        assert_eq!(
+            state.decide_device(dev, DeviceOp::NvmeWrite),
+            DeviceFaultOutcome::None
+        );
+    }
+
+    #[test]
+    fn gpu_corruption_carries_a_bit_hash() {
+        let dev = Endpoint::gpu(N1);
+        let plan = FaultPlan::new().gpu_output_corruption(dev, 1.0);
+        let mut state = FaultState::new(plan, 17);
+        let DeviceFaultOutcome::Corrupt { bit: a } = state.decide_device(dev, DeviceOp::GpuLaunch)
+        else {
+            panic!("p=1 corruption did not fire");
+        };
+        let DeviceFaultOutcome::Corrupt { bit: b } = state.decide_device(dev, DeviceOp::GpuLaunch)
+        else {
+            panic!("p=1 corruption did not fire");
+        };
+        assert_ne!(a, b, "per-op indices must vary the bit hash");
+    }
+
+    #[test]
+    fn payload_corruption_replays_and_scopes_to_link() {
+        let plan = FaultPlan::new().corrupt_data(N0, N1, 0.5);
+        let mut a = FaultState::new(plan.clone(), 31);
+        let mut b = FaultState::new(plan, 31);
+        let link = LinkKey::new(N0, N1);
+        let da: Vec<_> = (0..100).map(|_| a.decide_corrupt(link)).collect();
+        let db: Vec<_> = (0..100).map(|_| b.decide_corrupt(link)).collect();
+        assert_eq!(da, db);
+        assert!(da.iter().any(Option::is_some), "p=0.5 never corrupted");
+        assert!(da.iter().any(Option::is_none), "p=0.5 always corrupted");
+        assert_eq!(a.decide_corrupt(LinkKey::new(N1, N0)), None);
+        assert!(a.corrupts_link(link));
+        assert!(!a.corrupts_link(LinkKey::new(N1, N0)));
+    }
+
+    #[test]
+    fn device_plan_emptiness() {
+        assert!(FaultPlan::new()
+            .device_latency_spikes(Endpoint::nvme(N0), 0.0, 2.0)
+            .is_empty());
+        assert!(!FaultPlan::new()
+            .nvme_read_errors(Endpoint::nvme(N0), 0.1)
+            .is_empty());
+        assert!(!FaultPlan::new().corrupt_data(N0, N1, 0.1).is_empty());
     }
 }

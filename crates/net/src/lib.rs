@@ -42,7 +42,9 @@ pub mod stats;
 pub mod topology;
 
 pub use fabric::{Fabric, WIRE_HEADER_BYTES};
-pub use fault::{FaultPlan, LinkKey, SendOutcome};
+pub use fault::{DeviceFaultOutcome, DeviceFaults, DeviceOp, FaultPlan, LinkKey, SendOutcome};
 pub use params::{ComputeDomain, NetParams};
-pub use stats::{FaultCounter, FlowCounter, Medium, TrafficClass, TrafficStats};
+pub use stats::{
+    DeviceFaultCounter, FaultCounter, FlowCounter, Medium, TrafficClass, TrafficStats,
+};
 pub use topology::{Endpoint, Location, NodeConfig, NodeId, Topology, TopologyError};

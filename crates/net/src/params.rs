@@ -112,6 +112,11 @@ pub struct NetParams {
     pub interrupt_wakeup: SimDuration,
     /// Idle time after which a Controller stops polling and sleeps.
     pub poll_window: SimDuration,
+    /// When true, Controllers verify integrity envelopes at `memory_copy`
+    /// completion (models the NIC/device inline CRC check, so it adds no
+    /// simulated time). Off, an in-flight bit flip lands silently — used
+    /// by tests to prove the envelope is what catches corruption.
+    pub end_to_end_integrity: bool,
 }
 
 impl NetParams {
@@ -143,6 +148,7 @@ impl NetParams {
             controller_interrupts: false,
             interrupt_wakeup: SimDuration::from_micros(4),
             poll_window: SimDuration::from_micros(20),
+            end_to_end_integrity: true,
         }
     }
 

@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::topology::NodeId;
+use crate::topology::{Endpoint, NodeId};
 
 /// Broad classification of a message for accounting purposes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -49,6 +49,21 @@ pub struct FaultCounter {
     pub dropped: u64,
     /// Deliveries slowed by an active degradation window.
     pub degraded: u64,
+    /// Data-class payloads bit-flipped in flight.
+    pub corrupted: u64,
+}
+
+/// Injected-fault counters for one device endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceFaultCounter {
+    /// Operations failed outright (media error / launch failure).
+    pub failed: u64,
+    /// Writes torn (only a prefix committed).
+    pub torn: u64,
+    /// Outputs corrupted (bit flip).
+    pub corrupted: u64,
+    /// Operations stretched by a latency spike.
+    pub spiked: u64,
 }
 
 /// All traffic counters for a fabric.
@@ -57,6 +72,7 @@ pub struct TrafficStats {
     flows: BTreeMap<(NodeId, NodeId, TrafficClass), FlowCounter>,
     by_medium: BTreeMap<(Medium, TrafficClass), FlowCounter>,
     faults: BTreeMap<(NodeId, NodeId), FaultCounter>,
+    device_faults: BTreeMap<Endpoint, DeviceFaultCounter>,
 }
 
 impl TrafficStats {
@@ -90,6 +106,43 @@ impl TrafficStats {
     /// Records one delivery slowed by a degradation window on `src → dst`.
     pub fn record_degraded(&mut self, src: NodeId, dst: NodeId) {
         self.faults.entry((src, dst)).or_default().degraded += 1;
+    }
+
+    /// Records one data-class payload bit-flipped in flight on `src → dst`.
+    pub fn record_corrupted(&mut self, src: NodeId, dst: NodeId) {
+        self.faults.entry((src, dst)).or_default().corrupted += 1;
+    }
+
+    /// Records one injected device fault on `device`.
+    pub fn record_device_fault(
+        &mut self,
+        device: Endpoint,
+        f: impl FnOnce(&mut DeviceFaultCounter),
+    ) {
+        f(self.device_faults.entry(device).or_default());
+    }
+
+    /// Injected-fault counters for one device endpoint.
+    pub fn device_faults_at(&self, device: Endpoint) -> DeviceFaultCounter {
+        self.device_faults.get(&device).copied().unwrap_or_default()
+    }
+
+    /// Iterates over all per-device injected-fault counters.
+    pub fn device_fault_devices(&self) -> impl Iterator<Item = (&Endpoint, &DeviceFaultCounter)> {
+        self.device_faults.iter()
+    }
+
+    /// Total injected device faults (all classes, all devices).
+    pub fn total_device_faults(&self) -> u64 {
+        self.device_faults
+            .values()
+            .map(|c| c.failed + c.torn + c.corrupted + c.spiked)
+            .sum()
+    }
+
+    /// Total data-class payloads corrupted in flight.
+    pub fn total_corrupted(&self) -> u64 {
+        self.faults.values().map(|c| c.corrupted).sum()
     }
 
     /// Injected-fault counters for one directed link.
@@ -198,9 +251,22 @@ impl TrafficStats {
             let d = FaultCounter {
                 dropped: cur.dropped - base.dropped,
                 degraded: cur.degraded - base.degraded,
+                corrupted: cur.corrupted - base.corrupted,
             };
             if d != FaultCounter::default() {
                 diff.faults.insert(*key, d);
+            }
+        }
+        for (key, cur) in &self.device_faults {
+            let base = baseline.device_faults.get(key).copied().unwrap_or_default();
+            let d = DeviceFaultCounter {
+                failed: cur.failed - base.failed,
+                torn: cur.torn - base.torn,
+                corrupted: cur.corrupted - base.corrupted,
+                spiked: cur.spiked - base.spiked,
+            };
+            if d != DeviceFaultCounter::default() {
+                diff.device_faults.insert(*key, d);
             }
         }
         diff
@@ -211,6 +277,7 @@ impl TrafficStats {
         self.flows.clear();
         self.by_medium.clear();
         self.faults.clear();
+        self.device_faults.clear();
     }
 }
 
@@ -285,5 +352,33 @@ mod tests {
         s.reset();
         assert_eq!(s.total_dropped() + s.total_degraded(), 0);
         assert_eq!(s.link_faults(N0, N1), FaultCounter::default());
+    }
+
+    #[test]
+    fn device_fault_counters_diff_and_reset() {
+        let dev = Endpoint::nvme(N0);
+        let gpu = Endpoint::gpu(N1);
+        let mut s = TrafficStats::new();
+        s.record_device_fault(dev, |c| c.failed += 1);
+        s.record_corrupted(N0, N1);
+        let snapshot = s.clone();
+        s.record_device_fault(dev, |c| c.torn += 1);
+        s.record_device_fault(gpu, |c| c.corrupted += 1);
+        s.record_device_fault(gpu, |c| c.spiked += 1);
+
+        assert_eq!(s.device_faults_at(dev).failed, 1);
+        assert_eq!(s.device_faults_at(gpu).corrupted, 1);
+        assert_eq!(s.total_device_faults(), 4);
+        assert_eq!(s.total_corrupted(), 1);
+        assert_eq!(s.link_faults(N0, N1).corrupted, 1);
+
+        let d = s.since(&snapshot);
+        assert_eq!(d.device_faults_at(dev).failed, 0);
+        assert_eq!(d.device_faults_at(dev).torn, 1);
+        assert_eq!(d.device_fault_devices().count(), 2);
+        assert_eq!(d.total_corrupted(), 0);
+
+        s.reset();
+        assert_eq!(s.total_device_faults(), 0);
     }
 }

@@ -28,7 +28,7 @@ use std::collections::VecDeque;
 use fractos_cap::{Cid, Perms};
 use fractos_core::prelude::*;
 use fractos_core::types::Syscall;
-use fractos_devices::proto::{imm, imm_at};
+use fractos_devices::proto::{imm, imm_at, DevError};
 use fractos_sim::{SimDuration, SimTime};
 
 use crate::matcher::{synth_face, MATCH_THRESHOLD};
@@ -123,7 +123,15 @@ struct SlotCache {
 struct InFlight {
     batch: u64,
     reply: Cid,
+    /// The client's query buffer and id window — kept so a recoverable
+    /// device fault can re-run the whole storage → GPU stage chain.
+    query_mem: Cid,
+    first_id: u64,
+    attempts: u32,
 }
+
+/// Per-request retry budget across the storage → GPU → frontend chain.
+pub const FV_RETRIES: u32 = 4;
 
 /// The frontend Process of the application.
 pub struct FaceVerifyFrontend {
@@ -144,6 +152,8 @@ pub struct FaceVerifyFrontend {
     pub ready: bool,
     /// Served requests (tests/benches).
     pub served: u64,
+    /// Stage chains re-run after a recoverable device fault (chaos tests).
+    pub retried: u64,
 }
 
 impl FaceVerifyFrontend {
@@ -163,6 +173,7 @@ impl FaceVerifyFrontend {
             backlog: VecDeque::new(),
             ready: false,
             served: 0,
+            retried: 0,
         }
     }
 
@@ -293,7 +304,13 @@ impl FaceVerifyFrontend {
             return;
         }
         self.slots[slot].busy = true;
-        self.inflight[slot] = Some(InFlight { batch, reply });
+        self.inflight[slot] = Some(InFlight {
+            batch,
+            reply,
+            query_mem,
+            first_id,
+            attempts: 0,
+        });
 
         if self.slots[slot]
             .cache
@@ -454,9 +471,18 @@ impl FaceVerifyFrontend {
         let img = self.cfg.img_bytes;
         let db_read = self.db_read_req.expect("ready");
         fos.memory_copy(query_mem, in_a, move |s: &mut Self, res, fos| {
-            if res != SyscallResult::Ok {
-                s.fail_slot(slot, fos);
-                return;
+            match res {
+                SyscallResult::Ok => {}
+                // The query payload was corrupted in flight: the client's
+                // buffer is intact, so re-run the chain.
+                SyscallResult::Err(FosError::IntegrityViolation) => {
+                    s.retry_or_fail_slot(slot, Some(DevError::Integrity.code()), fos);
+                    return;
+                }
+                _ => {
+                    s.fail_slot(slot, fos);
+                    return;
+                }
             }
             fos.request_derive(
                 db_read,
@@ -518,9 +544,18 @@ impl FaceVerifyFrontend {
             (cache.out_view, cache.out_local, cache.out_local_addr);
         let batch = self.inflight[slot].as_ref().expect("checked").batch;
         fos.memory_copy(out_view, out_local, move |s: &mut Self, res, fos| {
-            if res != SyscallResult::Ok {
-                s.fail_slot(slot, fos);
-                return;
+            match res {
+                SyscallResult::Ok => {}
+                // The distances were corrupted on the way out of GPU
+                // memory; re-run the chain to recompute them.
+                SyscallResult::Err(FosError::IntegrityViolation) => {
+                    s.retry_or_fail_slot(slot, Some(DevError::Integrity.code()), fos);
+                    return;
+                }
+                _ => {
+                    s.fail_slot(slot, fos);
+                    return;
+                }
             }
             let distances = fos.mem_read(out_addr, 0, batch).unwrap_or_default();
             let Some(inflight) = s.inflight[slot].take() else {
@@ -532,6 +567,35 @@ impl FaceVerifyFrontend {
             // Admit one queued request, if any.
             if let Some(queued) = s.backlog.pop_front() {
                 s.on_verify(queued, fos);
+            }
+        });
+    }
+
+    /// Decides what to do with a typed error for `slot`'s in-flight
+    /// request: a recoverable device fault ([`DevError::Media`],
+    /// [`DevError::Launch`], [`DevError::Integrity`], …) re-runs the whole
+    /// storage → GPU stage chain after a doubling backoff, up to
+    /// [`FV_RETRIES`] attempts; anything else (or an exhausted budget)
+    /// degrades to an empty reply via [`FaceVerifyFrontend::fail_slot`].
+    fn retry_or_fail_slot(&mut self, slot: usize, code: Option<u64>, fos: &Fos<Self>) {
+        let recoverable = code
+            .and_then(DevError::from_code)
+            .is_some_and(|e| e.is_recoverable());
+        let Some(inflight) = self.inflight[slot].as_mut() else {
+            return;
+        };
+        if !recoverable || inflight.attempts >= FV_RETRIES {
+            self.fail_slot(slot, fos);
+            return;
+        }
+        inflight.attempts += 1;
+        let (first_id, query_mem) = (inflight.first_id, inflight.query_mem);
+        let backoff = SimDuration::from_micros(30) * (1u64 << (inflight.attempts - 1).min(6));
+        self.retried += 1;
+        fos.sleep(backoff, move |s: &mut Self, fos| {
+            // The slot stays busy and its cache intact across the retry.
+            if s.inflight[slot].is_some() {
+                s.issue(slot, first_id, query_mem, fos);
             }
         });
     }
@@ -558,8 +622,11 @@ impl Service for FaceVerifyFrontend {
             TAG_FV_VERIFY => self.on_verify(req, fos),
             TAG_FV_GPU_DONE => self.on_gpu_done(req, fos),
             TAG_FV_ERR => {
+                // Preset imms: [slot]; the device adaptor appends its
+                // typed `DevError` code at index 1.
                 if let Some(slot) = imm_at(&req.imms, 0) {
-                    self.fail_slot(slot as usize, fos);
+                    let code = imm_at(&req.imms, 1);
+                    self.retry_or_fail_slot(slot as usize, code, fos);
                 }
             }
             _ => {}

@@ -23,7 +23,7 @@ use std::collections::HashMap;
 use fractos_cap::{Cid, Perms};
 use fractos_core::prelude::*;
 use fractos_core::types::Syscall;
-use fractos_devices::proto::{imm, imm_at};
+use fractos_devices::proto::{imm, imm_at, DevError};
 
 /// FS: create a file. Imms: `[size]`. Caps: `[continuation]`.
 /// Reply imms: `[file id, extent size]`; caps as for open (rw).
@@ -103,15 +103,22 @@ struct FsFile {
     extents: Vec<Extent>,
 }
 
-/// In-flight mediated operation.
+/// In-flight mediated operation. Carries everything needed to *re-issue*
+/// the block operation: under a device-fault plan the adaptor may reply
+/// with a recoverable typed error ([`DevError::Media`],
+/// [`DevError::Integrity`], …) and the FS retries with backoff instead of
+/// propagating the first fault to the client.
 struct PendingOp {
     client_mem: Cid,
     client_success: Cid,
     client_error: Cid,
     staging_view: Cid,
     staging_slot: usize,
+    blk_req: Cid,
+    ext_off: u64,
     size: u64,
     is_read: bool,
+    attempts: u32,
 }
 
 struct StagingBuf {
@@ -141,10 +148,22 @@ pub struct FsService {
     next_op: u64,
     /// Completed reads/writes (tests).
     pub completed_ops: u64,
+    /// Block operations re-issued after a recoverable device fault (tests
+    /// and chaos metrics).
+    pub retried_ops: u64,
 }
 
 /// Staging buffers held by the FS for mediated transfers.
 const FS_STAGING_POOL: usize = 8;
+
+/// Maximum re-issues of one block operation after recoverable faults.
+pub const FS_IO_RETRIES: u32 = 4;
+
+/// Exponential retry backoff: 30 µs doubling per attempt (mirrors the
+/// control plane's retransmission policy).
+fn retry_backoff(attempt: u32) -> SimDuration {
+    SimDuration::from_micros(30) * (1u64 << attempt.min(6))
+}
 
 impl FsService {
     /// Creates an FS publishing under `"{key}.create"` / `"{key}.open"`,
@@ -163,6 +182,7 @@ impl FsService {
             creates: HashMap::new(),
             next_op: 0,
             completed_ops: 0,
+            retried_ops: 0,
         }
     }
 
@@ -548,49 +568,92 @@ impl FsService {
                         client_error: error,
                         staging_view: view,
                         staging_slot: slot,
+                        blk_req,
+                        ext_off,
                         size,
                         is_read,
+                        attempts: 0,
                     },
                 );
                 if is_read {
                     // Device → staging, then staging → client.
-                    FsService::internal_cont(fos, 1, op, move |s, done, fos| {
-                        let Ok(done) = done else {
-                            s.finish_op(op, false, fos);
-                            return;
-                        };
-                        FsService::internal_cont(fos, 2, op, move |s, fail, fos| {
-                            let Ok(fail) = fail else {
-                                s.finish_op(op, false, fos);
-                                return;
-                            };
-                            Self::invoke_blk(blk_req, ext_off, size, view, done, fail, op, fos);
-                        });
-                    });
+                    Self::start_blk(op, blk_req, ext_off, size, view, fos);
                 } else {
                     // Client → staging, then staging → device.
-                    fos.memory_copy(client_mem, view, move |s: &mut Self, res, fos| {
-                        if res != SyscallResult::Ok {
-                            s.finish_op(op, false, fos);
-                            return;
-                        }
-                        FsService::internal_cont(fos, 1, op, move |s, done, fos| {
-                            let Ok(done) = done else {
-                                s.finish_op(op, false, fos);
-                                return;
-                            };
-                            FsService::internal_cont(fos, 2, op, move |s, fail, fos| {
-                                let Ok(fail) = fail else {
-                                    s.finish_op(op, false, fos);
-                                    return;
-                                };
-                                Self::invoke_blk(blk_req, ext_off, size, view, done, fail, op, fos);
-                            });
-                        });
-                    });
+                    Self::start_write(op, blk_req, ext_off, size, client_mem, view, fos);
                 }
             },
         );
+    }
+
+    /// Mints fresh internal success/failure continuations and fires the
+    /// block operation for op `op`. Re-entered on every retry.
+    fn start_blk(op: u64, blk_req: Cid, ext_off: u64, size: u64, view: Cid, fos: &Fos<Self>) {
+        FsService::internal_cont(fos, 1, op, move |s, done, fos| {
+            let Ok(done) = done else {
+                s.finish_op(op, false, fos);
+                return;
+            };
+            FsService::internal_cont(fos, 2, op, move |s, fail, fos| {
+                let Ok(fail) = fail else {
+                    s.finish_op(op, false, fos);
+                    return;
+                };
+                Self::invoke_blk(blk_req, ext_off, size, view, done, fail, op, fos);
+            });
+        });
+    }
+
+    /// Write data path: pull the client's payload into the staging view,
+    /// then commit it to the device. A corrupted pull (integrity envelope
+    /// mismatch on the copy) is retried — the client's buffer still holds
+    /// the payload, so re-pulling re-stamps it.
+    fn start_write(
+        op: u64,
+        blk_req: Cid,
+        ext_off: u64,
+        size: u64,
+        client_mem: Cid,
+        view: Cid,
+        fos: &Fos<Self>,
+    ) {
+        fos.memory_copy(client_mem, view, move |s: &mut Self, res, fos| match res {
+            SyscallResult::Ok => Self::start_blk(op, blk_req, ext_off, size, view, fos),
+            SyscallResult::Err(FosError::IntegrityViolation) => {
+                s.retry_or_fail(op, Some(DevError::Integrity.code()), fos)
+            }
+            _ => s.finish_op(op, false, fos),
+        });
+    }
+
+    /// Re-issues op `op` after an exponential backoff if the fault is
+    /// recoverable and budget remains; otherwise fails the op typed. This
+    /// is the error-continuation recovery loop: the device adaptor
+    /// translated a fault into a typed error invocation, and the FS — not
+    /// the client — decides whether it is worth another attempt.
+    fn retry_or_fail(&mut self, op: u64, code: Option<u64>, fos: &Fos<Self>) {
+        let recoverable = code
+            .and_then(DevError::from_code)
+            .is_some_and(|e| e.is_recoverable());
+        let Some(p) = self.ops.get_mut(&op) else {
+            return;
+        };
+        if !recoverable || p.attempts >= FS_IO_RETRIES {
+            self.finish_op(op, false, fos);
+            return;
+        }
+        p.attempts += 1;
+        let backoff = retry_backoff(p.attempts - 1);
+        let (blk_req, ext_off, size, view) = (p.blk_req, p.ext_off, p.size, p.staging_view);
+        let (is_read, client_mem) = (p.is_read, p.client_mem);
+        self.retried_ops += 1;
+        fos.sleep(backoff, move |_s: &mut Self, fos| {
+            if is_read {
+                Self::start_blk(op, blk_req, ext_off, size, view, fos);
+            } else {
+                Self::start_write(op, blk_req, ext_off, size, client_mem, view, fos);
+            }
+        });
     }
 
     /// Derives the block-device Request with the staging view and internal
@@ -625,16 +688,26 @@ impl FsService {
     }
 
     /// Completes a mediated op: for reads, copy staging → client first.
-    fn on_blk_done(&mut self, op: u64, ok: bool, fos: &Fos<Self>) {
+    /// `code` is the device adaptor's typed error code on failure; a
+    /// recoverable one re-issues the operation instead of failing it.
+    fn on_blk_done(&mut self, op: u64, ok: bool, code: Option<u64>, fos: &Fos<Self>) {
         let Some(p) = self.ops.get(&op) else { return };
         if !ok {
-            self.finish_op(op, false, fos);
+            self.retry_or_fail(op, code, fos);
             return;
         }
         if p.is_read {
             let (view, client_mem) = (p.staging_view, p.client_mem);
             fos.memory_copy(view, client_mem, move |s: &mut Self, res, fos| {
-                s.finish_op(op, res == SyscallResult::Ok, fos);
+                match res {
+                    SyscallResult::Ok => s.finish_op(op, true, fos),
+                    // Corrupted in flight: re-read the extent (the
+                    // device's copy is intact) and re-deliver.
+                    SyscallResult::Err(FosError::IntegrityViolation) => {
+                        s.retry_or_fail(op, Some(DevError::Integrity.code()), fos)
+                    }
+                    _ => s.finish_op(op, false, fos),
+                }
             });
         } else {
             self.finish_op(op, true, fos);
@@ -712,14 +785,15 @@ impl Service for FsService {
             TAG_FS_WRITE => self.on_read_write(req, fos, false),
             TAG_FS_INTERNAL => {
                 // Imms: [kind, op, ...]; kind 0 = extent ready, 1 = blk op
-                // success, 2 = blk op failure.
+                // success, 2 = blk op failure (the adaptor's typed
+                // `DevError` code rides at index 2).
                 let (Some(kind), Some(op)) = (imm_at(&req.imms, 0), imm_at(&req.imms, 1)) else {
                     return;
                 };
                 match kind {
                     0 => self.on_extent_ready(op, &req, fos),
-                    1 => self.on_blk_done(op, true, fos),
-                    2 => self.on_blk_done(op, false, fos),
+                    1 => self.on_blk_done(op, true, None, fos),
+                    2 => self.on_blk_done(op, false, imm_at(&req.imms, 2), fos),
                     _ => {}
                 }
             }

@@ -38,7 +38,15 @@ pub struct PipelineStage {
     buf_cid: Option<Cid>,
     /// Requests forwarded (tests).
     pub forwarded: u64,
+    /// Data transfers re-attempted after a transient/integrity failure.
+    pub retries: u64,
+    /// Hand-offs that proceeded without a verified transfer (retry budget
+    /// exhausted or continuation unreachable) — the chain still completes.
+    pub degraded: u64,
 }
+
+/// Per-stage retry budget for the data transfer.
+pub const STAGE_RETRIES: u32 = 3;
 
 impl PipelineStage {
     /// Creates a stage with a `capacity`-byte buffer.
@@ -48,7 +56,36 @@ impl PipelineStage {
             capacity,
             buf_cid: None,
             forwarded: 0,
+            retries: 0,
+            degraded: 0,
         }
+    }
+
+    /// Copies the stage buffer view into `dst`, retrying a failed transfer
+    /// (e.g. an in-flight integrity violation) up to [`STAGE_RETRIES`]
+    /// times with doubling backoff, then hands control to `next` either
+    /// way — a stalled stage must not wedge the whole chain (§3.6: faults
+    /// become error continuations, not hangs).
+    fn copy_and_forward(attempt: u32, view: Cid, dst: Cid, next: Cid, fos: &Fos<Self>) {
+        fos.memory_copy(view, dst, move |s: &mut Self, res, fos| {
+            if res != SyscallResult::Ok && attempt < STAGE_RETRIES {
+                s.retries += 1;
+                let backoff = fractos_sim::SimDuration::from_micros(30) * (1u64 << attempt);
+                fos.sleep(backoff, move |_s: &mut Self, fos| {
+                    Self::copy_and_forward(attempt + 1, view, dst, next, fos);
+                });
+                return;
+            }
+            if res != SyscallResult::Ok {
+                s.degraded += 1;
+            }
+            fos.call_ignore(Syscall::CapRevoke { cid: view });
+            fos.request_invoke(next, |s: &mut Self, res, _| {
+                if !res.is_ok() {
+                    s.degraded += 1;
+                }
+            });
+        });
     }
 }
 
@@ -97,11 +134,7 @@ impl Service for PipelineStage {
                 let SyscallResult::NewCid(view) = res else {
                     return;
                 };
-                fos.memory_copy(view, dst, move |_s: &mut Self, res, fos| {
-                    fos.call_ignore(Syscall::CapRevoke { cid: view });
-                    debug_assert_eq!(res, SyscallResult::Ok);
-                    fos.request_invoke(next, |_, res, _| debug_assert!(res.is_ok()));
-                });
+                Self::copy_and_forward(0, view, dst, next, fos);
             },
         );
     }
