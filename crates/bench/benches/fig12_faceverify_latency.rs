@@ -18,6 +18,9 @@ fn main() {
         &[
             "batch",
             "FractOS@CPU",
+            "p50",
+            "p95",
+            "p99",
             "FractOS@sNIC",
             "baseline",
             "base/CPU",
@@ -31,6 +34,9 @@ fn main() {
         t.row(&[
             batch.to_string(),
             us(cpu.lat_mean),
+            us(cpu.lat_p50),
+            us(cpu.lat_p95),
+            us(cpu.lat_p99),
             us(snic.lat_mean),
             us(base.lat_mean),
             ratio(base.lat_mean, cpu.lat_mean),

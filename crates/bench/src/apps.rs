@@ -10,13 +10,15 @@ use fractos_core::prelude::*;
 use fractos_devices::proto::{imm, imm_at};
 use fractos_devices::{BlockAdaptor, GpuAdaptor, GpuParams, NvmeParams};
 use fractos_net::{Fabric, NetParams, Topology, TrafficClass};
+use fractos_obs::MetricsSnapshot;
 use fractos_services::deploy::deploy_faceverify;
 use fractos_services::faceverify::FvClient;
 use fractos_services::fs::{FsMode, FsService};
 use fractos_services::pipeline::{ChainDriver, PipelineStage};
 use fractos_services::{FvConfig, FACE_VERIFY_KERNEL};
 use fractos_sim::{
-    runtime_from_env, Actor, Ctx, Msg, Runtime, RuntimeConfig, Shared, SimDuration, SimTime,
+    runtime_from_env, Actor, ActorId, Ctx, Histogram, Msg, Runtime, RuntimeConfig, Shared,
+    SimDuration, SimTime, SpanRecord,
 };
 
 /// Result of one application run.
@@ -24,6 +26,12 @@ use fractos_sim::{
 pub struct AppResult {
     /// Mean per-request latency in µs.
     pub lat_mean: f64,
+    /// Median per-request latency in µs (nearest rank).
+    pub lat_p50: f64,
+    /// 95th-percentile per-request latency in µs (nearest rank).
+    pub lat_p95: f64,
+    /// 99th-percentile per-request latency in µs (nearest rank).
+    pub lat_p99: f64,
     /// Wall-clock (virtual) time of the measured phase in µs.
     pub wall_us: f64,
     /// Requests completed.
@@ -108,6 +116,65 @@ pub fn fractos_faceverify_with(
     store_results: bool,
     tweak: impl FnOnce(&mut NetParams),
 ) -> AppResult {
+    faceverify_run(
+        deploy,
+        img,
+        batch,
+        requests,
+        in_flight,
+        store_results,
+        tweak,
+        false,
+    )
+    .result
+}
+
+/// Observability capture from a traced FractOS face-verification run.
+pub struct TracedRun {
+    /// The application-level result.
+    pub result: AppResult,
+    /// Span records in the canonical `(start, end, actor, ord)` order.
+    pub spans: Vec<SpanRecord>,
+    /// Registered actor names, indexed by actor index (for trace export).
+    pub actor_names: Vec<String>,
+    /// Deterministic snapshot of the run's metrics registry.
+    pub snapshot: MetricsSnapshot,
+}
+
+/// As [`fractos_faceverify_opts`] with causal span recording enabled for
+/// the measured phase. Spans are switched on after deployment and boot, so
+/// the capture covers exactly the top-level verification requests.
+pub fn fractos_faceverify_traced(
+    deploy: FvDeploy,
+    img: u64,
+    batch: u64,
+    requests: u64,
+    in_flight: u64,
+    store_results: bool,
+) -> TracedRun {
+    faceverify_run(
+        deploy,
+        img,
+        batch,
+        requests,
+        in_flight,
+        store_results,
+        |_| {},
+        true,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn faceverify_run(
+    deploy: FvDeploy,
+    img: u64,
+    batch: u64,
+    requests: u64,
+    in_flight: u64,
+    store_results: bool,
+    tweak: impl FnOnce(&mut NetParams),
+    trace: bool,
+) -> TracedRun {
     let mut tb = Testbed::paper(61);
     tweak(tb.fabric.borrow_mut().params_mut());
     let ctrls = match deploy {
@@ -123,6 +190,9 @@ pub fn fractos_faceverify_with(
     };
     deploy_faceverify(&mut tb, &ctrls, cfg, 256);
     tb.reset_traffic();
+    if trace {
+        tb.sim.enable_spans();
+    }
     let mut client_svc = FvClient::new(img, batch, requests, in_flight);
     client_svc.expect_stored = store_results;
     let client = tb.add_process("client", cpu(2), ctrls[2], client_svc);
@@ -130,28 +200,53 @@ pub fn fractos_faceverify_with(
     let t0 = tb.now();
     tb.run();
     let wall_us = tb.now().duration_since(t0).as_micros_f64();
-    let (lat_mean, completed, ok) = tb.with_service::<FvClient, _>(client, |c| {
-        let mean = c
-            .samples
-            .iter()
-            .map(|s| s.latency().as_micros_f64())
-            .sum::<f64>()
-            / c.samples.len().max(1) as f64;
+    let (mut lat, completed, ok) = tb.with_service::<FvClient, _>(client, |c| {
+        let mut h = Histogram::new();
+        for s in &c.samples {
+            h.record(s.latency().as_micros_f64());
+        }
         (
-            mean,
+            h,
             c.samples.len() as u64,
             !c.samples.is_empty() && c.samples.iter().all(|s| s.all_matched),
         )
     });
+    // Mirror the per-request samples into the run's registry so traced runs
+    // export the latency distribution in their metrics snapshot.
+    for &s in lat.samples() {
+        tb.sim.metrics_mut().sample("app.request_latency_us", s);
+    }
     let t = tb.traffic();
-    AppResult {
-        lat_mean,
+    let result = AppResult {
+        lat_mean: lat.mean(),
+        lat_p50: lat.p50(),
+        lat_p95: lat.p95(),
+        lat_p99: lat.p99(),
         wall_us,
         completed,
         net_bytes: t.network_bytes(),
         net_msgs: t.network_msgs(),
         data_msgs: t.network_data_msgs(),
         ok,
+    };
+    if !trace {
+        return TracedRun {
+            result,
+            spans: Vec::new(),
+            actor_names: Vec::new(),
+            snapshot: MetricsSnapshot::default(),
+        };
+    }
+    let spans = tb.sim.take_spans();
+    let actor_names = (0..tb.sim.actor_count())
+        .map(|i| tb.sim.actor_name(ActorId::from_raw(i as u32)).to_string())
+        .collect();
+    let snapshot = MetricsSnapshot::capture(tb.sim.metrics());
+    TracedRun {
+        result,
+        spans,
+        actor_names,
+        snapshot,
     }
 }
 
@@ -194,22 +289,23 @@ pub fn baseline_faceverify_opts(
     let t0 = sim.now();
     sim.run();
     let wall_us = sim.now().duration_since(t0).as_micros_f64();
-    let (lat_mean, completed, ok) = sim.with_actor::<BaselineClient, _>(client, |c| {
-        let mean = c
-            .samples
-            .iter()
-            .map(|s| s.latency().as_micros_f64())
-            .sum::<f64>()
-            / c.samples.len().max(1) as f64;
+    let (mut lat, completed, ok) = sim.with_actor::<BaselineClient, _>(client, |c| {
+        let mut h = Histogram::new();
+        for s in &c.samples {
+            h.record(s.latency().as_micros_f64());
+        }
         (
-            mean,
+            h,
             c.samples.len() as u64,
             !c.samples.is_empty() && c.samples.iter().all(|s| s.all_matched),
         )
     });
     let t = fabric.borrow().stats().clone();
     AppResult {
-        lat_mean,
+        lat_mean: lat.mean(),
+        lat_p50: lat.p50(),
+        lat_p95: lat.p95(),
+        lat_p99: lat.p99(),
         wall_us,
         completed,
         net_bytes: t.network_bytes(),

@@ -155,6 +155,35 @@ fn fig2_single_threaded_trace_is_reproducible() {
     assert_eq!(trace_a, trace_b, "traces diverged between equal seeds");
 }
 
+/// `take_trace` returns entries in the canonical `(time, actor, label)`
+/// order on every backend: a Fig 2 run yields the identical entry sequence
+/// (and identical `Display` renderings) on both engines.
+#[test]
+fn fig2_trace_order_matches_across_backends() {
+    let run = |kind: RuntimeKind| {
+        let mut tb = Testbed::new_on(Topology::paper_testbed(), NetParams::paper(), 61, kind);
+        let ctrls = tb.controllers_per_node(false);
+        deploy_faceverify(&mut tb, &ctrls, FvConfig::default(), 256);
+        tb.sim.enable_trace();
+        let client = tb.add_process(
+            "client",
+            cpu(2),
+            ctrls[2],
+            FvClient::new(IMG, BATCH, REQUESTS, 1),
+        );
+        tb.start_process(client);
+        tb.run();
+        tb.sim.take_trace()
+    };
+    let single = run(RuntimeKind::SingleThreaded);
+    let sharded = run(RuntimeKind::Sharded);
+    assert!(!single.is_empty(), "tracing recorded nothing");
+    assert_eq!(single, sharded, "trace order diverged across backends");
+    let rendered: Vec<String> = single.iter().map(|e| e.to_string()).collect();
+    let rendered_sharded: Vec<String> = sharded.iter().map(|e| e.to_string()).collect();
+    assert_eq!(rendered, rendered_sharded);
+}
+
 /// A 4-node workload must spread across more than one OS thread on the
 /// sharded backend. Prints a wall-clock note so CI logs show the cost of
 /// the parallel run.

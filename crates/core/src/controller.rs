@@ -25,7 +25,7 @@ use std::collections::{HashMap, HashSet};
 
 use fractos_cap::{CapRef, CapSpace, Cid, ControllerAddr, MonitorEvent, ObjectTable, Watcher};
 use fractos_net::{ComputeDomain, Endpoint, Fabric, SendOutcome, TrafficClass};
-use fractos_sim::{Actor, Ctx, Msg, Shared, SimDuration, SimTime};
+use fractos_sim::{Actor, Ctx, Msg, Shared, SimDuration, SimTime, SpanKind, TraceCtx};
 
 use crate::directory::Directory;
 use crate::memstore::MemoryStore;
@@ -82,6 +82,10 @@ type DelegateDone =
 struct Pending {
     target: ControllerAddr,
     cont: PendingCont,
+    /// Trace context active when the awaited op was issued; restored when
+    /// the ack (or its timeout/failure verdict) completes, so continuations
+    /// stay inside the originating request's span tree.
+    tctx: TraceCtx,
 }
 
 /// The Controller actor.
@@ -107,6 +111,9 @@ pub struct ControllerActor {
     seen_peer: HashMap<ControllerAddr, DedupFilter>,
     kv: HashMap<String, CapArg>,
     busy_until: SimTime,
+    /// Trace context of the event being handled (causal tracing; `NONE`
+    /// outside traces and while span recording is disabled).
+    cur: TraceCtx,
     dir: Shared<Directory>,
     fabric: Shared<Fabric>,
     mem: Shared<MemoryStore>,
@@ -143,6 +150,7 @@ impl ControllerActor {
             seen_peer: HashMap::new(),
             kv: HashMap::new(),
             busy_until: SimTime::ZERO,
+            cur: TraceCtx::NONE,
             dir,
             fabric,
             mem,
@@ -282,11 +290,31 @@ impl ControllerActor {
             return;
         }
         let size = msg.wire_size();
+        // Controller-side processing (validation + table work) shows up as
+        // a Control span covering the `extra` charge; retransmits reuse the
+        // base context restored from the retry message instead of opening a
+        // second Control span.
+        let base = if attempt == 0 && self.cur.is_some() {
+            let label = match &msg {
+                CtrlToProc::Reply { .. } => "reply",
+                CtrlToProc::Deliver(_) => "deliver",
+                CtrlToProc::Monitor(_) => "monitor",
+            };
+            ctx.span(
+                SpanKind::Control,
+                label,
+                self.cur,
+                ctx.now(),
+                ctx.now() + extra,
+            )
+        } else {
+            self.cur
+        };
         // `extra` is processing time before the message departs; compute
         // the fabric traversal from the departure instant so it does not
         // double-queue behind this operation's own link reservations.
         let depart = ctx.now() + extra;
-        let outcome = self.fabric.borrow_mut().try_send(
+        let outcome = self.fabric.borrow_mut().try_send_parts(
             depart,
             ctx.rng(),
             self.endpoint,
@@ -295,12 +323,26 @@ impl ControllerActor {
             TrafficClass::Control,
         );
         match outcome {
-            SendOutcome::Delivered(delay) => {
+            Some((delay, prop)) => {
+                let tctx = if base.is_some() {
+                    let ser_end = depart + delay.saturating_sub(prop);
+                    let s = ctx.span(SpanKind::FabricSer, "ctrl->proc", base, depart, ser_end);
+                    ctx.span(
+                        SpanKind::FabricProp,
+                        "ctrl->proc",
+                        s,
+                        ser_end,
+                        depart + delay,
+                    )
+                } else {
+                    TraceCtx::NONE
+                };
                 // A delivery slower than one RTO under active faults is
                 // presumed lost and re-fired once; the Process's sequence
-                // filter absorbs the duplicate.
+                // filter absorbs the duplicate (same trace context, no
+                // extra spans).
                 if attempt == 0 && delay > rto(0) && self.fabric.borrow().has_faults() {
-                    let dup = self.fabric.borrow_mut().try_send(
+                    let dup = self.fabric.borrow_mut().try_send_parts(
                         depart,
                         ctx.rng(),
                         self.endpoint,
@@ -308,21 +350,32 @@ impl ControllerActor {
                         size,
                         TrafficClass::Control,
                     );
-                    if let SendOutcome::Delivered(d2) = dup {
+                    if let Some((d2, _)) = dup {
                         ctx.send_after(
                             extra + d2,
                             actor,
                             ProcMsg::FromCtrl {
                                 seq,
+                                tctx,
                                 msg: msg.clone(),
                             },
                         );
                     }
                 }
-                ctx.send_after(extra + delay, actor, ProcMsg::FromCtrl { seq, msg });
+                ctx.send_after(extra + delay, actor, ProcMsg::FromCtrl { seq, tctx, msg });
             }
-            SendOutcome::Dropped => {
+            None => {
                 if attempt + 1 < MAX_ATTEMPTS {
+                    if base.is_some() {
+                        ctx.span(SpanKind::Fault, "drop", base, depart, depart);
+                        ctx.span(
+                            SpanKind::Retransmit,
+                            "ctrl->proc",
+                            base,
+                            depart,
+                            depart + rto(attempt),
+                        );
+                    }
                     ctx.schedule_self(
                         extra + rto(attempt),
                         CtrlMsg::RetransmitProc {
@@ -330,6 +383,7 @@ impl ControllerActor {
                             msg,
                             seq,
                             attempt: attempt + 1,
+                            tctx: base,
                         },
                     );
                 } else {
@@ -368,9 +422,29 @@ impl ControllerActor {
     ) {
         if to == self.addr {
             // Loopback peer op (e.g. registry co-located): handle directly
-            // after the extra delay.
+            // after the extra delay. No fabric hop — only a Control span.
+            let tctx = if attempt == 0 && self.cur.is_some() {
+                ctx.span(
+                    SpanKind::Control,
+                    peer_op_name(&op),
+                    self.cur,
+                    ctx.now(),
+                    ctx.now() + extra,
+                )
+            } else {
+                self.cur
+            };
             let self_actor = ctx.self_id();
-            ctx.send_after(extra, self_actor, CtrlMsg::FromPeer { from: to, op, seq });
+            ctx.send_after(
+                extra,
+                self_actor,
+                CtrlMsg::FromPeer {
+                    from: to,
+                    op,
+                    seq,
+                    tctx,
+                },
+            );
             return;
         }
         let (actor, ep, alive) = {
@@ -393,6 +467,19 @@ impl ControllerActor {
         } else {
             TrafficClass::Control
         };
+        // Control span covers the peer-op processing charge; retransmits
+        // restore the base context from the retry message instead.
+        let base = if attempt == 0 && self.cur.is_some() {
+            ctx.span(
+                SpanKind::Control,
+                peer_op_name(&op),
+                self.cur,
+                ctx.now(),
+                ctx.now() + extra,
+            )
+        } else {
+            self.cur
+        };
         let depart = ctx.now() + extra + ser;
         let faults = self.fabric.borrow().has_faults();
         // Last-resort ack timeout for request-type ops: covers a lost or
@@ -402,16 +489,42 @@ impl ControllerActor {
                 ctx.schedule_self(ACK_TIMEOUT, CtrlMsg::AckTimeout { token });
             }
         }
-        let outcome =
-            self.fabric
-                .borrow_mut()
-                .try_send(depart, ctx.rng(), self.endpoint, ep, size, class);
+        let outcome = self.fabric.borrow_mut().try_send_parts(
+            depart,
+            ctx.rng(),
+            self.endpoint,
+            ep,
+            size,
+            class,
+        );
         match outcome {
-            SendOutcome::Delivered(delay) => {
+            Some((delay, prop)) => {
+                // The serialization span folds the CPU (de)serialization
+                // cost `ser` into the link-occupancy share of the fabric
+                // delay; propagation is the wire share.
+                let tctx = if base.is_some() {
+                    let ser_end = depart + delay.saturating_sub(prop);
+                    let s = ctx.span(
+                        SpanKind::FabricSer,
+                        "ctrl->ctrl",
+                        base,
+                        ctx.now() + extra,
+                        ser_end,
+                    );
+                    ctx.span(
+                        SpanKind::FabricProp,
+                        "ctrl->ctrl",
+                        s,
+                        ser_end,
+                        depart + delay,
+                    )
+                } else {
+                    TraceCtx::NONE
+                };
                 // Presumed-lost duplicate when delivery is slower than one
                 // RTO; the receiver's sequence filter absorbs it.
                 if attempt == 0 && delay > rto(0) && faults {
-                    let dup = self.fabric.borrow_mut().try_send(
+                    let dup = self.fabric.borrow_mut().try_send_parts(
                         depart,
                         ctx.rng(),
                         self.endpoint,
@@ -419,7 +532,7 @@ impl ControllerActor {
                         size,
                         class,
                     );
-                    if let SendOutcome::Delivered(d2) = dup {
+                    if let Some((d2, _)) = dup {
                         ctx.send_after(
                             extra + ser + d2,
                             actor,
@@ -427,6 +540,7 @@ impl ControllerActor {
                                 from: self.addr,
                                 op: op.clone(),
                                 seq,
+                                tctx,
                             },
                         );
                     }
@@ -438,11 +552,22 @@ impl ControllerActor {
                         from: self.addr,
                         op,
                         seq,
+                        tctx,
                     },
                 );
             }
-            SendOutcome::Dropped => {
+            None => {
                 if attempt + 1 < MAX_ATTEMPTS {
+                    if base.is_some() {
+                        ctx.span(SpanKind::Fault, "drop", base, depart, depart);
+                        ctx.span(
+                            SpanKind::Retransmit,
+                            "ctrl->ctrl",
+                            base,
+                            depart,
+                            depart + rto(attempt),
+                        );
+                    }
                     ctx.schedule_self(
                         extra + ser + rto(attempt),
                         CtrlMsg::RetransmitPeer {
@@ -450,6 +575,7 @@ impl ControllerActor {
                             op,
                             seq,
                             attempt: attempt + 1,
+                            tctx: base,
                         },
                     );
                 } else {
@@ -465,12 +591,22 @@ impl ControllerActor {
     fn await_ack(&mut self, target: ControllerAddr, cont: PendingCont) -> u64 {
         let token = self.next_token;
         self.next_token += 1;
-        self.pending.insert(token, Pending { target, cont });
+        self.pending.insert(
+            token,
+            Pending {
+                target,
+                cont,
+                tctx: self.cur,
+            },
+        );
         token
     }
 
     fn complete_ack(&mut self, ctx: &mut Ctx<'_>, token: u64, result: Result<AckVal, FosError>) {
         if let Some(p) = self.pending.remove(&token) {
+            // Run the continuation inside the trace that issued the op —
+            // covers acks, ack timeouts and peer-failure verdicts alike.
+            self.cur = p.tctx;
             (p.cont)(self, result, ctx);
         }
     }
@@ -1276,6 +1412,19 @@ impl ControllerActor {
             };
             (last_write_arrival + ack).duration_since(ctx.now())
         };
+        // The whole orchestrated transfer is one aggregate Data span; the
+        // per-chunk fabric sends above are link reservations, not messages.
+        let data_span = if self.cur.is_some() {
+            ctx.span(
+                SpanKind::Data,
+                "memcpy",
+                self.cur,
+                ctx.now(),
+                ctx.now() + extra,
+            )
+        } else {
+            TraceCtx::NONE
+        };
         // Integrity envelope at the consumption boundary: re-read the
         // destination and compare against the producer-side checksum. This
         // models the NIC's inline CRC engine, so it adds no simulated
@@ -1287,6 +1436,16 @@ impl ControllerActor {
             if let Some(sum) = src_sum {
                 let back = { self.mem.borrow().rdma_read_window(dst_ref, 0, size) };
                 if !back.is_ok_and(|b| crate::integrity::fnv1a(&b) == sum) {
+                    if data_span.is_some() {
+                        let at = ctx.now() + extra;
+                        ctx.span(
+                            SpanKind::Integrity,
+                            "integrity-violation",
+                            data_span,
+                            at,
+                            at,
+                        );
+                    }
                     self.reply(
                         ctx,
                         proc,
@@ -1908,27 +2067,38 @@ impl Actor for ControllerActor {
             }
             return;
         }
+        // Each event starts outside any trace; the matching arm restores
+        // the context carried by its envelope or pending record.
+        self.cur = TraceCtx::NONE;
         match msg {
             CtrlMsg::FromProc {
                 proc,
                 token,
                 sc,
                 seq,
+                tctx,
             } => {
                 if !self.seen_proc.entry(proc).or_default().fresh(seq) {
                     // Duplicate transmit of an already-processed syscall.
                     return;
                 }
+                self.cur = tctx;
                 // Account the arriving syscall's wire size once more is not
                 // needed — the sender already recorded it; just process.
                 let _ = syscall_msg_size(&sc);
                 ctx.trace(format!("{} syscall {} from {}", self.addr, sc.name(), proc));
                 self.handle_syscall(ctx, proc, token, sc);
             }
-            CtrlMsg::FromPeer { from, op, seq } => {
+            CtrlMsg::FromPeer {
+                from,
+                op,
+                seq,
+                tctx,
+            } => {
                 if !self.seen_peer.entry(from).or_default().fresh(seq) {
                     return;
                 }
+                self.cur = tctx;
                 ctx.trace(format!(
                     "{} peer-op from {}: {}",
                     self.addr,
@@ -1942,15 +2112,27 @@ impl Actor for ControllerActor {
                 msg,
                 seq,
                 attempt,
-            } => self.transmit_proc(ctx, proc, msg, seq, attempt, SimDuration::ZERO),
+                tctx,
+            } => {
+                self.cur = tctx;
+                self.transmit_proc(ctx, proc, msg, seq, attempt, SimDuration::ZERO)
+            }
             CtrlMsg::RetransmitPeer {
                 to,
                 op,
                 seq,
                 attempt,
-            } => self.transmit_peer(ctx, to, op, seq, attempt, SimDuration::ZERO),
+                tctx,
+            } => {
+                self.cur = tctx;
+                self.transmit_peer(ctx, to, op, seq, attempt, SimDuration::ZERO)
+            }
             CtrlMsg::AckTimeout { token } => {
-                if self.pending.contains_key(&token) {
+                if let Some(p) = self.pending.get(&token) {
+                    if p.tctx.is_some() {
+                        let t = p.tctx;
+                        ctx.span(SpanKind::Fault, "ack-timeout", t, ctx.now(), ctx.now());
+                    }
                     self.complete_ack(ctx, token, Err(FosError::ControllerUnreachable));
                 }
             }

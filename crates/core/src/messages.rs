@@ -6,6 +6,7 @@
 //! accounting come from the [`crate::wire`] codec.
 
 use fractos_cap::ControllerAddr;
+use fractos_sim::TraceCtx;
 
 use crate::types::{CapArg, FosError, IncomingRequest, MonitorCb, ProcId, Syscall, SyscallResult};
 use crate::wire::Wire;
@@ -20,6 +21,10 @@ pub enum ProcMsg {
         /// Wire-level sequence number (per Controller → Process channel);
         /// the Process suppresses duplicates by it.
         seq: u64,
+        /// Causal trace context stamped by the sender. An out-of-band
+        /// header extension: excluded from `wire_size` accounting so
+        /// traffic counters are identical whether or not spans are on.
+        tctx: TraceCtx,
         /// The payload.
         msg: CtrlToProc,
     },
@@ -92,6 +97,9 @@ pub enum CtrlMsg {
         /// the Controller suppresses duplicates by it so retransmitted
         /// syscalls stay idempotent.
         seq: u64,
+        /// Causal trace context (out-of-band header extension; excluded
+        /// from traffic accounting).
+        tctx: TraceCtx,
     },
     /// A peer-Controller operation.
     FromPeer {
@@ -101,6 +109,9 @@ pub enum CtrlMsg {
         op: PeerOp,
         /// Wire-level sequence number (per directed peer channel).
         seq: u64,
+        /// Causal trace context (out-of-band header extension; excluded
+        /// from traffic accounting).
+        tctx: TraceCtx,
     },
     /// Self-scheduled retransmit of a Controller → Process message whose
     /// previous transmit was lost (only armed while faults are active).
@@ -113,6 +124,9 @@ pub enum CtrlMsg {
         seq: u64,
         /// Transmit attempt about to be made (1-based after the original).
         attempt: u32,
+        /// Trace context of the original transmit, so the retry stays in
+        /// the originating request's span tree.
+        tctx: TraceCtx,
     },
     /// Self-scheduled retransmit of a peer operation whose previous
     /// transmit was lost (only armed while faults are active).
@@ -125,6 +139,9 @@ pub enum CtrlMsg {
         seq: u64,
         /// Transmit attempt about to be made (1-based after the original).
         attempt: u32,
+        /// Trace context of the original transmit, so the retry stays in
+        /// the originating request's span tree.
+        tctx: TraceCtx,
     },
     /// Last-resort ack timeout for a pending peer operation: if the op is
     /// still pending when this fires it resolves to

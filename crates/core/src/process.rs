@@ -12,8 +12,8 @@
 use std::collections::{HashMap, VecDeque};
 
 use fractos_cap::{Cid, Perms};
-use fractos_net::{Endpoint, SendOutcome, TrafficClass};
-use fractos_sim::{Actor, Ctx, Msg, Shared, SimDuration, SimTime};
+use fractos_net::{Endpoint, TrafficClass};
+use fractos_sim::{Actor, Ctx, Msg, Shared, SimDuration, SimTime, SpanKind, TraceCtx};
 
 use crate::directory::Directory;
 use crate::memstore::MemoryStore;
@@ -54,8 +54,18 @@ type Cont<S> = Box<dyn FnOnce(&mut S, SyscallResult, &Fos<S>) + Send>;
 type TimerCont<S> = Box<dyn FnOnce(&mut S, &Fos<S>) + Send>;
 
 enum Out {
-    Syscall { token: u64, sc: Syscall },
-    Timer { token: u64, delay: SimDuration },
+    Syscall {
+        token: u64,
+        sc: Syscall,
+    },
+    Timer {
+        token: u64,
+        delay: SimDuration,
+        /// Device label for span attribution (`Fos::sleep_dev`); `None` for
+        /// plain timers, which silently thread the current trace context
+        /// through to the continuation instead of opening a Device span.
+        dev: Option<&'static str>,
+    },
 }
 
 struct FosInner<S> {
@@ -71,6 +81,16 @@ struct FosInner<S> {
     backlog: VecDeque<(u64, Syscall)>,
     mem: Shared<MemoryStore>,
     fabric: Shared<fractos_net::Fabric>,
+    // --- causal tracing (all no-ops while span recording is off) ---
+    /// Trace context the currently-running handler descends from.
+    cur: TraceCtx,
+    /// The next posted syscall roots a new trace (`Fos::trace_root`).
+    root_armed: bool,
+    /// Per-pending-syscall span context (parents retransmits/timeouts and
+    /// chains continuations when a reply carries no context).
+    sc_ctx: HashMap<u64, TraceCtx>,
+    /// Context to restore when an armed timer fires.
+    timer_ctx: HashMap<u64, TraceCtx>,
 }
 
 /// Handle through which a [`Service`] uses FractOS.
@@ -183,11 +203,44 @@ impl<S: Service> Fos<S> {
     /// Arms a local timer; `k` runs after `delay` of virtual time. Used by
     /// device adaptors to model device service times.
     pub fn sleep(&self, delay: SimDuration, k: impl FnOnce(&mut S, &Fos<S>) + Send + 'static) {
+        self.arm_timer(delay, None, k);
+    }
+
+    /// Like [`Fos::sleep`], but labels the wait as device processing time
+    /// for latency attribution: with span recording enabled, the interval
+    /// becomes a `Device` span (e.g. `"gpu.exec"`, `"nvme.read"`) in the
+    /// invoking request's trace. Identical to `sleep` when recording is off.
+    pub fn sleep_dev(
+        &self,
+        delay: SimDuration,
+        label: &'static str,
+        k: impl FnOnce(&mut S, &Fos<S>) + Send + 'static,
+    ) {
+        self.arm_timer(delay, Some(label), k);
+    }
+
+    fn arm_timer(
+        &self,
+        delay: SimDuration,
+        dev: Option<&'static str>,
+        k: impl FnOnce(&mut S, &Fos<S>) + Send + 'static,
+    ) {
         let mut inner = self.inner.borrow_mut();
         let token = inner.next_token;
         inner.next_token += 1;
         inner.timers.insert(token, Box::new(k));
-        inner.out.push(Out::Timer { token, delay });
+        inner.out.push(Out::Timer { token, delay, dev });
+    }
+
+    /// Marks the next syscall this Process posts as the root of a new trace:
+    /// one top-level Request, one root span. Root creation is explicit —
+    /// traffic outside an armed root (boot, background chatter) records no
+    /// spans — so span trees correspond 1:1 with requests. Has no observable
+    /// effect while span recording is disabled on the runtime.
+    pub fn trace_root(&self) {
+        let mut inner = self.inner.borrow_mut();
+        inner.cur = TraceCtx::NONE;
+        inner.root_armed = true;
     }
 
     /// Allocates a buffer in this Process's (simulated) memory.
@@ -435,6 +488,10 @@ impl<S: Service> ProcessActor<S> {
                 backlog: VecDeque::new(),
                 mem,
                 fabric: fabric.clone(),
+                cur: TraceCtx::NONE,
+                root_armed: false,
+                sc_ctx: HashMap::new(),
+                timer_ctx: HashMap::new(),
             }),
         };
         ProcessActor {
@@ -487,8 +544,50 @@ impl<S: Service> ProcessActor<S> {
             }
             for out in drained {
                 match out {
-                    Out::Syscall { token, sc } => self.post_syscall(ctx, token, sc),
-                    Out::Timer { token, delay } => {
+                    Out::Syscall { token, sc } => {
+                        if ctx.spans_enabled() {
+                            let (parent, rooting) = {
+                                let mut inner = self.fos.inner.borrow_mut();
+                                let rooting = inner.root_armed;
+                                inner.root_armed = false;
+                                (inner.cur, rooting)
+                            };
+                            // Spans are recorded only inside an active trace;
+                            // roots come solely from `Fos::trace_root`.
+                            if rooting || parent.is_some() {
+                                let parent = if rooting { TraceCtx::NONE } else { parent };
+                                let t = ctx.span(
+                                    SpanKind::Syscall,
+                                    sc.name(),
+                                    parent,
+                                    ctx.now(),
+                                    ctx.now(),
+                                );
+                                self.fos.inner.borrow_mut().sc_ctx.insert(token, t);
+                            }
+                        }
+                        self.post_syscall(ctx, token, sc);
+                    }
+                    Out::Timer { token, delay, dev } => {
+                        if ctx.spans_enabled() {
+                            let cur = self.fos.inner.borrow().cur;
+                            let t = match dev {
+                                // A labeled sleep models device time: the
+                                // whole wait is a Device span (the timer
+                                // fires exactly at its end).
+                                Some(label) if cur.is_some() => ctx.span(
+                                    SpanKind::Device,
+                                    label,
+                                    cur,
+                                    ctx.now(),
+                                    ctx.now() + delay,
+                                ),
+                                _ => cur,
+                            };
+                            if t.is_some() {
+                                self.fos.inner.borrow_mut().timer_ctx.insert(token, t);
+                            }
+                        }
                         ctx.schedule_self(delay, ProcMsg::Timer { token });
                     }
                 }
@@ -527,7 +626,17 @@ impl<S: Service> ProcessActor<S> {
             // could not get back to us despite its own retries.
             ctx.schedule_self(SYSCALL_TIMEOUT, ProcMsg::SyscallTimeout { token });
         }
-        let outcome = self.fabric.borrow_mut().try_send(
+        // Base span context of this syscall (set by `flush` when the call
+        // was posted inside an active trace); `NONE` outside traces.
+        let base = self
+            .fos
+            .inner
+            .borrow()
+            .sc_ctx
+            .get(&token)
+            .copied()
+            .unwrap_or(TraceCtx::NONE);
+        let outcome = self.fabric.borrow_mut().try_send_parts(
             ctx.now(),
             ctx.rng(),
             self.endpoint,
@@ -536,12 +645,31 @@ impl<S: Service> ProcessActor<S> {
             TrafficClass::Control,
         );
         match outcome {
-            SendOutcome::Delivered(delay) => {
+            Some((delay, prop)) => {
+                // Two hop spans split the fabric delay: serialization (link
+                // occupancy + queueing) then propagation. The envelope
+                // carries the propagation span so the Controller parents
+                // its own work under the arriving hop.
+                let tctx = if base.is_some() {
+                    let depart = ctx.now();
+                    let ser_end = depart + delay.saturating_sub(prop);
+                    let ser = ctx.span(SpanKind::FabricSer, "proc->ctrl", base, depart, ser_end);
+                    ctx.span(
+                        SpanKind::FabricProp,
+                        "proc->ctrl",
+                        ser,
+                        ser_end,
+                        depart + delay,
+                    )
+                } else {
+                    TraceCtx::NONE
+                };
                 // A delivery slower than one RTO under active faults is
                 // presumed lost and re-fired once; the Controller's
-                // sequence filter absorbs the duplicate.
+                // sequence filter absorbs the duplicate. The duplicate
+                // rides the same trace context — no extra spans.
                 if attempt == 0 && delay > rto(0) && faults {
-                    let dup = self.fabric.borrow_mut().try_send(
+                    let dup = self.fabric.borrow_mut().try_send_parts(
                         ctx.now(),
                         ctx.rng(),
                         self.endpoint,
@@ -549,7 +677,7 @@ impl<S: Service> ProcessActor<S> {
                         size,
                         TrafficClass::Control,
                     );
-                    if let SendOutcome::Delivered(d2) = dup {
+                    if let Some((d2, _)) = dup {
                         ctx.send_after(
                             d2,
                             ctrl_actor,
@@ -558,6 +686,7 @@ impl<S: Service> ProcessActor<S> {
                                 token,
                                 sc: sc.clone(),
                                 seq,
+                                tctx,
                             },
                         );
                     }
@@ -570,11 +699,22 @@ impl<S: Service> ProcessActor<S> {
                         token,
                         sc,
                         seq,
+                        tctx,
                     },
                 );
             }
-            SendOutcome::Dropped => {
+            None => {
                 if attempt + 1 < MAX_ATTEMPTS {
+                    if base.is_some() {
+                        ctx.span(SpanKind::Fault, "drop", base, ctx.now(), ctx.now());
+                        ctx.span(
+                            SpanKind::Retransmit,
+                            "proc->ctrl",
+                            base,
+                            ctx.now(),
+                            ctx.now() + rto(attempt),
+                        );
+                    }
                     ctx.schedule_self(
                         rto(attempt),
                         ProcMsg::Retransmit {
@@ -597,12 +737,20 @@ impl<S: Service> ProcessActor<S> {
         let fos = self.fos.clone();
         let (cont, next) = {
             let mut inner = fos.inner.borrow_mut();
+            let sctx = inner.sc_ctx.remove(&token);
             // A token with no continuation was already resolved (e.g. a
             // real reply racing a timeout verdict): nothing to do, and the
             // window accounting must not be decremented twice.
             let Some(cont) = inner.conts.remove(&token) else {
                 return;
             };
+            // Replies that arrive without a wire context (local error
+            // verdicts, timeouts) still continue the issuing trace.
+            if inner.cur.is_none() {
+                if let Some(t) = sctx {
+                    inner.cur = t;
+                }
+            }
             inner.outstanding = inner.outstanding.saturating_sub(1);
             let next = if inner.outstanding < inner.window {
                 inner.backlog.pop_front()
@@ -632,23 +780,40 @@ impl<S: Service> Actor for ProcessActor<S> {
         let msg = *msg
             .downcast::<ProcMsg>()
             .expect("ProcessActor expects ProcMsg");
-        self.fos.inner.borrow_mut().now = ctx.now();
+        {
+            // Each event starts outside any trace; the matching arm below
+            // restores the context carried by the envelope or timer.
+            let mut inner = self.fos.inner.borrow_mut();
+            inner.now = ctx.now();
+            inner.cur = TraceCtx::NONE;
+        }
         match msg {
             ProcMsg::Start => {
                 let fos = self.fos.clone();
                 self.service.on_start(&fos);
             }
-            ProcMsg::FromCtrl { seq, msg } => {
+            ProcMsg::FromCtrl { seq, tctx, msg } => {
                 if !self.seen.fresh(seq) {
                     // Duplicate transmit of an already-delivered message.
                     return;
                 }
+                self.fos.inner.borrow_mut().cur = tctx;
                 match msg {
                     CtrlToProc::Reply { token, result } => {
                         self.deliver_reply(token, result);
                     }
                     CtrlToProc::Deliver(req) => {
                         ctx.trace(format!("{} deliver tag={:#x}", self.proc, req.tag));
+                        if tctx.is_some() {
+                            let t = ctx.span(
+                                SpanKind::Deliver,
+                                "on_request",
+                                tctx,
+                                ctx.now(),
+                                ctx.now(),
+                            );
+                            self.fos.inner.borrow_mut().cur = t;
+                        }
                         let fos = self.fos.clone();
                         self.service.on_request(req, &fos);
                     }
@@ -671,11 +836,36 @@ impl<S: Service> Actor for ProcessActor<S> {
                 }
             }
             ProcMsg::SyscallTimeout { token } => {
+                if ctx.spans_enabled() && self.fos.inner.borrow().conts.contains_key(&token) {
+                    let base = self
+                        .fos
+                        .inner
+                        .borrow()
+                        .sc_ctx
+                        .get(&token)
+                        .copied()
+                        .unwrap_or(TraceCtx::NONE);
+                    if base.is_some() {
+                        ctx.span(
+                            SpanKind::Fault,
+                            "syscall-timeout",
+                            base,
+                            ctx.now(),
+                            ctx.now(),
+                        );
+                    }
+                }
                 self.deliver_reply(token, SyscallResult::Err(FosError::ControllerUnreachable));
             }
             ProcMsg::Timer { token } => {
                 let fos = self.fos.clone();
-                let cont = fos.inner.borrow_mut().timers.remove(&token);
+                let cont = {
+                    let mut inner = fos.inner.borrow_mut();
+                    if let Some(t) = inner.timer_ctx.remove(&token) {
+                        inner.cur = t;
+                    }
+                    inner.timers.remove(&token)
+                };
                 if let Some(k) = cont {
                     k(&mut self.service, &fos);
                 }
@@ -740,6 +930,10 @@ mod tests {
             backlog: VecDeque::new(),
             mem,
             fabric: test_fabric(),
+            cur: TraceCtx::NONE,
+            root_armed: false,
+            sc_ctx: HashMap::new(),
+            timer_ctx: HashMap::new(),
         };
         let fos = Fos {
             inner: Shared::new(inner),
@@ -768,6 +962,10 @@ mod tests {
             backlog: VecDeque::new(),
             mem,
             fabric: test_fabric(),
+            cur: TraceCtx::NONE,
+            root_armed: false,
+            sc_ctx: HashMap::new(),
+            timer_ctx: HashMap::new(),
         };
         let fos = Fos {
             inner: Shared::new(inner),

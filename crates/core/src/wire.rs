@@ -196,6 +196,28 @@ impl Wire for CapRef {
     }
 }
 
+/// Trace-context header extension: 16 bytes, two little-endian `u64`s
+/// (trace id, parent span id).
+///
+/// Carried *out of band* next to the message header — analogous to an RDMA
+/// immediate or an optional header TLV — so it is deliberately excluded
+/// from every `wire_size` used for traffic accounting: per-link byte
+/// counters are identical whether or not span recording is enabled. The
+/// codec exists to pin the format (and prove serializability) for a real
+/// deployment.
+impl Wire for fractos_sim::TraceCtx {
+    fn encode(&self, e: &mut Encoder) {
+        e.u64(self.trace);
+        e.u64(self.span);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        Ok(fractos_sim::TraceCtx {
+            trace: d.u64()?,
+            span: d.u64()?,
+        })
+    }
+}
+
 impl Wire for Endpoint {
     fn encode(&self, e: &mut Encoder) {
         e.u32(self.node.0);
@@ -650,6 +672,17 @@ mod tests {
             epoch: Epoch(17),
             object: ObjectId(u64::MAX),
         });
+    }
+
+    #[test]
+    fn trace_ctx_roundtrips_at_fixed_size() {
+        roundtrip(fractos_sim::TraceCtx::NONE);
+        let ctx = fractos_sim::TraceCtx {
+            trace: 0xDEAD_BEEF_0BAD_F00D,
+            span: u64::MAX,
+        };
+        roundtrip(ctx);
+        assert_eq!(ctx.wire_size(), 16);
     }
 
     #[test]

@@ -183,7 +183,7 @@ impl GpuAdaptor {
         self.contexts
             .insert(ctx_id, GpuContext { allocs: Vec::new() });
         let init_time = self.device.params.init_time;
-        fos.sleep(init_time, move |s: &mut Self, fos| {
+        fos.sleep_dev(init_time, "gpu.init", move |s: &mut Self, fos| {
             let _ = s;
             // Mint the per-context alloc and load Requests; their context id
             // is preset and immutable (refinement security, §3.4).
@@ -233,7 +233,7 @@ impl GpuAdaptor {
         }
         let alloc_time = self.device.params.alloc_time;
         let gpu_ep = self.gpu_endpoint;
-        fos.sleep(alloc_time, move |_s: &mut Self, fos| {
+        fos.sleep_dev(alloc_time, "gpu.alloc", move |_s: &mut Self, fos| {
             let addr = fos.mem_alloc_at(size, gpu_ep);
             fos.memory_create(addr, size, Perms::RW, move |s: &mut Self, res, fos| {
                 let SyscallResult::NewCid(mem_cid) = res else {
@@ -257,7 +257,7 @@ impl GpuAdaptor {
             return;
         }
         let load_time = self.device.params.load_time;
-        fos.sleep(load_time, move |_s: &mut Self, fos| {
+        fos.sleep_dev(load_time, "gpu.load", move |_s: &mut Self, fos| {
             fos.request_create_new(
                 TAG_GPU_INVOKE,
                 vec![imm(ctx_id), imm(kernel_id)],
@@ -303,7 +303,7 @@ impl GpuAdaptor {
             // Launch failure: the driver reports it after the launch
             // overhead; nothing executes.
             let overhead = self.device.params.launch_overhead;
-            fos.sleep(overhead, move |_s: &mut Self, fos| {
+            fos.sleep_dev(overhead, "gpu.launch", move |_s: &mut Self, fos| {
                 fos.reply_via(error, vec![DevError::Launch.imm()], vec![]);
             });
             return;
@@ -345,7 +345,7 @@ impl GpuAdaptor {
                 if let DeviceFaultOutcome::Spike { factor } = fault {
                     delay = SimDuration::from_secs_f64(delay.as_secs_f64() * factor);
                 }
-                fos.sleep(delay, move |s: &mut Self, fos| {
+                fos.sleep_dev(delay, "gpu.exec", move |s: &mut Self, fos| {
                     let mut out = kernel.run(&data, &params);
                     out.truncate(out_size as usize);
                     let n = out.len() as u64;

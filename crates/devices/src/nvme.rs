@@ -420,13 +420,13 @@ impl BlockAdaptor {
         if matches!(fault, DeviceFaultOutcome::Fail) {
             // Media error: the flash array gives up only after the
             // access latency, as on real hardware.
-            fos.sleep(delay, move |_s: &mut Self, fos| {
+            fos.sleep_dev(delay, "nvme.read", move |_s: &mut Self, fos| {
                 fos.reply_via(error, vec![DevError::Media.imm()], vec![]);
             });
             return;
         }
         self.grab_staging(fos, move |s: &mut Self, slot, fos| {
-            fos.sleep(delay, move |s: &mut Self, fos| {
+            fos.sleep_dev(delay, "nvme.read", move |s: &mut Self, fos| {
                 let data = match s.device.read(vol, offset, size) {
                     Ok(d) => d,
                     Err(_) => {
@@ -545,7 +545,7 @@ impl BlockAdaptor {
                         if let DeviceFaultOutcome::Spike { factor } = fault {
                             delay = SimDuration::from_secs_f64(delay.as_secs_f64() * factor);
                         }
-                        fos.sleep(delay, move |s: &mut Self, fos| {
+                        fos.sleep_dev(delay, "nvme.write", move |s: &mut Self, fos| {
                             s.release_staging(slot);
                             if matches!(fault, DeviceFaultOutcome::Fail) {
                                 fos.reply_via(error, vec![DevError::Media.imm()], vec![]);

@@ -236,6 +236,23 @@ impl Fabric {
         payload: u64,
         class: TrafficClass,
     ) -> SimDuration {
+        self.send_parts(now, rng, src, dst, payload, class).0
+    }
+
+    /// Like [`send`](Fabric::send), but additionally splits the delay into
+    /// its propagation and serialization components for latency attribution:
+    /// returns `(total, propagation)` where `propagation` is the base
+    /// route latency clamped to `total` and `total - propagation` is the
+    /// serialization/queueing share (plus jitter and degradation).
+    pub fn send_parts(
+        &mut self,
+        now: SimTime,
+        rng: &mut SimRng,
+        src: Endpoint,
+        dst: Endpoint,
+        payload: u64,
+        class: TrafficClass,
+    ) -> (SimDuration, SimDuration) {
         self.topology
             .validate(src)
             .unwrap_or_else(|e| panic!("fabric send from invalid endpoint: {e}"));
@@ -297,7 +314,7 @@ impl Fabric {
 
         self.stats
             .record(src.node, dst.node, class, medium, payload);
-        delay
+        (delay, base.min(delay))
     }
 
     /// Like [`send`](Fabric::send), but subject to the armed fault plan:
@@ -322,6 +339,25 @@ impl Fabric {
         payload: u64,
         class: TrafficClass,
     ) -> SendOutcome {
+        match self.try_send_parts(now, rng, src, dst, payload, class) {
+            Some((total, _prop)) => SendOutcome::Delivered(total),
+            None => SendOutcome::Dropped,
+        }
+    }
+
+    /// Like [`try_send`](Fabric::try_send), but on delivery also splits the
+    /// delay as in [`send_parts`](Fabric::send_parts): returns
+    /// `Some((total, propagation))`, or `None` when the fault plan dropped
+    /// the message.
+    pub fn try_send_parts(
+        &mut self,
+        now: SimTime,
+        rng: &mut SimRng,
+        src: Endpoint,
+        dst: Endpoint,
+        payload: u64,
+        class: TrafficClass,
+    ) -> Option<(SimDuration, SimDuration)> {
         let dropped = match &mut self.faults {
             Some(state) => state.decide_drop(now, LinkKey::new(src.node, dst.node)),
             None => false,
@@ -334,9 +370,9 @@ impl Fabric {
                 .validate(dst)
                 .unwrap_or_else(|e| panic!("fabric send to invalid endpoint: {e}"));
             self.stats.record_drop(src.node, dst.node);
-            return SendOutcome::Dropped;
+            return None;
         }
-        SendOutcome::Delivered(self.send(now, rng, src, dst, payload, class))
+        Some(self.send_parts(now, rng, src, dst, payload, class))
     }
 
     /// Latency of a one-sided RDMA read: `reader` pulls `size` bytes from

@@ -1,0 +1,111 @@
+//! Chrome Trace Event export (loadable in `chrome://tracing` and Perfetto).
+//!
+//! Spans become complete (`"ph":"X"`) events on one process (`pid` 0) with
+//! one thread per simulation actor (`tid` = actor index). Timestamps and
+//! durations are microseconds; they are rendered from the integer
+//! nanosecond counts with integer arithmetic (three decimal places), so the
+//! output is byte-identical across runtime backends and repeat runs.
+
+use fractos_sim::SpanRecord;
+
+use crate::json::Json;
+
+/// Renders integer nanoseconds as a decimal-microsecond JSON number.
+fn micros(ns: u64) -> Json {
+    Json::Raw(format!("{}.{:03}", ns / 1000, ns % 1000))
+}
+
+/// Builds the Chrome Trace Event document for `spans`.
+///
+/// `spans` must be in the canonical order produced by
+/// [`fractos_sim::Runtime::take_spans`]; events are emitted in that order,
+/// after one `thread_name` metadata event per participating actor (in
+/// actor-index order). `actor_name` maps an actor index to its registered
+/// name (pass [`fractos_sim::Runtime::actor_name`] through a closure).
+pub fn chrome_trace(spans: &[SpanRecord], mut actor_name: impl FnMut(usize) -> String) -> Json {
+    let mut actors: Vec<usize> = spans.iter().map(|s| s.actor.index()).collect();
+    actors.sort_unstable();
+    actors.dedup();
+
+    let mut events = Vec::with_capacity(actors.len() + spans.len());
+    for idx in actors {
+        events.push(Json::obj(vec![
+            ("ph", Json::Str("M".into())),
+            ("pid", Json::UInt(0)),
+            ("tid", Json::UInt(idx as u64)),
+            ("name", Json::Str("thread_name".into())),
+            (
+                "args",
+                Json::obj(vec![("name", Json::Str(actor_name(idx)))]),
+            ),
+        ]));
+    }
+    for s in spans {
+        let start = s.start.as_nanos();
+        let dur = s.end.as_nanos().saturating_sub(start);
+        events.push(Json::obj(vec![
+            ("ph", Json::Str("X".into())),
+            ("pid", Json::UInt(0)),
+            ("tid", Json::UInt(s.actor.index() as u64)),
+            ("ts", micros(start)),
+            ("dur", micros(dur)),
+            ("name", Json::Str(format!("{}:{}", s.kind.name(), s.label))),
+            ("cat", Json::Str(s.kind.name().into())),
+            (
+                "args",
+                Json::obj(vec![
+                    ("trace", Json::Str(format!("{:016x}", s.trace))),
+                    ("span", Json::Str(format!("{:016x}", s.id))),
+                    ("parent", Json::Str(format!("{:016x}", s.parent))),
+                ]),
+            ),
+        ]));
+    }
+    Json::obj(vec![
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ns".into())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractos_sim::{SpanKind, SpanStore, TraceCtx};
+
+    #[test]
+    fn micros_uses_integer_arithmetic() {
+        assert_eq!(micros(0).to_string(), "0.000");
+        assert_eq!(micros(1).to_string(), "0.001");
+        assert_eq!(micros(12_345).to_string(), "12.345");
+        assert_eq!(micros(3_000_000).to_string(), "3000.000");
+    }
+
+    #[test]
+    fn trace_document_shape() {
+        let a = fractos_sim::ActorId::from_raw(3);
+        let mut store = SpanStore::new(7);
+        let root = store.record(
+            a,
+            SpanKind::Syscall,
+            "null".into(),
+            TraceCtx::NONE,
+            fractos_sim::SimTime::from_nanos(10),
+            fractos_sim::SimTime::from_nanos(10),
+        );
+        store.record(
+            a,
+            SpanKind::FabricProp,
+            "hop".into(),
+            root,
+            fractos_sim::SimTime::from_nanos(10),
+            fractos_sim::SimTime::from_nanos(1510),
+        );
+        let spans = store.take();
+        let doc = chrome_trace(&spans, |i| format!("actor{i}")).to_string();
+        assert!(doc.starts_with(r#"{"traceEvents":["#));
+        assert!(doc.contains(r#""name":"thread_name""#));
+        assert!(doc.contains(r#""name":"syscall:null""#));
+        assert!(doc.contains(r#""dur":1.500"#));
+        assert!(doc.contains(r#""ts":0.010"#));
+    }
+}

@@ -1,0 +1,226 @@
+//! Critical-path analysis: decomposes each request's end-to-end latency
+//! into network, device and control-plane components.
+//!
+//! The decomposition is a priority interval coverage over the request's
+//! span tree: every instant in the trace window (first span start to last
+//! span end) is attributed to exactly one component, with device time
+//! winning over network time winning over control time where spans overlap;
+//! instants covered by no span are `other` (e.g. the continuation waiting
+//! in the destination actor's event queue). All arithmetic is on the
+//! simulator's integer nanoseconds, so the components of each request sum
+//! *exactly* to its end-to-end latency.
+
+use fractos_sim::{SpanKind, SpanRecord};
+
+/// Attribution component, in coverage priority order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Component {
+    Device,
+    Network,
+    Control,
+}
+
+fn component(kind: SpanKind) -> Component {
+    match kind {
+        SpanKind::Device => Component::Device,
+        SpanKind::FabricSer
+        | SpanKind::FabricProp
+        | SpanKind::Data
+        | SpanKind::Retransmit
+        | SpanKind::Fault => Component::Network,
+        SpanKind::Syscall | SpanKind::Control | SpanKind::Deliver | SpanKind::Integrity => {
+            Component::Control
+        }
+    }
+}
+
+/// Per-request latency attribution. All fields are nanoseconds;
+/// `network_ns + device_ns + control_ns + other_ns == total_ns` exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// The trace (root span) id this breakdown describes.
+    pub trace: u64,
+    /// End-to-end latency: last span end minus first span start.
+    pub total_ns: u64,
+    /// Time attributed to the fabric (serialization, propagation, data
+    /// movement, retransmit backoff).
+    pub network_ns: u64,
+    /// Time attributed to device processing (GPU/NVMe service time).
+    pub device_ns: u64,
+    /// Time attributed to the control plane (Controller validation and
+    /// processing, syscall issue, delivery).
+    pub control_ns: u64,
+    /// Residual time covered by no span (queueing between events).
+    pub other_ns: u64,
+}
+
+/// Analyzes spans (canonical order from
+/// [`fractos_sim::Runtime::take_spans`]) into one [`PhaseBreakdown`] per
+/// trace, in order of each trace's first span.
+pub fn analyze(spans: &[SpanRecord]) -> Vec<PhaseBreakdown> {
+    let mut order: Vec<u64> = Vec::new();
+    for s in spans {
+        if !order.contains(&s.trace) {
+            order.push(s.trace);
+        }
+    }
+    order
+        .into_iter()
+        .map(|trace| {
+            let members: Vec<&SpanRecord> = spans.iter().filter(|s| s.trace == trace).collect();
+            analyze_one(trace, &members)
+        })
+        .collect()
+}
+
+fn analyze_one(trace: u64, members: &[&SpanRecord]) -> PhaseBreakdown {
+    let lo = members
+        .iter()
+        .map(|s| s.start.as_nanos())
+        .min()
+        .unwrap_or(0);
+    let hi = members.iter().map(|s| s.end.as_nanos()).max().unwrap_or(0);
+    // Elementary segments between consecutive span boundaries; each segment
+    // is wholly covered (or not) by any given span.
+    let mut cuts: Vec<u64> = members
+        .iter()
+        .flat_map(|s| [s.start.as_nanos(), s.end.as_nanos()])
+        .collect();
+    cuts.sort_unstable();
+    cuts.dedup();
+    let (mut device, mut network, mut control) = (0u64, 0u64, 0u64);
+    for w in cuts.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let covered = |c: Component| {
+            members
+                .iter()
+                .any(|s| component(s.kind) == c && s.start.as_nanos() <= a && s.end.as_nanos() >= b)
+        };
+        let len = b - a;
+        if covered(Component::Device) {
+            device += len;
+        } else if covered(Component::Network) {
+            network += len;
+        } else if covered(Component::Control) {
+            control += len;
+        }
+    }
+    let total = hi - lo;
+    PhaseBreakdown {
+        trace,
+        total_ns: total,
+        network_ns: network,
+        device_ns: device,
+        control_ns: control,
+        other_ns: total - network - device - control,
+    }
+}
+
+/// Aggregate of many [`PhaseBreakdown`]s (sums, in nanoseconds).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseTotals {
+    /// Number of requests aggregated.
+    pub requests: u64,
+    /// Sum of end-to-end latencies.
+    pub total_ns: u64,
+    /// Sum of network components.
+    pub network_ns: u64,
+    /// Sum of device components.
+    pub device_ns: u64,
+    /// Sum of control-plane components.
+    pub control_ns: u64,
+    /// Sum of residuals.
+    pub other_ns: u64,
+}
+
+/// Sums per-request breakdowns; the component sums still add up exactly to
+/// `total_ns`.
+pub fn aggregate(breakdowns: &[PhaseBreakdown]) -> PhaseTotals {
+    let mut t = PhaseTotals::default();
+    for b in breakdowns {
+        t.requests += 1;
+        t.total_ns += b.total_ns;
+        t.network_ns += b.network_ns;
+        t.device_ns += b.device_ns;
+        t.control_ns += b.control_ns;
+        t.other_ns += b.other_ns;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractos_sim::{ActorId, SimTime, SpanStore, TraceCtx};
+
+    fn span(
+        store: &mut SpanStore,
+        kind: SpanKind,
+        parent: TraceCtx,
+        start: u64,
+        end: u64,
+    ) -> TraceCtx {
+        store.record(
+            ActorId::from_raw(0),
+            kind,
+            "t".into(),
+            parent,
+            SimTime::from_nanos(start),
+            SimTime::from_nanos(end),
+        )
+    }
+
+    #[test]
+    fn components_sum_exactly_with_overlap_and_gaps() {
+        let mut store = SpanStore::new(1);
+        let root = span(&mut store, SpanKind::Syscall, TraceCtx::NONE, 100, 100);
+        // Network 100..300 overlapping control 150..400; device 500..900;
+        // nothing covers 400..500 and 900..1000.
+        let hop = span(&mut store, SpanKind::FabricProp, root, 100, 300);
+        span(&mut store, SpanKind::Control, hop, 150, 400);
+        let dev = span(&mut store, SpanKind::Device, hop, 500, 900);
+        span(&mut store, SpanKind::Control, dev, 1000, 1000);
+        let spans = store.take();
+        let b = &analyze(&spans)[0];
+        assert_eq!(b.total_ns, 900);
+        assert_eq!(b.network_ns, 200);
+        assert_eq!(b.control_ns, 100);
+        assert_eq!(b.device_ns, 400);
+        assert_eq!(b.other_ns, 200);
+        assert_eq!(
+            b.network_ns + b.device_ns + b.control_ns + b.other_ns,
+            b.total_ns
+        );
+    }
+
+    #[test]
+    fn device_wins_over_network_wins_over_control() {
+        let mut store = SpanStore::new(2);
+        let root = span(&mut store, SpanKind::Syscall, TraceCtx::NONE, 0, 0);
+        span(&mut store, SpanKind::Control, root, 0, 100);
+        span(&mut store, SpanKind::FabricSer, root, 0, 100);
+        span(&mut store, SpanKind::Device, root, 0, 50);
+        let spans = store.take();
+        let b = &analyze(&spans)[0];
+        assert_eq!(b.device_ns, 50);
+        assert_eq!(b.network_ns, 50);
+        assert_eq!(b.control_ns, 0);
+    }
+
+    #[test]
+    fn traces_separate_and_aggregate() {
+        let mut store = SpanStore::new(3);
+        let r1 = span(&mut store, SpanKind::Syscall, TraceCtx::NONE, 0, 0);
+        span(&mut store, SpanKind::FabricProp, r1, 0, 10);
+        let r2 = span(&mut store, SpanKind::Syscall, TraceCtx::NONE, 100, 100);
+        span(&mut store, SpanKind::Device, r2, 100, 130);
+        let spans = store.take();
+        let bs = analyze(&spans);
+        assert_eq!(bs.len(), 2);
+        let t = aggregate(&bs);
+        assert_eq!(t.requests, 2);
+        assert_eq!(t.total_ns, 40);
+        assert_eq!(t.network_ns, 10);
+        assert_eq!(t.device_ns, 30);
+    }
+}

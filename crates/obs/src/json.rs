@@ -1,0 +1,143 @@
+//! A minimal JSON document model with a deterministic serializer.
+//!
+//! Object fields keep their insertion order (a `Vec` of pairs, not a map),
+//! so the serialized bytes are a pure function of construction order.
+//! Floats are rendered with Rust's shortest-roundtrip formatting, which is
+//! deterministic for identical bit patterns; non-finite values become
+//! `null` (JSON has no NaN/Infinity).
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A float, rendered shortest-roundtrip (`null` when non-finite).
+    Num(f64),
+    /// An unsigned integer, rendered exactly.
+    UInt(u64),
+    /// A string (escaped on output).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; fields serialize in the order given.
+    Obj(Vec<(String, Json)>),
+    /// A pre-rendered JSON fragment, emitted verbatim. Used for exact
+    /// decimal numbers (e.g. nanosecond counts rendered as microseconds)
+    /// that `f64` formatting could distort.
+    Raw(String),
+}
+
+impl Json {
+    /// Convenience constructor for an object from `&str` keys.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Serializes into `out` (compact, no whitespace).
+    pub fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    out.push_str(&format!("{n}"));
+                    // `{}` omits the decimal point for integral floats;
+                    // that is still a valid JSON number.
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::UInt(n) => out.push_str(&format!("{n}")),
+            Json::Str(s) => write_escaped(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+            Json::Raw(s) => out.push_str(s),
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        self.write(&mut s);
+        f.write_str(&s)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::UInt(42).to_string(), "42");
+        assert_eq!(Json::Num(1.5).to_string(), "1.5");
+        assert_eq!(Json::Num(3.0).to_string(), "3");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Raw("12.345".into()).to_string(), "12.345");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(
+            Json::Str("a\"b\\c\nd\u{1}".into()).to_string(),
+            "\"a\\\"b\\\\c\\nd\\u0001\""
+        );
+    }
+
+    #[test]
+    fn containers_preserve_order() {
+        let j = Json::obj(vec![
+            ("z", Json::UInt(1)),
+            ("a", Json::Arr(vec![Json::Null, Json::Bool(false)])),
+        ]);
+        assert_eq!(j.to_string(), r#"{"z":1,"a":[null,false]}"#);
+    }
+}

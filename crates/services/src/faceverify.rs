@@ -708,6 +708,8 @@ impl FvClient {
         if self.issued >= self.requests {
             return;
         }
+        // Each top-level verification request roots its own span tree.
+        fos.trace_root();
         self.issued += 1;
         let seq = self.seq;
         self.seq += 1;

@@ -17,6 +17,7 @@ use std::fmt;
 
 use crate::metrics::Metrics;
 use crate::rng::SimRng;
+use crate::span::{sort_canonical, SpanKind, SpanRecord, SpanStore, TraceCtx};
 use crate::time::{SimDuration, SimTime};
 
 /// Identifies an actor registered with a [`Sim`].
@@ -99,6 +100,7 @@ pub struct Ctx<'a> {
     rng: &'a mut SimRng,
     metrics: &'a mut Metrics,
     trace: &'a mut Option<Vec<TraceEntry>>,
+    spans: &'a mut Option<SpanStore>,
     stop: &'a mut bool,
 }
 
@@ -112,6 +114,7 @@ impl<'a> Ctx<'a> {
         rng: &'a mut SimRng,
         metrics: &'a mut Metrics,
         trace: &'a mut Option<Vec<TraceEntry>>,
+        spans: &'a mut Option<SpanStore>,
         stop: &'a mut bool,
     ) -> Self {
         Ctx {
@@ -121,6 +124,7 @@ impl<'a> Ctx<'a> {
             rng,
             metrics,
             trace,
+            spans,
             stop,
         }
     }
@@ -178,6 +182,34 @@ impl<'a> Ctx<'a> {
         }
     }
 
+    /// Whether causal span recording is enabled.
+    ///
+    /// Callers that need a formatted label should gate the `format!` behind
+    /// this so disabled runs allocate nothing.
+    pub fn spans_enabled(&self) -> bool {
+        self.spans.is_some()
+    }
+
+    /// Records a causal span if span recording is enabled, returning the
+    /// context that makes further spans its children.
+    ///
+    /// Recording consumes no simulation RNG draws and is a no-op returning
+    /// [`TraceCtx::NONE`] when disabled. When `parent` is
+    /// [`TraceCtx::NONE`] the span roots a new trace.
+    pub fn span(
+        &mut self,
+        kind: SpanKind,
+        label: &str,
+        parent: TraceCtx,
+        start: SimTime,
+        end: SimTime,
+    ) -> TraceCtx {
+        match self.spans.as_mut() {
+            Some(store) => store.record(self.self_id, kind, label.to_string(), parent, start, end),
+            None => TraceCtx::NONE,
+        }
+    }
+
     /// Requests the simulation to stop after the current event.
     pub fn stop(&mut self) {
         *self.stop = true;
@@ -193,6 +225,13 @@ pub struct TraceEntry {
     pub actor: ActorId,
     /// Free-form label.
     pub label: String,
+}
+
+impl fmt::Display for TraceEntry {
+    /// Stable `time actor label` rendering, e.g. `12.340us actor#3 deliver`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.time, self.actor, self.label)
+    }
 }
 
 /// Outcome of driving the simulation.
@@ -214,9 +253,11 @@ pub struct Sim {
     now: SimTime,
     seq: u64,
     steps: u64,
+    seed: u64,
     rng: SimRng,
     metrics: Metrics,
     trace: Option<Vec<TraceEntry>>,
+    spans: Option<SpanStore>,
     stop: bool,
 }
 
@@ -230,9 +271,11 @@ impl Sim {
             now: SimTime::ZERO,
             seq: 0,
             steps: 0,
+            seed,
             rng: SimRng::new(seed),
             metrics: Metrics::new(),
             trace: None,
+            spans: None,
             stop: false,
         }
     }
@@ -245,8 +288,32 @@ impl Sim {
     }
 
     /// Takes the recorded trace, leaving recording enabled.
+    ///
+    /// Entries are returned sorted by `(time, actor, label)` — the canonical
+    /// order shared by every runtime backend, so equal workloads at equal
+    /// seeds yield equal traces regardless of the engine that ran them.
     pub fn take_trace(&mut self) -> Vec<TraceEntry> {
-        self.trace.replace(Vec::new()).unwrap_or_default()
+        let mut entries = self.trace.replace(Vec::new()).unwrap_or_default();
+        entries.sort_by(|a, b| (a.time, a.actor, &a.label).cmp(&(b.time, b.actor, &b.label)));
+        entries
+    }
+
+    /// Enables causal span recording (see [`Sim::take_spans`]).
+    pub fn enable_spans(&mut self) {
+        if self.spans.is_none() {
+            self.spans = Some(SpanStore::new(self.seed));
+        }
+    }
+
+    /// Takes the recorded spans in canonical `(start, end, actor, ord)`
+    /// order, leaving recording enabled.
+    pub fn take_spans(&mut self) -> Vec<SpanRecord> {
+        let mut spans = match self.spans.as_mut() {
+            Some(store) => store.take(),
+            None => Vec::new(),
+        };
+        sort_canonical(&mut spans);
+        spans
     }
 
     /// Registers an actor and returns its id.
@@ -342,6 +409,7 @@ impl Sim {
                 rng: &mut self.rng,
                 metrics: &mut self.metrics,
                 trace: &mut self.trace,
+                spans: &mut self.spans,
                 stop: &mut self.stop,
             };
             actor.handle(ev.msg, &mut ctx);

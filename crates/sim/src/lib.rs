@@ -33,6 +33,7 @@ pub mod rng;
 pub mod runtime;
 pub mod sharded;
 pub mod shared;
+pub mod span;
 pub mod time;
 
 pub use engine::{Actor, ActorId, Ctx, Msg, RunOutcome, Sim, TraceEntry};
@@ -43,4 +44,5 @@ pub use runtime::{
 };
 pub use sharded::ShardedSim;
 pub use shared::Shared;
+pub use span::{SpanKind, SpanRecord, SpanStore, TraceCtx};
 pub use time::{SimDuration, SimTime};

@@ -80,6 +80,16 @@ impl Histogram {
         self.quantile(0.5)
     }
 
+    /// 50th percentile (alias for [`Histogram::median`]).
+    pub fn p50(&mut self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&mut self) -> f64 {
+        self.quantile(0.95)
+    }
+
     /// 99th percentile.
     pub fn p99(&mut self) -> f64 {
         self.quantile(0.99)
@@ -161,6 +171,11 @@ impl Metrics {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
+    /// Iterates over all histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
     /// Iterates over all counter names matching a prefix.
     pub fn counters_with_prefix<'a>(
         &'a self,
@@ -220,6 +235,9 @@ mod tests {
         assert_eq!(h.count(), 5);
         assert!((h.mean() - 3.0).abs() < 1e-12);
         assert!((h.median() - 3.0).abs() < 1e-12);
+        assert_eq!(h.p50(), h.median());
+        assert_eq!(h.p95(), 5.0);
+        assert_eq!(h.p99(), 5.0);
         assert!((h.quantile(1.0) - 5.0).abs() < 1e-12);
         assert!((h.stddev() - 2.0f64.sqrt()).abs() < 1e-12);
         assert_eq!(h.max(), 5.0);

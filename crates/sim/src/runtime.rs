@@ -23,6 +23,7 @@ use std::any::Any;
 
 use crate::engine::{Actor, ActorId, Msg, RunOutcome, Sim, TraceEntry};
 use crate::metrics::Metrics;
+use crate::span::SpanRecord;
 use crate::time::{SimDuration, SimTime};
 
 /// Engine-neutral simulation driver.
@@ -81,7 +82,24 @@ pub trait Runtime {
     fn enable_trace(&mut self);
 
     /// Takes the recorded trace, leaving recording enabled.
+    ///
+    /// Entries are returned in the canonical `(time, actor, label)` order on
+    /// every backend, so equal workloads at equal seeds yield equal traces
+    /// regardless of engine.
     fn take_trace(&mut self) -> Vec<TraceEntry>;
+
+    /// Enables causal span recording (see [`crate::span`]).
+    ///
+    /// Off by default; while disabled, recording is a no-op that neither
+    /// allocates nor perturbs the RNG stream, so disabled runs behave
+    /// bit-identically to builds without the subsystem.
+    fn enable_spans(&mut self);
+
+    /// Takes the recorded spans, leaving recording enabled.
+    ///
+    /// Spans are returned in the canonical `(start, end, actor, ord)` order,
+    /// identical across backends for equal `(seed, workload)`.
+    fn take_spans(&mut self) -> Vec<SpanRecord>;
 
     /// Invokes `f` with the actor's `dyn Any` form between events.
     ///
@@ -182,6 +200,14 @@ impl Runtime for Sim {
 
     fn take_trace(&mut self) -> Vec<TraceEntry> {
         Sim::take_trace(self)
+    }
+
+    fn enable_spans(&mut self) {
+        Sim::enable_spans(self);
+    }
+
+    fn take_spans(&mut self) -> Vec<SpanRecord> {
+        Sim::take_spans(self)
     }
 
     fn with_actor_any(&mut self, id: ActorId, f: &mut dyn FnMut(&mut dyn Any)) {

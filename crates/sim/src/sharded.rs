@@ -39,6 +39,7 @@ use crate::engine::{Actor, ActorId, Ctx, Msg, RunOutcome, TraceEntry};
 use crate::metrics::Metrics;
 use crate::rng::SimRng;
 use crate::runtime::{Runtime, RuntimeConfig};
+use crate::span::{sort_canonical, SpanRecord, SpanStore};
 use crate::time::{SimDuration, SimTime};
 
 struct Event {
@@ -82,6 +83,7 @@ struct Shard {
     rng: SimRng,
     metrics: Metrics,
     trace: Option<Vec<TraceEntry>>,
+    spans: Option<SpanStore>,
     now: SimTime,
     seq: u64,
     stop: bool,
@@ -117,6 +119,7 @@ impl Shard {
                     &mut self.rng,
                     &mut self.metrics,
                     &mut self.trace,
+                    &mut self.spans,
                     &mut self.stop,
                 );
                 actor.handle(ev.msg, &mut ctx);
@@ -169,7 +172,9 @@ pub struct ShardedSim {
     metrics: Metrics,
     now: SimTime,
     steps: u64,
+    seed: u64,
     trace_enabled: bool,
+    spans_enabled: bool,
 }
 
 impl ShardedSim {
@@ -194,6 +199,7 @@ impl ShardedSim {
                 rng: root.fork(),
                 metrics: Metrics::new(),
                 trace: None,
+                spans: None,
                 now: SimTime::ZERO,
                 seq: 0,
                 stop: false,
@@ -211,7 +217,9 @@ impl ShardedSim {
             metrics: Metrics::new(),
             now: SimTime::ZERO,
             steps: 0,
+            seed: config.seed,
             trace_enabled: false,
+            spans_enabled: false,
         }
     }
 
@@ -251,6 +259,13 @@ impl ShardedSim {
             s.processed = 0;
             if self.trace_enabled && s.trace.is_none() {
                 s.trace = Some(Vec::new());
+            }
+            if self.spans_enabled && s.spans.is_none() {
+                // Every shard's store shares the run seed: ids derive from
+                // (seed, actor, per-actor counter), so the shard layout does
+                // not influence them and they match the single-threaded
+                // engine bit-for-bit.
+                s.spans = Some(SpanStore::new(self.seed));
             }
         }
         let start_steps = self.steps;
@@ -450,9 +465,31 @@ impl Runtime for ShardedSim {
                 all.append(t);
             }
         }
-        // No global total order exists across shards; sort by (time, actor)
-        // for a stable, layout-deterministic view.
+        // No global total order exists across shards; sort into the same
+        // canonical (time, actor, label) order the single-threaded engine
+        // returns, so equal workloads yield equal traces across backends.
         all.sort_by(|a, b| (a.time, a.actor, &a.label).cmp(&(b.time, b.actor, &b.label)));
+        all
+    }
+
+    fn enable_spans(&mut self) {
+        self.spans_enabled = true;
+        let seed = self.seed;
+        for s in &mut self.shards {
+            if s.spans.is_none() {
+                s.spans = Some(SpanStore::new(seed));
+            }
+        }
+    }
+
+    fn take_spans(&mut self) -> Vec<SpanRecord> {
+        let mut all = Vec::new();
+        for s in &mut self.shards {
+            if let Some(store) = s.spans.as_mut() {
+                all.append(&mut store.take());
+            }
+        }
+        sort_canonical(&mut all);
         all
     }
 

@@ -1,0 +1,141 @@
+//! Causal tracing: capture and analyze the span tree of a request.
+//!
+//! Reuses the quickstart echo service, but switches on span recording and
+//! marks each client call as a top-level request (`Fos::trace_root`). After
+//! the run it prints the raw span tree, the per-phase latency attribution
+//! (network / control plane / device), and writes a Chrome Trace Event
+//! file loadable in Perfetto or `chrome://tracing`.
+//!
+//! Run with: `cargo run --example tracing`
+
+use fractos::obs::{aggregate, analyze, chrome_trace};
+use fractos_core::prelude::*;
+use fractos_devices::proto::{imm, imm_at};
+use fractos_sim::ActorId;
+
+/// Tag of the echo service's RPC.
+const TAG_ECHO: u64 = 0x1111;
+/// Tag of the client's reply continuation.
+const TAG_REPLY: u64 = 0x2222;
+
+/// A service that echoes its immediate argument back, incremented.
+struct EchoService;
+
+impl Service for EchoService {
+    fn on_start(&mut self, fos: &Fos<Self>) {
+        fos.request_create_new(TAG_ECHO, vec![], vec![], |_s, res, fos| {
+            fos.kv_put("echo", res.cid(), |_, res, _| {
+                assert!(res.is_ok(), "publishing the endpoint failed");
+            });
+        });
+    }
+
+    fn on_request(&mut self, req: IncomingRequest, fos: &Fos<Self>) {
+        let value = imm_at(&req.imms, 0).expect("value argument");
+        fos.reply_via(req.caps[0], vec![imm(value + 1)], vec![]);
+    }
+}
+
+/// A client that calls the echo service twice, rooting a span tree per call.
+struct TracedClient {
+    next: u64,
+    echo: Option<fractos_cap::Cid>,
+}
+
+impl TracedClient {
+    fn call(&mut self, fos: &Fos<Self>) {
+        let echo = self.echo.expect("discovered");
+        let value = self.next;
+        // Everything caused by the next syscall — fabric hops, Controller
+        // work, the service's reply — lands in one span tree.
+        fos.trace_root();
+        fos.request_create_new(TAG_REPLY, vec![], vec![], move |_s, res, fos| {
+            let reply = res.cid();
+            fos.request_derive(echo, vec![imm(value)], vec![reply], |_s, res, fos| {
+                fos.request_invoke(res.cid(), |_, res, _| assert!(res.is_ok()));
+            });
+        });
+    }
+}
+
+impl Service for TracedClient {
+    fn on_start(&mut self, fos: &Fos<Self>) {
+        fos.kv_get("echo", |s: &mut Self, res, fos| {
+            s.echo = Some(res.cid());
+            s.call(fos);
+        });
+    }
+
+    fn on_request(&mut self, _req: IncomingRequest, fos: &Fos<Self>) {
+        self.next += 1;
+        if self.next < 2 {
+            self.call(fos);
+        }
+    }
+}
+
+fn main() {
+    let mut tb = Testbed::paper(42);
+    let ctrls = tb.controllers_per_node(false);
+
+    let svc = tb.add_process("echo", cpu(0), ctrls[0], EchoService);
+    tb.start_process(svc);
+    tb.run();
+
+    // Enable recording only for the measured phase: boot traffic above
+    // records nothing, and each `trace_root` below starts one tree.
+    tb.sim.enable_spans();
+
+    let cli = tb.add_process(
+        "client",
+        cpu(1),
+        ctrls[1],
+        TracedClient {
+            next: 0,
+            echo: None,
+        },
+    );
+    tb.start_process(cli);
+    tb.run();
+
+    let spans = tb.sim.take_spans();
+    println!("captured {} spans:\n", spans.len());
+    for s in &spans {
+        let marker = if s.parent == 0 { "root" } else { "    " };
+        println!(
+            "  {marker} [{:>9} .. {:>9}] {:<10} {:<14} actor#{} trace={:08x}",
+            s.start.to_string(),
+            s.end.to_string(),
+            s.kind.name(),
+            s.label,
+            s.actor.index(),
+            s.trace as u32,
+        );
+    }
+
+    let breakdowns = analyze(&spans);
+    let totals = aggregate(&breakdowns);
+    println!(
+        "\nper-phase attribution over {} requests (µs):",
+        totals.requests
+    );
+    let us = |ns: u64| ns as f64 / 1000.0;
+    println!("  network  {:8.3}", us(totals.network_ns));
+    println!("  control  {:8.3}", us(totals.control_ns));
+    println!("  device   {:8.3}", us(totals.device_ns));
+    println!("  other    {:8.3}", us(totals.other_ns));
+    println!(
+        "  total    {:8.3}  (components sum exactly)",
+        us(totals.total_ns)
+    );
+    assert_eq!(
+        totals.network_ns + totals.device_ns + totals.control_ns + totals.other_ns,
+        totals.total_ns
+    );
+
+    let doc = chrome_trace(&spans, |i| {
+        tb.sim.actor_name(ActorId::from_raw(i as u32)).to_string()
+    });
+    std::fs::write("echo_trace.json", format!("{doc}\n")).expect("write trace");
+    println!("\nwrote echo_trace.json — open it in https://ui.perfetto.dev");
+}

@@ -17,7 +17,9 @@
 //! * [`devices`] — GPU and NVMe models plus their adaptor Processes;
 //! * [`services`] — the storage stack (FS/compose/DAX), the pipeline, and
 //!   the face-verification application;
-//! * [`baselines`] — rCUDA, NFS, NVMe-oF and star/fast-star comparators.
+//! * [`baselines`] — rCUDA, NFS, NVMe-oF and star/fast-star comparators;
+//! * [`obs`] — causal-span analysis: latency attribution, Chrome-trace
+//!   export, machine-readable metrics snapshots.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
 //! the system inventory and per-experiment index.
@@ -27,5 +29,6 @@ pub use fractos_cap as cap;
 pub use fractos_core as core;
 pub use fractos_devices as devices;
 pub use fractos_net as net;
+pub use fractos_obs as obs;
 pub use fractos_services as services;
 pub use fractos_sim as sim;
