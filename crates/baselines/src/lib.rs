@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Comparator systems for the FractOS evaluation (§6).
 //!

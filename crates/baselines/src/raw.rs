@@ -59,7 +59,9 @@ impl PingPongServer {
 
 impl Actor for PingPongServer {
     fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
-        let ping = msg.downcast::<Ping>().expect("server expects Ping");
+        let Ok(ping) = msg.downcast::<Ping>() else {
+            return;
+        };
         let fabric = self.fabric.clone();
         raw_send(
             ctx,

@@ -169,7 +169,10 @@ impl RcudaServer {
 
 impl Actor for RcudaServer {
     fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
-        let call = *msg.downcast::<DriverCall>().expect("expects DriverCall");
+        let Ok(call) = msg.downcast::<DriverCall>() else {
+            return;
+        };
+        let call = *call;
         self.calls += 1;
         match call {
             DriverCall::MemcpyH2D {

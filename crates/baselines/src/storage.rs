@@ -96,7 +96,10 @@ impl NvmeOfTarget {
 
 impl Actor for NvmeOfTarget {
     fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
-        let op = *msg.downcast::<NvmeOfOp>().expect("expects NvmeOfOp");
+        let Ok(op) = msg.downcast::<NvmeOfOp>() else {
+            return;
+        };
+        let op = *op;
         self.ops_served += 1;
         match op {
             NvmeOfOp::Read { offset, len, reply } => {

@@ -739,7 +739,9 @@ pub fn gpu_service_rcuda(img: u64, batch: u64, requests: u64, in_flight: u64) ->
                 }
                 return;
             }
-            let reply = msg.downcast::<DriverReply>().expect("driver reply");
+            let Ok(reply) = msg.downcast::<DriverReply>() else {
+                return;
+            };
             let Some((req, phase, t0)) = self.phase_of.remove(&reply.token) else {
                 return;
             };

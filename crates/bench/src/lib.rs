@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Reproduction harness for every table and figure of the paper's §6.
 //!

@@ -1,0 +1,78 @@
+//! Positive verification harness: every Request plan the in-tree
+//! applications build must pass the static verifier, on both runtime
+//! backends, and the always-on submission/admission checks must have run
+//! (with zero rejects) during the workloads themselves.
+
+use fractos_core::prelude::*;
+use fractos_net::{NetParams, Topology, VerifyCounter};
+use fractos_services::deploy::deploy_faceverify;
+use fractos_services::faceverify::FvClient;
+use fractos_services::pipeline::{ChainDriver, PipelineStage};
+use fractos_services::FvConfig;
+use fractos_sim::RuntimeKind;
+
+const BACKENDS: [RuntimeKind; 2] = [RuntimeKind::SingleThreaded, RuntimeKind::Sharded];
+
+fn assert_clean(tb: &mut Testbed, workload: &str) {
+    let checked = tb
+        .verify_all_plans()
+        .unwrap_or_else(|e| panic!("{workload}: live plan failed verification: {e}"));
+    assert!(checked >= 1, "{workload}: sweep visited no Request plans");
+    let VerifyCounter {
+        submission_checks,
+        admission_checks,
+        rejects,
+    } = tb.traffic().verify_counter();
+    assert!(
+        submission_checks > 0,
+        "{workload}: no plan was verified at submission"
+    );
+    assert!(
+        admission_checks > 0,
+        "{workload}: no plan was verified at admission"
+    );
+    assert_eq!(rejects, 0, "{workload}: a well-formed plan was rejected");
+}
+
+#[test]
+fn fig2_faceverify_plans_verify_clean_on_both_backends() {
+    for kind in BACKENDS {
+        let mut tb = Testbed::new_on(Topology::paper_testbed(), NetParams::paper(), 61, kind);
+        let ctrls = tb.controllers_per_node(false);
+        deploy_faceverify(&mut tb, &ctrls, FvConfig::default(), 256);
+        let client = tb.add_process("client", cpu(2), ctrls[2], FvClient::new(4096, 8, 10, 2));
+        tb.start_process(client);
+        tb.run();
+        tb.with_service::<FvClient, _>(client, |c| {
+            assert_eq!(c.samples.len(), 10, "workload must complete");
+        });
+        assert_clean(&mut tb, &format!("faceverify/{kind:?}"));
+    }
+}
+
+#[test]
+fn pipeline_chain_plans_verify_clean_on_both_backends() {
+    for kind in BACKENDS {
+        let mut tb = Testbed::new_on(Topology::paper_testbed(), NetParams::paper(), 71, kind);
+        let ctrls = tb.controllers_per_node(false);
+        let stages = 3;
+        for i in 0..stages {
+            let node = (i % 3) as u32;
+            let p = tb.add_process(
+                &format!("stage{i}"),
+                cpu(node),
+                ctrls[node as usize],
+                PipelineStage::new(i, 1024),
+            );
+            tb.start_process(p);
+            tb.run();
+        }
+        let d = tb.add_process("chain", cpu(0), ctrls[0], ChainDriver::new(stages, 1024, 4));
+        tb.start_process(d);
+        tb.run();
+        tb.with_service::<ChainDriver, _>(d, |s| {
+            assert_eq!(s.latencies.len(), 4, "workload must complete");
+        });
+        assert_clean(&mut tb, &format!("pipeline-chain/{kind:?}"));
+    }
+}

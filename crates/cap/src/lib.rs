@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Distributed capability machinery for FractOS-rs (§3.5–§3.6 of the paper).
 //!

@@ -13,7 +13,7 @@
 //! The table is generic over the payload type `T` so the OS layer can store
 //! its Memory/Request descriptors while this crate owns the lifecycle rules.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::error::{CapError, Result};
 use crate::ids::{CapRef, ControllerAddr, Epoch, ObjectId, ProcessToken};
@@ -111,7 +111,11 @@ pub struct ObjectTable<T> {
     ctrl: ControllerAddr,
     epoch: Epoch,
     next_id: u64,
-    entries: HashMap<ObjectId, Entry<T>>,
+    /// Ordered so that whole-table sweeps (`fail_process`,
+    /// `cleanup_revoked`, `live_objects`) visit entries in a deterministic
+    /// order regardless of insertion history — the cascade order of a
+    /// failure-translation revocation is observable through monitor events.
+    entries: BTreeMap<ObjectId, Entry<T>>,
 }
 
 impl<T> ObjectTable<T> {
@@ -121,7 +125,7 @@ impl<T> ObjectTable<T> {
             ctrl,
             epoch: Epoch(0),
             next_id: 0,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
         }
     }
 
@@ -186,11 +190,9 @@ impl<T> ObjectTable<T> {
             delegatee_of: None,
             receive_watchers: Vec::new(),
         });
-        self.entries
-            .get_mut(&parent)
-            .expect("parent checked live")
-            .children
-            .push(cap.object);
+        if let Some(p) = self.entries.get_mut(&parent) {
+            p.children.push(cap.object);
+        }
         Ok(cap)
     }
 
@@ -208,11 +210,9 @@ impl<T> ObjectTable<T> {
             delegatee_of: None,
             receive_watchers: Vec::new(),
         });
-        self.entries
-            .get_mut(&parent)
-            .expect("parent checked live")
-            .children
-            .push(cap.object);
+        if let Some(p) = self.entries.get_mut(&parent) {
+            p.children.push(cap.object);
+        }
         Ok(cap)
     }
 
@@ -225,12 +225,7 @@ impl<T> ObjectTable<T> {
     /// delegator's counter (§3.6).
     pub fn delegate(&mut self, id: ObjectId, to: ProcessToken) -> Result<CapRef> {
         self.check_live(id)?;
-        let has_monitor = self
-            .entries
-            .get(&id)
-            .expect("checked live")
-            .delegator
-            .is_some();
+        let has_monitor = self.entries.get(&id).is_some_and(|e| e.delegator.is_some());
         if !has_monitor {
             return Ok(CapRef {
                 ctrl: self.ctrl,
@@ -248,13 +243,12 @@ impl<T> ObjectTable<T> {
             delegatee_of: Some(id),
             receive_watchers: Vec::new(),
         });
-        let entry = self.entries.get_mut(&id).expect("checked live");
-        entry.children.push(cap.object);
-        entry
-            .delegator
-            .as_mut()
-            .expect("monitor checked present")
-            .outstanding += 1;
+        if let Some(entry) = self.entries.get_mut(&id) {
+            entry.children.push(cap.object);
+            if let Some(mon) = entry.delegator.as_mut() {
+                mon.outstanding += 1;
+            }
+        }
         Ok(cap)
     }
 
@@ -285,11 +279,12 @@ impl<T> ObjectTable<T> {
             let entry = self.entries.get(&id).ok_or(CapError::NoSuchObject(id))?;
             // Ancestors cannot be revoked while a descendant is live:
             // revocation cascades downward atomically.
-            match &entry.payload {
-                Payload::Owned(t) => return Ok(t),
-                Payload::Inherit => {
-                    id = entry.parent.expect("Inherit node always has a parent");
-                }
+            match (&entry.payload, entry.parent) {
+                (Payload::Owned(t), _) => return Ok(t),
+                (Payload::Inherit, Some(p)) => id = p,
+                // An Inherit node always has a parent by construction; a
+                // missing one means the table was corrupted externally.
+                (Payload::Inherit, None) => return Err(CapError::NoSuchObject(id)),
             }
         }
     }
@@ -300,9 +295,10 @@ impl<T> ObjectTable<T> {
         let mut id = cap.object;
         loop {
             let entry = self.entries.get(&id).ok_or(CapError::NoSuchObject(id))?;
-            match &entry.payload {
-                Payload::Owned(_) => return Ok(id),
-                Payload::Inherit => id = entry.parent.expect("Inherit has parent"),
+            match (&entry.payload, entry.parent) {
+                (Payload::Owned(_), _) => return Ok(id),
+                (Payload::Inherit, Some(p)) => id = p,
+                (Payload::Inherit, None) => return Err(CapError::NoSuchObject(id)),
             }
         }
     }
@@ -320,10 +316,22 @@ impl<T> ObjectTable<T> {
     pub fn payload_mut(&mut self, cap: CapRef) -> Result<&mut T> {
         self.check(cap)?;
         let id = self.resolve_owner_object(cap)?;
-        match &mut self.entries.get_mut(&id).expect("resolved").payload {
-            Payload::Owned(t) => Ok(t),
-            Payload::Inherit => unreachable!("resolve_owner_object returns Owned nodes"),
+        match self.entries.get_mut(&id).map(|e| &mut e.payload) {
+            Some(Payload::Owned(t)) => Ok(t),
+            // `resolve_owner_object` only returns Owned nodes.
+            _ => Err(CapError::NoSuchObject(id)),
         }
+    }
+
+    /// Parent of `id` in the revocation tree, if any (`None` for roots).
+    ///
+    /// Static verifiers use this to walk derivation edges and prove
+    /// privilege monotonicity without mutating the table.
+    pub fn parent_of(&self, id: ObjectId) -> Result<Option<ObjectId>> {
+        self.entries
+            .get(&id)
+            .map(|e| e.parent)
+            .ok_or(CapError::NoSuchObject(id))
     }
 
     /// Arms `monitor_delegate` on `id` (§3.6): future delegations create
@@ -333,7 +341,10 @@ impl<T> ObjectTable<T> {
     /// Per the paper, the capability must not have children yet.
     pub fn monitor_delegate(&mut self, id: ObjectId, watcher: Watcher) -> Result<()> {
         self.check_live(id)?;
-        let entry = self.entries.get_mut(&id).expect("checked live");
+        let entry = self
+            .entries
+            .get_mut(&id)
+            .ok_or(CapError::NoSuchObject(id))?;
         if !entry.children.is_empty() {
             return Err(CapError::HasChildren(id));
         }
@@ -351,7 +362,10 @@ impl<T> ObjectTable<T> {
     /// the object is revoked (explicitly or through failure translation).
     pub fn monitor_receive(&mut self, id: ObjectId, watcher: Watcher) -> Result<()> {
         self.check_live(id)?;
-        let entry = self.entries.get_mut(&id).expect("checked live");
+        let entry = self
+            .entries
+            .get_mut(&id)
+            .ok_or(CapError::NoSuchObject(id))?;
         entry.receive_watchers.push(watcher);
         Ok(())
     }

@@ -21,7 +21,7 @@
 //!   checked at access time — revoking memory invalidates its window at the
 //!   owner, so no delegation tracking is needed.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use fractos_cap::{CapRef, CapSpace, Cid, ControllerAddr, MonitorEvent, ObjectTable, Watcher};
 use fractos_net::{ComputeDomain, Endpoint, Fabric, SendOutcome, TrafficClass};
@@ -95,11 +95,14 @@ pub struct ControllerActor {
     domain: ComputeDomain,
     registry: ControllerAddr,
     table: ObjectTable<ObjPayload>,
-    spaces: HashMap<ProcId, CapSpace>,
-    snaps: HashMap<(ProcId, Cid), MemoryDesc>,
+    // Iterated maps are BTreeMaps so sweep order (revocation fan-out,
+    // pending-op failure, KV GC) is deterministic across runs and
+    // backends; keyed-only maps below stay hashed.
+    spaces: BTreeMap<ProcId, CapSpace>,
+    snaps: BTreeMap<(ProcId, Cid), MemoryDesc>,
     dead_procs: HashSet<ProcId>,
     peers_dead: HashSet<ControllerAddr>,
-    pending: HashMap<u64, Pending>,
+    pending: BTreeMap<u64, Pending>,
     next_token: u64,
     /// Outgoing wire sequence numbers, one stream per Process channel.
     seq_proc: HashMap<ProcId, SeqGen>,
@@ -109,7 +112,7 @@ pub struct ControllerActor {
     seen_proc: HashMap<ProcId, DedupFilter>,
     /// Duplicate suppression for arriving peer ops, per sender.
     seen_peer: HashMap<ControllerAddr, DedupFilter>,
-    kv: HashMap<String, CapArg>,
+    kv: BTreeMap<String, CapArg>,
     busy_until: SimTime,
     /// Trace context of the event being handled (causal tracing; `NONE`
     /// outside traces and while span recording is disabled).
@@ -138,17 +141,17 @@ impl ControllerActor {
             domain,
             registry,
             table: ObjectTable::new(addr),
-            spaces: HashMap::new(),
-            snaps: HashMap::new(),
+            spaces: BTreeMap::new(),
+            snaps: BTreeMap::new(),
             dead_procs: HashSet::new(),
             peers_dead: HashSet::new(),
-            pending: HashMap::new(),
+            pending: BTreeMap::new(),
             next_token: 0,
             seq_proc: HashMap::new(),
             seq_peer: HashMap::new(),
             seen_proc: HashMap::new(),
             seen_peer: HashMap::new(),
-            kv: HashMap::new(),
+            kv: BTreeMap::new(),
             busy_until: SimTime::ZERO,
             cur: TraceCtx::NONE,
             dir,
@@ -858,11 +861,14 @@ impl ControllerActor {
                 let Some(done) = done else { return };
                 match failed {
                     Some(e) => done(this, Err(e), ctx),
-                    None => done(
-                        this,
-                        Ok(slots.into_iter().map(|s| s.expect("filled")).collect()),
-                        ctx,
-                    ),
+                    // With no recorded failure every slot must be filled; an
+                    // empty slot means a delegation ack was lost without an
+                    // error, which surfaces as the peer being unreachable
+                    // rather than a crash.
+                    None => match slots.into_iter().collect::<Option<Vec<_>>>() {
+                        Some(filled) => done(this, Ok(filled), ctx),
+                        None => done(this, Err(FosError::ControllerUnreachable), ctx),
+                    },
                 }
             }
         }
@@ -1287,6 +1293,36 @@ impl ControllerActor {
             return;
         }
 
+        // Static pre-dispatch verification (§3.3): the copy's permission
+        // requirements are provable from the capability snapshots alone, so
+        // a doomed copy is rejected before any byte moves. The rejection
+        // costs the same single handling charge as the runtime error path
+        // it replaces; only the counters differ.
+        let sc = Syscall::MemoryCopy { src, dst };
+        let verdict = crate::verify::verify_syscall(&sc, |c| {
+            if c == src {
+                Some(src_desc.clone())
+            } else if c == dst {
+                Some(dst_desc.clone())
+            } else {
+                None
+            }
+        });
+        if let Err(v) = verdict {
+            self.fabric
+                .borrow_mut()
+                .note_verify(|s| s.record_verify_reject());
+            let extra = self.charge(ctx.now(), h);
+            self.reply(
+                ctx,
+                proc,
+                token,
+                SyscallResult::Err(FosError::Verify(v)),
+                extra,
+            );
+            return;
+        }
+
         // Move the actual bytes through the windows (one-sided access with
         // validity, permission and bounds checks at the owner side).
         let read = { self.mem.borrow().rdma_read_window(src_ref, 0, size) };
@@ -1625,6 +1661,27 @@ impl ControllerActor {
                 return;
             }
         };
+        // Submission-time verification (§3.3): the submitting Controller
+        // statically checks what is provable from its own table before
+        // dispatch. A remote root carries no local plan state — it is
+        // skipped here and re-verified by the owner on admission (defense
+        // in depth). Verification is free in simulated time.
+        self.fabric
+            .borrow_mut()
+            .note_verify(|s| s.record_verify_submission());
+        if let Err(v) = crate::verify::verify_plan(&self.table, req_ref) {
+            self.fabric
+                .borrow_mut()
+                .note_verify(|s| s.record_verify_reject());
+            self.reply(
+                ctx,
+                proc,
+                token,
+                SyscallResult::Err(FosError::Verify(v)),
+                extra,
+            );
+            return;
+        }
         if req_ref.ctrl == self.addr {
             let result = match self.do_local_invoke(ctx, req_ref, extra) {
                 Ok(()) => SyscallResult::Ok,
@@ -1675,6 +1732,19 @@ impl ControllerActor {
             && !self.dead_procs.contains(&provider);
         if !alive {
             return Err(FosError::ProcessFailed);
+        }
+        // Admission-time verification: the owner re-walks the full
+        // continuation plan against its own (authoritative) table before
+        // delivering — the submitting Controller's check may have been
+        // shallow (remote root) or raced a revocation in flight.
+        self.fabric
+            .borrow_mut()
+            .note_verify(|s| s.record_verify_admission());
+        if let Err(v) = crate::verify::verify_plan(&self.table, req) {
+            self.fabric
+                .borrow_mut()
+                .note_verify(|s| s.record_verify_reject());
+            return Err(FosError::Verify(v));
         }
         let mut imms = Vec::new();
         let mut cids = Vec::new();
@@ -2049,9 +2119,12 @@ impl ControllerActor {
 
 impl Actor for ControllerActor {
     fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
-        let msg = *msg
-            .downcast::<CtrlMsg>()
-            .expect("ControllerActor expects CtrlMsg");
+        // A message of any other type is a harness wiring bug; dropping it
+        // is safer than unwinding mid-event (poisoned shared state).
+        let Ok(msg) = msg.downcast::<CtrlMsg>() else {
+            return;
+        };
+        let msg = *msg;
         if self.dead {
             // A dead Controller neither processes nor replies; reboots
             // arrive as CtrlMsg::Reboot.

@@ -7,7 +7,7 @@
 //! like an established connection table. Liveness flags are flipped by the
 //! failure-injection API and the watchdog.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use fractos_cap::ControllerAddr;
 use fractos_net::{ComputeDomain, Endpoint};
@@ -46,8 +46,10 @@ pub struct CtrlEntry {
 /// The shared cluster directory.
 #[derive(Debug, Default)]
 pub struct Directory {
-    procs: HashMap<ProcId, ProcEntry>,
-    ctrls: HashMap<ControllerAddr, CtrlEntry>,
+    // BTreeMaps: `procs_of`/`all_ctrls` enumerate these, and enumeration
+    // order feeds failure fan-out — it must not depend on hasher state.
+    procs: BTreeMap<ProcId, ProcEntry>,
+    ctrls: BTreeMap<ControllerAddr, CtrlEntry>,
     next_proc: u32,
     next_ctrl: u32,
 }
@@ -149,23 +151,18 @@ impl Directory {
         }
     }
 
-    /// All Processes managed by `ctrl`.
+    /// All Processes managed by `ctrl`, in id order.
     pub fn procs_of(&self, ctrl: ControllerAddr) -> Vec<ProcId> {
-        let mut v: Vec<ProcId> = self
-            .procs
+        self.procs
             .iter()
             .filter(|(_, e)| e.ctrl == ctrl)
             .map(|(id, _)| *id)
-            .collect();
-        v.sort_unstable();
-        v
+            .collect()
     }
 
     /// All registered Controllers, in address order.
     pub fn all_ctrls(&self) -> Vec<ControllerAddr> {
-        let mut v: Vec<ControllerAddr> = self.ctrls.keys().copied().collect();
-        v.sort_unstable();
-        v
+        self.ctrls.keys().copied().collect()
     }
 }
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! FractOS-rs core: the distributed OS layer of the paper (§3–§4).
 //!
@@ -75,6 +76,7 @@ pub mod process;
 pub mod retry;
 pub mod testbed;
 pub mod types;
+pub mod verify;
 pub mod watchdog;
 pub mod wire;
 pub mod wire_peer;
@@ -100,5 +102,9 @@ pub use testbed::{CtrlPlacement, Testbed};
 pub use types::{
     FosError, IncomingRequest, MemoryDesc, MonitorCb, ObjPayload, ProcId, RequestDesc, Syscall,
     SyscallResult,
+};
+pub use verify::{
+    verify_plan, verify_syscall, verify_table, PlanPath, PlanReport, PlanStep, VerifyError,
+    VerifyErrorKind,
 };
 pub use watchdog::WatchdogActor;

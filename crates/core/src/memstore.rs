@@ -10,7 +10,7 @@
 //! The store holds *real bytes*: `memory_copy` moves data end to end and the
 //! integration tests verify content, not just timing.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use fractos_cap::{CapRef, Perms};
 
@@ -34,14 +34,17 @@ struct Region {
 }
 
 /// All simulated Process memory in the cluster.
+///
+/// All maps are BTreeMaps: window invalidation sweeps iterate them, and
+/// sweep order must be reproducible for bit-identical replay.
 #[derive(Debug, Default)]
 pub struct MemoryStore {
     /// Per-process regions: `(proc, base addr) → region`.
-    regions: HashMap<(ProcId, u64), Region>,
+    regions: BTreeMap<(ProcId, u64), Region>,
     /// Bump allocator cursor per process.
-    next_addr: HashMap<ProcId, u64>,
+    next_addr: BTreeMap<ProcId, u64>,
     /// Registered RDMA windows keyed by the capability that minted them.
-    windows: HashMap<CapRef, Window>,
+    windows: BTreeMap<CapRef, Window>,
 }
 
 impl MemoryStore {

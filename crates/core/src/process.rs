@@ -189,11 +189,16 @@ impl<S: Service> Fos<S> {
                         (j.k.take(), std::mem::take(&mut j.slots))
                     };
                     if let Some(k) = k {
-                        k(
-                            s,
-                            slots.into_iter().map(|r| r.expect("filled")).collect(),
-                            fos,
-                        );
+                        // `left` hit zero, so every slot holds a result; a
+                        // hole would mean a completion fired twice — fill it
+                        // with a typed error instead of unwinding.
+                        let results = slots
+                            .into_iter()
+                            .map(|r| {
+                                r.unwrap_or(SyscallResult::Err(FosError::ControllerUnreachable))
+                            })
+                            .collect();
+                        k(s, results, fos);
                     }
                 }
             });
@@ -350,9 +355,12 @@ impl<S: Service> Fos<S> {
     ) {
         let addr = self.mem_alloc(size);
         self.memory_create(addr, size, perms, move |s, res, fos| {
+            // A successful MemoryCreate always mints a cid; an Ok reply
+            // without one is a protocol violation, surfaced as a typed
+            // error rather than a panic.
             let r = res
                 .into_result()
-                .map(|c| c.expect("memory_create yields a cid"));
+                .and_then(|c| c.ok_or(FosError::WrongObjectKind));
             k(s, addr, r, fos);
         });
     }
@@ -608,11 +616,17 @@ impl<S: Service> ProcessActor<S> {
         seq: u64,
         attempt: u32,
     ) {
-        let (ctrl_actor, ctrl_ep, ctrl_alive) = {
+        // A Process or Controller missing from the directory behaves like
+        // an unreachable Controller: the QP errors out locally.
+        let entry = {
             let dir = self.dir.borrow();
-            let pe = dir.proc(self.proc).expect("process registered");
-            let ce = dir.ctrl(pe.ctrl).expect("controller registered");
-            (ce.actor, ce.endpoint, ce.alive)
+            dir.proc(self.proc)
+                .and_then(|pe| dir.ctrl(pe.ctrl))
+                .map(|ce| (ce.actor, ce.endpoint, ce.alive))
+        };
+        let Some((ctrl_actor, ctrl_ep, ctrl_alive)) = entry else {
+            self.deliver_reply(token, SyscallResult::Err(FosError::ControllerUnreachable));
+            return;
         };
         if !ctrl_alive {
             // The QP to a failed Controller errors out locally.
@@ -777,9 +791,12 @@ impl<S: Service> Actor for ProcessActor<S> {
         if self.dead {
             return;
         }
-        let msg = *msg
-            .downcast::<ProcMsg>()
-            .expect("ProcessActor expects ProcMsg");
+        // A message of any other type is a harness wiring bug; dropping it
+        // is safer than unwinding mid-event (poisoned shared state).
+        let Ok(msg) = msg.downcast::<ProcMsg>() else {
+            return;
+        };
+        let msg = *msg;
         {
             // Each event starts outside any trace; the matching arm below
             // restores the context carried by the envelope or timer.
@@ -878,8 +895,9 @@ impl<S: Service> Actor for ProcessActor<S> {
                 // after a short detection delay (§3.6).
                 let ctrl_actor = {
                     let dir = self.dir.borrow();
-                    let pe = dir.proc(self.proc).expect("registered");
-                    dir.ctrl(pe.ctrl).map(|c| c.actor)
+                    dir.proc(self.proc)
+                        .and_then(|pe| dir.ctrl(pe.ctrl))
+                        .map(|c| c.actor)
                 };
                 if let Some(ctrl) = ctrl_actor {
                     ctx.send_after(

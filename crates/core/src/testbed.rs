@@ -295,6 +295,22 @@ impl Testbed {
         self.sim.with_actor::<ControllerActor, _>(actor, f)
     }
 
+    /// Statically verifies every live Request plan on every Controller.
+    ///
+    /// Walks each Controller's object table with [`crate::verify::verify_table`]
+    /// and returns the total number of plans checked, or the first defect
+    /// found. Harnesses call this after building their plans to prove that
+    /// everything they are about to invoke passes the same verifier the
+    /// Controllers run at submission and admission.
+    pub fn verify_all_plans(&mut self) -> Result<usize, crate::verify::VerifyError> {
+        let ctrls: Vec<ControllerAddr> = self.ctrls.iter().map(|(addr, _)| *addr).collect();
+        let mut total = 0;
+        for addr in ctrls {
+            total += self.with_controller(addr, |c| crate::verify::verify_table(c.table()))?;
+        }
+        Ok(total)
+    }
+
     /// Starts the watchdog service (§3.6's ZooKeeper stand-in) on `node`'s
     /// host CPU: it pings every Controller and broadcasts `PeerFailed`
     /// notices on its own, so [`Testbed::kill_controller_silently`] failures

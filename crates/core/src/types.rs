@@ -360,11 +360,20 @@ pub enum FosError {
     /// consumption boundary (the bytes differ from what the producer
     /// stamped — corruption, a torn write, or a faulty device output).
     IntegrityViolation,
+    /// The static Request-program verifier rejected the plan before
+    /// dispatch (submission- or admission-side, see [`crate::verify`]).
+    Verify(crate::verify::VerifyError),
 }
 
 impl From<CapError> for FosError {
     fn from(e: CapError) -> Self {
         FosError::Cap(e)
+    }
+}
+
+impl From<crate::verify::VerifyError> for FosError {
+    fn from(e: crate::verify::VerifyError) -> Self {
+        FosError::Verify(e)
     }
 }
 
@@ -382,6 +391,7 @@ impl fmt::Display for FosError {
             FosError::Topology(e) => write!(f, "topology error: {e}"),
             FosError::WindowInvalid => write!(f, "memory window invalidated"),
             FosError::IntegrityViolation => write!(f, "payload integrity violation"),
+            FosError::Verify(e) => write!(f, "static verification failed: {e}"),
         }
     }
 }

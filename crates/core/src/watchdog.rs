@@ -8,7 +8,7 @@
 //! then run the §3.6 failure translation (fail the dead Controller's
 //! Processes, fail pending operations, treat its capabilities as revoked).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use fractos_cap::ControllerAddr;
 use fractos_net::{Endpoint, Fabric, SendOutcome, TrafficClass};
@@ -46,9 +46,9 @@ pub struct WatchdogActor {
     missed_limit: u32,
     seq: u64,
     /// Outstanding ping sequence per Controller.
-    outstanding: HashMap<ControllerAddr, u64>,
-    misses: HashMap<ControllerAddr, u32>,
-    declared_dead: HashMap<ControllerAddr, bool>,
+    outstanding: BTreeMap<ControllerAddr, u64>,
+    misses: BTreeMap<ControllerAddr, u32>,
+    declared_dead: BTreeMap<ControllerAddr, bool>,
     /// Failures detected so far (tests).
     pub detected: Vec<ControllerAddr>,
     /// Declared-dead Controllers later observed answering again (healed
@@ -66,9 +66,9 @@ impl WatchdogActor {
             period: PING_PERIOD,
             missed_limit: MISSED_LIMIT,
             seq: 0,
-            outstanding: HashMap::new(),
-            misses: HashMap::new(),
-            declared_dead: HashMap::new(),
+            outstanding: BTreeMap::new(),
+            misses: BTreeMap::new(),
+            declared_dead: BTreeMap::new(),
             detected: Vec::new(),
             recovered: Vec::new(),
         }
@@ -175,9 +175,12 @@ impl WatchdogActor {
 
 impl Actor for WatchdogActor {
     fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
-        let msg = *msg
-            .downcast::<WatchdogMsg>()
-            .expect("WatchdogActor expects WatchdogMsg");
+        // A message of any other type is a harness wiring bug; dropping it
+        // is safer than unwinding mid-event.
+        let Ok(msg) = msg.downcast::<WatchdogMsg>() else {
+            return;
+        };
+        let msg = *msg;
         match msg {
             WatchdogMsg::Tick => self.tick(ctx),
             WatchdogMsg::Pong { from, seq } => {

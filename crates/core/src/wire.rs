@@ -532,6 +532,7 @@ impl Wire for FosError {
             FosError::Topology(_) => 8,
             FosError::WindowInvalid => 9,
             FosError::IntegrityViolation => 10,
+            FosError::Verify(_) => 11,
         };
         e.u8(code);
         if let FosError::Cap(c) = self {
@@ -548,6 +549,32 @@ impl Wire for FosError {
             };
             e.u8(sub);
             e.u64(obj);
+        }
+        if let FosError::Verify(v) = self {
+            use crate::verify::VerifyErrorKind as K;
+            let (kind, perms): (u8, u8) = match v.kind {
+                K::DanglingCap => (0, 0),
+                K::RevokedCap => (1, 0),
+                K::StaleEpoch => (2, 0),
+                K::CyclicContinuation => (3, 0),
+                K::PrivilegeEscalation => (4, 0),
+                K::RefinementViolation => (5, 0),
+                K::MissingPerm(p) => (6, p.bits()),
+                K::WrongObjectKind => (7, 0),
+            };
+            e.u8(kind);
+            e.u8(perms);
+            e.u32(v.path.0.len() as u32);
+            for step in &v.path.0 {
+                e.u64(step.object.0);
+                match step.arg {
+                    Some(a) => {
+                        e.u8(1);
+                        e.u32(a);
+                    }
+                    None => e.u8(0),
+                }
+            }
         }
     }
 
@@ -580,6 +607,37 @@ impl Wire for FosError {
             8 => FosError::Topology(fractos_net::TopologyError::UnknownNode(NodeId(0))),
             9 => FosError::WindowInvalid,
             10 => FosError::IntegrityViolation,
+            11 => {
+                use crate::verify::{PlanPath, PlanStep, VerifyError, VerifyErrorKind as K};
+                let kind = d.u8()?;
+                let perms = d.u8()?;
+                let kind = match kind {
+                    0 => K::DanglingCap,
+                    1 => K::RevokedCap,
+                    2 => K::StaleEpoch,
+                    3 => K::CyclicContinuation,
+                    4 => K::PrivilegeEscalation,
+                    5 => K::RefinementViolation,
+                    6 => K::MissingPerm(fractos_cap::Perms::from_bits(perms)),
+                    7 => K::WrongObjectKind,
+                    t => return Err(DecodeError::BadTag(t)),
+                };
+                let n = d.u32()?;
+                let mut steps = Vec::with_capacity(n.min(1024) as usize);
+                for _ in 0..n {
+                    let object = ObjectId(d.u64()?);
+                    let arg = match d.u8()? {
+                        0 => None,
+                        1 => Some(d.u32()?),
+                        t => return Err(DecodeError::BadTag(t)),
+                    };
+                    steps.push(PlanStep { object, arg });
+                }
+                FosError::Verify(VerifyError {
+                    kind,
+                    path: PlanPath(steps),
+                })
+            }
             t => return Err(DecodeError::BadTag(t)),
         })
     }

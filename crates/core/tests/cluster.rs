@@ -8,6 +8,7 @@
 use fractos_cap::{CapError, Cid, Perms};
 use fractos_core::prelude::*;
 use fractos_core::testbed::CtrlPlacement;
+use fractos_core::{PlanPath, VerifyError, VerifyErrorKind};
 
 /// A service that publishes one Request endpoint and records deliveries.
 struct Recorder {
@@ -218,9 +219,14 @@ fn diminish_narrows_extent_and_permissions() {
     tb.start_process(p);
     tb.run();
     tb.with_service::<Script, _>(p, |s| {
+        // The copy is now rejected by the static pre-dispatch verifier
+        // (missing WRITE on the destination snapshot) before any byte moves.
         assert_eq!(
             s.results,
-            vec![SyscallResult::Err(FosError::PermissionDenied)],
+            vec![SyscallResult::Err(FosError::Verify(VerifyError {
+                kind: VerifyErrorKind::MissingPerm(Perms::WRITE),
+                path: PlanPath::default(),
+            }))],
             "copy into a read-only view must be rejected"
         );
     });

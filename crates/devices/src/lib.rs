@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Disaggregated device models and FractOS adaptors (§5 of the paper).
 //!

@@ -1,0 +1,22 @@
+//! Known-bad corpus: iteration over hashed maps. Not compiled — scanned
+//! by the lint's self-tests to prove the `hash-iter` rule fires on both
+//! the method-call and the for-loop forms.
+
+use std::collections::{HashMap, HashSet};
+
+struct Stats {
+    counters: HashMap<String, u64>,
+}
+
+fn dump(stats: &Stats) -> Vec<u64> {
+    // Hasher order leaks straight into the output vector.
+    stats.counters.values().copied().collect()
+}
+
+fn sweep() {
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.insert(1);
+    for v in &seen {
+        drop(v);
+    }
+}

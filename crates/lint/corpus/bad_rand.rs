@@ -1,0 +1,16 @@
+//! Known-bad corpus: ambient randomness. Not compiled — scanned by the
+//! lint's self-tests to prove the `ambient-rand` rule fires.
+
+fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+fn seed_from_os() -> u64 {
+    let mut rng = SmallRng::from_entropy();
+    rng.gen()
+}
+
+fn direct() -> u8 {
+    rand::random()
+}

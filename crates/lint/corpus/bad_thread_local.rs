@@ -1,0 +1,15 @@
+//! Known-bad corpus: thread-local state. Not compiled — scanned by the
+//! lint's self-tests to prove the `thread-local` rule fires.
+
+use std::cell::Cell;
+
+thread_local! {
+    static COUNTER: Cell<u64> = Cell::new(0);
+}
+
+fn bump() -> u64 {
+    COUNTER.with(|c| {
+        c.set(c.get() + 1);
+        c.get()
+    })
+}

@@ -1,0 +1,11 @@
+//! Known-bad corpus: panicking error handling in product paths. Not
+//! compiled — scanned by the lint's self-tests to prove the `unwrap`
+//! rule fires.
+
+fn lookup(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+fn message(v: Option<u32>) -> u32 {
+    v.expect("value must be present")
+}

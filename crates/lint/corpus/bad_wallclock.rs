@@ -1,0 +1,13 @@
+//! Known-bad corpus: wall-clock reads. Not compiled — scanned by the
+//! lint's self-tests to prove the `wallclock` rule fires.
+
+use std::time::{Instant, SystemTime};
+
+fn elapsed_ns() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}
+
+fn epoch() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,26 @@
+//! Known-good corpus: deterministic, typed-error idioms. The lint must
+//! report nothing here. Mentions of Instant::now or thread_rng in prose
+//! (like this comment) and in strings must not fire either.
+
+use std::collections::BTreeMap;
+
+fn sweep(map: &BTreeMap<u64, u64>) -> u64 {
+    map.values().sum()
+}
+
+fn lookup(v: Option<u32>) -> Result<u32, &'static str> {
+    v.ok_or("missing")
+}
+
+fn describe() -> &'static str {
+    "never call Instant::now() or rand::thread_rng() in product code"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -175,6 +175,13 @@ impl Fabric {
         self.stats.reset();
     }
 
+    /// Records a static-verification event in the traffic counters.
+    /// Verification is free in simulated time: this touches counters only
+    /// and never charges latency or emits messages.
+    pub fn note_verify(&mut self, f: impl FnOnce(&mut TrafficStats)) {
+        f(&mut self.stats);
+    }
+
     /// Decides the fault outcome of the next operation of class `op` on
     /// `device`, recording the injection in the per-device fault counters.
     /// Deterministic: hashed from `(plan seed, device, per-device op

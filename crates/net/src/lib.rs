@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! Simulated disaggregated data-center fabric for FractOS-rs.
 //!
@@ -46,5 +47,6 @@ pub use fault::{DeviceFaultOutcome, DeviceFaults, DeviceOp, FaultPlan, LinkKey, 
 pub use params::{ComputeDomain, NetParams};
 pub use stats::{
     DeviceFaultCounter, FaultCounter, FlowCounter, Medium, TrafficClass, TrafficStats,
+    VerifyCounter,
 };
 pub use topology::{Endpoint, Location, NodeConfig, NodeId, Topology, TopologyError};

@@ -66,6 +66,21 @@ pub struct DeviceFaultCounter {
     pub spiked: u64,
 }
 
+/// Static-verification counters (PR 5): how many Request plans the
+/// Controllers verified at submission and at admission (defense in depth),
+/// and how many were rejected before dispatch. Verification is free in
+/// simulated time, so these never influence latency — they only prove the
+/// checks ran.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyCounter {
+    /// Plans verified at the submitting Process's Controller.
+    pub submission_checks: u64,
+    /// Plans verified again at the owner Controller on admission.
+    pub admission_checks: u64,
+    /// Plans (or syscalls) rejected with a typed `VerifyError`.
+    pub rejects: u64,
+}
+
 /// All traffic counters for a fabric.
 #[derive(Debug, Clone, Default)]
 pub struct TrafficStats {
@@ -73,6 +88,7 @@ pub struct TrafficStats {
     by_medium: BTreeMap<(Medium, TrafficClass), FlowCounter>,
     faults: BTreeMap<(NodeId, NodeId), FaultCounter>,
     device_faults: BTreeMap<Endpoint, DeviceFaultCounter>,
+    verify: VerifyCounter,
 }
 
 impl TrafficStats {
@@ -111,6 +127,26 @@ impl TrafficStats {
     /// Records one data-class payload bit-flipped in flight on `src → dst`.
     pub fn record_corrupted(&mut self, src: NodeId, dst: NodeId) {
         self.faults.entry((src, dst)).or_default().corrupted += 1;
+    }
+
+    /// Records one plan verification at the submitting Process's Controller.
+    pub fn record_verify_submission(&mut self) {
+        self.verify.submission_checks += 1;
+    }
+
+    /// Records one plan verification at the owner Controller on admission.
+    pub fn record_verify_admission(&mut self) {
+        self.verify.admission_checks += 1;
+    }
+
+    /// Records one plan or syscall rejected by static verification.
+    pub fn record_verify_reject(&mut self) {
+        self.verify.rejects += 1;
+    }
+
+    /// Static-verification counters.
+    pub fn verify_counter(&self) -> VerifyCounter {
+        self.verify
     }
 
     /// Records one injected device fault on `device`.
@@ -269,6 +305,11 @@ impl TrafficStats {
                 diff.device_faults.insert(*key, d);
             }
         }
+        diff.verify = VerifyCounter {
+            submission_checks: self.verify.submission_checks - baseline.verify.submission_checks,
+            admission_checks: self.verify.admission_checks - baseline.verify.admission_checks,
+            rejects: self.verify.rejects - baseline.verify.rejects,
+        };
         diff
     }
 
@@ -278,6 +319,7 @@ impl TrafficStats {
         self.by_medium.clear();
         self.faults.clear();
         self.device_faults.clear();
+        self.verify = VerifyCounter::default();
     }
 }
 
@@ -352,6 +394,28 @@ mod tests {
         s.reset();
         assert_eq!(s.total_dropped() + s.total_degraded(), 0);
         assert_eq!(s.link_faults(N0, N1), FaultCounter::default());
+    }
+
+    #[test]
+    fn verify_counters_diff_and_reset() {
+        let mut s = TrafficStats::new();
+        s.record_verify_submission();
+        s.record_verify_admission();
+        let snapshot = s.clone();
+        s.record_verify_submission();
+        s.record_verify_reject();
+
+        assert_eq!(s.verify_counter().submission_checks, 2);
+        assert_eq!(s.verify_counter().admission_checks, 1);
+        assert_eq!(s.verify_counter().rejects, 1);
+
+        let d = s.since(&snapshot);
+        assert_eq!(d.verify_counter().submission_checks, 1);
+        assert_eq!(d.verify_counter().admission_checks, 0);
+        assert_eq!(d.verify_counter().rejects, 1);
+
+        s.reset();
+        assert_eq!(s.verify_counter(), VerifyCounter::default());
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Observability tooling over the simulator's causal spans (`fractos-sim`'s
 //! [`fractos_sim::SpanRecord`]): latency attribution, Chrome-trace export and
 //! machine-readable benchmark telemetry.

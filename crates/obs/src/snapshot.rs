@@ -40,7 +40,7 @@ fn quantile(sorted: &[f64], q: f64) -> f64 {
 impl HistSummary {
     fn from_samples(samples: &[f64]) -> Self {
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in histogram"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         let mean = if sorted.is_empty() {
             0.0
         } else {

@@ -348,7 +348,10 @@ impl FsService {
             self.request_extent(fos, create_vol, op);
             return;
         }
-        let pending = self.creates.remove(&op).expect("present");
+        // `get_mut` above proved the entry exists.
+        let Some(pending) = self.creates.remove(&op) else {
+            return;
+        };
         let file_id = self.next_file;
         self.next_file += 1;
         self.files.insert(

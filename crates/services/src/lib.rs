@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! FractOS services and applications (§5 of the paper).
 //!

@@ -66,8 +66,7 @@ impl Histogram {
             return 0.0;
         }
         if !self.sorted {
-            self.samples
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample in histogram"));
+            self.samples.sort_by(|a, b| a.total_cmp(b));
             self.sorted = true;
         }
         let q = q.clamp(0.0, 1.0);
