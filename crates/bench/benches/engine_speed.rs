@@ -1,0 +1,244 @@
+//! Engine microbenchmark: raw event throughput and request throughput on
+//! both runtime backends (single-threaded and sharded).
+//!
+//! Two workloads:
+//!
+//! * **raw events** — a ring of cross-node ping-pong pairs driving the
+//!   scheduler and the per-link synchronization protocol with no
+//!   application logic, so the numbers isolate engine overhead;
+//! * **requests** — the Fig 2 face-verification pipeline end to end, so
+//!   the numbers reflect a realistic mix of syscalls, device service and
+//!   fabric traffic.
+//!
+//! `BENCH_engine.json` (written at the repository root) contains only
+//! simulation-derived integers — event counts, virtual end times, request
+//! counts — which are deterministic for a fixed seed on both backends, so
+//! repeated runs produce byte-identical files (CI diffs two runs).
+//! Wall-clock throughput (events/sec, requests/sec) is inherently noisy
+//! and is printed to stdout only.
+
+use fractos_baselines::raw::{Peer, PingPongClient, PingPongServer, Start as PingStart};
+use fractos_bench::report::Table;
+use fractos_core::prelude::*;
+use fractos_net::{Fabric, NetParams, NodeConfig, NodeId, Topology};
+use fractos_obs::Json;
+use fractos_services::deploy::deploy_faceverify;
+use fractos_services::faceverify::FvClient;
+use fractos_services::FvConfig;
+use fractos_sim::{build_runtime, RuntimeKind, Shared, SimDuration};
+
+const SEED: u64 = 61;
+const PING_NODES: u32 = 4;
+const PING_ROUNDS: u64 = 2_000;
+const IMG: u64 = 4096;
+const BATCH: u64 = 8;
+const REQS: u64 = 32;
+
+/// One backend's deterministic outcome plus its (stdout-only) wall time.
+struct RunStats {
+    steps: u64,
+    end_ns: u64,
+    wall_secs: f64,
+}
+
+/// Resolves an output path against the repository root (bench binaries run
+/// with the package directory as CWD, which is rarely where artifacts are
+/// wanted).
+fn out_path(p: &str) -> std::path::PathBuf {
+    let p = std::path::Path::new(p);
+    if p.is_absolute() {
+        p.to_path_buf()
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(p)
+    }
+}
+
+fn kind_name(kind: RuntimeKind) -> &'static str {
+    match kind {
+        RuntimeKind::SingleThreaded => "single",
+        RuntimeKind::Sharded => "sharded",
+    }
+}
+
+/// Raw event throughput: a ring of cross-node ping-pong pairs (client on
+/// node i, server on node i+1), so every shard has deliveries in every
+/// lookahead window and the sharded backend's barrier path is exercised
+/// continuously.
+fn run_raw(kind: RuntimeKind) -> RunStats {
+    let mut topology = Topology::new();
+    for i in 0..PING_NODES {
+        topology.add_node(NodeConfig::cpu_only(&format!("n{i}")));
+    }
+    let params = NetParams::paper();
+    let config = Testbed::runtime_config(&topology, &params, SEED);
+    let mut sim = build_runtime(kind, &config);
+    let fabric = Shared::new(Fabric::new(topology, params));
+
+    let mut clients = Vec::new();
+    for a in 0..PING_NODES {
+        let b = (a + 1) % PING_NODES;
+        let server_ep = fractos_net::Endpoint::cpu(NodeId(b));
+        let server = sim.add_actor_on(
+            b as usize,
+            &format!("server{a}to{b}"),
+            Box::new(PingPongServer::new(server_ep, fabric.clone())),
+        );
+        let client = sim.add_actor_on(
+            a as usize,
+            &format!("client{a}"),
+            Box::new(PingPongClient::new(
+                fractos_net::Endpoint::cpu(NodeId(a)),
+                Peer {
+                    actor: server,
+                    endpoint: server_ep,
+                },
+                PING_ROUNDS,
+                fabric.clone(),
+            )),
+        );
+        clients.push(client);
+    }
+    for &client in &clients {
+        sim.post(SimDuration::ZERO, client, PingStart);
+    }
+    let wall = std::time::Instant::now();
+    sim.run();
+    let wall_secs = wall.elapsed().as_secs_f64();
+    for &client in &clients {
+        sim.with_actor::<PingPongClient, _>(client, |c| {
+            assert_eq!(c.latencies.len() as u64, PING_ROUNDS);
+        });
+    }
+    RunStats {
+        steps: sim.steps(),
+        end_ns: sim.now().as_nanos(),
+        wall_secs,
+    }
+}
+
+/// Request throughput: the Fig 2 face-verification deployment end to end.
+fn run_requests(kind: RuntimeKind) -> RunStats {
+    let mut tb = Testbed::new_on(Topology::paper_testbed(), NetParams::paper(), SEED, kind);
+    let ctrls = tb.controllers_per_node(false);
+    deploy_faceverify(&mut tb, &ctrls, FvConfig::default(), 256);
+    let client = tb.add_process(
+        "client",
+        cpu(2),
+        ctrls[2],
+        FvClient::new(IMG, BATCH, REQS, 2),
+    );
+    tb.start_process(client);
+    let wall = std::time::Instant::now();
+    tb.run();
+    let wall_secs = wall.elapsed().as_secs_f64();
+    tb.with_service::<FvClient, _>(client, |c| {
+        assert_eq!(
+            c.samples.len() as u64,
+            REQS,
+            "client finished every request"
+        );
+    });
+    RunStats {
+        steps: tb.sim.steps(),
+        end_ns: tb.now().as_nanos(),
+        wall_secs,
+    }
+}
+
+fn main() {
+    let kinds = [RuntimeKind::SingleThreaded, RuntimeKind::Sharded];
+
+    let raw: Vec<(RuntimeKind, RunStats)> = kinds.iter().map(|&k| (k, run_raw(k))).collect();
+    let reqs: Vec<(RuntimeKind, RunStats)> = kinds.iter().map(|&k| (k, run_requests(k))).collect();
+
+    // Both backends must agree on the deterministic outcome: same event
+    // count, same virtual end time. (Full trace equality is asserted by
+    // `tests/backend_equivalence.rs`; this keeps the bench honest.)
+    assert_eq!(raw[0].1.steps, raw[1].1.steps, "raw event counts diverged");
+    assert_eq!(raw[0].1.end_ns, raw[1].1.end_ns, "raw end times diverged");
+    assert_eq!(
+        reqs[0].1.steps, reqs[1].1.steps,
+        "request event counts diverged"
+    );
+    assert_eq!(
+        reqs[0].1.end_ns, reqs[1].1.end_ns,
+        "request end times diverged"
+    );
+
+    let mut t = Table::new(
+        "Engine: raw event throughput (4-node ping-pong ring)",
+        &[
+            "backend",
+            "events",
+            "virtual ms",
+            "wall ms",
+            "events/sec (wall)",
+        ],
+    );
+    for (k, s) in &raw {
+        t.row(&[
+            kind_name(*k).into(),
+            s.steps.to_string(),
+            format!("{:.3}", s.end_ns as f64 / 1e6),
+            format!("{:.1}", s.wall_secs * 1e3),
+            format!("{:.0}", s.steps as f64 / s.wall_secs.max(1e-9)),
+        ]);
+    }
+    t.print();
+
+    let mut t = Table::new(
+        "Engine: request throughput (Fig 2 face-verification pipeline)",
+        &[
+            "backend",
+            "requests",
+            "events",
+            "virtual ms",
+            "wall ms",
+            "requests/sec (wall)",
+        ],
+    );
+    for (k, s) in &reqs {
+        t.row(&[
+            kind_name(*k).into(),
+            REQS.to_string(),
+            s.steps.to_string(),
+            format!("{:.3}", s.end_ns as f64 / 1e6),
+            format!("{:.1}", s.wall_secs * 1e3),
+            format!("{:.0}", REQS as f64 / s.wall_secs.max(1e-9)),
+        ]);
+    }
+    t.print();
+    println!("  (wall-clock rates vary run to run; the JSON records only deterministic counts)");
+
+    let backend_obj = |s: &RunStats| {
+        Json::obj(vec![
+            ("events", Json::UInt(s.steps)),
+            ("virtual_end_ns", Json::UInt(s.end_ns)),
+        ])
+    };
+    let doc = Json::obj(vec![
+        ("workload", Json::Str("engine_speed".into())),
+        (
+            "raw_events",
+            Json::obj(vec![
+                ("nodes", Json::UInt(PING_NODES as u64)),
+                ("rounds_per_pair", Json::UInt(PING_ROUNDS)),
+                ("single", backend_obj(&raw[0].1)),
+                ("sharded", backend_obj(&raw[1].1)),
+            ]),
+        ),
+        (
+            "requests",
+            Json::obj(vec![
+                ("count", Json::UInt(REQS)),
+                ("single", backend_obj(&reqs[0].1)),
+                ("sharded", backend_obj(&reqs[1].1)),
+            ]),
+        ),
+    ]);
+    let bench_json = out_path("BENCH_engine.json");
+    std::fs::write(&bench_json, format!("{doc}\n")).expect("write BENCH_engine.json");
+    println!("\n  wrote {}", bench_json.display());
+}

@@ -90,7 +90,7 @@ fn bench_wire(c: &mut Criterion) {
     let sc = Syscall::RequestCreate {
         base: Some(fractos_cap::Cid(3)),
         tag: 7,
-        imms: vec![vec![0xAB; 256], vec![1, 2, 3]],
+        imms: vec![vec![0xAB; 256].into(), vec![1, 2, 3].into()],
         caps: vec![fractos_cap::Cid(1), fractos_cap::Cid(2)],
     };
     c.bench_function("wire_encode_request_create", |b| {

@@ -192,9 +192,14 @@ pub fn rpc_latency(two_nodes: bool, ctrl_on_snic: bool, arg_bytes: usize) -> f64
     tb.run();
 
     fn issue(base: fractos_cap::Cid, arg_bytes: usize, fos: &Fos<Script>) {
-        fos.request_derive(base, vec![vec![0xA5; arg_bytes]], vec![], |_s, res, fos| {
-            fos.request_invoke(res.cid(), |_, res, _| debug_assert!(res.is_ok()));
-        });
+        fos.request_derive(
+            base,
+            vec![vec![0xA5; arg_bytes].into()],
+            vec![],
+            |_s, res, fos| {
+                fos.request_invoke(res.cid(), |_, res, _| debug_assert!(res.is_ok()));
+            },
+        );
     }
 
     // Client: one-time setup (reply creation + delegation into the base),

@@ -125,6 +125,42 @@ fn fig2_baseline_matches_across_backends() {
     );
 }
 
+/// End-to-end payload *bytes* must be identical across backends — not just
+/// the derived verdicts. Payloads travel as cheap-clone [`Payload`] handles
+/// (shared `Arc` buffers, zero-copy slicing), so this also pins that the
+/// sharded engine's cross-shard buffering never hands an actor a stale or
+/// partially-written view of a payload.
+#[test]
+fn fig2_reply_payloads_are_byte_identical_across_backends() {
+    let run = |kind: RuntimeKind| {
+        let mut tb = Testbed::new_on(Topology::paper_testbed(), NetParams::paper(), 61, kind);
+        let ctrls = tb.controllers_per_node(false);
+        deploy_faceverify(&mut tb, &ctrls, FvConfig::default(), 256);
+        let client = tb.add_process(
+            "client",
+            cpu(2),
+            ctrls[2],
+            FvClient::new(IMG, BATCH, REQUESTS, 2),
+        );
+        tb.start_process(client);
+        tb.run();
+        tb.with_service::<FvClient, _>(client, |c| {
+            c.replies.iter().map(|p| p.to_vec()).collect::<Vec<_>>()
+        })
+    };
+    let single = run(RuntimeKind::SingleThreaded);
+    let sharded = run(RuntimeKind::Sharded);
+    assert_eq!(single.len() as u64, REQUESTS);
+    assert!(
+        single.iter().all(|p| p.len() == BATCH as usize),
+        "each reply carries one distance byte per image in the batch"
+    );
+    assert_eq!(
+        single, sharded,
+        "reply payload bytes diverged across backends"
+    );
+}
+
 #[test]
 fn fig2_single_threaded_trace_is_reproducible() {
     let run = || {

@@ -24,7 +24,7 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use fractos_cap::{CapRef, CapSpace, Cid, ControllerAddr, MonitorEvent, ObjectTable, Watcher};
-use fractos_net::{ComputeDomain, Endpoint, Fabric, SendOutcome, TrafficClass};
+use fractos_net::{ComputeDomain, Endpoint, Fabric, NetParams, Payload, SendOutcome, TrafficClass};
 use fractos_sim::{Actor, Ctx, Msg, Shared, SimDuration, SimTime, SpanKind, TraceCtx};
 
 use crate::directory::Directory;
@@ -234,13 +234,17 @@ impl ControllerActor {
     /// interrupt mode (§4), a Controller that has been idle longer than the
     /// polling window pays the wake-up latency first.
     fn charge(&mut self, now: SimTime, cost: SimDuration) -> SimDuration {
-        let params = self.fabric.borrow().params().clone();
+        // Snapshot the three scalars we need instead of cloning the whole
+        // params block: this runs on every message a Controller handles.
+        let (interrupts, poll_window, wakeup) = {
+            let fabric = self.fabric.borrow();
+            let p = fabric.params();
+            (p.controller_interrupts, p.poll_window, p.interrupt_wakeup)
+        };
         let mut start = self.busy_until.max(now);
-        if params.controller_interrupts
-            && now > self.busy_until
-            && now.duration_since(self.busy_until) > params.poll_window
+        if interrupts && now > self.busy_until && now.duration_since(self.busy_until) > poll_window
         {
-            start += params.interrupt_wakeup;
+            start += wakeup;
         }
         let done = start + cost;
         self.busy_until = done;
@@ -259,7 +263,8 @@ impl ControllerActor {
         if !crossing {
             return SimDuration::ZERO;
         }
-        let params = self.fabric.borrow().params().clone();
+        let fabric = self.fabric.borrow();
+        let params = fabric.params();
         match op {
             PeerOp::Invoke { .. } => params.request_serialize(self.domain) / 2,
             _ => params.cap_serialize(self.domain) / 2 * op.cap_count(),
@@ -1359,9 +1364,24 @@ impl ControllerActor {
             return;
         }
 
-        // Latency model.
-        let params = self.fabric.borrow().params().clone();
-        let extra = if params.third_party_rdma {
+        // Latency model. Snapshot the scalar knobs up front: `charge` and
+        // the per-chunk `send`s below need the fabric lock themselves, so
+        // a params borrow cannot stay alive across the loop — and cloning
+        // the whole block per syscall is what this path used to pay.
+        let (third_party_rdma, local_oneway, proc_cost, db_threshold, db_chunk, bounce_bw, e2e) = {
+            let fabric = self.fabric.borrow();
+            let p = fabric.params();
+            (
+                p.third_party_rdma,
+                p.local_oneway,
+                p.memcopy_proc(self.domain),
+                p.double_buffer_threshold,
+                p.double_buffer_chunk,
+                p.bounce_memcpy_bw(self.domain),
+                p.end_to_end_integrity,
+            )
+        };
+        let extra = if third_party_rdma {
             // "HW copies" (Fig 5): the NIC moves data directly between the
             // two processes; the Controller only orchestrates.
             let start = ctx.now() + self.charge(ctx.now(), h);
@@ -1369,7 +1389,7 @@ impl ControllerActor {
                 let mut fabric = self.fabric.borrow_mut();
                 fabric.rdma_write(start, ctx.rng(), src_desc.location, dst_desc.location, size)
             };
-            let done = start + copy + params.local_oneway;
+            let done = start + copy + local_oneway;
             done.duration_since(ctx.now())
         } else {
             // Bounce buffers in the Controller with double buffering above
@@ -1380,9 +1400,8 @@ impl ControllerActor {
             // serializes the writes); a single completion closes the
             // transfer. The Controller pays processing per chunk on its
             // (serial) cores.
-            let proc_cost = params.memcopy_proc(self.domain);
-            let chunk = if size > params.double_buffer_threshold {
-                params.double_buffer_chunk.min(size)
+            let chunk = if size > db_threshold {
+                db_chunk.min(size)
             } else {
                 size.max(1)
             };
@@ -1416,7 +1435,7 @@ impl ControllerActor {
                 let read_landed = t0 + req + resp;
                 // Chunk processing on the Controller cores: request
                 // bookkeeping plus two memcpys through the bounce buffers.
-                let chunk_cpu = proc_cost + params.bounce_memcpy(self.domain, n);
+                let chunk_cpu = proc_cost + NetParams::bounce_memcpy_at(bounce_bw, n);
                 let processed = read_landed + self.charge(read_landed, chunk_cpu);
                 // One-sided write: bulk data queued on the path to the
                 // destination.
@@ -1468,7 +1487,7 @@ impl ControllerActor {
         // runs byte-identical. A mismatch surfaces as a typed error — the
         // corrupted bytes stay in the destination, exactly as they would
         // on real hardware, and the caller decides whether to retry.
-        if params.end_to_end_integrity {
+        if e2e {
             if let Some(sum) = src_sum {
                 let back = { self.mem.borrow().rdma_read_window(dst_ref, 0, size) };
                 if !back.is_ok_and(|b| crate::integrity::fnv1a(&b) == sum) {
@@ -1504,7 +1523,7 @@ impl ControllerActor {
         token: u64,
         base: Option<Cid>,
         tag: u64,
-        imms: Vec<Vec<u8>>,
+        imms: Vec<Payload>,
         caps: Vec<Cid>,
     ) {
         let h = self.handling();
@@ -1610,7 +1629,7 @@ impl ControllerActor {
         ctx: &mut Ctx<'_>,
         base: CapRef,
         creator: ProcId,
-        imms: Vec<Vec<u8>>,
+        imms: Vec<Payload>,
         cap_args: Vec<CapArg>,
         done: impl FnOnce(&mut Self, Result<CapArg, FosError>, &mut Ctx<'_>) + Send + 'static,
     ) {

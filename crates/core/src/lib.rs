@@ -84,7 +84,7 @@ pub mod wire_peer;
 /// Everything a service implementation typically needs.
 pub mod prelude {
     pub use fractos_cap::{CapError, Cid, ControllerAddr, Perms};
-    pub use fractos_net::{Endpoint, Location, NodeId};
+    pub use fractos_net::{Endpoint, Location, NodeId, Payload};
     pub use fractos_sim::{Runtime, RuntimeExt, RuntimeKind, SimDuration, SimTime};
 
     pub use crate::controller::ControllerActor;

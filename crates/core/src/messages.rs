@@ -6,7 +6,7 @@
 //! accounting come from the [`crate::wire`] codec.
 
 use fractos_cap::ControllerAddr;
-use fractos_sim::TraceCtx;
+use fractos_sim::{Payload, TraceCtx};
 
 use crate::types::{CapArg, FosError, IncomingRequest, MonitorCb, ProcId, Syscall, SyscallResult};
 use crate::wire::Wire;
@@ -208,7 +208,7 @@ pub enum DeriveOp {
     /// Request refinement: append arguments to a derived Request.
     Refine {
         /// Immediate arguments to append.
-        imms: Vec<Vec<u8>>,
+        imms: Vec<Payload>,
         /// Already-delegation-resolved capability arguments to append.
         caps: Vec<CapArg>,
     },
@@ -455,7 +455,7 @@ mod tests {
         let big = PeerOp::Derive {
             obj: cref(),
             op: DeriveOp::Refine {
-                imms: vec![vec![0; 1000]],
+                imms: vec![vec![0; 1000].into()],
                 caps: vec![],
             },
             creator: ProcId(0),
@@ -502,7 +502,7 @@ mod tests {
         let imm = syscall_msg_size(&Syscall::RequestCreate {
             base: None,
             tag: 0,
-            imms: vec![vec![0; 4096]],
+            imms: vec![vec![0; 4096].into()],
             caps: vec![Cid(0)],
         });
         assert!(imm > null + 4096);
@@ -517,7 +517,7 @@ mod tests {
         assert!(r.wire_size() >= 9);
         let d = CtrlToProc::Deliver(IncomingRequest {
             tag: 0,
-            imms: vec![vec![0; 100]],
+            imms: vec![vec![0; 100].into()],
             caps: vec![],
         });
         assert!(d.wire_size() > 100);

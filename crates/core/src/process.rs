@@ -12,7 +12,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use fractos_cap::{Cid, Perms};
-use fractos_net::{Endpoint, TrafficClass};
+use fractos_net::{Endpoint, Payload, TrafficClass};
 use fractos_sim::{Actor, Ctx, Msg, Shared, SimDuration, SimTime, SpanKind, TraceCtx};
 
 use crate::directory::Directory;
@@ -282,7 +282,7 @@ impl<S: Service> Fos<S> {
     /// The service-reply idiom: derive the received continuation Request
     /// with result arguments and invoke it (§3.4 — a reply *is* the
     /// invocation of a continuation).
-    pub fn reply_via(&self, cont: Cid, imms: Vec<Vec<u8>>, caps: Vec<Cid>) {
+    pub fn reply_via(&self, cont: Cid, imms: Vec<Payload>, caps: Vec<Cid>) {
         self.request_derive(cont, imms, caps, |_s, res, fos| {
             // A failed derivation means the continuation was revoked or its
             // holder died; there is nobody left to answer.
@@ -303,14 +303,16 @@ impl<S: Service> Fos<S> {
         r
     }
 
-    /// Reads from this Process's own memory.
-    pub fn mem_read(&self, addr: u64, offset: u64, len: u64) -> Result<Vec<u8>, FosError> {
+    /// Reads from this Process's own memory. The bytes come back as a
+    /// [`Payload`], so forwarding them into a reply or a derived Request
+    /// costs a reference-count bump, not a copy.
+    pub fn mem_read(&self, addr: u64, offset: u64, len: u64) -> Result<Payload, FosError> {
         let inner = self.inner.borrow();
         let proc = inner.proc;
         let mem = inner.mem.clone();
         drop(inner);
         let r = mem.borrow().read(proc, addr, offset, len);
-        r
+        r.map(Payload::from)
     }
 
     /// Draws the fault-plan decision for the next operation of class `op`
@@ -379,7 +381,7 @@ impl<S: Service> Fos<S> {
     pub fn request_create_new(
         &self,
         tag: u64,
-        imms: Vec<Vec<u8>>,
+        imms: Vec<Payload>,
         caps: Vec<Cid>,
         k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + Send + 'static,
     ) {
@@ -398,7 +400,7 @@ impl<S: Service> Fos<S> {
     pub fn request_derive(
         &self,
         base: Cid,
-        imms: Vec<Vec<u8>>,
+        imms: Vec<Payload>,
         caps: Vec<Cid>,
         k: impl FnOnce(&mut S, SyscallResult, &Fos<S>) + Send + 'static,
     ) {

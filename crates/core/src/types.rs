@@ -8,7 +8,7 @@
 use core::fmt;
 
 use fractos_cap::{CapError, CapRef, Cid, Perms};
-use fractos_net::{Endpoint, TopologyError};
+use fractos_net::{Endpoint, Payload, TopologyError};
 
 /// Globally unique Process identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -52,8 +52,10 @@ pub struct MemoryDesc {
 /// One argument of a Request: an immediate value or a capability.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Arg {
-    /// Immediate bytes, copied verbatim to the receiver.
-    Imm(Vec<u8>),
+    /// Immediate bytes, delivered verbatim to the receiver. The
+    /// [`Payload`] handle clones by reference count, so forwarding an
+    /// immediate through a chain of Requests never copies the bytes.
+    Imm(Payload),
     /// A delegated capability; carries a Memory snapshot when the
     /// capability references memory, so data-plane operations need no
     /// owner round trip (the window check enforces revocation).
@@ -153,7 +155,7 @@ pub enum Syscall {
         /// Provider tag (only meaningful for new Requests).
         tag: u64,
         /// Immediate arguments to append.
-        imms: Vec<Vec<u8>>,
+        imms: Vec<Payload>,
         /// Capability arguments to append (delegated to the provider).
         caps: Vec<Cid>,
     },
@@ -312,7 +314,7 @@ pub struct IncomingRequest {
     /// Provider tag of the invoked Request.
     pub tag: u64,
     /// Immediate arguments, in derivation order.
-    pub imms: Vec<Vec<u8>>,
+    pub imms: Vec<Payload>,
     /// Capability arguments, inserted into the receiver's capability space.
     pub caps: Vec<Cid>,
 }

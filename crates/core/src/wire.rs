@@ -305,7 +305,7 @@ impl Wire for Arg {
     }
     fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         match d.u8()? {
-            0 => Ok(Arg::Imm(d.bytes()?)),
+            0 => Ok(Arg::Imm(d.bytes()?.into())),
             1 => Ok(Arg::Cap(CapArg::decode(d)?)),
             t => Err(DecodeError::BadTag(t)),
         }
@@ -472,7 +472,7 @@ impl Wire for Syscall {
                 let n = d.u32()? as usize;
                 let mut imms = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
-                    imms.push(d.bytes()?);
+                    imms.push(d.bytes()?.into());
                 }
                 let m = d.u32()? as usize;
                 let mut caps = Vec::with_capacity(m.min(1024));
@@ -700,7 +700,7 @@ impl Wire for IncomingRequest {
         let n = d.u32()? as usize;
         let mut imms = Vec::with_capacity(n.min(1024));
         for _ in 0..n {
-            imms.push(d.bytes()?);
+            imms.push(d.bytes()?.into());
         }
         let m = d.u32()? as usize;
         let mut caps = Vec::with_capacity(m.min(1024));
@@ -777,7 +777,7 @@ mod tests {
             Syscall::RequestCreate {
                 base: Some(Cid(9)),
                 tag: 77,
-                imms: vec![vec![1, 2, 3], vec![]],
+                imms: vec![vec![1, 2, 3].into(), fractos_net::Payload::empty()],
                 caps: vec![Cid(1), Cid(5)],
             },
             Syscall::RequestInvoke { cid: Cid(0) },
@@ -820,7 +820,7 @@ mod tests {
             provider: ProcId(2),
             tag: 5,
             args: vec![
-                Arg::Imm(vec![0xca, 0xfe]),
+                Arg::Imm(vec![0xca, 0xfe].into()),
                 Arg::Cap(CapArg {
                     cap: CapRef {
                         ctrl: ControllerAddr(1),
@@ -844,7 +844,7 @@ mod tests {
     fn incoming_request_roundtrips() {
         roundtrip(IncomingRequest {
             tag: 9,
-            imms: vec![vec![1], vec![2, 3]],
+            imms: vec![vec![1].into(), vec![2, 3].into()],
             caps: vec![Cid(0), Cid(4)],
         });
     }

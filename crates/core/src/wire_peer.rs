@@ -90,7 +90,7 @@ impl Wire for DeriveOp {
                 let n = d.u32()? as usize;
                 let mut imms = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
-                    imms.push(d.bytes()?);
+                    imms.push(d.bytes()?.into());
                 }
                 let m = d.u32()? as usize;
                 let mut caps = Vec::with_capacity(m.min(1024));
@@ -422,7 +422,7 @@ mod tests {
             PeerOp::Derive {
                 obj: cref(2),
                 op: DeriveOp::Refine {
-                    imms: vec![vec![1, 2, 3]],
+                    imms: vec![vec![1, 2, 3].into()],
                     caps: vec![CapArg {
                         cap: cref(3),
                         mem: None,

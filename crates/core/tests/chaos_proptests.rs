@@ -144,7 +144,7 @@ impl Service for Client {
                 s.issued += 1;
                 fos.request_derive(
                     base,
-                    vec![vec![i as u8]],
+                    vec![vec![i as u8].into()],
                     vec![],
                     |s: &mut Self, res, fos| {
                         let Some(derived) = s.settle(&res) else {

@@ -93,7 +93,7 @@ fn cross_node_invoke_delivers_imms_and_caps() {
                     // Refine with an immediate and the memory capability.
                     fos.request_derive(
                         base,
-                        vec![b"hello".to_vec()],
+                        vec![b"hello".to_vec().into()],
                         vec![mem],
                         |s: &mut Script, res, fos| {
                             let derived = res.cid();
@@ -1080,14 +1080,24 @@ fn revoking_a_base_request_kills_all_derived_requests() {
         Script::new(|_, fos| {
             fos.kv_get("svc.req", |_s, res, fos| {
                 let base = res.cid();
-                fos.request_derive(base, vec![vec![1]], vec![], |s: &mut Script, res, fos| {
-                    let d1 = res.cid();
-                    s.cids.push(d1);
-                    // A second-level refinement too.
-                    fos.request_derive(d1, vec![vec![2]], vec![], |s: &mut Script, res, _| {
-                        s.cids.push(res.cid());
-                    });
-                });
+                fos.request_derive(
+                    base,
+                    vec![vec![1].into()],
+                    vec![],
+                    |s: &mut Script, res, fos| {
+                        let d1 = res.cid();
+                        s.cids.push(d1);
+                        // A second-level refinement too.
+                        fos.request_derive(
+                            d1,
+                            vec![vec![2].into()],
+                            vec![],
+                            |s: &mut Script, res, _| {
+                                s.cids.push(res.cid());
+                            },
+                        );
+                    },
+                );
             });
         }),
     );

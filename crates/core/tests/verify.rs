@@ -181,7 +181,7 @@ fn refinement_must_extend_append_only() {
     let mut t = table();
     let base = t.create(
         ProcId(1).token(),
-        request(vec![Arg::Imm(vec![1]), Arg::Imm(vec![2])]),
+        request(vec![Arg::Imm(vec![1].into()), Arg::Imm(vec![2].into())]),
     );
     // A proper refinement extends the base: verifies.
     let good = t
@@ -189,9 +189,9 @@ fn refinement_must_extend_append_only() {
             base.object,
             ProcId(1).token(),
             request(vec![
-                Arg::Imm(vec![1]),
-                Arg::Imm(vec![2]),
-                Arg::Imm(vec![3]),
+                Arg::Imm(vec![1].into()),
+                Arg::Imm(vec![2].into()),
+                Arg::Imm(vec![3].into()),
             ]),
         )
         .expect("derivable");
@@ -201,7 +201,7 @@ fn refinement_must_extend_append_only() {
         .derive(
             base.object,
             ProcId(1).token(),
-            request(vec![Arg::Imm(vec![9]), Arg::Imm(vec![2])]),
+            request(vec![Arg::Imm(vec![9].into()), Arg::Imm(vec![2].into())]),
         )
         .expect("derivable");
     let e = verify_plan(&t, forged).unwrap_err();

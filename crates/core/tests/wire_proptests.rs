@@ -51,7 +51,7 @@ fn arb_memdesc() -> impl Strategy<Value = MemoryDesc> {
 
 fn arb_arg() -> impl Strategy<Value = Arg> {
     prop_oneof![
-        prop::collection::vec(any::<u8>(), 0..64).prop_map(Arg::Imm),
+        prop::collection::vec(any::<u8>(), 0..64).prop_map(|v| Arg::Imm(v.into())),
         (arb_capref(), prop::option::of(arb_memdesc()))
             .prop_map(|(cap, mem)| Arg::Cap(CapArg { cap, mem })),
     ]
@@ -86,7 +86,7 @@ fn arb_syscall() -> impl Strategy<Value = Syscall> {
             .prop_map(|(base, tag, imms, caps)| Syscall::RequestCreate {
                 base: base.map(Cid),
                 tag,
-                imms,
+                imms: imms.into_iter().map(Into::into).collect(),
                 caps: caps.into_iter().map(Cid).collect(),
             }),
         any::<u32>().prop_map(|c| Syscall::RequestInvoke { cid: Cid(c) }),
@@ -137,7 +137,7 @@ proptest! {
     ) {
         let req = IncomingRequest {
             tag,
-            imms,
+            imms: imms.into_iter().map(Into::into).collect(),
             caps: caps.into_iter().map(Cid).collect(),
         };
         let bytes = req.to_bytes();

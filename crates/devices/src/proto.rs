@@ -7,6 +7,8 @@
 //! continuation Requests, and the adaptor replies by refining and invoking
 //! them (§3.4, §5).
 
+use fractos_core::prelude::Payload;
+
 /// GPU adaptor (§5 "Accelerator Service: GPU"): context initialization.
 ///
 /// Caps: `[continuation]`. Reply caps: `[alloc Request, load Request]` bound
@@ -87,7 +89,7 @@ impl DevError {
     }
 
     /// The immediate encoding of this error.
-    pub fn imm(self) -> Vec<u8> {
+    pub fn imm(self) -> Payload {
         imm(self.code())
     }
 
@@ -119,12 +121,12 @@ impl DevError {
 }
 
 /// Encodes an integer immediate.
-pub fn imm(v: u64) -> Vec<u8> {
-    v.to_le_bytes().to_vec()
+pub fn imm(v: u64) -> Payload {
+    Payload::from(v.to_le_bytes())
 }
 
 /// Decodes the `i`-th immediate as an integer, if present and well-formed.
-pub fn imm_at(imms: &[Vec<u8>], i: usize) -> Option<u64> {
+pub fn imm_at(imms: &[Payload], i: usize) -> Option<u64> {
     imms.get(i)
         .and_then(|b| <[u8; 8]>::try_from(b.as_slice()).ok())
         .map(u64::from_le_bytes)
@@ -136,7 +138,7 @@ mod tests {
 
     #[test]
     fn imm_roundtrip() {
-        let imms = vec![imm(7), imm(u64::MAX), vec![1, 2]];
+        let imms = vec![imm(7), imm(u64::MAX), vec![1, 2].into()];
         assert_eq!(imm_at(&imms, 0), Some(7));
         assert_eq!(imm_at(&imms, 1), Some(u64::MAX));
         assert_eq!(imm_at(&imms, 2), None, "short immediates rejected");

@@ -23,7 +23,7 @@ struct GpuClient {
     local_in: Option<(u64, Cid)>,
     local_out: Option<(u64, Cid)>,
     pub done: bool,
-    pub result: Vec<u8>,
+    pub result: Payload,
 }
 
 impl GpuClient {
@@ -38,7 +38,7 @@ impl GpuClient {
             local_in: None,
             local_out: None,
             done: false,
-            result: Vec::new(),
+            result: Payload::empty(),
         }
     }
 
@@ -190,7 +190,7 @@ struct BlkClient {
     write_req: Option<Cid>,
     buf: Option<(u64, Cid)>,
     pub done: bool,
-    pub read_back: Vec<u8>,
+    pub read_back: Payload,
 }
 
 impl BlkClient {
@@ -200,7 +200,7 @@ impl BlkClient {
             write_req: None,
             buf: None,
             done: false,
-            read_back: Vec::new(),
+            read_back: Payload::empty(),
         }
     }
 }

@@ -441,6 +441,12 @@ impl Fabric {
             }
         } else {
             base += p.remote_oneway;
+            if self.topology.cross_rack(src.node, dst.node) {
+                // Aggregation-switch traversal between racks; joins the
+                // base so `NetParams::link_lookahead_matrix` (which floors
+                // the same sum by the jitter band) stays a lower bound.
+                base += p.cross_rack_extra;
+            }
             edges.push(Edge::NetUp(src.node));
             edges.push(Edge::NetDown(dst.node));
             Medium::Network
@@ -812,10 +818,9 @@ mod tests {
 
     #[test]
     fn faulty_run_replays_from_seed_and_plan() {
-        let plan = FaultPlan::new().drop_prob_between(N0, N1, 0.4);
         let run = |seed: u64| -> Vec<bool> {
             let mut f = fabric();
-            f.install_fault_plan(plan.clone(), seed);
+            f.install_fault_plan(FaultPlan::new().drop_prob_between(N0, N1, 0.4), seed);
             let mut r = rng();
             (0..100)
                 .map(|i| {
@@ -858,7 +863,7 @@ mod tests {
     #[test]
     fn device_to_device_cross_node_pays_two_pcie_hops() {
         let f = fabric();
-        let p = f.params().clone();
+        let p = f.params();
         let lat = f.base_latency(Endpoint::nvme(N0), Endpoint::gpu(N1));
         assert_eq!(lat, p.remote_oneway + p.pcie_hop * 2);
     }

@@ -44,6 +44,7 @@ pub mod topology;
 
 pub use fabric::{Fabric, WIRE_HEADER_BYTES};
 pub use fault::{DeviceFaultOutcome, DeviceFaults, DeviceOp, FaultPlan, LinkKey, SendOutcome};
+pub use fractos_sim::Payload;
 pub use params::{ComputeDomain, NetParams};
 pub use stats::{
     DeviceFaultCounter, FaultCounter, FlowCounter, Medium, TrafficClass, TrafficStats,

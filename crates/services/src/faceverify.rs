@@ -300,7 +300,7 @@ impl FaceVerifyFrontend {
             return;
         };
         if batch > self.cfg.max_batch {
-            fos.reply_via(reply, vec![vec![]], vec![]);
+            fos.reply_via(reply, vec![Payload::empty()], vec![]);
             return;
         }
         self.slots[slot].busy = true;
@@ -603,7 +603,7 @@ impl FaceVerifyFrontend {
     fn fail_slot(&mut self, slot: usize, fos: &Fos<Self>) {
         if let Some(inflight) = self.inflight[slot].take() {
             self.slots[slot].busy = false;
-            fos.reply_via(inflight.reply, vec![vec![]], vec![]);
+            fos.reply_via(inflight.reply, vec![Payload::empty()], vec![]);
         }
         if let Some(queued) = self.backlog.pop_front() {
             self.on_verify(queued, fos);
@@ -681,6 +681,10 @@ pub struct FvClient {
     lent: Vec<(u64, (u64, Cid))>,
     /// Completed samples.
     pub samples: Vec<FvSample>,
+    /// Raw reply payloads (the distance bytes), in completion order. These
+    /// are cheap-clone [`Payload`] handles into the delivered immediates,
+    /// kept so harnesses can assert end-to-end bytes across backends.
+    pub replies: Vec<Payload>,
 }
 
 impl FvClient {
@@ -701,6 +705,7 @@ impl FvClient {
             buffers: Vec::new(),
             lent: Vec::new(),
             samples: Vec::new(),
+            replies: Vec::new(),
         }
     }
 
@@ -813,6 +818,7 @@ impl Service for FvClient {
             self.buffers.push(buf);
         }
         let all_matched = !distances.is_empty() && distances.iter().all(|&d| d < MATCH_THRESHOLD);
+        self.replies.push(distances.clone());
         self.samples.push(FvSample {
             issued,
             completed: fos.now(),

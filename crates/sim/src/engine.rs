@@ -11,11 +11,10 @@
 //! downcast to the types they expect and treat a mismatch as a wiring bug.
 
 use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::fmt;
 
 use crate::metrics::Metrics;
+use crate::queue::EventQueue;
 use crate::rng::SimRng;
 use crate::span::{sort_canonical, SpanKind, SpanRecord, SpanStore, TraceCtx};
 use crate::time::{SimDuration, SimTime};
@@ -59,33 +58,6 @@ pub type Msg = Box<dyn Any + Send>;
 pub trait Actor: Any + Send {
     /// Handles one message delivered at `ctx.now()`.
     fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_>);
-}
-
-struct Event {
-    time: SimTime,
-    seq: u64,
-    dst: ActorId,
-    msg: Msg,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
 }
 
 /// Handle given to actors while they process a message.
@@ -140,13 +112,20 @@ impl<'a> Ctx<'a> {
     }
 
     /// Sends `msg` to `dst` after `delay`.
+    ///
+    /// Saturating arithmetic: a delay that would leave the `u64` nanosecond
+    /// timeline pins at the far-future instant (the message never fires)
+    /// instead of panicking, matching the checked conventions of the rest
+    /// of the stack.
     pub fn send_after(&mut self, delay: SimDuration, dst: ActorId, msg: impl Any + Send) {
-        self.outbox.push((self.now + delay, dst, Box::new(msg)));
+        self.outbox
+            .push((self.now.saturating_add(delay), dst, Box::new(msg)));
     }
 
-    /// Sends a pre-boxed message to `dst` after `delay`.
+    /// Sends a pre-boxed message to `dst` after `delay` (saturating, like
+    /// [`send_after`](Ctx::send_after)).
     pub fn send_boxed_after(&mut self, delay: SimDuration, dst: ActorId, msg: Msg) {
-        self.outbox.push((self.now + delay, dst, msg));
+        self.outbox.push((self.now.saturating_add(delay), dst, msg));
     }
 
     /// Sends `msg` to `dst` at the current instant (delivered after all
@@ -249,7 +228,7 @@ pub enum RunOutcome {
 pub struct Sim {
     actors: Vec<Option<Box<dyn Actor>>>,
     names: Vec<String>,
-    queue: BinaryHeap<Event>,
+    queue: EventQueue<(ActorId, Msg)>,
     now: SimTime,
     seq: u64,
     steps: u64,
@@ -267,7 +246,7 @@ impl Sim {
         Sim {
             actors: Vec::new(),
             names: Vec::new(),
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(),
             now: SimTime::ZERO,
             seq: 0,
             steps: 0,
@@ -364,20 +343,16 @@ impl Sim {
         self.post_boxed(delay, dst, Box::new(msg));
     }
 
-    /// Enqueues a pre-boxed message.
+    /// Enqueues a pre-boxed message (saturating at the end of the virtual
+    /// timeline, like [`Ctx::send_after`]).
     pub fn post_boxed(&mut self, delay: SimDuration, dst: ActorId, msg: Msg) {
         assert!(
             dst.index() < self.actors.len(),
             "post to unregistered {dst}"
         );
-        let ev = Event {
-            time: self.now + delay,
-            seq: self.seq,
-            dst,
-            msg,
-        };
+        let time = self.now.saturating_add(delay);
+        self.queue.push(time, self.seq, (dst, msg));
         self.seq += 1;
-        self.queue.push(ev);
     }
 
     /// Processes a single event. Returns `false` if the queue was empty.
@@ -388,23 +363,23 @@ impl Sim {
     /// (a wiring bug) or re-enters an actor currently on the stack (actors
     /// never send to themselves synchronously by construction).
     pub fn step(&mut self) -> bool {
-        let Some(ev) = self.queue.pop() else {
+        let Some((time, _seq, (dst, msg))) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(ev.time >= self.now, "event queue went back in time");
-        self.now = ev.time;
+        debug_assert!(time >= self.now, "event queue went back in time");
+        self.now = time;
         self.steps += 1;
 
         // Temporarily take the actor out of its slot so the context can
         // borrow the rest of the simulation mutably.
-        let mut actor = self.actors[ev.dst.index()]
+        let mut actor = self.actors[dst.index()]
             .take()
-            .unwrap_or_else(|| panic!("re-entrant or missing {}", ev.dst));
+            .unwrap_or_else(|| panic!("re-entrant or missing {dst}"));
         let mut outbox = Vec::new();
         {
             let mut ctx = Ctx {
                 now: self.now,
-                self_id: ev.dst,
+                self_id: dst,
                 outbox: &mut outbox,
                 rng: &mut self.rng,
                 metrics: &mut self.metrics,
@@ -412,20 +387,15 @@ impl Sim {
                 spans: &mut self.spans,
                 stop: &mut self.stop,
             };
-            actor.handle(ev.msg, &mut ctx);
+            actor.handle(msg, &mut ctx);
         }
-        self.actors[ev.dst.index()] = Some(actor);
+        self.actors[dst.index()] = Some(actor);
         for (time, dst, msg) in outbox {
             assert!(
                 dst.index() < self.actors.len(),
                 "send to unregistered {dst}"
             );
-            self.queue.push(Event {
-                time,
-                seq: self.seq,
-                dst,
-                msg,
-            });
+            self.queue.push(time, self.seq, (dst, msg));
             self.seq += 1;
         }
         true
@@ -462,9 +432,9 @@ impl Sim {
             if self.stop {
                 return RunOutcome::Stopped;
             }
-            match self.queue.peek() {
+            match self.queue.peek_key() {
                 None => return RunOutcome::Drained,
-                Some(ev) if ev.time > deadline => return RunOutcome::LimitReached,
+                Some((time, _)) if time > deadline => return RunOutcome::LimitReached,
                 Some(_) => {
                     self.step();
                 }

@@ -30,6 +30,8 @@
 
 pub mod engine;
 pub mod metrics;
+pub mod payload;
+pub mod queue;
 pub mod rng;
 pub mod runtime;
 pub mod sharded;
@@ -39,6 +41,8 @@ pub mod time;
 
 pub use engine::{Actor, ActorId, Ctx, Msg, RunOutcome, Sim, TraceEntry};
 pub use metrics::{Histogram, Metrics};
+pub use payload::Payload;
+pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use runtime::{
     build_runtime, runtime_from_env, Runtime, RuntimeConfig, RuntimeExt, RuntimeKind,

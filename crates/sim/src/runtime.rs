@@ -10,8 +10,9 @@
 //!   equal timestamps, bit-exact determinism: the same seed always yields
 //!   the identical event trace. This is the default.
 //! * [`ShardedSim`](crate::sharded::ShardedSim) — a parallel engine with
-//!   one shard per simulated node, synchronized by conservative lookahead
-//!   windows. Deterministic for a fixed seed and shard layout; per-link
+//!   one shard per simulated node, synchronized by per-link channel
+//!   lookahead (Chandy–Misra–Bryant style; see its module docs).
+//!   Deterministic for a fixed seed and shard layout; per-link
 //!   traffic counters and application payloads match the single-threaded
 //!   engine, while exact event interleavings (and thus latency samples)
 //!   may differ.
@@ -249,11 +250,22 @@ pub struct RuntimeConfig {
     pub seed: u64,
     /// Number of simulated nodes (= shards on the parallel backend).
     pub nodes: usize,
-    /// Conservative synchronization window for the sharded backend: a
-    /// strict lower bound on the delay of every cross-node message. Derived
-    /// from the fabric's minimum inter-node one-way latency (including its
-    /// jitter floor). Ignored by the single-threaded backend.
+    /// Uniform conservative synchronization bound for the sharded backend:
+    /// a strict lower bound on the delay of every cross-node message.
+    /// Derived from the fabric's minimum inter-node one-way latency
+    /// (including its jitter floor). Used for every link when
+    /// [`link_lookahead`](RuntimeConfig::link_lookahead) is absent; ignored
+    /// by the single-threaded backend.
     pub lookahead: SimDuration,
+    /// Per-link lookahead matrix for the sharded backend: entry `[j][i]`
+    /// is a strict lower bound on the delay of any message from node `j`
+    /// to node `i` (diagonal entries are unused). Lets shards synchronize
+    /// against the channel clocks of their actual links — slow (e.g.
+    /// cross-rack) links widen peer windows instead of throttling the
+    /// whole cluster. Derived by the harness from the topology and
+    /// `NetParams` (see `Testbed::runtime_config` in `fractos-core`).
+    /// `None` falls back to the uniform `lookahead` on every link.
+    pub link_lookahead: Option<Vec<Vec<SimDuration>>>,
     /// Worker-thread override for the sharded backend; `None` means
     /// `min(available cores, shards)`, clamped to at least 2 so parallelism
     /// is exercised even on single-core hosts. Also settable via
@@ -262,14 +274,22 @@ pub struct RuntimeConfig {
 }
 
 impl RuntimeConfig {
-    /// A config for `nodes` nodes with the given seed and lookahead.
+    /// A config for `nodes` nodes with the given seed and uniform lookahead.
     pub fn new(seed: u64, nodes: usize, lookahead: SimDuration) -> Self {
         RuntimeConfig {
             seed,
             nodes,
             lookahead,
+            link_lookahead: None,
             workers: None,
         }
+    }
+
+    /// Installs a per-link lookahead matrix (see
+    /// [`link_lookahead`](RuntimeConfig::link_lookahead)).
+    pub fn with_link_lookahead(mut self, matrix: Vec<Vec<SimDuration>>) -> Self {
+        self.link_lookahead = Some(matrix);
+        self
     }
 }
 

@@ -1,26 +1,51 @@
 //! Parallel sharded simulation engine.
 //!
-//! One shard per simulated node, synchronized by *conservative lookahead*
-//! windows (classic conservative parallel discrete-event simulation à la
-//! Chandy–Misra, organized as bulk-synchronous rounds):
+//! One shard per simulated node, synchronized by *per-link channel
+//! lookahead* in the conservative Chandy–Misra–Bryant style. Each ordered
+//! shard pair `(j, i)` has a link lookahead `la[j][i]`: a strict lower
+//! bound on the delay of any message an actor on shard `j` sends to an
+//! actor on shard `i`. The engine runs rounds:
 //!
-//! 1. A round starts by finding `T_min`, the earliest pending event across
-//!    all shards. The round's horizon is `T_min + lookahead`.
-//! 2. Every shard processes its own events with `time < horizon` in
-//!    `(time, seq)` order, in parallel on worker threads. Intra-shard sends
-//!    enqueue locally; cross-shard sends are buffered.
-//! 3. At the barrier, buffered cross-shard messages are exchanged in shard
-//!    order (deterministic) and the next round begins.
+//! 1. At the start of a round every shard `j` publishes `next_j` — the
+//!    timestamp of its earliest pending event (a shard with an empty queue
+//!    publishes nothing). From these the engine derives each shard's
+//!    *channel clock* `ready_j`: a lower bound on when `j` can next
+//!    execute **any** event, including ones it has not received yet. An
+//!    idle shard's clock is not infinity — a peer can wake it, and it can
+//!    then forward the disturbance — so the clocks are the shortest-path
+//!    closure `ready_j = min(next_j, min over k ≠ j of ready_k + la[k][j])`
+//!    over the lookahead graph.
+//! 2. Each shard `i` computes its private horizon
+//!    `H_i = min over j ≠ i of (ready_j + la[j][i])` — the earliest
+//!    instant at which *any* peer could still affect it, along any causal
+//!    chain. A shard nothing can ever reach is unbounded and drains
+//!    freely. Shards then process their events with `time < H_i` in
+//!    `(time, seq)` order, in parallel on worker threads; intra-shard
+//!    sends enqueue locally, cross-shard sends are buffered.
+//! 3. At the barrier, buffered messages are exchanged in shard order
+//!    (deterministic) and the next round begins.
 //!
-//! This is safe iff every cross-shard message is delayed by at least
-//! `lookahead`: a message sent at `t < horizon` then arrives at
-//! `t + delay ≥ T_min + lookahead = horizon`, i.e. never inside the window
-//! a peer shard is concurrently processing. FractOS guarantees the bound
-//! structurally — actors on different nodes only communicate through the
-//! fabric model, and every inter-node fabric delay is at least the remote
-//! one-way latency (minus the jitter floor), from which the harness derives
-//! `lookahead`. The engine asserts the bound on every exchanged message, so
-//! a violating workload fails loudly instead of simulating nonsense.
+//! Safety: any message `i` will ever receive — this round or later — is
+//! the tail of a causal chain that starts at some pending event at shard
+//! `k` and hops `k → … → j → i`; it departs `j` no earlier than `ready_j`
+//! (by induction over the closure) and so arrives at
+//! `≥ ready_j + la[j][i] ≥ H_i`, never inside the window `i` is
+//! concurrently processing — that is the channel-clock invariant.
+//! Progress: the globally earliest shard `k` has `ready_k = next_k` (every
+//! relaxation path adds positive lookahead to a value `≥ next_k`), hence
+//! `H_k ≥ next_k + min la > next_k`, so every round processes at least one
+//! event. Unlike a single global `T_min + lookahead` horizon, a shard is
+//! bounded only by the links that can actually reach it: far-behind or
+//! slow (e.g. cross-rack) links widen its window instead of throttling the
+//! whole cluster.
+//!
+//! The per-link bounds come from the fabric: every inter-node delay is at
+//! least the remote one-way latency (minus the jitter floor), plus any
+//! cross-rack extra for links between racks — see
+//! `NetParams::link_lookahead_matrix` in `fractos-net`, delivered here
+//! through [`RuntimeConfig::link_lookahead`]. The engine asserts the bound
+//! on every cross-shard message at send time, so a violating workload
+//! fails loudly instead of simulating nonsense.
 //!
 //! Determinism: for a fixed seed, shard layout, and worker count the engine
 //! is deterministic — each shard owns a forked RNG stream and processes its
@@ -31,44 +56,20 @@
 //! observables (per-link message/byte counters, end-to-end payloads) match.
 //! The cross-backend equivalence suite pins exactly that contract.
 
-use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::engine::{Actor, ActorId, Ctx, Msg, RunOutcome, TraceEntry};
 use crate::metrics::Metrics;
+use crate::queue::EventQueue;
 use crate::rng::SimRng;
 use crate::runtime::{Runtime, RuntimeConfig};
 use crate::span::{sort_canonical, SpanRecord, SpanStore};
 use crate::time::{SimDuration, SimTime};
 
-struct Event {
-    time: SimTime,
-    seq: u64,
-    /// Index into the owning shard's actor slots.
-    local: u32,
-    /// Global id (for error messages and traces).
-    dst: ActorId,
-    msg: Msg,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Max-heap: invert so the earliest (time, seq) pops first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
+/// Queued payload: local actor slot, global id (for errors and traces),
+/// and the message itself.
+type Queued = (u32, ActorId, Msg);
 
 /// Where a global actor lives.
 #[derive(Clone, Copy)]
@@ -78,7 +79,7 @@ struct Loc {
 }
 
 struct Shard {
-    queue: BinaryHeap<Event>,
+    queue: EventQueue<Queued>,
     actors: Vec<Option<Box<dyn Actor>>>,
     rng: SimRng,
     metrics: Metrics,
@@ -89,32 +90,45 @@ struct Shard {
     stop: bool,
     /// Events processed in the current round.
     processed: u64,
-    /// Cross-shard sends buffered until the barrier.
-    cross: Vec<(SimTime, ActorId, Msg)>,
+    /// Cross-shard sends buffered until the barrier, as
+    /// `(sent_at, arrival, dst, msg)`; the send instant lets the barrier
+    /// check each message against its link's lookahead on the main thread
+    /// (so a violation panics with a diagnostic instead of a bare
+    /// "scoped thread panicked").
+    cross: Vec<(SimTime, SimTime, ActorId, Msg)>,
 }
 
 impl Shard {
-    /// Processes all local events strictly before `horizon`; returns when
-    /// the window is exhausted or an actor requested a stop.
-    fn run_window(&mut self, horizon: SimTime, locs: &[Loc], my_index: u32, budget: u64) {
+    /// Processes all local events strictly before `horizon` (unbounded when
+    /// `None`); returns when the window is exhausted or an actor requested
+    /// a stop. Cross-shard sends are buffered with their send instant; the
+    /// barrier checks them against the per-link lookahead.
+    fn run_window(&mut self, horizon: Option<SimTime>, locs: &[Loc], my_index: u32, budget: u64) {
         while self.processed < budget && !self.stop {
-            let Some(head) = self.queue.peek() else { break };
-            if head.time >= horizon {
+            let Some((head_time, _)) = self.queue.peek_key() else {
+                break;
+            };
+            if horizon.is_some_and(|h| head_time >= h) {
                 break;
             }
-            let ev = self.queue.pop().expect("peeked event vanished");
-            debug_assert!(ev.time >= self.now, "shard queue went back in time");
-            self.now = ev.time;
+            let (time, _seq, (local, dst, msg)) = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(
+                time >= self.now,
+                "shard queue went back in time: popped {time} < now {now} (queue {q:?})",
+                now = self.now,
+                q = self.queue,
+            );
+            self.now = time;
             self.processed += 1;
 
-            let mut actor = self.actors[ev.local as usize]
+            let mut actor = self.actors[local as usize]
                 .take()
-                .unwrap_or_else(|| panic!("re-entrant or missing {}", ev.dst));
+                .unwrap_or_else(|| panic!("re-entrant or missing {dst}"));
             let mut outbox = Vec::new();
             {
                 let mut ctx = Ctx::new(
                     self.now,
-                    ev.dst,
+                    dst,
                     &mut outbox,
                     &mut self.rng,
                     &mut self.metrics,
@@ -122,9 +136,9 @@ impl Shard {
                     &mut self.spans,
                     &mut self.stop,
                 );
-                actor.handle(ev.msg, &mut ctx);
+                actor.handle(msg, &mut ctx);
             }
-            self.actors[ev.local as usize] = Some(actor);
+            self.actors[local as usize] = Some(actor);
             for (time, dst, msg) in outbox {
                 let loc = locs
                     .get(dst.index())
@@ -132,25 +146,19 @@ impl Shard {
                 if loc.shard == my_index {
                     self.push(time, *loc, dst, msg);
                 } else {
-                    self.cross.push((time, dst, msg));
+                    self.cross.push((self.now, time, dst, msg));
                 }
             }
         }
     }
 
     fn push(&mut self, time: SimTime, loc: Loc, dst: ActorId, msg: Msg) {
-        self.queue.push(Event {
-            time,
-            seq: self.seq,
-            local: loc.local,
-            dst,
-            msg,
-        });
+        self.queue.push(time, self.seq, (loc.local, dst, msg));
         self.seq += 1;
     }
 
     fn next_event_time(&self) -> Option<SimTime> {
-        self.queue.peek().map(|e| e.time)
+        self.queue.peek_key().map(|(t, _)| t)
     }
 }
 
@@ -165,7 +173,9 @@ pub struct ShardedSim {
     shards: Vec<Shard>,
     locs: Vec<Loc>,
     names: Vec<String>,
-    lookahead: SimDuration,
+    /// `la[j][i]`: lower bound on the delay of any message from shard `j`
+    /// to shard `i`. Diagonal entries are unused.
+    la: Vec<Vec<SimDuration>>,
     workers: usize,
     /// Accumulated metrics: per-shard registries merged after every run,
     /// plus anything the harness records between runs.
@@ -180,21 +190,40 @@ pub struct ShardedSim {
 impl ShardedSim {
     /// Builds an engine with one shard per node.
     ///
+    /// The per-link lookahead matrix comes from
+    /// [`RuntimeConfig::link_lookahead`] when present; otherwise every link
+    /// uses the uniform [`RuntimeConfig::lookahead`].
+    ///
     /// # Panics
     ///
-    /// Panics if `config.nodes` is zero or `config.lookahead` is zero — a
-    /// conservative engine cannot make progress without a positive
-    /// synchronization window.
+    /// Panics if `config.nodes` is zero, if any link lookahead is zero (a
+    /// conservative engine cannot make progress without positive channel
+    /// lookahead), or if a provided matrix is not `nodes × nodes`.
     pub fn new(config: &RuntimeConfig) -> Self {
         assert!(config.nodes > 0, "sharded runtime needs at least one node");
-        assert!(
-            config.lookahead > SimDuration::ZERO,
-            "sharded runtime needs a positive lookahead window"
-        );
+        let la = match &config.link_lookahead {
+            Some(matrix) => {
+                assert!(
+                    matrix.len() == config.nodes && matrix.iter().all(|r| r.len() == config.nodes),
+                    "link lookahead matrix must be {n}×{n}",
+                    n = config.nodes
+                );
+                matrix.clone()
+            }
+            None => vec![vec![config.lookahead; config.nodes]; config.nodes],
+        };
+        for (j, row) in la.iter().enumerate() {
+            for (i, &l) in row.iter().enumerate() {
+                assert!(
+                    i == j || l > SimDuration::ZERO,
+                    "sharded runtime needs a positive lookahead window on link {j}→{i}"
+                );
+            }
+        }
         let mut root = SimRng::new(config.seed);
         let shards = (0..config.nodes)
             .map(|_| Shard {
-                queue: BinaryHeap::new(),
+                queue: EventQueue::new(),
                 actors: Vec::new(),
                 rng: root.fork(),
                 metrics: Metrics::new(),
@@ -212,7 +241,7 @@ impl ShardedSim {
             shards,
             locs: Vec::new(),
             names: Vec::new(),
-            lookahead: config.lookahead,
+            la,
             workers,
             metrics: Metrics::new(),
             now: SimTime::ZERO,
@@ -251,8 +280,71 @@ impl ShardedSim {
         id
     }
 
-    /// Drives BSP rounds until drained, stopped, out of budget, or past the
-    /// deadline.
+    /// Per-shard horizons for one round: shard `i` may process events
+    /// strictly before `min over j ≠ i of (ready_j + la[j][i])`, where
+    /// `ready_j` is shard `j`'s *channel clock* — a lower bound on when `j`
+    /// can next execute **any** event, including ones it has not received
+    /// yet. `None` means unbounded — no peer can ever reach the shard.
+    ///
+    /// An idle shard's clock is not infinity: a peer can wake it, and it
+    /// can then forward the disturbance. The clocks are therefore the
+    /// shortest-path closure of pending-event times over the lookahead
+    /// graph, `ready_j = min(next_j, min over k ≠ j of ready_k + la[k][j])`,
+    /// computed by Bellman–Ford relaxation (lookaheads are strictly
+    /// positive, so the fixpoint exists and sweeps converge; `n` is the
+    /// node count, so the O(n³) worst case is tiny).
+    fn horizons(
+        &self,
+        nexts: &[Option<SimTime>],
+        deadline: Option<SimTime>,
+    ) -> Vec<Option<SimTime>> {
+        let n = self.shards.len();
+        let mut ready: Vec<Option<SimTime>> = nexts.to_vec();
+        for _ in 1..n {
+            let mut changed = false;
+            for j in 0..n {
+                let Some(rj) = ready[j] else { continue };
+                for (i, ri) in ready.iter_mut().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    let reach = rj.saturating_add(self.la[j][i]);
+                    let closer = match *ri {
+                        None => true,
+                        Some(ri) => reach < ri,
+                    };
+                    if closer {
+                        *ri = Some(reach);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        (0..n)
+            .map(|i| {
+                let mut bound: Option<SimTime> = deadline
+                    // The horizon is exclusive; an inclusive deadline caps
+                    // it one nanosecond past.
+                    .map(|d| d.saturating_add(SimDuration::from_nanos(1)));
+                for (j, r) in ready.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    if let Some(r) = r {
+                        let reach = r.saturating_add(self.la[j][i]);
+                        bound = Some(bound.map_or(reach, |b| b.min(reach)));
+                    }
+                }
+                bound
+            })
+            .collect()
+    }
+
+    /// Drives synchronization rounds until drained, stopped, out of
+    /// budget, or past the deadline.
     fn run_rounds(&mut self, max_steps: u64, deadline: Option<SimTime>) -> RunOutcome {
         for s in &mut self.shards {
             s.stop = false;
@@ -270,8 +362,9 @@ impl ShardedSim {
         }
         let start_steps = self.steps;
         let outcome = loop {
-            let t_min = self.shards.iter().filter_map(Shard::next_event_time).min();
-            let Some(t_min) = t_min else {
+            let nexts: Vec<Option<SimTime>> =
+                self.shards.iter().map(Shard::next_event_time).collect();
+            let Some(t_min) = nexts.iter().flatten().min().copied() else {
                 break RunOutcome::Drained;
             };
             if let Some(d) = deadline {
@@ -284,34 +377,37 @@ impl ShardedSim {
                 break RunOutcome::LimitReached;
             }
             let budget = max_steps - done;
-            // Horizon is exclusive; cap it one nanosecond past an inclusive
-            // deadline.
-            let mut horizon = t_min.saturating_add(self.lookahead);
-            if let Some(d) = deadline {
-                horizon = horizon.min(d.saturating_add(SimDuration::from_nanos(1)));
-            }
+            let horizons = self.horizons(&nexts, deadline);
 
-            self.run_round(horizon, budget);
+            self.run_round(&horizons, budget);
 
             // Deterministic exchange: shards in index order, each shard's
-            // sends in production order.
+            // sends in production order. Each message is checked against
+            // its link's lookahead — the channel-clock invariant — which
+            // together with the horizon construction guarantees it lands
+            // at or past its receiver's processed window.
             let mut moved = Vec::new();
-            for s in &mut self.shards {
+            for (j, s) in self.shards.iter_mut().enumerate() {
                 self.now = self.now.max(s.now);
                 self.steps += s.processed;
                 s.processed = 0;
-                moved.append(&mut s.cross);
-            }
-            for (time, dst, msg) in moved {
-                assert!(
-                    time >= horizon,
-                    "lookahead violation: cross-shard message for {dst} at {time} \
-                     arrives inside the window ending at {horizon} — the \
-                     configured lookahead ({}) is not a lower bound on \
-                     cross-node delay",
-                    self.lookahead
+                moved.extend(
+                    s.cross
+                        .drain(..)
+                        .map(|(sent, time, dst, msg)| (j as u32, sent, time, dst, msg)),
                 );
+            }
+            for (src, sent, time, dst, msg) in moved {
                 let loc = self.locs[dst.index()];
+                let la = self.la[src as usize][loc.shard as usize];
+                assert!(
+                    time >= sent.saturating_add(la),
+                    "lookahead violation: cross-shard message for {dst} at {time} \
+                     sent at {sent} undercuts the link lookahead ({la}) from shard \
+                     {src} to shard {peer} — the configured lookahead is not a \
+                     lower bound on cross-node delay",
+                    peer = loc.shard,
+                );
                 self.shards[loc.shard as usize].push(time, loc, dst, msg);
             }
             if self.shards.iter().any(|s| s.stop) {
@@ -327,12 +423,12 @@ impl ShardedSim {
     }
 
     /// Runs one window across all shards on the worker pool.
-    fn run_round(&mut self, horizon: SimTime, budget: u64) {
+    fn run_round(&mut self, horizons: &[Option<SimTime>], budget: u64) {
         let locs = &self.locs;
         let n = self.shards.len();
         if self.workers <= 1 || n <= 1 {
             for (i, s) in self.shards.iter_mut().enumerate() {
-                s.run_window(horizon, locs, i as u32, budget);
+                s.run_window(horizons[i], locs, i as u32, budget);
             }
             return;
         }
@@ -350,7 +446,7 @@ impl ShardedSim {
                             continue;
                         }
                         let mut shard = slot.lock().expect("shard mutex poisoned");
-                        shard.run_window(horizon, locs, i as u32, budget);
+                        shard.run_window(horizons[i], locs, i as u32, budget);
                         did_work |= shard.processed > 0;
                     }
                     if did_work {
@@ -405,7 +501,7 @@ impl Runtime for ShardedSim {
             .locs
             .get(dst.index())
             .unwrap_or_else(|| panic!("post to unregistered {dst}"));
-        let time = self.now + delay;
+        let time = self.now.saturating_add(delay);
         self.shards[loc.shard as usize].push(time, loc, dst, msg);
     }
 
@@ -677,5 +773,100 @@ mod tests {
         rt.post(SimDuration::ZERO, a, 6u32);
         assert_eq!(rt.run(), RunOutcome::Drained);
         assert_eq!(rt.steps(), 7);
+    }
+
+    /// A fixed-delay echo for the per-link tests.
+    struct Echo {
+        peer: ActorId,
+        delay: SimDuration,
+    }
+    impl Actor for Echo {
+        fn handle(&mut self, msg: Msg, ctx: &mut Ctx<'_>) {
+            let v = *msg.downcast::<u32>().expect("u32");
+            if v > 0 {
+                let (peer, delay) = (self.peer, self.delay);
+                ctx.send_after(delay, peer, v - 1);
+            }
+        }
+    }
+
+    /// 3 nodes; the 0↔1 link allows 1 µs messages while every other link
+    /// requires 5 µs. Under a single global-minimum bound the 5 µs links
+    /// would be over-constrained or the 1 µs traffic rejected.
+    fn asymmetric_config(seed: u64) -> RuntimeConfig {
+        let fast = SimDuration::from_micros(1);
+        let slow = SimDuration::from_micros(5);
+        let mut la = vec![vec![slow; 3]; 3];
+        la[0][1] = fast;
+        la[1][0] = fast;
+        let mut c = RuntimeConfig::new(seed, 3, fast);
+        c.link_lookahead = Some(la);
+        c.workers = Some(2);
+        c
+    }
+
+    #[test]
+    fn per_link_lookahead_accepts_fast_link_traffic() {
+        let mut rt = ShardedSim::new(&asymmetric_config(3));
+        let a = rt.add_actor_on(0, "a", pinger());
+        let b = rt.add_actor_on(1, "b", pinger());
+        rt.with_actor::<Pinger, _>(a, |p| p.peer = Some(b));
+        rt.with_actor::<Pinger, _>(b, |p| p.peer = Some(a));
+        // Pinger replies after LOOKAHEAD (2 µs) ≥ the 1 µs fast link bound
+        // but below the 5 µs bound of every other link: accepted, because
+        // only the 0↔1 link's lookahead governs this traffic.
+        rt.post(SimDuration::ZERO, a, 8u32);
+        assert_eq!(rt.run(), RunOutcome::Drained);
+        assert_eq!(rt.steps(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead violation")]
+    fn per_link_lookahead_rejects_undercutting_the_slow_link() {
+        let mut rt = ShardedSim::new(&asymmetric_config(3));
+        let sink = rt.add_actor_on(2, "sink", pinger());
+        // 2 µs delay clears the 1 µs fast link but undercuts the 5 µs
+        // bound on the 0→2 link.
+        let rogue = rt.add_actor_on(
+            0,
+            "rogue",
+            Box::new(Echo {
+                peer: sink,
+                delay: SimDuration::from_micros(2),
+            }),
+        );
+        rt.post(SimDuration::ZERO, rogue, 1u32);
+        rt.run();
+    }
+
+    #[test]
+    fn heterogeneous_links_drain_deterministically() {
+        let run = || {
+            let mut rt = ShardedSim::new(&asymmetric_config(11));
+            // Ring of echoes with 5 µs hops (≥ every link bound).
+            let ids: Vec<_> = (0..3)
+                .map(|n| {
+                    rt.add_actor_on(
+                        n,
+                        "e",
+                        Box::new(Echo {
+                            peer: ActorId::from_raw(0),
+                            delay: SimDuration::from_micros(5),
+                        }),
+                    )
+                })
+                .collect();
+            for (i, id) in ids.iter().enumerate() {
+                let peer = ids[(i + 1) % ids.len()];
+                rt.with_actor::<Echo, _>(*id, |e| e.peer = peer);
+            }
+            rt.post(SimDuration::ZERO, ids[0], 12u32);
+            assert_eq!(rt.run(), RunOutcome::Drained);
+            (rt.steps(), rt.now())
+        };
+        assert_eq!(run(), run());
+        let (steps, end) = run();
+        assert_eq!(steps, 13);
+        assert_eq!(end, SimTime::from_nanos(12 * 5_000));
     }
 }

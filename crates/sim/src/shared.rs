@@ -14,7 +14,7 @@
 //! callers copy what they need out of a guard before taking another.
 
 use std::fmt;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// A cloneable, thread-safe, mutably borrowable handle to `T`.
 pub struct Shared<T> {
@@ -34,20 +34,21 @@ impl<T> Shared<T> {
     /// The name mirrors `RefCell::borrow` for call-site compatibility; the
     /// guard is exclusive either way.
     ///
-    /// # Panics
-    ///
-    /// Panics if a previous holder panicked while holding the lock.
+    /// Poisoning is recovered, not propagated: shared simulation state is
+    /// deterministic and mutated only under single-statement guards (see
+    /// the module docs), so a worker that panicked while holding the lock
+    /// cannot have left the value torn — the panic itself is the failure
+    /// to report, and letting every other shard panic on "poisoned" would
+    /// bury it in a cascade.
     pub fn borrow(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().expect("shared state poisoned")
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Locks the value for mutable access.
     ///
-    /// # Panics
-    ///
-    /// Panics if a previous holder panicked while holding the lock.
+    /// Recovers from poisoning exactly like [`borrow`](Shared::borrow).
     pub fn borrow_mut(&self) -> MutexGuard<'_, T> {
-        self.inner.lock().expect("shared state poisoned")
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Whether two handles refer to the same underlying value.
