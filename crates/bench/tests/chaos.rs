@@ -171,7 +171,7 @@ fn chaos_same_seed_and_plan_bit_identical_across_backends() {
 /// A recoverable *device*-fault plan for the Fig 2 deployment: the GPU
 /// occasionally fails launches and corrupts outputs, the NVMe behind the
 /// FS fails media reads and tears writes. Every fault is transient, so
-/// the per-stage retry budgets (`FV_RETRIES`, `FS_IO_RETRIES`) must carry
+/// the per-stage retry budgets (`RetryPolicy::fv_retries`, `fs_io_retries`) must carry
 /// every request to completion with verified payloads.
 fn recoverable_device_plan() -> FaultPlan {
     FaultPlan::new()

@@ -32,7 +32,7 @@ use crate::memstore::MemoryStore;
 use crate::messages::{
     syscall_msg_size, CtrlMsg, CtrlToProc, DeriveOp, MonitorKind, PeerOp, ProcMsg,
 };
-use crate::retry::{rto, DedupFilter, SeqGen, ACK_TIMEOUT, MAX_ATTEMPTS};
+use crate::retry::{DedupFilter, SeqGen};
 use crate::types::{
     Arg, CapArg, FosError, IncomingRequest, MemoryDesc, MonitorCb, ObjPayload, ProcId, RequestDesc,
     Syscall, SyscallResult,
@@ -121,6 +121,9 @@ pub struct ControllerActor {
     fabric: Shared<Fabric>,
     mem: Shared<MemoryStore>,
     dead: bool,
+    /// Timestamped capability-revocation milestones from `PeerFailed`
+    /// handling: `(dead peer, revoked-at)`. Feeds the MTTR attribution.
+    pub peer_revocations: Vec<(ControllerAddr, SimTime)>,
 }
 
 impl ControllerActor {
@@ -158,6 +161,7 @@ impl ControllerActor {
             fabric,
             mem,
             dead: false,
+            peer_revocations: Vec::new(),
         }
     }
 
@@ -200,6 +204,20 @@ impl ControllerActor {
     /// Live entries in a Process's capability space (tests).
     pub fn capspace_len(&self, proc: ProcId) -> usize {
         self.spaces.get(&proc).map_or(0, |s| s.len())
+    }
+
+    /// Registry keys currently live on this Controller (tests).
+    pub fn kv_keys(&self) -> Vec<String> {
+        self.kv.keys().cloned().collect()
+    }
+
+    /// Whether `proc`'s capability space still holds any capability minted
+    /// by `owner` (tests: must be false once `owner`'s death epoch stands —
+    /// no capability may leak through a dead epoch).
+    pub fn holds_cap_of(&self, proc: ProcId, owner: ControllerAddr) -> bool {
+        self.spaces
+            .get(&proc)
+            .is_some_and(|s| s.iter().any(|(_, cap)| cap.ctrl == owner))
     }
 
     /// Estimated memory footprint of this Controller in bytes, using the
@@ -322,6 +340,7 @@ impl ControllerActor {
         // the fabric traversal from the departure instant so it does not
         // double-queue behind this operation's own link reservations.
         let depart = ctx.now() + extra;
+        let retry = self.fabric.borrow().params().retry;
         let outcome = self.fabric.borrow_mut().try_send_parts(
             depart,
             ctx.rng(),
@@ -349,7 +368,7 @@ impl ControllerActor {
                 // presumed lost and re-fired once; the Process's sequence
                 // filter absorbs the duplicate (same trace context, no
                 // extra spans).
-                if attempt == 0 && delay > rto(0) && self.fabric.borrow().has_faults() {
+                if attempt == 0 && delay > retry.rto(0) && self.fabric.borrow().has_faults() {
                     let dup = self.fabric.borrow_mut().try_send_parts(
                         depart,
                         ctx.rng(),
@@ -373,7 +392,7 @@ impl ControllerActor {
                 ctx.send_after(extra + delay, actor, ProcMsg::FromCtrl { seq, tctx, msg });
             }
             None => {
-                if attempt + 1 < MAX_ATTEMPTS {
+                if attempt + 1 < retry.max_attempts {
                     if base.is_some() {
                         ctx.span(SpanKind::Fault, "drop", base, depart, depart);
                         ctx.span(
@@ -381,11 +400,11 @@ impl ControllerActor {
                             "ctrl->proc",
                             base,
                             depart,
-                            depart + rto(attempt),
+                            depart + retry.rto(attempt),
                         );
                     }
                     ctx.schedule_self(
-                        extra + rto(attempt),
+                        extra + retry.rto(attempt),
                         CtrlMsg::RetransmitProc {
                             proc,
                             msg,
@@ -489,12 +508,15 @@ impl ControllerActor {
             self.cur
         };
         let depart = ctx.now() + extra + ser;
-        let faults = self.fabric.borrow().has_faults();
+        let (faults, retry) = {
+            let fabric = self.fabric.borrow();
+            (fabric.has_faults(), fabric.params().retry)
+        };
         // Last-resort ack timeout for request-type ops: covers a lost or
         // abandoned return path that retransmits on this side cannot see.
         if faults && attempt == 0 {
             if let Some(token) = op.ack_token() {
-                ctx.schedule_self(ACK_TIMEOUT, CtrlMsg::AckTimeout { token });
+                ctx.schedule_self(retry.ack_timeout, CtrlMsg::AckTimeout { token });
             }
         }
         let outcome = self.fabric.borrow_mut().try_send_parts(
@@ -531,7 +553,7 @@ impl ControllerActor {
                 };
                 // Presumed-lost duplicate when delivery is slower than one
                 // RTO; the receiver's sequence filter absorbs it.
-                if attempt == 0 && delay > rto(0) && faults {
+                if attempt == 0 && delay > retry.rto(0) && faults {
                     let dup = self.fabric.borrow_mut().try_send_parts(
                         depart,
                         ctx.rng(),
@@ -565,7 +587,7 @@ impl ControllerActor {
                 );
             }
             None => {
-                if attempt + 1 < MAX_ATTEMPTS {
+                if attempt + 1 < retry.max_attempts {
                     if base.is_some() {
                         ctx.span(SpanKind::Fault, "drop", base, depart, depart);
                         ctx.span(
@@ -573,11 +595,11 @@ impl ControllerActor {
                             "ctrl->ctrl",
                             base,
                             depart,
-                            depart + rto(attempt),
+                            depart + retry.rto(attempt),
                         );
                     }
                     ctx.schedule_self(
-                        extra + ser + rto(attempt),
+                        extra + ser + retry.rto(attempt),
                         CtrlMsg::RetransmitPeer {
                             to,
                             op,
@@ -2132,6 +2154,33 @@ impl ControllerActor {
         for proc in procs {
             self.mem.borrow_mut().invalidate_proc_windows(proc);
             self.fail_process_local(ctx, proc);
+        }
+        // Every capability the dead Controller minted is revoked with its
+        // death epoch: scrub it from the capability spaces of the Processes
+        // managed here (later use yields a typed BadCid verdict, never a
+        // silent hang on the dead owner) and from the bootstrap registry,
+        // so lookups can never hand out a dead instance's capability.
+        for (proc, space) in self.spaces.iter_mut() {
+            let victims: Vec<Cid> = space
+                .iter()
+                .filter(|(_, cap)| cap.ctrl == peer)
+                .map(|(cid, _)| cid)
+                .collect();
+            for cid in victims {
+                let _ = space.remove(cid);
+                self.snaps.remove(&(*proc, cid));
+            }
+        }
+        self.kv.retain(|_, ca| ca.cap.ctrl != peer);
+        self.peer_revocations.push((peer, ctx.now()));
+        if ctx.spans_enabled() {
+            ctx.span(
+                SpanKind::Recovery,
+                "revoke",
+                TraceCtx::NONE,
+                ctx.now(),
+                ctx.now(),
+            );
         }
     }
 }

@@ -7,7 +7,7 @@
 //! like an established connection table. Liveness flags are flipped by the
 //! failure-injection API and the watchdog.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use fractos_cap::ControllerAddr;
 use fractos_net::{ComputeDomain, Endpoint};
@@ -43,6 +43,16 @@ pub struct CtrlEntry {
     pub alive: bool,
 }
 
+/// One replicated instance of a named service (§3.6 failover): the
+/// providing Process and the Controller that manages it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceInstance {
+    /// The Process providing the service.
+    pub proc: ProcId,
+    /// Its managing Controller.
+    pub ctrl: ControllerAddr,
+}
+
 /// The shared cluster directory.
 #[derive(Debug, Default)]
 pub struct Directory {
@@ -52,6 +62,20 @@ pub struct Directory {
     ctrls: BTreeMap<ControllerAddr, CtrlEntry>,
     next_proc: u32,
     next_ctrl: u32,
+    /// Per-Controller death epoch: bumped by every death declaration.
+    /// Capabilities minted before a Controller's current death epoch are
+    /// treated as revoked by every survivor (§3.6); the Controller's own
+    /// capability table bumps its reboot epoch independently on restart.
+    death_epochs: BTreeMap<ControllerAddr, u64>,
+    /// Controllers currently declared dead by the failure detector. The
+    /// flag is authoritative for failover routing; it coexists with
+    /// `CtrlEntry::alive` (the ground truth only the node itself flips)
+    /// because a declared-dead-but-partitioned Controller keeps serving
+    /// its same-node Processes until the verdict is withdrawn.
+    declared_dead: BTreeSet<ControllerAddr>,
+    /// Replicated service registry: instances in registration order, which
+    /// is the deterministic failover preference order.
+    services: BTreeMap<String, Vec<ServiceInstance>>,
 }
 
 impl Directory {
@@ -144,11 +168,68 @@ impl Directory {
         }
     }
 
-    /// Marks a Controller alive again (reboot).
+    /// Marks a Controller alive again (reboot). The reboot also clears any
+    /// standing death verdict: the node is genuinely back (with a fresh
+    /// capability epoch), so failover routing may use it again.
     pub fn revive_ctrl(&mut self, addr: ControllerAddr) {
         if let Some(c) = self.ctrls.get_mut(&addr) {
             c.alive = true;
         }
+        self.declared_dead.remove(&addr);
+    }
+
+    /// Records the failure detector's death verdict for `addr`: bumps its
+    /// death epoch and marks it declared dead for routing. Returns the new
+    /// death epoch.
+    pub fn declare_ctrl_dead(&mut self, addr: ControllerAddr) -> u64 {
+        let e = self.death_epochs.entry(addr).or_insert(0);
+        *e += 1;
+        self.declared_dead.insert(addr);
+        *e
+    }
+
+    /// Withdraws a death verdict (a healed partition, or a crash-restart
+    /// coming back with a fresh epoch).
+    pub fn declare_ctrl_recovered(&mut self, addr: ControllerAddr) {
+        self.declared_dead.remove(&addr);
+    }
+
+    /// The number of death declarations `addr` has accumulated (0 when it
+    /// was never declared dead).
+    pub fn death_epoch(&self, addr: ControllerAddr) -> u64 {
+        self.death_epochs.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// True while the failure detector's death verdict on `addr` stands.
+    pub fn is_declared_dead(&self, addr: ControllerAddr) -> bool {
+        self.declared_dead.contains(&addr)
+    }
+
+    /// Registers one instance of the replicated service `name`.
+    /// Registration order is the failover preference order.
+    pub fn register_service_instance(&mut self, name: &str, proc: ProcId, ctrl: ControllerAddr) {
+        self.services
+            .entry(name.to_string())
+            .or_default()
+            .push(ServiceInstance { proc, ctrl });
+    }
+
+    /// All registered instances of `name`, in registration order.
+    pub fn service_instances(&self, name: &str) -> Vec<ServiceInstance> {
+        self.services.get(name).cloned().unwrap_or_default()
+    }
+
+    /// Deterministic failover routing: the first registered instance of
+    /// `name` whose Process and Controller are both alive and whose
+    /// Controller is not under a standing death verdict. Every consumer
+    /// that applies this rule to the same directory state picks the same
+    /// survivor.
+    pub fn service_route(&self, name: &str) -> Option<ServiceInstance> {
+        self.services.get(name)?.iter().copied().find(|inst| {
+            let proc_ok = self.procs.get(&inst.proc).is_some_and(|p| p.alive);
+            let ctrl_ok = self.ctrls.get(&inst.ctrl).is_some_and(|c| c.alive);
+            proc_ok && ctrl_ok && !self.declared_dead.contains(&inst.ctrl)
+        })
     }
 
     /// All Processes managed by `ctrl`, in id order.
@@ -192,6 +273,62 @@ mod tests {
         assert_eq!(d.proc(p1).unwrap().ctrl, c1);
         assert_eq!(d.procs_of(c0), vec![p0]);
         assert_eq!(d.all_ctrls(), vec![c0, c1]);
+    }
+
+    #[test]
+    fn death_epochs_and_verdicts() {
+        let mut d = Directory::new();
+        let c = d.register_ctrl(
+            ActorId::from_raw(0),
+            Endpoint::cpu(NodeId(0)),
+            ComputeDomain::HostCpu,
+        );
+        assert_eq!(d.death_epoch(c), 0);
+        assert!(!d.is_declared_dead(c));
+        assert_eq!(d.declare_ctrl_dead(c), 1);
+        assert!(d.is_declared_dead(c));
+        d.declare_ctrl_recovered(c);
+        assert!(!d.is_declared_dead(c));
+        // Epochs only ever advance — a second death is a new epoch.
+        assert_eq!(d.declare_ctrl_dead(c), 2);
+        // A reboot also withdraws the verdict.
+        d.revive_ctrl(c);
+        assert!(!d.is_declared_dead(c));
+        assert_eq!(d.death_epoch(c), 2);
+    }
+
+    #[test]
+    fn service_route_prefers_registration_order_and_skips_dead() {
+        let mut d = Directory::new();
+        let c0 = d.register_ctrl(
+            ActorId::from_raw(0),
+            Endpoint::cpu(NodeId(0)),
+            ComputeDomain::HostCpu,
+        );
+        let c1 = d.register_ctrl(
+            ActorId::from_raw(1),
+            Endpoint::cpu(NodeId(1)),
+            ComputeDomain::HostCpu,
+        );
+        let p0 = d.register_proc("svc.0", ActorId::from_raw(2), Endpoint::cpu(NodeId(0)), c0);
+        let p1 = d.register_proc("svc.1", ActorId::from_raw(3), Endpoint::cpu(NodeId(1)), c1);
+        d.register_service_instance("svc", p0, c0);
+        d.register_service_instance("svc", p1, c1);
+        assert_eq!(d.service_instances("svc").len(), 2);
+        // Healthy: first registered wins.
+        assert_eq!(d.service_route("svc").unwrap().proc, p0);
+        // A standing death verdict re-homes to the survivor.
+        d.declare_ctrl_dead(c0);
+        assert_eq!(d.service_route("svc").unwrap().proc, p1);
+        d.declare_ctrl_recovered(c0);
+        assert_eq!(d.service_route("svc").unwrap().proc, p0);
+        // A dead Process also disqualifies its instance.
+        d.kill_proc(p0);
+        assert_eq!(d.service_route("svc").unwrap().proc, p1);
+        // No survivors: no route.
+        d.kill_ctrl(c1);
+        assert_eq!(d.service_route("svc"), None);
+        assert_eq!(d.service_route("nope"), None);
     }
 
     #[test]

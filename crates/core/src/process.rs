@@ -18,7 +18,7 @@ use fractos_sim::{Actor, Ctx, Msg, Shared, SimDuration, SimTime, SpanKind, Trace
 use crate::directory::Directory;
 use crate::memstore::MemoryStore;
 use crate::messages::{syscall_msg_size, CtrlMsg, CtrlToProc, ProcMsg};
-use crate::retry::{rto, DedupFilter, SeqGen, MAX_ATTEMPTS, SYSCALL_TIMEOUT};
+use crate::retry::{DedupFilter, SeqGen};
 use crate::types::{FosError, IncomingRequest, MonitorCb, ProcId, Syscall, SyscallResult};
 
 /// Application logic of a FractOS Process (user service or device adaptor).
@@ -117,6 +117,13 @@ impl<S: Service> Fos<S> {
     /// Current virtual time (updated on every delivery to this Process).
     pub fn now(&self) -> SimTime {
         self.inner.borrow().now
+    }
+
+    /// The retry policy carried on the fabric parameters. Services use
+    /// the application-level budgets (`fs_io_retries`, `fv_retries`,
+    /// `stage_retries`); the syscall transport reads the rest itself.
+    pub fn retry_policy(&self) -> fractos_net::RetryPolicy {
+        self.inner.borrow().fabric.borrow().params().retry
     }
 
     /// Sets the congestion-control window: the maximum number of
@@ -636,11 +643,14 @@ impl<S: Service> ProcessActor<S> {
             return;
         }
         let size = syscall_msg_size(&sc);
-        let faults = self.fabric.borrow().has_faults();
+        let (faults, retry) = {
+            let fabric = self.fabric.borrow();
+            (fabric.has_faults(), fabric.params().retry)
+        };
         if faults && attempt == 0 {
             // Last-resort request timeout: covers replies the Controller
             // could not get back to us despite its own retries.
-            ctx.schedule_self(SYSCALL_TIMEOUT, ProcMsg::SyscallTimeout { token });
+            ctx.schedule_self(retry.syscall_timeout, ProcMsg::SyscallTimeout { token });
         }
         // Base span context of this syscall (set by `flush` when the call
         // was posted inside an active trace); `NONE` outside traces.
@@ -684,7 +694,7 @@ impl<S: Service> ProcessActor<S> {
                 // presumed lost and re-fired once; the Controller's
                 // sequence filter absorbs the duplicate. The duplicate
                 // rides the same trace context — no extra spans.
-                if attempt == 0 && delay > rto(0) && faults {
+                if attempt == 0 && delay > retry.rto(0) && faults {
                     let dup = self.fabric.borrow_mut().try_send_parts(
                         ctx.now(),
                         ctx.rng(),
@@ -720,7 +730,7 @@ impl<S: Service> ProcessActor<S> {
                 );
             }
             None => {
-                if attempt + 1 < MAX_ATTEMPTS {
+                if attempt + 1 < retry.max_attempts {
                     if base.is_some() {
                         ctx.span(SpanKind::Fault, "drop", base, ctx.now(), ctx.now());
                         ctx.span(
@@ -728,11 +738,11 @@ impl<S: Service> ProcessActor<S> {
                             "proc->ctrl",
                             base,
                             ctx.now(),
-                            ctx.now() + rto(attempt),
+                            ctx.now() + retry.rto(attempt),
                         );
                     }
                     ctx.schedule_self(
-                        rto(attempt),
+                        retry.rto(attempt),
                         ProcMsg::Retransmit {
                             token,
                             sc,

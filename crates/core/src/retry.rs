@@ -14,35 +14,17 @@
 //! channel-severed translation for Processes) — it never *declares* a peer
 //! dead; only the external watchdog does that.
 //!
+//! Timeouts and budgets (initial RTO, attempt caps, last-resort ack and
+//! syscall timeouts) live in the typed [`fractos_net::RetryPolicy`] carried
+//! on the fabric's `NetParams`, so every sender reads one consistent,
+//! tweakable policy instead of scattered constants.
+//!
 //! Sequence assignment and duplicate filtering are always on (they are
 //! cheap and memory-bounded); retransmit and timeout timers are armed only
 //! while a fault plan is active, so fault-free runs schedule no extra
 //! events and stay bit-identical to a build without this layer.
 
 use std::collections::BTreeSet;
-
-use fractos_sim::SimDuration;
-
-/// Initial retransmission timeout; doubles on every attempt.
-pub const RTO_BASE: SimDuration = SimDuration::from_micros(30);
-
-/// Total transmit attempts (the original plus retries) before the sender
-/// gives up and applies a §3.6 failure verdict.
-pub const MAX_ATTEMPTS: u32 = 5;
-
-/// Last-resort timeout for a pending peer-operation ack. Covers the case
-/// where the request was delivered but the answering side gave up on its
-/// (also faulty) return path.
-pub const ACK_TIMEOUT: SimDuration = SimDuration::from_millis(1);
-
-/// Last-resort timeout for a pending syscall at the issuing Process.
-pub const SYSCALL_TIMEOUT: SimDuration = SimDuration::from_millis(5);
-
-/// Retransmission backoff: `RTO_BASE * 2^attempt`, saturating.
-pub fn rto(attempt: u32) -> SimDuration {
-    let shift = attempt.min(16);
-    SimDuration::from_nanos(RTO_BASE.as_nanos().saturating_mul(1u64 << shift))
-}
 
 /// Monotonic per-channel sequence assigner.
 #[derive(Debug, Default, Clone)]
@@ -104,15 +86,6 @@ impl DedupFilter {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn rto_doubles_and_saturates() {
-        assert_eq!(rto(0), RTO_BASE);
-        assert_eq!(rto(1), SimDuration::from_micros(60));
-        assert_eq!(rto(3), SimDuration::from_micros(240));
-        // Far past the budget: still finite.
-        assert!(rto(200) > rto(4));
-    }
 
     #[test]
     fn seq_gen_is_monotonic() {

@@ -11,8 +11,8 @@ use fractos_net::{
     ComputeDomain, Endpoint, Fabric, FaultPlan, Location, NetParams, NodeId, Topology, TrafficStats,
 };
 use fractos_sim::{
-    build_runtime, runtime_from_env, ActorId, RunOutcome, Runtime, RuntimeConfig, RuntimeExt,
-    RuntimeKind, Shared, SimDuration, SimTime,
+    build_runtime, runtime_from_env, ActorId, NodeOutage, RunOutcome, Runtime, RuntimeConfig,
+    RuntimeExt, RuntimeKind, Shared, SimDuration, SimTime,
 };
 
 use crate::controller::ControllerActor;
@@ -218,16 +218,76 @@ impl Testbed {
         self.fabric.borrow_mut().reset_stats();
     }
 
-    /// Arms a fault plan on the shared fabric. Every chaos run is
-    /// replayable from `(seed, plan)`; an empty plan leaves the fabric
-    /// bit-identical to one with no plan installed.
-    pub fn install_fault_plan(&self, plan: FaultPlan, seed: u64) {
+    /// Arms a fault plan: link faults on the shared fabric, node crashes
+    /// as engine outage windows plus the in-simulation Kill/Reboot
+    /// choreography. Every chaos run is replayable from `(seed, plan)`;
+    /// an empty plan leaves the run bit-identical to one with no plan
+    /// installed.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan, seed: u64) {
+        self.arm_node_crashes(&plan);
         self.fabric.borrow_mut().install_fault_plan(plan, seed);
     }
 
     /// Disarms any installed fault plan (e.g. before a measurement phase).
-    pub fn clear_fault_plan(&self) {
+    /// Scheduled crash/restart events already posted keep their place in
+    /// the queue; only the delivery-drop windows and link faults lift.
+    pub fn clear_fault_plan(&mut self) {
+        self.sim.set_node_outages(Vec::new());
         self.fabric.borrow_mut().clear_fault_plan();
+    }
+
+    /// Translates the plan's node crashes into engine outage windows and
+    /// scheduled control messages (§3.6): every Controller and Process on
+    /// a crashed node is killed at the crash instant; at the optional
+    /// restart its Controllers reboot with a fresh epoch (capabilities
+    /// minted before become stale) while Processes stay dead — their
+    /// state is gone, so they can only be re-deployed, not revived.
+    fn arm_node_crashes(&mut self, plan: &FaultPlan) {
+        if plan.node_crashes.is_empty() {
+            return;
+        }
+        let now = self.now();
+        let outages = plan
+            .node_crashes
+            .iter()
+            .map(|c| NodeOutage {
+                node: c.node.0 as usize,
+                down: c.at,
+                up: c.restart,
+            })
+            .collect();
+        self.sim.set_node_outages(outages);
+        for crash in &plan.node_crashes {
+            let down_in = crash.at.saturating_duration_since(now);
+            let victims_p: Vec<ActorId> = {
+                let dir = self.dir.borrow();
+                self.procs
+                    .iter()
+                    .filter(|(p, _)| dir.proc(*p).is_some_and(|e| e.endpoint.node == crash.node))
+                    .map(|(_, a)| *a)
+                    .collect()
+            };
+            for actor in victims_p {
+                self.sim.post(down_in, actor, ProcMsg::Kill);
+            }
+            let victims_c: Vec<ActorId> = {
+                let dir = self.dir.borrow();
+                self.ctrls
+                    .iter()
+                    .filter(|(a, _)| dir.ctrl(*a).is_some_and(|e| e.endpoint.node == crash.node))
+                    .map(|(_, id)| *id)
+                    .collect()
+            };
+            for actor in &victims_c {
+                self.sim.post(down_in, *actor, CtrlMsg::Kill);
+            }
+            if let Some(up) = crash.restart {
+                let up_in = up.saturating_duration_since(now);
+                for actor in victims_c {
+                    self.sim.post(up_in, actor, CtrlMsg::Reboot);
+                }
+            }
+        }
     }
 
     /// The simulation actor of a Controller.

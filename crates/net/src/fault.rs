@@ -86,6 +86,32 @@ impl Partition {
     }
 }
 
+/// A crash-stop (or crash-restart) node fault: the node fail-stops at `at`
+/// — its actors stop receiving, its in-flight messages are lost — and, when
+/// `restart` is set, comes back at that time with a fresh capability epoch
+/// (crash-restart). `restart = None` is a permanent crash-stop.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeCrash {
+    /// The node that crashes.
+    pub node: NodeId,
+    /// Crash instant (inclusive: the node is down from `at`).
+    pub at: SimTime,
+    /// Optional restart instant (exclusive: the node is up again at
+    /// `restart`); `None` means the node never comes back.
+    pub restart: Option<SimTime>,
+}
+
+impl NodeCrash {
+    /// True when the node is down at `now` (`at <= now < restart`).
+    pub fn down_at(&self, now: SimTime) -> bool {
+        now >= self.at && self.restart.is_none_or(|r| now < r)
+    }
+
+    fn cuts(&self, link: LinkKey, now: SimTime) -> bool {
+        (link.src == self.node || link.dst == self.node) && self.down_at(now)
+    }
+}
+
 /// The class of device operation a fault decision applies to.
 ///
 /// Device faults are keyed per [`Endpoint`] and decided per operation in
@@ -197,6 +223,8 @@ pub struct FaultPlan {
     /// Per-link probability that a data-class payload suffers a bit flip
     /// in flight (the control plane keeps the drop model).
     pub corrupt_probs: BTreeMap<LinkKey, f64>,
+    /// Crash-stop / crash-restart node faults.
+    pub node_crashes: Vec<NodeCrash>,
 }
 
 impl FaultPlan {
@@ -213,6 +241,7 @@ impl FaultPlan {
             && self.partitions.is_empty()
             && self.device_faults.values().all(DeviceFaults::is_empty)
             && self.corrupt_probs.is_empty()
+            && self.node_crashes.is_empty()
     }
 
     /// Drops each droppable `src → dst` message with probability `p`.
@@ -265,6 +294,29 @@ impl FaultPlan {
     /// `heal` (or forever when `heal` is `None`).
     pub fn partition(mut self, a: NodeId, b: NodeId, from: SimTime, heal: Option<SimTime>) -> Self {
         self.partitions.push(Partition { a, b, from, heal });
+        self
+    }
+
+    /// Crash-stops `node` at `at`: its actors stop receiving, its in-flight
+    /// messages are lost, and every droppable message to or from it drops.
+    pub fn crash_node(mut self, node: NodeId, at: SimTime) -> Self {
+        self.node_crashes.push(NodeCrash {
+            node,
+            at,
+            restart: None,
+        });
+        self
+    }
+
+    /// Crash-restarts `node`: down over `[at, restart)`, back afterwards
+    /// with a fresh capability epoch (its Controllers reboot).
+    pub fn crash_restart_node(mut self, node: NodeId, at: SimTime, restart: SimTime) -> Self {
+        assert!(restart > at, "restart must come after the crash");
+        self.node_crashes.push(NodeCrash {
+            node,
+            at,
+            restart: Some(restart),
+        });
         self
     }
 
@@ -433,6 +485,9 @@ impl FaultState {
             i
         };
         if self.plan.partitions.iter().any(|p| p.cuts(link, now)) {
+            return true;
+        }
+        if self.plan.node_crashes.iter().any(|c| c.cuts(link, now)) {
             return true;
         }
         for (i, shot) in self.plan.one_shots.iter().enumerate() {
@@ -740,6 +795,35 @@ mod tests {
         assert_eq!(a.decide_corrupt(LinkKey::new(N1, N0)), None);
         assert!(a.corrupts_link(link));
         assert!(!a.corrupts_link(LinkKey::new(N1, N0)));
+    }
+
+    #[test]
+    fn node_crash_cuts_links_both_ways_until_restart() {
+        let plan = FaultPlan::new().crash_restart_node(N1, t(10), t(20));
+        let mut state = FaultState::new(plan, 0);
+        let fwd = LinkKey::new(N0, N1);
+        let rev = LinkKey::new(N1, N0);
+        assert!(!state.decide_drop(t(9), fwd));
+        assert!(state.decide_drop(t(10), fwd));
+        assert!(state.decide_drop(t(15), rev));
+        assert!(!state.decide_drop(t(20), fwd));
+        assert!(!state.decide_drop(t(25), rev));
+    }
+
+    #[test]
+    fn crash_stop_never_comes_back() {
+        let plan = FaultPlan::new().crash_node(N0, t(5));
+        let mut state = FaultState::new(plan.clone(), 0);
+        assert!(state.decide_drop(t(1_000_000), LinkKey::new(N0, N1)));
+        assert!(plan.node_crashes[0].down_at(t(1_000_000)));
+        assert!(!plan.node_crashes[0].down_at(t(4)));
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "restart must come after the crash")]
+    fn restart_before_crash_panics() {
+        let _ = FaultPlan::new().crash_restart_node(N0, t(10), t(10));
     }
 
     #[test]

@@ -43,9 +43,11 @@ pub mod stats;
 pub mod topology;
 
 pub use fabric::{Fabric, WIRE_HEADER_BYTES};
-pub use fault::{DeviceFaultOutcome, DeviceFaults, DeviceOp, FaultPlan, LinkKey, SendOutcome};
+pub use fault::{
+    DeviceFaultOutcome, DeviceFaults, DeviceOp, FaultPlan, LinkKey, NodeCrash, SendOutcome,
+};
 pub use fractos_sim::Payload;
-pub use params::{ComputeDomain, NetParams};
+pub use params::{ComputeDomain, NetParams, RetryPolicy};
 pub use stats::{
     DeviceFaultCounter, FaultCounter, FlowCounter, Medium, TrafficClass, TrafficStats,
     VerifyCounter,

@@ -35,6 +35,60 @@ pub enum ComputeDomain {
     SmartNic,
 }
 
+/// Retry budgets for the control plane and the services built on it.
+///
+/// One typed policy, carried on [`NetParams`], replaces the retry
+/// constants that used to be scattered across the Controller/Process
+/// retransmit layer and the individual services. The defaults reproduce
+/// those historical values exactly, so traces under the default
+/// parameters are byte-identical to the pre-consolidation build.
+///
+/// Exhausting a budget never *declares* a peer dead — it only translates
+/// into the §3.6 failure verdicts (`ControllerUnreachable`, severed
+/// channels); death declaration stays with the external watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Initial retransmission timeout; doubles on every attempt.
+    pub rto_base: SimDuration,
+    /// Total transmit attempts (the original plus retries) before the
+    /// sender gives up and applies a §3.6 failure verdict.
+    pub max_attempts: u32,
+    /// Last-resort timeout for a pending peer-operation ack. Covers the
+    /// case where the request was delivered but the answering side gave
+    /// up on its (also faulty) return path.
+    pub ack_timeout: SimDuration,
+    /// Last-resort timeout for a pending syscall at the issuing Process.
+    pub syscall_timeout: SimDuration,
+    /// Application-level retry budget per file-system I/O operation.
+    pub fs_io_retries: u32,
+    /// Application-level retry budget per face-verification stage.
+    pub fv_retries: u32,
+    /// Application-level retry budget per composition-pipeline stage.
+    pub stage_retries: u32,
+}
+
+impl RetryPolicy {
+    /// Retransmission backoff: `rto_base * 2^attempt`, saturating.
+    pub fn rto(&self, attempt: u32) -> SimDuration {
+        let shift = attempt.min(16);
+        SimDuration::from_nanos(self.rto_base.as_nanos().saturating_mul(1u64 << shift))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            rto_base: SimDuration::from_micros(30),
+            max_attempts: 5,
+            ack_timeout: SimDuration::from_millis(1),
+            syscall_timeout: SimDuration::from_millis(5),
+            fs_io_retries: 4,
+            fv_retries: 4,
+            stage_retries: 3,
+        }
+    }
+}
+
 /// Calibrated model parameters. Construct via [`NetParams::paper`] for the
 /// paper's testbed (Table 2) or tweak fields for sensitivity studies.
 #[derive(Debug, Clone)]
@@ -126,6 +180,9 @@ pub struct NetParams {
     /// simulated time). Off, an in-flight bit flip lands silently — used
     /// by tests to prove the envelope is what catches corruption.
     pub end_to_end_integrity: bool,
+    /// Retransmission and retry budgets for the control plane and the
+    /// services built on it (see [`RetryPolicy`]).
+    pub retry: RetryPolicy,
 }
 
 impl NetParams {
@@ -159,6 +216,7 @@ impl NetParams {
             interrupt_wakeup: SimDuration::from_micros(4),
             poll_window: SimDuration::from_micros(20),
             end_to_end_integrity: true,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -292,6 +350,28 @@ impl Default for NetParams {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rto_doubles_and_saturates() {
+        let r = RetryPolicy::default();
+        assert_eq!(r.rto(0), r.rto_base);
+        assert_eq!(r.rto(1), SimDuration::from_micros(60));
+        assert_eq!(r.rto(3), SimDuration::from_micros(240));
+        // Far past the budget: still finite.
+        assert!(r.rto(200) > r.rto(4));
+    }
+
+    /// The default policy must reproduce the historical constants exactly,
+    /// or traces under the default parameters would diverge.
+    #[test]
+    fn retry_defaults_match_historical_constants() {
+        let r = NetParams::paper().retry;
+        assert_eq!(r.rto_base, SimDuration::from_micros(30));
+        assert_eq!(r.max_attempts, 5);
+        assert_eq!(r.ack_timeout, SimDuration::from_millis(1));
+        assert_eq!(r.syscall_timeout, SimDuration::from_millis(5));
+        assert_eq!((r.fs_io_retries, r.fv_retries, r.stage_retries), (4, 4, 3));
+    }
 
     /// Raw loopback RTT @ CPU = 2 × local one-way = 2.42 µs (Table 3).
     #[test]

@@ -28,9 +28,11 @@ fn component(kind: SpanKind) -> Component {
         | SpanKind::Data
         | SpanKind::Retransmit
         | SpanKind::Fault => Component::Network,
-        SpanKind::Syscall | SpanKind::Control | SpanKind::Deliver | SpanKind::Integrity => {
-            Component::Control
-        }
+        SpanKind::Syscall
+        | SpanKind::Control
+        | SpanKind::Deliver
+        | SpanKind::Integrity
+        | SpanKind::Recovery => Component::Control,
     }
 }
 

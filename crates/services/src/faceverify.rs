@@ -130,9 +130,6 @@ struct InFlight {
     attempts: u32,
 }
 
-/// Per-request retry budget across the storage → GPU → frontend chain.
-pub const FV_RETRIES: u32 = 4;
-
 /// The frontend Process of the application.
 pub struct FaceVerifyFrontend {
     cfg: FvConfig,
@@ -574,23 +571,25 @@ impl FaceVerifyFrontend {
     /// Decides what to do with a typed error for `slot`'s in-flight
     /// request: a recoverable device fault ([`DevError::Media`],
     /// [`DevError::Launch`], [`DevError::Integrity`], …) re-runs the whole
-    /// storage → GPU stage chain after a doubling backoff, up to
-    /// [`FV_RETRIES`] attempts; anything else (or an exhausted budget)
-    /// degrades to an empty reply via [`FaceVerifyFrontend::fail_slot`].
+    /// storage → GPU stage chain after a doubling backoff, up to the
+    /// policy's `fv_retries` attempts; anything else (or an exhausted
+    /// budget) degrades to an empty reply via
+    /// [`FaceVerifyFrontend::fail_slot`].
     fn retry_or_fail_slot(&mut self, slot: usize, code: Option<u64>, fos: &Fos<Self>) {
         let recoverable = code
             .and_then(DevError::from_code)
             .is_some_and(|e| e.is_recoverable());
+        let retry = fos.retry_policy();
         let Some(inflight) = self.inflight[slot].as_mut() else {
             return;
         };
-        if !recoverable || inflight.attempts >= FV_RETRIES {
+        if !recoverable || inflight.attempts >= retry.fv_retries {
             self.fail_slot(slot, fos);
             return;
         }
         inflight.attempts += 1;
         let (first_id, query_mem) = (inflight.first_id, inflight.query_mem);
-        let backoff = SimDuration::from_micros(30) * (1u64 << (inflight.attempts - 1).min(6));
+        let backoff = retry.rto(inflight.attempts - 1);
         self.retried += 1;
         fos.sleep(backoff, move |s: &mut Self, fos| {
             // The slot stays busy and its cache intact across the retry.

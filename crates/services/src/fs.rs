@@ -156,15 +156,6 @@ pub struct FsService {
 /// Staging buffers held by the FS for mediated transfers.
 const FS_STAGING_POOL: usize = 8;
 
-/// Maximum re-issues of one block operation after recoverable faults.
-pub const FS_IO_RETRIES: u32 = 4;
-
-/// Exponential retry backoff: 30 µs doubling per attempt (mirrors the
-/// control plane's retransmission policy).
-fn retry_backoff(attempt: u32) -> SimDuration {
-    SimDuration::from_micros(30) * (1u64 << attempt.min(6))
-}
-
 impl FsService {
     /// Creates an FS publishing under `"{key}.create"` / `"{key}.open"`,
     /// backed by the block adaptor published under `"{blk_key}.create_vol"`.
@@ -630,23 +621,26 @@ impl FsService {
     }
 
     /// Re-issues op `op` after an exponential backoff if the fault is
-    /// recoverable and budget remains; otherwise fails the op typed. This
-    /// is the error-continuation recovery loop: the device adaptor
-    /// translated a fault into a typed error invocation, and the FS — not
-    /// the client — decides whether it is worth another attempt.
+    /// recoverable and budget remains (`RetryPolicy::fs_io_retries`, with
+    /// the control plane's doubling RTO as the backoff); otherwise fails
+    /// the op typed. This is the error-continuation recovery loop: the
+    /// device adaptor translated a fault into a typed error invocation,
+    /// and the FS — not the client — decides whether it is worth another
+    /// attempt.
     fn retry_or_fail(&mut self, op: u64, code: Option<u64>, fos: &Fos<Self>) {
         let recoverable = code
             .and_then(DevError::from_code)
             .is_some_and(|e| e.is_recoverable());
+        let retry = fos.retry_policy();
         let Some(p) = self.ops.get_mut(&op) else {
             return;
         };
-        if !recoverable || p.attempts >= FS_IO_RETRIES {
+        if !recoverable || p.attempts >= retry.fs_io_retries {
             self.finish_op(op, false, fos);
             return;
         }
         p.attempts += 1;
-        let backoff = retry_backoff(p.attempts - 1);
+        let backoff = retry.rto(p.attempts - 1);
         let (blk_req, ext_off, size, view) = (p.blk_req, p.ext_off, p.size, p.staging_view);
         let (is_read, client_mem) = (p.is_read, p.client_mem);
         self.retried_ops += 1;

@@ -11,16 +11,22 @@
 //!   with the storage→GPU→frontend chained control flow of §6.5;
 //! * [`pipeline`] — the streaming multi-stage pipeline of the composition
 //!   experiment (Fig 8), including the fully distributed chain driver;
-//! * [`deploy`] — testbed assembly helpers for the paper's 3-node layout.
+//! * [`deploy`] — testbed assembly helpers for the paper's 3-node layout;
+//! * [`replicated`] — replicated service instances with directory-routed
+//!   failover, used by the crash-recovery experiments (§3.6).
 
 pub mod deploy;
 pub mod faceverify;
 pub mod fs;
 pub mod matcher;
 pub mod pipeline;
+pub mod replicated;
 
 pub use deploy::{deploy_faceverify, DbLoader, FvDeployment};
 pub use faceverify::{FaceVerifyFrontend, FvClient, FvConfig, FvSample};
 pub use fs::{FsMode, FsService};
 pub use matcher::{embed, matches, synth_face, FaceVerifyKernel, FACE_VERIFY_KERNEL};
 pub use pipeline::{ChainDriver, ForkJoinDriver, PipelineStage};
+pub use replicated::{
+    deploy_replicated, FailoverClient, ReplicaWorker, ReplicatedDeployment, RequestOutcome,
+};

@@ -45,9 +45,6 @@ pub struct PipelineStage {
     pub degraded: u64,
 }
 
-/// Per-stage retry budget for the data transfer.
-pub const STAGE_RETRIES: u32 = 3;
-
 impl PipelineStage {
     /// Creates a stage with a `capacity`-byte buffer.
     pub fn new(index: usize, capacity: u64) -> Self {
@@ -62,15 +59,16 @@ impl PipelineStage {
     }
 
     /// Copies the stage buffer view into `dst`, retrying a failed transfer
-    /// (e.g. an in-flight integrity violation) up to [`STAGE_RETRIES`]
-    /// times with doubling backoff, then hands control to `next` either
-    /// way — a stalled stage must not wedge the whole chain (§3.6: faults
-    /// become error continuations, not hangs).
+    /// (e.g. an in-flight integrity violation) up to the policy's
+    /// `stage_retries` times with doubling backoff, then hands control to
+    /// `next` either way — a stalled stage must not wedge the whole chain
+    /// (§3.6: faults become error continuations, not hangs).
     fn copy_and_forward(attempt: u32, view: Cid, dst: Cid, next: Cid, fos: &Fos<Self>) {
         fos.memory_copy(view, dst, move |s: &mut Self, res, fos| {
-            if res != SyscallResult::Ok && attempt < STAGE_RETRIES {
+            let retry = fos.retry_policy();
+            if res != SyscallResult::Ok && attempt < retry.stage_retries {
                 s.retries += 1;
-                let backoff = fractos_sim::SimDuration::from_micros(30) * (1u64 << attempt);
+                let backoff = retry.rto(attempt);
                 fos.sleep(backoff, move |_s: &mut Self, fos| {
                     Self::copy_and_forward(attempt + 1, view, dst, next, fos);
                 });

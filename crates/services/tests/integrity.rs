@@ -134,7 +134,7 @@ impl Service for FsChaosClient {
 
 /// The recoverable device-fault plan: frequent-but-transient NVMe media
 /// errors, torn writes and latency spikes. No fault here is permanent, so
-/// the FS retry budget (`FS_IO_RETRIES`) must carry every op through.
+/// the FS retry budget (`RetryPolicy::fs_io_retries`) must carry every op through.
 fn recoverable_device_plan() -> FaultPlan {
     FaultPlan::new()
         .nvme_read_errors(nvme(0), 0.35)

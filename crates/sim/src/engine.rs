@@ -213,6 +213,31 @@ impl fmt::Display for TraceEntry {
     }
 }
 
+/// A node-down window for the engine-level crash hook
+/// (`Runtime::set_node_outages`): while a node is down, events addressed
+/// to its actors are discarded at delivery time — the in-flight messages
+/// of a crashed node are lost, identically on both backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeOutage {
+    /// The simulated node that crashes.
+    pub node: usize,
+    /// Crash instant.
+    pub down: SimTime,
+    /// Restart instant; `None` means the node never comes back.
+    pub up: Option<SimTime>,
+}
+
+impl NodeOutage {
+    /// True when a delivery at `t` must be discarded. The window is the
+    /// open interval `(down, up)`: an event at exactly `down` (the kill
+    /// notification itself) or exactly `up` (the reboot) is still
+    /// delivered, so the crash and restart hooks fire on the node's own
+    /// actors deterministically.
+    pub fn drops_at(&self, t: SimTime) -> bool {
+        t > self.down && self.up.is_none_or(|u| t < u)
+    }
+}
+
 /// Outcome of driving the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunOutcome {
@@ -228,6 +253,12 @@ pub enum RunOutcome {
 pub struct Sim {
     actors: Vec<Option<Box<dyn Actor>>>,
     names: Vec<String>,
+    /// Simulated node of each actor (parallel to `actors`). The single
+    /// global queue ignores placement for scheduling; it only scopes
+    /// node-outage windows.
+    nodes: Vec<u32>,
+    /// Node-down windows (crash faults); empty on fault-free runs.
+    outages: Vec<NodeOutage>,
     queue: EventQueue<(ActorId, Msg)>,
     now: SimTime,
     seq: u64,
@@ -246,6 +277,8 @@ impl Sim {
         Sim {
             actors: Vec::new(),
             names: Vec::new(),
+            nodes: Vec::new(),
+            outages: Vec::new(),
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             seq: 0,
@@ -295,12 +328,33 @@ impl Sim {
         spans
     }
 
-    /// Registers an actor and returns its id.
+    /// Registers an actor (on node 0) and returns its id.
     pub fn add_actor(&mut self, name: impl Into<String>, actor: Box<dyn Actor>) -> ActorId {
+        self.add_actor_on(0, name, actor)
+    }
+
+    /// Registers an actor on a simulated node. Placement has no effect on
+    /// scheduling (one global queue); it scopes node-outage windows.
+    pub fn add_actor_on(
+        &mut self,
+        node: usize,
+        name: impl Into<String>,
+        actor: Box<dyn Actor>,
+    ) -> ActorId {
         let id = ActorId(u32::try_from(self.actors.len()).expect("too many actors"));
         self.actors.push(Some(actor));
         self.names.push(name.into());
+        self.nodes
+            .push(u32::try_from(node).expect("node out of range"));
         id
+    }
+
+    /// Installs node-down windows (crash faults). Deliveries to actors on
+    /// a down node are discarded — see [`NodeOutage::drops_at`]. An empty
+    /// list (the default) leaves the engine bit-identical to builds
+    /// without the hook.
+    pub fn set_node_outages(&mut self, outages: Vec<NodeOutage>) {
+        self.outages = outages;
     }
 
     /// Returns the registered name of an actor.
@@ -369,6 +423,21 @@ impl Sim {
         debug_assert!(time >= self.now, "event queue went back in time");
         self.now = time;
         self.steps += 1;
+
+        // A delivery inside a node-down window is lost: the crashed node's
+        // actors stop receiving. The event still advances time and counts
+        // as a step (progress), it just never reaches a handler.
+        if !self.outages.is_empty() {
+            let node = self.nodes[dst.index()] as usize;
+            if self
+                .outages
+                .iter()
+                .any(|o| o.node == node && o.drops_at(time))
+            {
+                self.metrics.incr("engine.outage_drops");
+                return true;
+            }
+        }
 
         // Temporarily take the actor out of its slot so the context can
         // borrow the rest of the simulation mutably.
@@ -634,5 +703,79 @@ mod tests {
     fn post_to_unknown_actor_panics() {
         let mut sim = Sim::new(0);
         sim.post(SimDuration::ZERO, ActorId(7), 0u32);
+    }
+
+    #[test]
+    fn node_outage_window_is_open_at_both_ends() {
+        let mut sim = Sim::new(0);
+        let a = sim.add_actor_on(
+            1,
+            "a",
+            Box::new(Echo {
+                received: vec![],
+                reply_to: None,
+            }),
+        );
+        sim.set_node_outages(vec![NodeOutage {
+            node: 1,
+            down: SimTime::from_nanos(10_000),
+            up: Some(SimTime::from_nanos(20_000)),
+        }]);
+        sim.post(SimDuration::from_micros(10), a, 1u32); // exactly `down`: delivered
+        sim.post(SimDuration::from_micros(15), a, 2u32); // interior: dropped
+        sim.post(SimDuration::from_micros(20), a, 3u32); // exactly `up`: delivered
+        sim.post(SimDuration::from_micros(25), a, 4u32);
+        assert_eq!(sim.run(), RunOutcome::Drained);
+        sim.with_actor::<Echo, _>(a, |e| {
+            let vals: Vec<u32> = e.received.iter().map(|(_, v)| *v).collect();
+            assert_eq!(vals, vec![1, 3, 4]);
+        });
+        // The dropped event still advanced time and counted as a step.
+        assert_eq!(sim.steps(), 4);
+        assert_eq!(sim.metrics().counter("engine.outage_drops"), 1);
+    }
+
+    #[test]
+    fn node_outage_scopes_to_the_named_node() {
+        let mut sim = Sim::new(0);
+        let a = sim.add_actor_on(
+            0,
+            "a",
+            Box::new(Echo {
+                received: vec![],
+                reply_to: None,
+            }),
+        );
+        sim.set_node_outages(vec![NodeOutage {
+            node: 2,
+            down: SimTime::ZERO,
+            up: None,
+        }]);
+        sim.post(SimDuration::from_micros(5), a, 7u32);
+        sim.run();
+        sim.with_actor::<Echo, _>(a, |e| assert_eq!(e.received.len(), 1));
+        assert_eq!(sim.metrics().counter("engine.outage_drops"), 0);
+    }
+
+    #[test]
+    fn crash_stop_outage_never_lifts() {
+        let mut sim = Sim::new(0);
+        let a = sim.add_actor_on(
+            1,
+            "a",
+            Box::new(Echo {
+                received: vec![],
+                reply_to: None,
+            }),
+        );
+        sim.set_node_outages(vec![NodeOutage {
+            node: 1,
+            down: SimTime::from_nanos(1_000),
+            up: None,
+        }]);
+        sim.post(SimDuration::from_secs(10), a, 1u32);
+        sim.run();
+        sim.with_actor::<Echo, _>(a, |e| assert!(e.received.is_empty()));
+        assert_eq!(sim.metrics().counter("engine.outage_drops"), 1);
     }
 }

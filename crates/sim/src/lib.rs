@@ -39,7 +39,7 @@ pub mod shared;
 pub mod span;
 pub mod time;
 
-pub use engine::{Actor, ActorId, Ctx, Msg, RunOutcome, Sim, TraceEntry};
+pub use engine::{Actor, ActorId, Ctx, Msg, NodeOutage, RunOutcome, Sim, TraceEntry};
 pub use metrics::{Histogram, Metrics};
 pub use payload::Payload;
 pub use queue::EventQueue;

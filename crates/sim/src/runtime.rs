@@ -22,7 +22,7 @@
 
 use std::any::Any;
 
-use crate::engine::{Actor, ActorId, Msg, RunOutcome, Sim, TraceEntry};
+use crate::engine::{Actor, ActorId, Msg, NodeOutage, RunOutcome, Sim, TraceEntry};
 use crate::metrics::Metrics;
 use crate::span::SpanRecord;
 use crate::time::{SimDuration, SimTime};
@@ -108,6 +108,19 @@ pub trait Runtime {
     /// exactly once.
     fn with_actor_any(&mut self, id: ActorId, f: &mut dyn FnMut(&mut dyn Any));
 
+    /// Installs node-down windows (crash-stop / crash-restart faults).
+    ///
+    /// While a node is down, events addressed to its actors are discarded
+    /// at delivery time — a crashed node's actors stop receiving and its
+    /// in-flight messages are lost, bit-identically on both backends (the
+    /// decision is a pure function of the delivery time and the receiver's
+    /// node). The window is the open interval `(down, up)`, so the kill
+    /// notification posted at the crash instant and the reboot posted at
+    /// the restart instant are still delivered. An empty list (the
+    /// default) leaves the engine bit-identical to builds without the
+    /// hook.
+    fn set_node_outages(&mut self, outages: Vec<NodeOutage>);
+
     /// Short backend identifier (`"single"`, `"sharded"`) for logs and
     /// metrics.
     fn backend_name(&self) -> &'static str;
@@ -146,9 +159,10 @@ impl Runtime for Sim {
         Sim::add_actor(self, name, actor)
     }
 
-    fn add_actor_on(&mut self, _node: usize, name: &str, actor: Box<dyn Actor>) -> ActorId {
-        // One global queue: placement has no effect on scheduling.
-        Sim::add_actor(self, name, actor)
+    fn add_actor_on(&mut self, node: usize, name: &str, actor: Box<dyn Actor>) -> ActorId {
+        // One global queue: placement has no effect on scheduling — it only
+        // scopes node-outage (crash) windows.
+        Sim::add_actor_on(self, node, name, actor)
     }
 
     fn post_boxed(&mut self, delay: SimDuration, dst: ActorId, msg: Msg) {
@@ -213,6 +227,10 @@ impl Runtime for Sim {
 
     fn with_actor_any(&mut self, id: ActorId, f: &mut dyn FnMut(&mut dyn Any)) {
         Sim::with_actor_any(self, id, f);
+    }
+
+    fn set_node_outages(&mut self, outages: Vec<NodeOutage>) {
+        Sim::set_node_outages(self, outages);
     }
 
     fn backend_name(&self) -> &'static str {

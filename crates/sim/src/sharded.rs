@@ -59,7 +59,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use crate::engine::{Actor, ActorId, Ctx, Msg, RunOutcome, TraceEntry};
+use crate::engine::{Actor, ActorId, Ctx, Msg, NodeOutage, RunOutcome, TraceEntry};
 use crate::metrics::Metrics;
 use crate::queue::EventQueue;
 use crate::rng::SimRng;
@@ -88,6 +88,9 @@ struct Shard {
     now: SimTime,
     seq: u64,
     stop: bool,
+    /// Node-down windows scoped to this shard's node (crash faults);
+    /// empty on fault-free runs.
+    outages: Vec<NodeOutage>,
     /// Events processed in the current round.
     processed: u64,
     /// Cross-shard sends buffered until the barrier, as
@@ -120,6 +123,14 @@ impl Shard {
             );
             self.now = time;
             self.processed += 1;
+
+            // A delivery inside this node's down window is lost (crash
+            // fault): same decision rule, same metric as the
+            // single-threaded engine, so crash runs replay identically.
+            if !self.outages.is_empty() && self.outages.iter().any(|o| o.drops_at(time)) {
+                self.metrics.incr("engine.outage_drops");
+                continue;
+            }
 
             let mut actor = self.actors[local as usize]
                 .take()
@@ -232,6 +243,7 @@ impl ShardedSim {
                 now: SimTime::ZERO,
                 seq: 0,
                 stop: false,
+                outages: Vec::new(),
                 processed: 0,
                 cross: Vec::new(),
             })
@@ -597,6 +609,14 @@ impl Runtime for ShardedSim {
         f(actor.as_mut());
     }
 
+    fn set_node_outages(&mut self, outages: Vec<NodeOutage>) {
+        // Each shard keeps only its own node's windows: the decision in
+        // `run_window` is then a pure function of the delivery time.
+        for (node, s) in self.shards.iter_mut().enumerate() {
+            s.outages = outages.iter().filter(|o| o.node == node).copied().collect();
+        }
+    }
+
     fn backend_name(&self) -> &'static str {
         "sharded"
     }
@@ -837,6 +857,28 @@ mod tests {
         );
         rt.post(SimDuration::ZERO, rogue, 1u32);
         rt.run();
+    }
+
+    #[test]
+    fn node_outage_drops_on_the_sharded_backend() {
+        let mut rt = ShardedSim::new(&config(3, 2));
+        let a = rt.add_actor_on(0, "a", pinger());
+        let b = rt.add_actor_on(1, "b", pinger());
+        rt.set_node_outages(vec![NodeOutage {
+            node: 1,
+            down: SimTime::from_nanos(10_000),
+            up: Some(SimTime::from_nanos(20_000)),
+        }]);
+        rt.post(SimDuration::from_micros(5), b, 1u32); // before: delivered
+        rt.post(SimDuration::from_micros(15), b, 2u32); // interior: dropped
+        rt.post(SimDuration::from_micros(25), b, 3u32); // after: delivered
+        rt.post(SimDuration::from_micros(15), a, 4u32); // other node: delivered
+        assert_eq!(rt.run(), RunOutcome::Drained);
+        let b_seen = rt.with_actor::<Pinger, _>(b, |p| p.received.clone());
+        assert_eq!(b_seen.iter().map(|(_, v)| *v).collect::<Vec<_>>(), [1, 3]);
+        let a_seen = rt.with_actor::<Pinger, _>(a, |p| p.received.clone());
+        assert_eq!(a_seen.len(), 1);
+        assert_eq!(rt.metrics().counter("engine.outage_drops"), 1);
     }
 
     #[test]

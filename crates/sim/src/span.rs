@@ -101,6 +101,9 @@ pub enum SpanKind {
     Fault,
     /// An integrity-check failure (zero-width marker).
     Integrity,
+    /// A crash-recovery phase (detect, declare, revoke, re-home,
+    /// re-dispatch) recorded by the failure detector and its consumers.
+    Recovery,
 }
 
 impl SpanKind {
@@ -118,6 +121,7 @@ impl SpanKind {
             SpanKind::Retransmit => "retransmit",
             SpanKind::Fault => "fault",
             SpanKind::Integrity => "integrity",
+            SpanKind::Recovery => "recovery",
         }
     }
 }

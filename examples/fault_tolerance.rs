@@ -230,5 +230,93 @@ fn main() {
     });
     println!("[watcher]  post-heal lookup through the recovered controller ok");
 
-    println!("\nall four failure-translation paths verified.");
+    // ---- Scene 5: crash-restart — death declaration, then rebirth. ------
+    println!("\nscene 5: crash-restart — dead-gate, revocation, fresh epoch");
+    let mut tb = Testbed::paper(103);
+    let ctrls = tb.controllers_per_node(false);
+    let provider = tb.add_process("provider", cpu(1), ctrls[1], Provider { drained: false });
+    tb.start_process(provider);
+    tb.run();
+    let watcher = tb.add_process(
+        "watcher",
+        cpu(2),
+        ctrls[2],
+        Watcher {
+            cap: None,
+            provider_lost: false,
+        },
+    );
+    tb.start_process(watcher);
+    tb.run();
+    let wd = tb.start_watchdog(NodeId(0));
+
+    // Node 1 crash-stops at 500 µs and comes back at 2.5 ms. Unlike the
+    // scene-4 partition, the node really dies: its Process's state is gone
+    // for good, and the rebooted Controller returns with a fresh epoch
+    // that stales every capability it minted before the crash.
+    println!("[harness]  crashing node 1 at 500 us (restarts at 2.5 ms)");
+    tb.install_fault_plan(
+        FaultPlan::new().crash_restart_node(
+            NodeId(1),
+            SimTime::from_nanos(500_000),
+            SimTime::from_nanos(2_500_000),
+        ),
+        103,
+    );
+    tb.run_until(SimTime::from_nanos(2_000_000));
+    tb.sim
+        .with_actor::<fractos_core::WatchdogActor, _>(wd, |w| {
+            println!("[watchdog] declared dead: {:?}", w.detected);
+            assert_eq!(w.detected, vec![ctrls[1]], "crash must be detected");
+        });
+    // §3.6 translation at the survivors: the dead Controller's capability
+    // is scrubbed from the watcher's space, so using it fails typed
+    // instead of hanging on a corpse.
+    assert!(
+        !tb.with_controller(ctrls[2], |c| c.holds_cap_of(watcher, ctrls[1])),
+        "dead Controller's capability must be revoked at the survivor"
+    );
+
+    tb.run_until(SimTime::from_nanos(4_000_000));
+    tb.sim
+        .with_actor::<fractos_core::WatchdogActor, _>(wd, |w| {
+            println!(
+                "[watchdog] answering again after restart: {:?}",
+                w.recovered
+            );
+            assert_eq!(w.recovered, vec![ctrls[1]], "restart must be noticed");
+        });
+    assert!(
+        !tb.with_controller(ctrls[2], |c| c.peer_dead(ctrls[1])),
+        "restart must clear the dead verdict"
+    );
+    // The crash destroyed the Process for good — a restart revives the
+    // Controller (with a fresh epoch), never the Processes it managed.
+    assert!(
+        !tb.dir.borrow().proc(provider).unwrap().alive,
+        "a crashed Process must stay dead across the Controller restart"
+    );
+
+    // The reborn Controller serves new work: deploy a fresh provider on
+    // the restarted node and reach it from another node.
+    let provider2 = tb.add_process("provider2", cpu(1), ctrls[1], Provider { drained: false });
+    tb.start_process(provider2);
+    tb.run_until(SimTime::from_nanos(6_000_000));
+    let late = tb.add_process(
+        "late",
+        cpu(0),
+        ctrls[0],
+        Watcher {
+            cap: None,
+            provider_lost: false,
+        },
+    );
+    tb.start_process(late);
+    tb.run_until(SimTime::from_nanos(8_000_000));
+    tb.with_service::<Watcher, _>(late, |w| {
+        assert!(w.cap.is_some(), "post-restart deploy unreachable");
+    });
+    println!("[watcher]  fresh deployment on the reborn node reachable");
+
+    println!("\nall five failure-translation paths verified.");
 }
