@@ -17,7 +17,7 @@
 use fractos_bench::apps::{baseline_faceverify_opts, fractos_faceverify_traced, FvDeploy};
 use fractos_bench::report::Table;
 use fractos_core::msgmodel;
-use fractos_obs::{aggregate, analyze, chrome_trace, chrome_trace_path, Json};
+use fractos_obs::{aggregate, analyze, chrome_trace, chrome_trace_path, Json, TelemetryReport};
 
 const IMG: u64 = 4096;
 const BATCH: u64 = 8;
@@ -146,6 +146,30 @@ fn main() {
     let bench_json = out_path("BENCH_fig2.json");
     std::fs::write(&bench_json, format!("{doc}\n")).expect("write BENCH_fig2.json");
     println!("\n  wrote {}", bench_json.display());
+
+    // Continuous-telemetry exports (only when `FRACTOS_TELEMETRY` armed the
+    // plane for the run). Everything written here excludes the backend's
+    // `runtime.` self-profiling namespace, so the files are byte-identical
+    // across backends; the terminal table includes it for a live view of
+    // the engine.
+    if let Some(period) = run.telemetry_period {
+        let report = TelemetryReport::derive(&run.telemetry, period);
+        println!(
+            "\nLive telemetry (period {} ns, incl. engine self-profile):",
+            period.as_nanos()
+        );
+        print!("{}", report.summary_table(true));
+        let tele_json = out_path("BENCH_telemetry.json");
+        std::fs::write(&tele_json, format!("{}\n", report.to_json(false)))
+            .expect("write BENCH_telemetry.json");
+        println!("  wrote {}", tele_json.display());
+        let tele_jsonl = out_path("BENCH_telemetry.jsonl");
+        std::fs::write(&tele_jsonl, report.jsonl(false)).expect("write BENCH_telemetry.jsonl");
+        println!("  wrote {}", tele_jsonl.display());
+        let tele_prom = out_path("BENCH_telemetry.prom");
+        std::fs::write(&tele_prom, report.prometheus(false)).expect("write BENCH_telemetry.prom");
+        println!("  wrote {}", tele_prom.display());
+    }
 
     if let Some(path) = chrome_trace_path() {
         let names = &run.actor_names;

@@ -18,7 +18,7 @@ use fractos_services::pipeline::{ChainDriver, PipelineStage};
 use fractos_services::{FvConfig, FACE_VERIFY_KERNEL};
 use fractos_sim::{
     runtime_from_env, Actor, ActorId, Ctx, Histogram, Msg, Runtime, RuntimeConfig, Shared,
-    SimDuration, SimTime, SpanRecord,
+    SimDuration, SimTime, SpanRecord, TelemetryEvent,
 };
 
 /// Result of one application run.
@@ -139,6 +139,11 @@ pub struct TracedRun {
     pub actor_names: Vec<String>,
     /// Deterministic snapshot of the run's metrics registry.
     pub snapshot: MetricsSnapshot,
+    /// Telemetry events in canonical order (empty unless the telemetry
+    /// plane was enabled via `FRACTOS_TELEMETRY`).
+    pub telemetry: Vec<TelemetryEvent>,
+    /// The telemetry sampling period, when the plane was on.
+    pub telemetry_period: Option<SimDuration>,
 }
 
 /// As [`fractos_faceverify_opts`] with causal span recording enabled for
@@ -190,6 +195,11 @@ fn faceverify_run(
     };
     deploy_faceverify(&mut tb, &ctrls, cfg, 256);
     tb.reset_traffic();
+    // The continuous telemetry plane is armed after deployment, like span
+    // recording, so the time series cover exactly the measured phase. Off
+    // unless `FRACTOS_TELEMETRY` asks for it — disabled runs take no
+    // telemetry branches at all and stay byte-identical.
+    let telemetry_period = tb.enable_telemetry_from_env().map(|cfg| cfg.period);
     if trace {
         tb.sim.enable_spans();
     }
@@ -229,12 +239,19 @@ fn faceverify_run(
         data_msgs: t.network_data_msgs(),
         ok,
     };
+    let telemetry = if telemetry_period.is_some() {
+        tb.take_telemetry()
+    } else {
+        Vec::new()
+    };
     if !trace {
         return TracedRun {
             result,
             spans: Vec::new(),
             actor_names: Vec::new(),
             snapshot: MetricsSnapshot::default(),
+            telemetry,
+            telemetry_period,
         };
     }
     let spans = tb.sim.take_spans();
@@ -247,6 +264,8 @@ fn faceverify_run(
         spans,
         actor_names,
         snapshot,
+        telemetry,
+        telemetry_period,
     }
 }
 

@@ -14,6 +14,7 @@ use fractos_baselines::raw::{Peer, PingPongClient, PingPongServer, Start as Ping
 use fractos_core::prelude::*;
 use fractos_net::stats::{FlowCounter, TrafficClass};
 use fractos_net::{Fabric, NetParams, NodeConfig, NodeId, Topology};
+use fractos_obs::TelemetryReport;
 use fractos_services::deploy::deploy_faceverify;
 use fractos_services::faceverify::FvClient;
 use fractos_services::FvConfig;
@@ -159,6 +160,66 @@ fn fig2_reply_payloads_are_byte_identical_across_backends() {
         single, sharded,
         "reply payload bytes diverged across backends"
     );
+}
+
+/// The continuous telemetry plane must be part of the cross-backend
+/// contract: with sampling armed for the measured phase, every exporter
+/// (JSON, JSONL, Prometheus) must produce byte-identical text on both
+/// engines — and arming the plane must not perturb the workload itself
+/// (same per-link traffic counters as an uninstrumented run).
+#[test]
+fn fig2_telemetry_exports_match_across_backends_without_perturbing_traffic() {
+    let period = SimDuration::from_nanos(50_000);
+    let run = |kind: RuntimeKind, telemetry: bool| {
+        let mut tb = Testbed::new_on(Topology::paper_testbed(), NetParams::paper(), 61, kind);
+        let ctrls = tb.controllers_per_node(false);
+        deploy_faceverify(&mut tb, &ctrls, FvConfig::default(), 256);
+        tb.reset_traffic();
+        if telemetry {
+            tb.enable_telemetry(period);
+        }
+        let client = tb.add_process(
+            "client",
+            cpu(2),
+            ctrls[2],
+            FvClient::new(IMG, BATCH, REQUESTS, 2),
+        );
+        tb.start_process(client);
+        tb.run();
+        let flows: Flows = tb.traffic().flows().map(|(k, v)| (*k, *v)).collect();
+        let report = TelemetryReport::derive(&tb.take_telemetry(), period);
+        (
+            flows,
+            report.to_json(false).to_string(),
+            report.jsonl(false),
+            report.prometheus(false),
+        )
+    };
+    let (flows_off, ..) = run(RuntimeKind::SingleThreaded, false);
+    let (flows_single, json_single, jsonl_single, prom_single) =
+        run(RuntimeKind::SingleThreaded, true);
+    let (flows_sharded, json_sharded, jsonl_sharded, prom_sharded) =
+        run(RuntimeKind::Sharded, true);
+    assert_eq!(
+        flows_off, flows_single,
+        "arming telemetry perturbed the workload's traffic"
+    );
+    assert_eq!(flows_single, flows_sharded);
+    assert!(
+        json_single.contains("app.fv.latency_ns"),
+        "latency series missing from telemetry export"
+    );
+    assert!(
+        json_single.contains("link.") && json_single.contains("dev."),
+        "fabric/device series missing from telemetry export"
+    );
+    assert!(
+        !json_single.contains("runtime."),
+        "backend self-profiling leaked into a byte-compared export"
+    );
+    assert_eq!(json_single, json_sharded, "telemetry JSON diverged");
+    assert_eq!(jsonl_single, jsonl_sharded, "telemetry JSONL diverged");
+    assert_eq!(prom_single, prom_sharded, "Prometheus export diverged");
 }
 
 #[test]

@@ -168,6 +168,54 @@ fn chaos_same_seed_and_plan_bit_identical_across_backends() {
     );
 }
 
+/// The telemetry plane rides through chaos runs deterministically: with
+/// the recoverable plan armed and sampling on, every exporter replays
+/// byte-identically across repeats and backends, and the injected-fault
+/// rate shows up as `link.*.drops` / `link.*.degraded` series.
+#[test]
+fn chaos_telemetry_exports_replay_byte_identically() {
+    let seed = chaos_seed();
+    let period = fractos_sim::SimDuration::from_nanos(50_000);
+    let run = |kind: RuntimeKind| {
+        let mut tb = Testbed::new_on(Topology::paper_testbed(), NetParams::paper(), seed, kind);
+        let ctrls = tb.controllers_per_node(false);
+        deploy_faceverify(&mut tb, &ctrls, FvConfig::default(), 256);
+        tb.reset_traffic();
+        tb.install_fault_plan(recoverable_plan(), seed);
+        tb.enable_telemetry(period);
+        let client = tb.add_process(
+            "client",
+            cpu(2),
+            ctrls[2],
+            FvClient::new(IMG, BATCH, REQUESTS, 2),
+        );
+        tb.start_process(client);
+        tb.run();
+        tb.with_service::<FvClient, _>(client, |c| {
+            assert_eq!(c.samples.len() as u64, REQUESTS);
+        });
+        let report = fractos_obs::TelemetryReport::derive(&tb.take_telemetry(), period);
+        (
+            report.to_json(false).to_string(),
+            report.jsonl(false),
+            report.prometheus(false),
+        )
+    };
+    let (json_a, jsonl_a, prom_a) = run(RuntimeKind::SingleThreaded);
+    let (json_b, jsonl_b, prom_b) = run(RuntimeKind::SingleThreaded);
+    let (json_s, jsonl_s, prom_s) = run(RuntimeKind::Sharded);
+    assert!(
+        json_a.contains(".drops") || json_a.contains(".degraded"),
+        "plan armed but no injected-fault series recorded (seed {seed})"
+    );
+    assert_eq!(json_a, json_b, "telemetry JSON diverged between repeats");
+    assert_eq!(jsonl_a, jsonl_b, "telemetry JSONL diverged between repeats");
+    assert_eq!(prom_a, prom_b, "Prometheus diverged between repeats");
+    assert_eq!(json_a, json_s, "telemetry JSON diverged across backends");
+    assert_eq!(jsonl_a, jsonl_s, "telemetry JSONL diverged across backends");
+    assert_eq!(prom_a, prom_s, "Prometheus diverged across backends");
+}
+
 /// A recoverable *device*-fault plan for the Fig 2 deployment: the GPU
 /// occasionally fails launches and corrupts outputs, the NVMe behind the
 /// FS fails media reads and tears writes. Every fault is transient, so

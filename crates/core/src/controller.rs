@@ -124,6 +124,9 @@ pub struct ControllerActor {
     /// Timestamped capability-revocation milestones from `PeerFailed`
     /// handling: `(dead peer, revoked-at)`. Feeds the MTTR attribution.
     pub peer_revocations: Vec<(ControllerAddr, SimTime)>,
+    /// Last pending-op depth published to the telemetry plane; gauges are
+    /// emitted only on change so an idle Controller stays silent.
+    tele_pending_last: Option<usize>,
 }
 
 impl ControllerActor {
@@ -162,6 +165,7 @@ impl ControllerActor {
             mem,
             dead: false,
             peer_revocations: Vec::new(),
+            tele_pending_last: None,
         }
     }
 
@@ -2323,6 +2327,17 @@ impl Actor for ControllerActor {
                         },
                     );
                 }
+            }
+        }
+        // Publish the pending-op depth after every event that may have
+        // changed it. This actor is the only writer of its series, so
+        // last-value-per-window bucketing is deterministic on both backends.
+        if ctx.telemetry_enabled() {
+            let depth = self.pending.len();
+            if self.tele_pending_last != Some(depth) {
+                self.tele_pending_last = Some(depth);
+                let series = format!("ctrl.{}.pending_ops", self.addr);
+                ctx.telemetry_gauge(&series, depth as u64);
             }
         }
     }

@@ -13,7 +13,9 @@ use std::collections::{HashMap, VecDeque};
 
 use fractos_cap::{Cid, Perms};
 use fractos_net::{Endpoint, Payload, TrafficClass};
-use fractos_sim::{Actor, Ctx, Msg, Shared, SimDuration, SimTime, SpanKind, TraceCtx};
+use fractos_sim::{
+    Actor, Ctx, Msg, Shared, SimDuration, SimTime, SpanKind, TelemetryKind, TraceCtx,
+};
 
 use crate::directory::Directory;
 use crate::memstore::MemoryStore;
@@ -66,6 +68,13 @@ enum Out {
         /// through to the continuation instead of opening a Device span.
         dev: Option<&'static str>,
     },
+    /// A buffered telemetry point (`Fos::telemetry_*`), drained into the
+    /// engine's telemetry store on the next flush. Only ever queued while
+    /// the telemetry plane is enabled.
+    Telemetry {
+        series: String,
+        kind: TelemetryKind,
+    },
 }
 
 struct FosInner<S> {
@@ -81,6 +90,10 @@ struct FosInner<S> {
     backlog: VecDeque<(u64, Syscall)>,
     mem: Shared<MemoryStore>,
     fabric: Shared<fractos_net::Fabric>,
+    /// Mirror of `Ctx::telemetry_enabled`, refreshed on every delivery.
+    /// `Fos::telemetry_*` are complete no-ops while this is false, so a
+    /// disabled run allocates nothing (zero-perturbation invariant).
+    telemetry_on: bool,
     // --- causal tracing (all no-ops while span recording is off) ---
     /// Trace context the currently-running handler descends from.
     cur: TraceCtx,
@@ -242,6 +255,42 @@ impl<S: Service> Fos<S> {
         inner.next_token += 1;
         inner.timers.insert(token, Box::new(k));
         inner.out.push(Out::Timer { token, delay, dev });
+    }
+
+    /// True while the runtime's telemetry plane is enabled (refreshed on
+    /// every delivery to this Process). Services use this to skip building
+    /// expensive series names when nobody is sampling.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.inner.borrow().telemetry_on
+    }
+
+    /// Records a telemetry counter delta under `series`. A no-op (no
+    /// allocation, no queued output) while the telemetry plane is disabled.
+    pub fn telemetry_count(&self, series: &str, delta: u64) {
+        self.telemetry(series, TelemetryKind::Count(delta));
+    }
+
+    /// Records a telemetry gauge level under `series`. Gauge series must be
+    /// single-writer (one Process per series name) for cross-backend
+    /// determinism; see `fractos_sim::telemetry`. No-op while disabled.
+    pub fn telemetry_gauge(&self, series: &str, value: u64) {
+        self.telemetry(series, TelemetryKind::Gauge(value));
+    }
+
+    /// Records one telemetry sample (e.g. a request latency in nanoseconds)
+    /// under `series`. No-op while disabled.
+    pub fn telemetry_sample(&self, series: &str, value: u64) {
+        self.telemetry(series, TelemetryKind::Sample(value));
+    }
+
+    fn telemetry(&self, series: &str, kind: TelemetryKind) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.telemetry_on {
+            inner.out.push(Out::Telemetry {
+                series: series.to_string(),
+                kind,
+            });
+        }
     }
 
     /// Marks the next syscall this Process posts as the root of a new trace:
@@ -505,6 +554,7 @@ impl<S: Service> ProcessActor<S> {
                 backlog: VecDeque::new(),
                 mem,
                 fabric: fabric.clone(),
+                telemetry_on: false,
                 cur: TraceCtx::NONE,
                 root_armed: false,
                 sc_ctx: HashMap::new(),
@@ -585,7 +635,21 @@ impl<S: Service> ProcessActor<S> {
                         }
                         self.post_syscall(ctx, token, sc);
                     }
+                    Out::Telemetry { series, kind } => match kind {
+                        TelemetryKind::Count(d) => ctx.telemetry_count(&series, d),
+                        TelemetryKind::Gauge(v) => ctx.telemetry_gauge(&series, v),
+                        TelemetryKind::Sample(v) => ctx.telemetry_sample(&series, v),
+                    },
                     Out::Timer { token, delay, dev } => {
+                        // A labeled sleep is device busy time: count it at
+                        // arming, in virtual nanoseconds, so per-device
+                        // utilization falls out of the window series.
+                        if let Some(label) = dev {
+                            if ctx.telemetry_enabled() {
+                                let series = format!("dev.{label}.busy_ns");
+                                ctx.telemetry_count(&series, delay.as_nanos());
+                            }
+                        }
                         if ctx.spans_enabled() {
                             let cur = self.fos.inner.borrow().cur;
                             let t = match dev {
@@ -814,6 +878,7 @@ impl<S: Service> Actor for ProcessActor<S> {
             // restores the context carried by the envelope or timer.
             let mut inner = self.fos.inner.borrow_mut();
             inner.now = ctx.now();
+            inner.telemetry_on = ctx.telemetry_enabled();
             inner.cur = TraceCtx::NONE;
         }
         match msg {
@@ -960,6 +1025,7 @@ mod tests {
             backlog: VecDeque::new(),
             mem,
             fabric: test_fabric(),
+            telemetry_on: false,
             cur: TraceCtx::NONE,
             root_armed: false,
             sc_ctx: HashMap::new(),
@@ -992,6 +1058,7 @@ mod tests {
             backlog: VecDeque::new(),
             mem,
             fabric: test_fabric(),
+            telemetry_on: false,
             cur: TraceCtx::NONE,
             root_armed: false,
             sc_ctx: HashMap::new(),

@@ -12,7 +12,8 @@ use fractos_net::{
 };
 use fractos_sim::{
     build_runtime, runtime_from_env, ActorId, NodeOutage, RunOutcome, Runtime, RuntimeConfig,
-    RuntimeExt, RuntimeKind, Shared, SimDuration, SimTime,
+    RuntimeExt, RuntimeKind, Shared, SimDuration, SimTime, TelemetryConfig, TelemetryEvent,
+    TelemetryKind, TELEMETRY_EXTERNAL,
 };
 
 use crate::controller::ControllerActor;
@@ -216,6 +217,49 @@ impl Testbed {
     /// Clears the fabric's traffic statistics (e.g. after a warm-up phase).
     pub fn reset_traffic(&self) {
         self.fabric.borrow_mut().reset_stats();
+    }
+
+    /// Enables the continuous telemetry plane on both the runtime (engine
+    /// self-profiling + actor-sourced points) and the fabric (per-link
+    /// traffic deltas). Off by default; enabling never perturbs the
+    /// simulated execution — see `fractos_sim::telemetry`.
+    pub fn enable_telemetry(&mut self, period: SimDuration) {
+        self.sim.enable_telemetry(period);
+        self.fabric.borrow_mut().enable_telemetry();
+    }
+
+    /// Enables telemetry as configured by `FRACTOS_TELEMETRY` (unset/`0`/
+    /// `off` leave the plane disabled). Returns the parsed configuration.
+    pub fn enable_telemetry_from_env(&mut self) -> Option<TelemetryConfig> {
+        let cfg = TelemetryConfig::from_env()?;
+        self.enable_telemetry(cfg.period);
+        Some(cfg)
+    }
+
+    /// The telemetry sampling period, when the plane is enabled.
+    pub fn telemetry_period(&self) -> Option<SimDuration> {
+        self.sim.telemetry_period()
+    }
+
+    /// Drains every telemetry point recorded so far — engine stores plus
+    /// the fabric's per-link deltas (attributed to the external sentinel
+    /// actor) — in the canonical `(time, series, actor, ord)` order.
+    pub fn take_telemetry(&mut self) -> Vec<TelemetryEvent> {
+        let mut events = self.sim.take_telemetry();
+        let fab = self.fabric.borrow_mut().take_telemetry();
+        for (ord, e) in fab.into_iter().enumerate() {
+            // Fabric points are pure counter deltas: window derivation is
+            // order-independent, so the buffer position serves as ord.
+            events.push(TelemetryEvent {
+                time: e.time,
+                actor: TELEMETRY_EXTERNAL,
+                ord: ord as u64,
+                series: e.series(),
+                kind: TelemetryKind::Count(e.delta),
+            });
+        }
+        fractos_sim::sort_canonical_telemetry(&mut events);
+        events
     }
 
     /// Arms a fault plan: link faults on the shared fabric, node crashes

@@ -299,6 +299,7 @@ impl GpuAdaptor {
         // One fault-plan draw per launch, in the adaptor's serial op
         // order (replay contract).
         let fault = fos.device_fault(self.gpu_endpoint, DeviceOp::GpuLaunch);
+        fos.telemetry_count("dev.gpu.launches", 1);
         if matches!(fault, DeviceFaultOutcome::Fail) {
             // Launch failure: the driver reports it after the launch
             // overhead; nothing executes.

@@ -414,6 +414,10 @@ impl BlockAdaptor {
         // One fault-plan draw per media read, in the adaptor's serial
         // op order (replay contract).
         let fault = fos.device_fault(self.nvme_endpoint, DeviceOp::NvmeRead);
+        fos.telemetry_count("dev.nvme.reads", 1);
+        if hit {
+            fos.telemetry_count("dev.nvme.cache_hits", 1);
+        }
         if let DeviceFaultOutcome::Spike { factor } = fault {
             delay = SimDuration::from_secs_f64(delay.as_secs_f64() * factor);
         }
@@ -533,6 +537,7 @@ impl BlockAdaptor {
                         // One fault-plan draw per media write (replay
                         // contract: serial adaptor op order).
                         let fault = fos.device_fault(s.nvme_endpoint, DeviceOp::NvmeWrite);
+                        fos.telemetry_count("dev.nvme.writes", 1);
                         let mut delay = match s.kernel_cache.as_mut() {
                             Some(cache) => {
                                 // Absorbed: ack after the cache latency;

@@ -1,0 +1,31 @@
+//! Known-bad corpus: a telemetry sampler stamping points with the wall
+//! clock instead of virtual time. Not compiled — scanned by the lint's
+//! self-tests to prove the `wallclock` rule catches exactly the mistake
+//! the telemetry plane's design forbids: every series must be keyed by
+//! deterministic `SimTime`, never by the host's clock, or exports stop
+//! replaying byte-identically.
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+struct WallClockSampler {
+    points: Vec<(u128, u64)>,
+    started: Option<Instant>,
+}
+
+impl WallClockSampler {
+    fn sample(&mut self, value: u64) {
+        // Wrong: window boundaries derived from the host clock drift
+        // between runs and between backends.
+        let t = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or_default()
+            .as_nanos();
+        self.points.push((t, value));
+    }
+
+    fn elapsed_ns(&self) -> u128 {
+        // Wrong for the same reason: sampling cadence must come from the
+        // simulator, not a monotonic host timer.
+        self.started.map_or(0, |s| s.elapsed().as_nanos())
+    }
+}

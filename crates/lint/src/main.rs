@@ -591,6 +591,15 @@ mod tests {
     }
 
     #[test]
+    fn corpus_wallclock_sampler_detected() {
+        let fired = rules_fired("bad_wallclock_sampler.rs");
+        assert!(
+            fired.iter().filter(|r| **r == Rule::Wallclock).count() >= 2,
+            "both the SystemTime stamp and the Instant cadence must fire: {fired:?}"
+        );
+    }
+
+    #[test]
     fn corpus_thread_local_detected() {
         assert!(rules_fired("bad_thread_local.rs").contains(&Rule::ThreadLocal));
     }

@@ -101,6 +101,56 @@ impl LinkSchedule {
     }
 }
 
+/// What a [`FabricTelemetryEvent`] counts on its link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricTelemetryKind {
+    /// One message delivered (control or data).
+    Msgs,
+    /// Payload bytes delivered (the delta is the byte count).
+    Bytes,
+    /// One message dropped by the armed fault plan.
+    Drops,
+    /// One delivery slowed by an active degradation window.
+    Degraded,
+}
+
+impl FabricTelemetryKind {
+    /// The series-name suffix for this kind (`link.<src>-<dst>.<suffix>`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            FabricTelemetryKind::Msgs => "msgs",
+            FabricTelemetryKind::Bytes => "bytes",
+            FabricTelemetryKind::Drops => "drops",
+            FabricTelemetryKind::Degraded => "degraded",
+        }
+    }
+}
+
+/// One timestamped counter delta recorded by the fabric when telemetry is
+/// enabled. Deltas are pure counts: any window bucketing over them is
+/// order-independent, so it does not matter in which order concurrent
+/// senders (e.g. shards of the sharded backend) reach the shared fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricTelemetryEvent {
+    /// Virtual departure time of the message that caused the delta.
+    pub time: SimTime,
+    /// Source node of the link.
+    pub src: NodeId,
+    /// Destination node of the link.
+    pub dst: NodeId,
+    /// Which per-link counter the delta belongs to.
+    pub kind: FabricTelemetryKind,
+    /// The counter increment (1 for msgs/drops/degraded, bytes for bytes).
+    pub delta: u64,
+}
+
+impl FabricTelemetryEvent {
+    /// The canonical telemetry series name, e.g. `link.0-1.bytes`.
+    pub fn series(&self) -> String {
+        format!("link.{}-{}.{}", self.src.0, self.dst.0, self.kind.suffix())
+    }
+}
+
 /// The simulated data-center fabric.
 #[derive(Debug)]
 pub struct Fabric {
@@ -109,6 +159,9 @@ pub struct Fabric {
     schedules: HashMap<Edge, LinkSchedule>,
     stats: TrafficStats,
     faults: Option<FaultState>,
+    /// `Some` only when telemetry is enabled; `None` costs nothing on the
+    /// send path (zero-perturbation invariant — see `fractos_sim::telemetry`).
+    telemetry: Option<Vec<FabricTelemetryEvent>>,
 }
 
 impl Fabric {
@@ -120,6 +173,49 @@ impl Fabric {
             schedules: HashMap::new(),
             stats: TrafficStats::new(),
             faults: None,
+            telemetry: None,
+        }
+    }
+
+    /// Starts buffering per-link telemetry deltas (msgs, bytes, drops,
+    /// degraded deliveries) with virtual timestamps. Off by default; the
+    /// send path is byte-identical with telemetry disabled.
+    pub fn enable_telemetry(&mut self) {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(Vec::new());
+        }
+    }
+
+    /// True when [`enable_telemetry`](Fabric::enable_telemetry) was called.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Drains the buffered telemetry deltas (telemetry stays enabled).
+    /// Returns an empty vector when telemetry was never enabled.
+    pub fn take_telemetry(&mut self) -> Vec<FabricTelemetryEvent> {
+        match &mut self.telemetry {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
+        }
+    }
+
+    fn telemetry_record(
+        &mut self,
+        time: SimTime,
+        src: NodeId,
+        dst: NodeId,
+        kind: FabricTelemetryKind,
+        delta: u64,
+    ) {
+        if let Some(buf) = &mut self.telemetry {
+            buf.push(FabricTelemetryEvent {
+                time,
+                src,
+                dst,
+                kind,
+                delta,
+            });
         }
     }
 
@@ -316,11 +412,16 @@ impl Fabric {
             if f > 1.0 {
                 delay = delay * f;
                 self.stats.record_degraded(src.node, dst.node);
+                self.telemetry_record(now, src.node, dst.node, FabricTelemetryKind::Degraded, 1);
             }
         }
 
         self.stats
             .record(src.node, dst.node, class, medium, payload);
+        if self.telemetry.is_some() {
+            self.telemetry_record(now, src.node, dst.node, FabricTelemetryKind::Msgs, 1);
+            self.telemetry_record(now, src.node, dst.node, FabricTelemetryKind::Bytes, payload);
+        }
         (delay, base.min(delay))
     }
 
@@ -377,6 +478,7 @@ impl Fabric {
                 .validate(dst)
                 .unwrap_or_else(|e| panic!("fabric send to invalid endpoint: {e}"));
             self.stats.record_drop(src.node, dst.node);
+            self.telemetry_record(now, src.node, dst.node, FabricTelemetryKind::Drops, 1);
             return None;
         }
         Some(self.send_parts(now, rng, src, dst, payload, class))
@@ -485,6 +587,57 @@ mod tests {
 
     const N0: NodeId = NodeId(0);
     const N1: NodeId = NodeId(1);
+
+    #[test]
+    fn telemetry_buffers_link_deltas_only_when_enabled() {
+        let mut f = fabric();
+        let mut r = rng();
+        let src = Endpoint::cpu(N0);
+        let dst = Endpoint::cpu(N1);
+
+        // Disabled: send path records nothing and take returns empty.
+        f.send(SimTime::ZERO, &mut r, src, dst, 100, TrafficClass::Data);
+        assert!(!f.telemetry_enabled());
+        assert!(f.take_telemetry().is_empty());
+
+        f.enable_telemetry();
+        let t = SimTime::from_nanos(5_000);
+        f.send(t, &mut r, src, dst, 100, TrafficClass::Data);
+        let events = f.take_telemetry();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, FabricTelemetryKind::Msgs);
+        assert_eq!(events[0].delta, 1);
+        assert_eq!(events[0].time, t);
+        assert_eq!(events[0].series(), "link.0-1.msgs");
+        assert_eq!(events[1].kind, FabricTelemetryKind::Bytes);
+        assert_eq!(events[1].delta, 100);
+        assert_eq!(events[1].series(), "link.0-1.bytes");
+
+        // Draining leaves telemetry enabled.
+        assert!(f.telemetry_enabled());
+        f.send(t, &mut r, src, dst, 8, TrafficClass::Control);
+        assert_eq!(f.take_telemetry().len(), 2);
+    }
+
+    #[test]
+    fn telemetry_records_fault_plan_drops() {
+        use crate::fault::FaultPlan;
+
+        let plan = FaultPlan::new().drop_prob(N0, N1, 1.0);
+        let mut f = fabric();
+        f.install_fault_plan(plan, 9);
+        f.enable_telemetry();
+        let mut r = rng();
+        let src = Endpoint::cpu(N0);
+        let dst = Endpoint::cpu(N1);
+
+        let out = f.try_send(SimTime::ZERO, &mut r, src, dst, 64, TrafficClass::Control);
+        assert!(matches!(out, SendOutcome::Dropped));
+        let events = f.take_telemetry();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, FabricTelemetryKind::Drops);
+        assert_eq!(events[0].series(), "link.0-1.drops");
+    }
 
     #[test]
     fn loopback_rtt_matches_table3() {

@@ -42,7 +42,7 @@ pub mod params;
 pub mod stats;
 pub mod topology;
 
-pub use fabric::{Fabric, WIRE_HEADER_BYTES};
+pub use fabric::{Fabric, FabricTelemetryEvent, FabricTelemetryKind, WIRE_HEADER_BYTES};
 pub use fault::{
     DeviceFaultOutcome, DeviceFaults, DeviceOp, FaultPlan, LinkKey, NodeCrash, SendOutcome,
 };

@@ -210,6 +210,69 @@ mod tests {
     }
 
     #[test]
+    fn empty_span_list_yields_no_breakdowns() {
+        let bs = analyze(&[]);
+        assert!(bs.is_empty());
+        let t = aggregate(&bs);
+        assert_eq!(t, PhaseTotals::default());
+    }
+
+    #[test]
+    fn single_span_request_attributes_everything_to_its_component() {
+        let mut store = SpanStore::new(7);
+        span(&mut store, SpanKind::Device, TraceCtx::NONE, 100, 400);
+        let spans = store.take();
+        let bs = analyze(&spans);
+        assert_eq!(bs.len(), 1);
+        let b = &bs[0];
+        assert_eq!(b.total_ns, 300);
+        assert_eq!(b.device_ns, 300);
+        assert_eq!(b.network_ns + b.control_ns + b.other_ns, 0);
+        assert_eq!(
+            b.network_ns + b.device_ns + b.control_ns + b.other_ns,
+            b.total_ns
+        );
+    }
+
+    #[test]
+    fn zero_width_single_span_is_a_zero_total() {
+        let mut store = SpanStore::new(8);
+        span(&mut store, SpanKind::Syscall, TraceCtx::NONE, 50, 50);
+        let spans = store.take();
+        let b = &analyze(&spans)[0];
+        assert_eq!(b.total_ns, 0);
+        assert_eq!(b.other_ns, 0);
+    }
+
+    #[test]
+    fn recovery_span_tree_sums_exactly() {
+        // Shape of a crash-plan trace: a request hits a dead peer, burns a
+        // retransmit window, then a Recovery span covers failover to the
+        // replica before a device finishes the work.
+        let mut store = SpanStore::new(9);
+        let root = span(&mut store, SpanKind::Syscall, TraceCtx::NONE, 0, 0);
+        let hop = span(&mut store, SpanKind::FabricProp, root, 0, 200);
+        span(&mut store, SpanKind::Fault, hop, 200, 200);
+        span(&mut store, SpanKind::Retransmit, hop, 200, 500);
+        let rec = span(&mut store, SpanKind::Recovery, hop, 500, 900);
+        // Recovery overlaps the replica's device work; device wins.
+        span(&mut store, SpanKind::Device, rec, 700, 900);
+        // Residual queueing before the reply closes the trace.
+        span(&mut store, SpanKind::Deliver, rec, 950, 1000);
+        let spans = store.take();
+        let b = &analyze(&spans)[0];
+        assert_eq!(b.total_ns, 1000);
+        assert_eq!(b.network_ns, 500); // hop 0..200 + retransmit 200..500
+        assert_eq!(b.control_ns, 250); // recovery 500..700 + deliver 950..1000
+        assert_eq!(b.device_ns, 200);
+        assert_eq!(b.other_ns, 50); // 900..950 covered by nothing
+        assert_eq!(
+            b.network_ns + b.device_ns + b.control_ns + b.other_ns,
+            b.total_ns
+        );
+    }
+
+    #[test]
     fn traces_separate_and_aggregate() {
         let mut store = SpanStore::new(3);
         let r1 = span(&mut store, SpanKind::Syscall, TraceCtx::NONE, 0, 0);

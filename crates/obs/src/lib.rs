@@ -16,11 +16,13 @@ pub mod chrome;
 pub mod critical;
 pub mod json;
 pub mod snapshot;
+pub mod telemetry;
 
 pub use chrome::chrome_trace;
 pub use critical::{aggregate, analyze, PhaseBreakdown, PhaseTotals};
 pub use json::Json;
 pub use snapshot::{HistSummary, MetricsSnapshot};
+pub use telemetry::{Series, SeriesKind, TelemetryReport, WindowValue};
 
 /// Destination for trace export, parsed from the `FRACTOS_TRACE`
 /// environment variable. Currently one scheme: `chrome:<path>` writes a

@@ -6,7 +6,7 @@
 //! backends), and histogram means are computed over *sorted* samples so
 //! floating-point summation order does not depend on event interleaving.
 
-use fractos_sim::Metrics;
+use fractos_sim::{quantile_sorted, Metrics};
 
 use crate::json::Json;
 
@@ -29,14 +29,6 @@ pub struct HistSummary {
     pub max: f64,
 }
 
-fn quantile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-    sorted[idx]
-}
-
 impl HistSummary {
     fn from_samples(samples: &[f64]) -> Self {
         let mut sorted = samples.to_vec();
@@ -50,9 +42,9 @@ impl HistSummary {
             count: sorted.len() as u64,
             mean,
             min: sorted.first().copied().unwrap_or(0.0),
-            p50: quantile(&sorted, 0.5),
-            p95: quantile(&sorted, 0.95),
-            p99: quantile(&sorted, 0.99),
+            p50: quantile_sorted(&sorted, 0.5),
+            p95: quantile_sorted(&sorted, 0.95),
+            p99: quantile_sorted(&sorted, 0.99),
             max: sorted.last().copied().unwrap_or(0.0),
         }
     }

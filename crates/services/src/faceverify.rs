@@ -731,6 +731,8 @@ impl FvClient {
         }
         let issued_at = fos.now();
         self.pending_issue.push((seq, issued_at));
+        fos.telemetry_count("app.fv.issued", 1);
+        fos.telemetry_gauge("app.fv.inflight", self.pending_issue.len() as u64);
 
         // Reuse a registered buffer when one is free (clients keep a small
         // pool, like the frontend's GPU buffer pool).
@@ -818,11 +820,14 @@ impl Service for FvClient {
         }
         let all_matched = !distances.is_empty() && distances.iter().all(|&d| d < MATCH_THRESHOLD);
         self.replies.push(distances.clone());
-        self.samples.push(FvSample {
+        let sample = FvSample {
             issued,
             completed: fos.now(),
             all_matched,
-        });
+        };
+        fos.telemetry_sample("app.fv.latency_ns", sample.latency().as_nanos());
+        fos.telemetry_gauge("app.fv.inflight", self.pending_issue.len() as u64);
+        self.samples.push(sample);
         self.issue_one(fos);
     }
 }

@@ -17,6 +17,9 @@ use crate::metrics::Metrics;
 use crate::queue::EventQueue;
 use crate::rng::SimRng;
 use crate::span::{sort_canonical, SpanKind, SpanRecord, SpanStore, TraceCtx};
+use crate::telemetry::{
+    sort_canonical_telemetry, TelemetryEvent, TelemetryKind, TelemetryStore, TELEMETRY_EXTERNAL,
+};
 use crate::time::{SimDuration, SimTime};
 
 /// Identifies an actor registered with a [`Sim`].
@@ -33,7 +36,7 @@ impl ActorId {
     ///
     /// Only meaningful for ids that came from [`Sim::add_actor`] (or in
     /// tests that wire ids by hand); posting to a fabricated id panics.
-    pub fn from_raw(index: u32) -> Self {
+    pub const fn from_raw(index: u32) -> Self {
         ActorId(index)
     }
 }
@@ -73,6 +76,7 @@ pub struct Ctx<'a> {
     metrics: &'a mut Metrics,
     trace: &'a mut Option<Vec<TraceEntry>>,
     spans: &'a mut Option<SpanStore>,
+    telemetry: &'a mut Option<TelemetryStore>,
     stop: &'a mut bool,
 }
 
@@ -87,6 +91,7 @@ impl<'a> Ctx<'a> {
         metrics: &'a mut Metrics,
         trace: &'a mut Option<Vec<TraceEntry>>,
         spans: &'a mut Option<SpanStore>,
+        telemetry: &'a mut Option<TelemetryStore>,
         stop: &'a mut bool,
     ) -> Self {
         Ctx {
@@ -97,6 +102,7 @@ impl<'a> Ctx<'a> {
             metrics,
             trace,
             spans,
+            telemetry,
             stop,
         }
     }
@@ -189,6 +195,44 @@ impl<'a> Ctx<'a> {
         }
     }
 
+    /// Whether telemetry recording is enabled.
+    ///
+    /// Callers that need a formatted series name should gate the
+    /// `format!` behind this so disabled runs allocate nothing.
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry.is_some()
+    }
+
+    /// Records a telemetry counter delta if telemetry is enabled.
+    ///
+    /// Like span recording, this consumes no RNG draws and is a complete
+    /// no-op while the plane is disabled.
+    pub fn telemetry_count(&mut self, series: &str, delta: u64) {
+        let (now, actor) = (self.now, self.self_id);
+        if let Some(store) = self.telemetry.as_mut() {
+            store.record(actor, now, series.to_string(), TelemetryKind::Count(delta));
+        }
+    }
+
+    /// Records a telemetry gauge level if telemetry is enabled. Gauge
+    /// series must be single-writer (one actor per series name) for
+    /// cross-backend determinism — see [`crate::telemetry`].
+    pub fn telemetry_gauge(&mut self, series: &str, value: u64) {
+        let (now, actor) = (self.now, self.self_id);
+        if let Some(store) = self.telemetry.as_mut() {
+            store.record(actor, now, series.to_string(), TelemetryKind::Gauge(value));
+        }
+    }
+
+    /// Records one telemetry sample (latency, size) if telemetry is
+    /// enabled.
+    pub fn telemetry_sample(&mut self, series: &str, value: u64) {
+        let (now, actor) = (self.now, self.self_id);
+        if let Some(store) = self.telemetry.as_mut() {
+            store.record(actor, now, series.to_string(), TelemetryKind::Sample(value));
+        }
+    }
+
     /// Requests the simulation to stop after the current event.
     pub fn stop(&mut self) {
         *self.stop = true;
@@ -268,6 +312,14 @@ pub struct Sim {
     metrics: Metrics,
     trace: Option<Vec<TraceEntry>>,
     spans: Option<SpanStore>,
+    telemetry: Option<TelemetryStore>,
+    /// Sampling period for engine self-profiling boundary ticks; `Some`
+    /// exactly when `telemetry` is.
+    telemetry_period: Option<SimDuration>,
+    /// Last self-profiling window emitted (window index = time / period).
+    tele_window: Option<u64>,
+    /// `steps` at the last self-profiling emission (events/window deltas).
+    tele_steps: u64,
     stop: bool,
 }
 
@@ -288,6 +340,10 @@ impl Sim {
             metrics: Metrics::new(),
             trace: None,
             spans: None,
+            telemetry: None,
+            telemetry_period: None,
+            tele_window: None,
+            tele_steps: 0,
             stop: false,
         }
     }
@@ -326,6 +382,82 @@ impl Sim {
         };
         sort_canonical(&mut spans);
         spans
+    }
+
+    /// Enables telemetry recording with the given sampling period (see
+    /// [`Sim::take_telemetry`]). Off by default; while disabled, recording
+    /// is a no-op that neither allocates nor perturbs the RNG stream, so
+    /// disabled runs behave bit-identically to builds without the
+    /// subsystem.
+    pub fn enable_telemetry(&mut self, period: SimDuration) {
+        assert!(period > SimDuration::ZERO, "telemetry period must be > 0");
+        if self.telemetry.is_none() {
+            self.telemetry = Some(TelemetryStore::new());
+        }
+        self.telemetry_period = Some(period);
+    }
+
+    /// The telemetry sampling period, or `None` while the plane is off.
+    pub fn telemetry_period(&self) -> Option<SimDuration> {
+        self.telemetry_period
+    }
+
+    /// Takes the recorded telemetry events in the canonical
+    /// `(time, series, actor, ord)` order, leaving recording enabled.
+    pub fn take_telemetry(&mut self) -> Vec<TelemetryEvent> {
+        let mut events = match self.telemetry.as_mut() {
+            Some(store) => store.take(),
+            None => Vec::new(),
+        };
+        sort_canonical_telemetry(&mut events);
+        events
+    }
+
+    /// Engine self-profiling: when an event crosses a sampling-period
+    /// boundary, record scheduler gauges (queue depth, timing-wheel
+    /// bucket occupancy, overflow-heap size) and the events-per-window
+    /// delta under the backend-specific `runtime.` series namespace.
+    /// Exporters exclude that namespace from cross-backend artifacts.
+    fn telemetry_boundary(&mut self, time: SimTime) {
+        let Some(period) = self.telemetry_period else {
+            return;
+        };
+        let w = time.as_nanos() / period.as_nanos().max(1);
+        if self.tele_window == Some(w) {
+            return;
+        }
+        self.tele_window = Some(w);
+        let at = SimTime::from_nanos(w.saturating_mul(period.as_nanos()));
+        let depth = self.queue.len() as u64;
+        let occupied = self.queue.wheel_occupied_buckets() as u64;
+        let far = self.queue.far_len() as u64;
+        let events = self.steps - self.tele_steps;
+        self.tele_steps = self.steps;
+        // `telemetry_period` is only ever set together with the store.
+        let Some(store) = self.telemetry.as_mut() else {
+            return;
+        };
+        let mut emit = |series: &str, kind: TelemetryKind| {
+            store.record(TELEMETRY_EXTERNAL, at, series.to_string(), kind);
+        };
+        emit("runtime.single.queue.depth", TelemetryKind::Gauge(depth));
+        emit(
+            "runtime.single.wheel.occupied",
+            TelemetryKind::Gauge(occupied),
+        );
+        emit("runtime.single.wheel.far", TelemetryKind::Gauge(far));
+        emit("runtime.single.events", TelemetryKind::Count(events));
+        // Sampled scheduler peaks for the post-run profile table.
+        for (name, v) in [
+            ("runtime.single.wheel.occupied_peak", occupied),
+            ("runtime.single.wheel.far_peak", far),
+            ("runtime.single.queue.depth_peak", depth),
+        ] {
+            let prev = self.metrics.counter(name);
+            if v > prev {
+                self.metrics.add(name, v - prev);
+            }
+        }
     }
 
     /// Registers an actor (on node 0) and returns its id.
@@ -423,6 +555,9 @@ impl Sim {
         debug_assert!(time >= self.now, "event queue went back in time");
         self.now = time;
         self.steps += 1;
+        if self.telemetry_period.is_some() {
+            self.telemetry_boundary(time);
+        }
 
         // A delivery inside a node-down window is lost: the crashed node's
         // actors stop receiving. The event still advances time and counts
@@ -454,6 +589,7 @@ impl Sim {
                 metrics: &mut self.metrics,
                 trace: &mut self.trace,
                 spans: &mut self.spans,
+                telemetry: &mut self.telemetry,
                 stop: &mut self.stop,
             };
             actor.handle(msg, &mut ctx);

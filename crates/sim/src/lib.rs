@@ -37,10 +37,11 @@ pub mod runtime;
 pub mod sharded;
 pub mod shared;
 pub mod span;
+pub mod telemetry;
 pub mod time;
 
 pub use engine::{Actor, ActorId, Ctx, Msg, NodeOutage, RunOutcome, Sim, TraceEntry};
-pub use metrics::{Histogram, Metrics};
+pub use metrics::{quantile_sorted, Histogram, Metrics, StreamHist};
 pub use payload::Payload;
 pub use queue::EventQueue;
 pub use rng::SimRng;
@@ -50,4 +51,8 @@ pub use runtime::{
 pub use sharded::ShardedSim;
 pub use shared::Shared;
 pub use span::{SpanKind, SpanRecord, SpanStore, TraceCtx};
+pub use telemetry::{
+    sort_canonical_telemetry, TelemetryConfig, TelemetryEvent, TelemetryKind, TelemetryStore,
+    TELEMETRY_EXTERNAL,
+};
 pub use time::{SimDuration, SimTime};

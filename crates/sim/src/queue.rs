@@ -112,6 +112,25 @@ impl<T> EventQueue<T> {
         self.len == 0
     }
 
+    /// Entries currently inside the wheel window (engine self-profiling).
+    pub fn wheel_len(&self) -> usize {
+        self.wheel_len
+    }
+
+    /// Entries in the far-future overflow heap (engine self-profiling —
+    /// a persistently large heap means the wheel window is mis-sized for
+    /// the workload's delay distribution).
+    pub fn far_len(&self) -> usize {
+        self.far.len()
+    }
+
+    /// Number of occupied wheel buckets (engine self-profiling — bucket
+    /// occupancy versus `wheel_len` shows how clustered near-future
+    /// events are).
+    pub fn wheel_occupied_buckets(&self) -> usize {
+        self.occupied.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
     /// Schedules `item` at `(time, seq)`. Sequence numbers must be unique
     /// for the order to be total; the engines guarantee this by assigning
     /// them from a monotone counter.
@@ -369,6 +388,20 @@ mod tests {
         }
         assert!(q.is_empty());
         assert_eq!(q.peek_key(), None);
+    }
+
+    #[test]
+    fn profiling_accessors_track_the_partition() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.wheel_len() + q.far_len(), 0);
+        assert_eq!(q.wheel_occupied_buckets(), 0);
+        q.push(SimTime::from_nanos(10), 1, 1u32); // near: wheel
+        q.push(SimTime::from_nanos(20), 2, 2u32); // same bucket
+        q.push(SimTime::from_nanos(3_600_000_000_000), 3, 3u32); // far heap
+        assert_eq!(q.wheel_len(), 2);
+        assert_eq!(q.far_len(), 1);
+        assert_eq!(q.wheel_occupied_buckets(), 1);
+        assert_eq!(q.len(), q.wheel_len() + q.far_len());
     }
 
     #[test]

@@ -25,6 +25,7 @@ use std::any::Any;
 use crate::engine::{Actor, ActorId, Msg, NodeOutage, RunOutcome, Sim, TraceEntry};
 use crate::metrics::Metrics;
 use crate::span::SpanRecord;
+use crate::telemetry::TelemetryEvent;
 use crate::time::{SimDuration, SimTime};
 
 /// Engine-neutral simulation driver.
@@ -101,6 +102,29 @@ pub trait Runtime {
     /// Spans are returned in the canonical `(start, end, actor, ord)` order,
     /// identical across backends for equal `(seed, workload)`.
     fn take_spans(&mut self) -> Vec<SpanRecord>;
+
+    /// Enables telemetry recording with the given virtual-time sampling
+    /// period (see [`crate::telemetry`]).
+    ///
+    /// Off by default; while disabled, recording is a no-op that neither
+    /// allocates nor perturbs the RNG stream, so disabled runs behave
+    /// bit-identically to builds without the subsystem. The period only
+    /// parameterizes the derived window series (and the engine's
+    /// self-profiling boundary ticks) — it never schedules events, so it
+    /// cannot change what the simulation does.
+    fn enable_telemetry(&mut self, period: SimDuration);
+
+    /// The telemetry sampling period, or `None` while the plane is off.
+    fn telemetry_period(&self) -> Option<SimDuration>;
+
+    /// Takes the recorded telemetry events, leaving recording enabled.
+    ///
+    /// Events are returned in the canonical `(time, series, actor, ord)`
+    /// order on every backend; window aggregation over them (see
+    /// `fractos-obs`) is identical across backends for equal
+    /// `(seed, workload)` — engine self-profiling series under the
+    /// `runtime.` prefix excepted, as they describe the backend itself.
+    fn take_telemetry(&mut self) -> Vec<TelemetryEvent>;
 
     /// Invokes `f` with the actor's `dyn Any` form between events.
     ///
@@ -223,6 +247,18 @@ impl Runtime for Sim {
 
     fn take_spans(&mut self) -> Vec<SpanRecord> {
         Sim::take_spans(self)
+    }
+
+    fn enable_telemetry(&mut self, period: SimDuration) {
+        Sim::enable_telemetry(self, period);
+    }
+
+    fn telemetry_period(&self) -> Option<SimDuration> {
+        Sim::telemetry_period(self)
+    }
+
+    fn take_telemetry(&mut self) -> Vec<TelemetryEvent> {
+        Sim::take_telemetry(self)
     }
 
     fn with_actor_any(&mut self, id: ActorId, f: &mut dyn FnMut(&mut dyn Any)) {

@@ -65,6 +65,9 @@ use crate::queue::EventQueue;
 use crate::rng::SimRng;
 use crate::runtime::{Runtime, RuntimeConfig};
 use crate::span::{sort_canonical, SpanRecord, SpanStore};
+use crate::telemetry::{
+    sort_canonical_telemetry, TelemetryEvent, TelemetryKind, TelemetryStore, TELEMETRY_EXTERNAL,
+};
 use crate::time::{SimDuration, SimTime};
 
 /// Queued payload: local actor slot, global id (for errors and traces),
@@ -85,6 +88,15 @@ struct Shard {
     metrics: Metrics,
     trace: Option<Vec<TraceEntry>>,
     spans: Option<SpanStore>,
+    telemetry: Option<TelemetryStore>,
+    /// Self-profiling sampling period; `Some` exactly when `telemetry` is.
+    telemetry_period: Option<SimDuration>,
+    /// Last self-profiling window this shard emitted.
+    tele_window: Option<u64>,
+    /// Events processed at the last self-profiling emission.
+    tele_steps: u64,
+    /// Lifetime events processed by this shard (self-profiling).
+    total_processed: u64,
     now: SimTime,
     seq: u64,
     stop: bool,
@@ -123,6 +135,10 @@ impl Shard {
             );
             self.now = time;
             self.processed += 1;
+            self.total_processed += 1;
+            if self.telemetry_period.is_some() {
+                self.telemetry_boundary(time, my_index);
+            }
 
             // A delivery inside this node's down window is lost (crash
             // fault): same decision rule, same metric as the
@@ -145,6 +161,7 @@ impl Shard {
                     &mut self.metrics,
                     &mut self.trace,
                     &mut self.spans,
+                    &mut self.telemetry,
                     &mut self.stop,
                 );
                 actor.handle(msg, &mut ctx);
@@ -166,6 +183,56 @@ impl Shard {
     fn push(&mut self, time: SimTime, loc: Loc, dst: ActorId, msg: Msg) {
         self.queue.push(time, self.seq, (loc.local, dst, msg));
         self.seq += 1;
+    }
+
+    /// Per-shard counterpart of the single-threaded engine's boundary
+    /// sampling: when an event crosses a sampling-period boundary, record
+    /// this shard's scheduler gauges and events-per-window delta under
+    /// the backend-specific `runtime.shard{i}.` namespace. Exporters
+    /// exclude `runtime.` series from cross-backend artifacts.
+    fn telemetry_boundary(&mut self, time: SimTime, my_index: u32) {
+        let Some(period) = self.telemetry_period else {
+            return;
+        };
+        let w = time.as_nanos() / period.as_nanos().max(1);
+        if self.tele_window == Some(w) {
+            return;
+        }
+        self.tele_window = Some(w);
+        let at = SimTime::from_nanos(w.saturating_mul(period.as_nanos()));
+        let depth = self.queue.len() as u64;
+        let occupied = self.queue.wheel_occupied_buckets() as u64;
+        let far = self.queue.far_len() as u64;
+        let events = self.total_processed - self.tele_steps;
+        self.tele_steps = self.total_processed;
+        // `telemetry_period` is only ever set together with the store.
+        let Some(store) = self.telemetry.as_mut() else {
+            return;
+        };
+        for (suffix, kind) in [
+            ("queue.depth", TelemetryKind::Gauge(depth)),
+            ("wheel.occupied", TelemetryKind::Gauge(occupied)),
+            ("wheel.far", TelemetryKind::Gauge(far)),
+            ("events", TelemetryKind::Count(events)),
+        ] {
+            store.record(
+                TELEMETRY_EXTERNAL,
+                at,
+                format!("runtime.shard{my_index}.{suffix}"),
+                kind,
+            );
+        }
+        for (suffix, v) in [
+            ("wheel.occupied_peak", occupied),
+            ("wheel.far_peak", far),
+            ("queue.depth_peak", depth),
+        ] {
+            let name = format!("runtime.shard{my_index}.{suffix}");
+            let prev = self.metrics.counter(&name);
+            if v > prev {
+                self.metrics.add(&name, v - prev);
+            }
+        }
     }
 
     fn next_event_time(&self) -> Option<SimTime> {
@@ -196,6 +263,8 @@ pub struct ShardedSim {
     seed: u64,
     trace_enabled: bool,
     spans_enabled: bool,
+    /// Telemetry sampling period; `Some` while the plane is enabled.
+    telemetry_period: Option<SimDuration>,
 }
 
 impl ShardedSim {
@@ -240,6 +309,11 @@ impl ShardedSim {
                 metrics: Metrics::new(),
                 trace: None,
                 spans: None,
+                telemetry: None,
+                telemetry_period: None,
+                tele_window: None,
+                tele_steps: 0,
+                total_processed: 0,
                 now: SimTime::ZERO,
                 seq: 0,
                 stop: false,
@@ -261,6 +335,7 @@ impl ShardedSim {
             seed: config.seed,
             trace_enabled: false,
             spans_enabled: false,
+            telemetry_period: None,
         }
     }
 
@@ -305,15 +380,21 @@ impl ShardedSim {
     /// computed by Bellman–Ford relaxation (lookaheads are strictly
     /// positive, so the fixpoint exists and sweeps converge; `n` is the
     /// node count, so the O(n³) worst case is tiny).
+    /// Returns each shard's horizon plus the number of Bellman–Ford
+    /// relaxation sweeps the closure took — the conservative engine's
+    /// analogue of CMB null-message rounds, surfaced as an engine
+    /// self-profiling counter when telemetry is on.
     fn horizons(
         &self,
         nexts: &[Option<SimTime>],
         deadline: Option<SimTime>,
-    ) -> Vec<Option<SimTime>> {
+    ) -> (Vec<Option<SimTime>>, u64) {
         let n = self.shards.len();
         let mut ready: Vec<Option<SimTime>> = nexts.to_vec();
+        let mut sweeps = 0u64;
         for _ in 1..n {
             let mut changed = false;
+            sweeps += 1;
             for j in 0..n {
                 let Some(rj) = ready[j] else { continue };
                 for (i, ri) in ready.iter_mut().enumerate() {
@@ -335,7 +416,7 @@ impl ShardedSim {
                 break;
             }
         }
-        (0..n)
+        let horizons = (0..n)
             .map(|i| {
                 let mut bound: Option<SimTime> = deadline
                     // The horizon is exclusive; an inclusive deadline caps
@@ -352,7 +433,8 @@ impl ShardedSim {
                 }
                 bound
             })
-            .collect()
+            .collect();
+        (horizons, sweeps)
     }
 
     /// Drives synchronization rounds until drained, stopped, out of
@@ -371,7 +453,14 @@ impl ShardedSim {
                 // engine bit-for-bit.
                 s.spans = Some(SpanStore::new(self.seed));
             }
+            if self.telemetry_period.is_some() {
+                if s.telemetry.is_none() {
+                    s.telemetry = Some(TelemetryStore::new());
+                }
+                s.telemetry_period = self.telemetry_period;
+            }
         }
+        let profile = self.telemetry_period.is_some();
         let start_steps = self.steps;
         let outcome = loop {
             let nexts: Vec<Option<SimTime>> =
@@ -389,7 +478,15 @@ impl ShardedSim {
                 break RunOutcome::LimitReached;
             }
             let budget = max_steps - done;
-            let horizons = self.horizons(&nexts, deadline);
+            let (horizons, sweeps) = self.horizons(&nexts, deadline);
+            if profile {
+                // Engine self-profiling (virtual-domain only — wall
+                // clocks are lint-banned in product crates): round count,
+                // channel-clock relaxation sweeps (the CMB null-message
+                // analogue), and per-shard busy/stall shares in events.
+                self.metrics.incr("runtime.sharded.rounds");
+                self.metrics.add("runtime.sharded.cc_sweeps", sweeps);
+            }
 
             self.run_round(&horizons, budget);
 
@@ -399,15 +496,36 @@ impl ShardedSim {
             // together with the horizon construction guarantees it lands
             // at or past its receiver's processed window.
             let mut moved = Vec::new();
+            let mut stalled = 0u64;
             for (j, s) in self.shards.iter_mut().enumerate() {
                 self.now = self.now.max(s.now);
                 self.steps += s.processed;
+                if profile {
+                    // A shard that processed nothing this round spent the
+                    // whole window blocked on the barrier: the per-shard
+                    // busy (events) vs. barrier-wait (stalled rounds)
+                    // split, measured in deterministic virtual units.
+                    if s.processed == 0 {
+                        stalled += 1;
+                        self.metrics
+                            .incr(&format!("runtime.shard{j}.stalled_rounds"));
+                    } else {
+                        self.metrics
+                            .add(&format!("runtime.shard{j}.busy_events"), s.processed);
+                    }
+                }
                 s.processed = 0;
                 moved.extend(
                     s.cross
                         .drain(..)
                         .map(|(sent, time, dst, msg)| (j as u32, sent, time, dst, msg)),
                 );
+            }
+            if profile {
+                self.metrics
+                    .add("runtime.sharded.stalled_shard_rounds", stalled);
+                self.metrics
+                    .add("runtime.sharded.cross_msgs", moved.len() as u64);
             }
             for (src, sent, time, dst, msg) in moved {
                 let loc = self.locs[dst.index()];
@@ -598,6 +716,35 @@ impl Runtime for ShardedSim {
             }
         }
         sort_canonical(&mut all);
+        all
+    }
+
+    fn enable_telemetry(&mut self, period: SimDuration) {
+        assert!(period > SimDuration::ZERO, "telemetry period must be > 0");
+        self.telemetry_period = Some(period);
+        for s in &mut self.shards {
+            if s.telemetry.is_none() {
+                s.telemetry = Some(TelemetryStore::new());
+            }
+            s.telemetry_period = Some(period);
+        }
+    }
+
+    fn telemetry_period(&self) -> Option<SimDuration> {
+        self.telemetry_period
+    }
+
+    fn take_telemetry(&mut self) -> Vec<TelemetryEvent> {
+        let mut all = Vec::new();
+        for s in &mut self.shards {
+            if let Some(store) = s.telemetry.as_mut() {
+                all.append(&mut store.take());
+            }
+        }
+        // Same contract as spans: merge per-shard buffers, then sort into
+        // the canonical (time, series, actor, ord) order shared with the
+        // single-threaded engine.
+        sort_canonical_telemetry(&mut all);
         all
     }
 

@@ -1,0 +1,94 @@
+//! Property-based tests for the streaming log-linear histogram.
+//!
+//! The telemetry plane summarizes latency distributions with
+//! [`StreamHist`] instead of keeping raw samples, so these pin the
+//! accuracy contract the exporters rely on: every quantile the histogram
+//! reports lands within one bucket width of the exact nearest-rank value
+//! computed from the sorted samples, and merging partial histograms is
+//! equivalent to recording everything into one (order-independent, as
+//! required for cross-backend determinism).
+
+use proptest::prelude::*;
+
+use fractos_sim::{quantile_sorted, StreamHist};
+
+/// Sample vectors spanning the exact region (`< 64`), the log-linear
+/// region and multi-decade mixes, like real latency distributions.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            0u64..64,
+            64u64..4096,
+            4096u64..1_000_000,
+            1_000_000u64..10_000_000_000,
+        ],
+        1..400,
+    )
+}
+
+proptest! {
+    /// Each reported quantile is within one bucket width of the exact
+    /// nearest-rank quantile of the raw samples.
+    #[test]
+    fn quantiles_match_sorted_reference_within_one_bucket(vs in samples()) {
+        let mut hist = StreamHist::new();
+        let mut sorted: Vec<f64> = Vec::with_capacity(vs.len());
+        for &v in &vs {
+            hist.record(v);
+            sorted.push(v as f64);
+        }
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let exact = quantile_sorted(&sorted, q) as u64;
+            let approx = hist.quantile(q);
+            let width = StreamHist::bucket_width(exact);
+            prop_assert!(
+                approx.abs_diff(exact) <= width,
+                "q={q}: stream {approx} vs exact {exact} (bucket width {width})"
+            );
+        }
+    }
+
+    /// Values below the exact-region boundary (64) are reproduced exactly.
+    #[test]
+    fn small_values_are_exact(vs in prop::collection::vec(0u64..64, 1..200)) {
+        let mut hist = StreamHist::new();
+        let mut sorted: Vec<f64> = vs.iter().map(|&v| v as f64).collect();
+        for &v in &vs {
+            hist.record(v);
+        }
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            prop_assert_eq!(hist.quantile(q), quantile_sorted(&sorted, q) as u64);
+        }
+    }
+
+    /// Merging per-shard partials equals recording the concatenation:
+    /// counts, sums, extrema and every bucket agree, independent of how
+    /// the samples were split or ordered.
+    #[test]
+    fn merge_equals_concatenation(
+        a in samples(),
+        b in samples(),
+    ) {
+        let mut whole = StreamHist::new();
+        for &v in a.iter().chain(&b) {
+            whole.record(v);
+        }
+        let (mut ha, mut hb) = (StreamHist::new(), StreamHist::new());
+        for &v in &a {
+            ha.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+        }
+        // Merge in both directions: the result must be identical.
+        let mut ab = ha.clone();
+        ab.merge_from(&hb);
+        hb.merge_from(&ha);
+        prop_assert_eq!(&ab, &hb);
+        prop_assert_eq!(&ab, &whole);
+        prop_assert_eq!(ab.count(), (a.len() + b.len()) as u64);
+        prop_assert_eq!(ab.sum(), whole.sum());
+    }
+}
