@@ -189,11 +189,14 @@ impl<S: Service> Fos<S> {
             #[allow(clippy::type_complexity)]
             k: Option<Box<dyn FnOnce(&mut S, Vec<SyscallResult>, &Fos<S>) + Send>>,
         }
-        let join = Shared::new(Join {
-            slots: vec![None; n],
-            left: n,
-            k: Some(Box::new(k)),
-        });
+        let join = Shared::named(
+            "state",
+            Join {
+                slots: vec![None; n],
+                left: n,
+                k: Some(Box::new(k)),
+            },
+        );
         for (i, sc) in calls.into_iter().enumerate() {
             let join = join.clone();
             self.call(sc, move |s, res, fos| {
@@ -542,24 +545,27 @@ impl<S: Service> ProcessActor<S> {
         mem: Shared<MemoryStore>,
     ) -> Self {
         let fos = Fos {
-            inner: Shared::new(FosInner {
-                proc,
-                now: SimTime::ZERO,
-                next_token: 0,
-                conts: HashMap::new(),
-                timers: HashMap::new(),
-                out: Vec::new(),
-                outstanding: 0,
-                window: 256,
-                backlog: VecDeque::new(),
-                mem,
-                fabric: fabric.clone(),
-                telemetry_on: false,
-                cur: TraceCtx::NONE,
-                root_armed: false,
-                sc_ctx: HashMap::new(),
-                timer_ctx: HashMap::new(),
-            }),
+            inner: Shared::named(
+                "inner",
+                FosInner {
+                    proc,
+                    now: SimTime::ZERO,
+                    next_token: 0,
+                    conts: HashMap::new(),
+                    timers: HashMap::new(),
+                    out: Vec::new(),
+                    outstanding: 0,
+                    window: 256,
+                    backlog: VecDeque::new(),
+                    mem,
+                    fabric: fabric.clone(),
+                    telemetry_on: false,
+                    cur: TraceCtx::NONE,
+                    root_armed: false,
+                    sc_ctx: HashMap::new(),
+                    timer_ctx: HashMap::new(),
+                },
+            ),
         };
         ProcessActor {
             service,
@@ -1004,15 +1010,18 @@ mod tests {
     use super::*;
 
     fn test_fabric() -> Shared<fractos_net::Fabric> {
-        Shared::new(fractos_net::Fabric::new(
-            fractos_net::Topology::paper_testbed(),
-            fractos_net::NetParams::paper(),
-        ))
+        Shared::named(
+            "fabric",
+            fractos_net::Fabric::new(
+                fractos_net::Topology::paper_testbed(),
+                fractos_net::NetParams::paper(),
+            ),
+        )
     }
 
     #[test]
     fn fos_queues_syscalls_beyond_window() {
-        let mem = Shared::new(MemoryStore::new());
+        let mem = Shared::named("mem", MemoryStore::new());
         let inner = FosInner::<NullService> {
             proc: ProcId(0),
             now: SimTime::ZERO,
@@ -1032,7 +1041,7 @@ mod tests {
             timer_ctx: HashMap::new(),
         };
         let fos = Fos {
-            inner: Shared::new(inner),
+            inner: Shared::named("inner", inner),
         };
         for _ in 0..5 {
             fos.call(Syscall::Null, |_, _, _| {});
@@ -1045,7 +1054,7 @@ mod tests {
 
     #[test]
     fn mem_helpers_roundtrip() {
-        let mem = Shared::new(MemoryStore::new());
+        let mem = Shared::named("mem", MemoryStore::new());
         let inner = FosInner::<NullService> {
             proc: ProcId(3),
             now: SimTime::ZERO,
@@ -1065,7 +1074,7 @@ mod tests {
             timer_ctx: HashMap::new(),
         };
         let fos = Fos {
-            inner: Shared::new(inner),
+            inner: Shared::named("inner", inner),
         };
         let addr = fos.mem_alloc(16);
         fos.mem_write(addr, 2, b"xy").unwrap();

@@ -14,6 +14,8 @@ use crate::types::{
     Arg, CapArg, FosError, IncomingRequest, MemoryDesc, RequestDesc, Syscall, SyscallResult,
 };
 
+pub mod codes;
+
 /// Buffer-writing half of the codec.
 #[derive(Debug, Default)]
 pub struct Encoder {
@@ -222,14 +224,14 @@ impl Wire for Endpoint {
     fn encode(&self, e: &mut Encoder) {
         e.u32(self.node.0);
         match self.loc {
-            Location::HostCpu => e.u8(0),
-            Location::SmartNic => e.u8(1),
+            Location::HostCpu => e.u8(codes::LOC_HOST_CPU),
+            Location::SmartNic => e.u8(codes::LOC_SMART_NIC),
             Location::Gpu(n) => {
-                e.u8(2);
+                e.u8(codes::LOC_GPU);
                 e.u8(n);
             }
             Location::Nvme(n) => {
-                e.u8(3);
+                e.u8(codes::LOC_NVME);
                 e.u8(n);
             }
         }
@@ -237,10 +239,10 @@ impl Wire for Endpoint {
     fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         let node = NodeId(d.u32()?);
         let loc = match d.u8()? {
-            0 => Location::HostCpu,
-            1 => Location::SmartNic,
-            2 => Location::Gpu(d.u8()?),
-            3 => Location::Nvme(d.u8()?),
+            codes::LOC_HOST_CPU => Location::HostCpu,
+            codes::LOC_SMART_NIC => Location::SmartNic,
+            codes::LOC_GPU => Location::Gpu(d.u8()?),
+            codes::LOC_NVME => Location::Nvme(d.u8()?),
             t => return Err(DecodeError::BadTag(t)),
         };
         Ok(Endpoint { node, loc })
@@ -272,9 +274,9 @@ impl Wire for CapArg {
     fn encode(&self, e: &mut Encoder) {
         self.cap.encode(e);
         match &self.mem {
-            None => e.u8(0),
+            None => e.u8(codes::OPT_NONE),
             Some(m) => {
-                e.u8(1);
+                e.u8(codes::OPT_SOME);
                 m.encode(e);
             }
         }
@@ -282,8 +284,8 @@ impl Wire for CapArg {
     fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         let cap = CapRef::decode(d)?;
         let mem = match d.u8()? {
-            0 => None,
-            1 => Some(MemoryDesc::decode(d)?),
+            codes::OPT_NONE => None,
+            codes::OPT_SOME => Some(MemoryDesc::decode(d)?),
             t => return Err(DecodeError::BadTag(t)),
         };
         Ok(CapArg { cap, mem })
@@ -294,19 +296,19 @@ impl Wire for Arg {
     fn encode(&self, e: &mut Encoder) {
         match self {
             Arg::Imm(b) => {
-                e.u8(0);
+                e.u8(codes::ARG_IMM);
                 e.bytes(b);
             }
             Arg::Cap(c) => {
-                e.u8(1);
+                e.u8(codes::ARG_CAP);
                 c.encode(e);
             }
         }
     }
     fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         match d.u8()? {
-            0 => Ok(Arg::Imm(d.bytes()?.into())),
-            1 => Ok(Arg::Cap(CapArg::decode(d)?)),
+            codes::ARG_IMM => Ok(Arg::Imm(d.bytes()?.into())),
+            codes::ARG_CAP => Ok(Arg::Cap(CapArg::decode(d)?)),
             t => Err(DecodeError::BadTag(t)),
         }
     }
@@ -358,9 +360,9 @@ impl Wire for Cid {
 impl Wire for Syscall {
     fn encode(&self, e: &mut Encoder) {
         match self {
-            Syscall::Null => e.u8(0),
+            Syscall::Null => e.u8(codes::SC_NULL),
             Syscall::MemoryCreate { addr, size, perms } => {
-                e.u8(1);
+                e.u8(codes::SC_MEMORY_CREATE);
                 e.u64(*addr);
                 e.u64(*size);
                 perms.encode(e);
@@ -371,14 +373,14 @@ impl Wire for Syscall {
                 size,
                 drop_perms,
             } => {
-                e.u8(2);
+                e.u8(codes::SC_MEMORY_DIMINISH);
                 cid.encode(e);
                 e.u64(*offset);
                 e.u64(*size);
                 drop_perms.encode(e);
             }
             Syscall::MemoryCopy { src, dst } => {
-                e.u8(3);
+                e.u8(codes::SC_MEMORY_COPY);
                 src.encode(e);
                 dst.encode(e);
             }
@@ -388,11 +390,11 @@ impl Wire for Syscall {
                 imms,
                 caps,
             } => {
-                e.u8(4);
+                e.u8(codes::SC_REQUEST_CREATE);
                 match base {
-                    None => e.u8(0),
+                    None => e.u8(codes::OPT_NONE),
                     Some(b) => {
-                        e.u8(1);
+                        e.u8(codes::OPT_SOME);
                         b.encode(e);
                     }
                 }
@@ -407,38 +409,38 @@ impl Wire for Syscall {
                 }
             }
             Syscall::RequestInvoke { cid } => {
-                e.u8(5);
+                e.u8(codes::SC_REQUEST_INVOKE);
                 cid.encode(e);
             }
             Syscall::CapCreateRevtree { cid } => {
-                e.u8(6);
+                e.u8(codes::SC_CAP_CREATE_REVTREE);
                 cid.encode(e);
             }
             Syscall::CapRevoke { cid } => {
-                e.u8(7);
+                e.u8(codes::SC_CAP_REVOKE);
                 cid.encode(e);
             }
             Syscall::MonitorDelegate { cid, callback_id } => {
-                e.u8(8);
+                e.u8(codes::SC_MONITOR_DELEGATE);
                 cid.encode(e);
                 e.u64(*callback_id);
             }
             Syscall::MonitorReceive { cid, callback_id } => {
-                e.u8(9);
+                e.u8(codes::SC_MONITOR_RECEIVE);
                 cid.encode(e);
                 e.u64(*callback_id);
             }
             Syscall::KvPut { key, cid } => {
-                e.u8(10);
+                e.u8(codes::SC_KV_PUT);
                 e.str(key);
                 cid.encode(e);
             }
             Syscall::KvGet { key } => {
-                e.u8(11);
+                e.u8(codes::SC_KV_GET);
                 e.str(key);
             }
             Syscall::MemoryStat { cid } => {
-                e.u8(12);
+                e.u8(codes::SC_MEMORY_STAT);
                 cid.encode(e);
             }
         }
@@ -446,26 +448,26 @@ impl Wire for Syscall {
 
     fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         Ok(match d.u8()? {
-            0 => Syscall::Null,
-            1 => Syscall::MemoryCreate {
+            codes::SC_NULL => Syscall::Null,
+            codes::SC_MEMORY_CREATE => Syscall::MemoryCreate {
                 addr: d.u64()?,
                 size: d.u64()?,
                 perms: Perms::decode(d)?,
             },
-            2 => Syscall::MemoryDiminish {
+            codes::SC_MEMORY_DIMINISH => Syscall::MemoryDiminish {
                 cid: Cid::decode(d)?,
                 offset: d.u64()?,
                 size: d.u64()?,
                 drop_perms: Perms::decode(d)?,
             },
-            3 => Syscall::MemoryCopy {
+            codes::SC_MEMORY_COPY => Syscall::MemoryCopy {
                 src: Cid::decode(d)?,
                 dst: Cid::decode(d)?,
             },
-            4 => {
+            codes::SC_REQUEST_CREATE => {
                 let base = match d.u8()? {
-                    0 => None,
-                    1 => Some(Cid::decode(d)?),
+                    codes::OPT_NONE => None,
+                    codes::OPT_SOME => Some(Cid::decode(d)?),
                     t => return Err(DecodeError::BadTag(t)),
                 };
                 let tag = d.u64()?;
@@ -486,29 +488,29 @@ impl Wire for Syscall {
                     caps,
                 }
             }
-            5 => Syscall::RequestInvoke {
+            codes::SC_REQUEST_INVOKE => Syscall::RequestInvoke {
                 cid: Cid::decode(d)?,
             },
-            6 => Syscall::CapCreateRevtree {
+            codes::SC_CAP_CREATE_REVTREE => Syscall::CapCreateRevtree {
                 cid: Cid::decode(d)?,
             },
-            7 => Syscall::CapRevoke {
+            codes::SC_CAP_REVOKE => Syscall::CapRevoke {
                 cid: Cid::decode(d)?,
             },
-            8 => Syscall::MonitorDelegate {
-                cid: Cid::decode(d)?,
-                callback_id: d.u64()?,
-            },
-            9 => Syscall::MonitorReceive {
+            codes::SC_MONITOR_DELEGATE => Syscall::MonitorDelegate {
                 cid: Cid::decode(d)?,
                 callback_id: d.u64()?,
             },
-            10 => Syscall::KvPut {
+            codes::SC_MONITOR_RECEIVE => Syscall::MonitorReceive {
+                cid: Cid::decode(d)?,
+                callback_id: d.u64()?,
+            },
+            codes::SC_KV_PUT => Syscall::KvPut {
                 key: d.str()?,
                 cid: Cid::decode(d)?,
             },
-            11 => Syscall::KvGet { key: d.str()? },
-            12 => Syscall::MemoryStat {
+            codes::SC_KV_GET => Syscall::KvGet { key: d.str()? },
+            codes::SC_MEMORY_STAT => Syscall::MemoryStat {
                 cid: Cid::decode(d)?,
             },
             t => return Err(DecodeError::BadTag(t)),
@@ -521,31 +523,31 @@ impl Wire for FosError {
         // Errors serialize to a compact code; capability sub-errors keep
         // enough detail for the caller to react.
         let code: u8 = match self {
-            FosError::Cap(_) => 0,
-            FosError::WrongObjectKind => 1,
-            FosError::OutOfBounds => 2,
-            FosError::PermissionDenied => 3,
-            FosError::SizeMismatch => 4,
-            FosError::NoSuchKey => 5,
-            FosError::ControllerUnreachable => 6,
-            FosError::ProcessFailed => 7,
-            FosError::Topology(_) => 8,
-            FosError::WindowInvalid => 9,
-            FosError::IntegrityViolation => 10,
-            FosError::Verify(_) => 11,
+            FosError::Cap(_) => codes::FOS_CAP,
+            FosError::WrongObjectKind => codes::FOS_WRONG_OBJECT_KIND,
+            FosError::OutOfBounds => codes::FOS_OUT_OF_BOUNDS,
+            FosError::PermissionDenied => codes::FOS_PERMISSION_DENIED,
+            FosError::SizeMismatch => codes::FOS_SIZE_MISMATCH,
+            FosError::NoSuchKey => codes::FOS_NO_SUCH_KEY,
+            FosError::ControllerUnreachable => codes::FOS_CONTROLLER_UNREACHABLE,
+            FosError::ProcessFailed => codes::FOS_PROCESS_FAILED,
+            FosError::Topology(_) => codes::FOS_TOPOLOGY,
+            FosError::WindowInvalid => codes::FOS_WINDOW_INVALID,
+            FosError::IntegrityViolation => codes::FOS_INTEGRITY_VIOLATION,
+            FosError::Verify(_) => codes::FOS_VERIFY,
         };
         e.u8(code);
         if let FosError::Cap(c) = self {
             use fractos_cap::CapError;
             let (sub, obj): (u8, u64) = match c {
-                CapError::NoSuchObject(o) => (0, o.0),
-                CapError::Revoked(o) => (1, o.0),
-                CapError::StaleEpoch(o) => (2, o.0),
-                CapError::BadCid(c) => (3, c.0 as u64),
-                CapError::SpaceExhausted => (4, 0),
-                CapError::PermissionDenied => (5, 0),
-                CapError::HasChildren(o) => (6, o.0),
-                CapError::AlreadyMonitored(o) => (7, o.0),
+                CapError::NoSuchObject(o) => (codes::CAPE_NO_SUCH_OBJECT, o.0),
+                CapError::Revoked(o) => (codes::CAPE_REVOKED, o.0),
+                CapError::StaleEpoch(o) => (codes::CAPE_STALE_EPOCH, o.0),
+                CapError::BadCid(c) => (codes::CAPE_BAD_CID, c.0 as u64),
+                CapError::SpaceExhausted => (codes::CAPE_SPACE_EXHAUSTED, 0),
+                CapError::PermissionDenied => (codes::CAPE_PERMISSION_DENIED, 0),
+                CapError::HasChildren(o) => (codes::CAPE_HAS_CHILDREN, o.0),
+                CapError::AlreadyMonitored(o) => (codes::CAPE_ALREADY_MONITORED, o.0),
             };
             e.u8(sub);
             e.u64(obj);
@@ -553,14 +555,14 @@ impl Wire for FosError {
         if let FosError::Verify(v) = self {
             use crate::verify::VerifyErrorKind as K;
             let (kind, perms): (u8, u8) = match v.kind {
-                K::DanglingCap => (0, 0),
-                K::RevokedCap => (1, 0),
-                K::StaleEpoch => (2, 0),
-                K::CyclicContinuation => (3, 0),
-                K::PrivilegeEscalation => (4, 0),
-                K::RefinementViolation => (5, 0),
-                K::MissingPerm(p) => (6, p.bits()),
-                K::WrongObjectKind => (7, 0),
+                K::DanglingCap => (codes::VK_DANGLING_CAP, 0),
+                K::RevokedCap => (codes::VK_REVOKED_CAP, 0),
+                K::StaleEpoch => (codes::VK_STALE_EPOCH, 0),
+                K::CyclicContinuation => (codes::VK_CYCLIC_CONTINUATION, 0),
+                K::PrivilegeEscalation => (codes::VK_PRIVILEGE_ESCALATION, 0),
+                K::RefinementViolation => (codes::VK_REFINEMENT_VIOLATION, 0),
+                K::MissingPerm(p) => (codes::VK_MISSING_PERM, p.bits()),
+                K::WrongObjectKind => (codes::VK_WRONG_OBJECT_KIND, 0),
             };
             e.u8(kind);
             e.u8(perms);
@@ -569,10 +571,10 @@ impl Wire for FosError {
                 e.u64(step.object.0);
                 match step.arg {
                     Some(a) => {
-                        e.u8(1);
+                        e.u8(codes::OPT_SOME);
                         e.u32(a);
                     }
-                    None => e.u8(0),
+                    None => e.u8(codes::OPT_NONE),
                 }
             }
         }
@@ -581,45 +583,47 @@ impl Wire for FosError {
     fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         use fractos_cap::CapError;
         Ok(match d.u8()? {
-            0 => {
+            codes::FOS_CAP => {
                 let sub = d.u8()?;
                 let obj = d.u64()?;
                 let id = ObjectId(obj);
                 FosError::Cap(match sub {
-                    0 => CapError::NoSuchObject(id),
-                    1 => CapError::Revoked(id),
-                    2 => CapError::StaleEpoch(id),
-                    3 => CapError::BadCid(Cid(obj as u32)),
-                    4 => CapError::SpaceExhausted,
-                    5 => CapError::PermissionDenied,
-                    6 => CapError::HasChildren(id),
-                    7 => CapError::AlreadyMonitored(id),
+                    codes::CAPE_NO_SUCH_OBJECT => CapError::NoSuchObject(id),
+                    codes::CAPE_REVOKED => CapError::Revoked(id),
+                    codes::CAPE_STALE_EPOCH => CapError::StaleEpoch(id),
+                    codes::CAPE_BAD_CID => CapError::BadCid(Cid(obj as u32)),
+                    codes::CAPE_SPACE_EXHAUSTED => CapError::SpaceExhausted,
+                    codes::CAPE_PERMISSION_DENIED => CapError::PermissionDenied,
+                    codes::CAPE_HAS_CHILDREN => CapError::HasChildren(id),
+                    codes::CAPE_ALREADY_MONITORED => CapError::AlreadyMonitored(id),
                     t => return Err(DecodeError::BadTag(t)),
                 })
             }
-            1 => FosError::WrongObjectKind,
-            2 => FosError::OutOfBounds,
-            3 => FosError::PermissionDenied,
-            4 => FosError::SizeMismatch,
-            5 => FosError::NoSuchKey,
-            6 => FosError::ControllerUnreachable,
-            7 => FosError::ProcessFailed,
-            8 => FosError::Topology(fractos_net::TopologyError::UnknownNode(NodeId(0))),
-            9 => FosError::WindowInvalid,
-            10 => FosError::IntegrityViolation,
-            11 => {
+            codes::FOS_WRONG_OBJECT_KIND => FosError::WrongObjectKind,
+            codes::FOS_OUT_OF_BOUNDS => FosError::OutOfBounds,
+            codes::FOS_PERMISSION_DENIED => FosError::PermissionDenied,
+            codes::FOS_SIZE_MISMATCH => FosError::SizeMismatch,
+            codes::FOS_NO_SUCH_KEY => FosError::NoSuchKey,
+            codes::FOS_CONTROLLER_UNREACHABLE => FosError::ControllerUnreachable,
+            codes::FOS_PROCESS_FAILED => FosError::ProcessFailed,
+            codes::FOS_TOPOLOGY => {
+                FosError::Topology(fractos_net::TopologyError::UnknownNode(NodeId(0)))
+            }
+            codes::FOS_WINDOW_INVALID => FosError::WindowInvalid,
+            codes::FOS_INTEGRITY_VIOLATION => FosError::IntegrityViolation,
+            codes::FOS_VERIFY => {
                 use crate::verify::{PlanPath, PlanStep, VerifyError, VerifyErrorKind as K};
                 let kind = d.u8()?;
                 let perms = d.u8()?;
                 let kind = match kind {
-                    0 => K::DanglingCap,
-                    1 => K::RevokedCap,
-                    2 => K::StaleEpoch,
-                    3 => K::CyclicContinuation,
-                    4 => K::PrivilegeEscalation,
-                    5 => K::RefinementViolation,
-                    6 => K::MissingPerm(fractos_cap::Perms::from_bits(perms)),
-                    7 => K::WrongObjectKind,
+                    codes::VK_DANGLING_CAP => K::DanglingCap,
+                    codes::VK_REVOKED_CAP => K::RevokedCap,
+                    codes::VK_STALE_EPOCH => K::StaleEpoch,
+                    codes::VK_CYCLIC_CONTINUATION => K::CyclicContinuation,
+                    codes::VK_PRIVILEGE_ESCALATION => K::PrivilegeEscalation,
+                    codes::VK_REFINEMENT_VIOLATION => K::RefinementViolation,
+                    codes::VK_MISSING_PERM => K::MissingPerm(fractos_cap::Perms::from_bits(perms)),
+                    codes::VK_WRONG_OBJECT_KIND => K::WrongObjectKind,
                     t => return Err(DecodeError::BadTag(t)),
                 };
                 let n = d.u32()?;
@@ -627,8 +631,8 @@ impl Wire for FosError {
                 for _ in 0..n {
                     let object = ObjectId(d.u64()?);
                     let arg = match d.u8()? {
-                        0 => None,
-                        1 => Some(d.u32()?),
+                        codes::OPT_NONE => None,
+                        codes::OPT_SOME => Some(d.u32()?),
                         t => return Err(DecodeError::BadTag(t)),
                     };
                     steps.push(PlanStep { object, arg });
@@ -646,34 +650,34 @@ impl Wire for FosError {
 impl Wire for SyscallResult {
     fn encode(&self, e: &mut Encoder) {
         match self {
-            SyscallResult::Ok => e.u8(0),
+            SyscallResult::Ok => e.u8(codes::RES_OK),
             SyscallResult::NewCid(cid) => {
-                e.u8(1);
+                e.u8(codes::RES_NEW_CID);
                 cid.encode(e);
             }
             SyscallResult::Value(v) => {
-                e.u8(3);
+                e.u8(codes::RES_VALUE);
                 e.u64(*v);
             }
             SyscallResult::Stat { addr, off, size } => {
-                e.u8(4);
+                e.u8(codes::RES_STAT);
                 e.u64(*addr);
                 e.u64(*off);
                 e.u64(*size);
             }
             SyscallResult::Err(err) => {
-                e.u8(2);
+                e.u8(codes::RES_ERR);
                 err.encode(e);
             }
         }
     }
     fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         Ok(match d.u8()? {
-            0 => SyscallResult::Ok,
-            1 => SyscallResult::NewCid(Cid::decode(d)?),
-            2 => SyscallResult::Err(FosError::decode(d)?),
-            3 => SyscallResult::Value(d.u64()?),
-            4 => SyscallResult::Stat {
+            codes::RES_OK => SyscallResult::Ok,
+            codes::RES_NEW_CID => SyscallResult::NewCid(Cid::decode(d)?),
+            codes::RES_ERR => SyscallResult::Err(FosError::decode(d)?),
+            codes::RES_VALUE => SyscallResult::Value(d.u64()?),
+            codes::RES_STAT => SyscallResult::Stat {
                 addr: d.u64()?,
                 off: d.u64()?,
                 size: d.u64()?,

@@ -1,0 +1,266 @@
+//! Central registry of every wire code the protocols mint.
+//!
+//! One named constant per opcode, tag or error code that crosses the
+//! simulated wire — the syscall surface ([`crate::wire`]), the
+//! Controller ↔ Controller peer protocol ([`crate::wire_peer`]), the
+//! device-adaptor error immediates (`fractos_devices::proto`) and the
+//! storage-stack failure codes (`fractos_services`' `fs_err`). Scattering
+//! these as magic numbers is how a protocol grows an opcode one end mints
+//! and the other end silently drops; keeping them here lets
+//! `fractos-analyze`'s wire-conformance pass check, across all crates,
+//! that every code is minted somewhere, handled (or explicitly rejected
+//! with a typed error) at every decode site, and never duplicated within
+//! a group.
+//!
+//! Naming convention: the prefix up to the first `_` is the *group* — one
+//! group per `match`-decoded tag space. The conformance pass derives
+//! groups from these prefixes, so a new code only needs a constant here
+//! and arms at the decode sites; the pass fails the build until both
+//! exist. Groups annotated `analyze: mint-only` carry codes that
+//! terminate at applications (asserted on by tests, not decoded by a
+//! product `match`); the pass skips the decode-site requirement for
+//! those.
+//!
+//! The numeric values are frozen: they are the on-wire representation the
+//! round-trip tests and the byte-identical trace gates pin. Renumbering
+//! is a protocol break, not a refactor.
+
+/// Syscall opcodes (`Syscall` encode/decode).
+pub const SC_NULL: u8 = 0;
+/// `Syscall::MemoryCreate`.
+pub const SC_MEMORY_CREATE: u8 = 1;
+/// `Syscall::MemoryDiminish`.
+pub const SC_MEMORY_DIMINISH: u8 = 2;
+/// `Syscall::MemoryCopy`.
+pub const SC_MEMORY_COPY: u8 = 3;
+/// `Syscall::RequestCreate`.
+pub const SC_REQUEST_CREATE: u8 = 4;
+/// `Syscall::RequestInvoke`.
+pub const SC_REQUEST_INVOKE: u8 = 5;
+/// `Syscall::CapCreateRevtree`.
+pub const SC_CAP_CREATE_REVTREE: u8 = 6;
+/// `Syscall::CapRevoke`.
+pub const SC_CAP_REVOKE: u8 = 7;
+/// `Syscall::MonitorDelegate`.
+pub const SC_MONITOR_DELEGATE: u8 = 8;
+/// `Syscall::MonitorReceive`.
+pub const SC_MONITOR_RECEIVE: u8 = 9;
+/// `Syscall::KvPut`.
+pub const SC_KV_PUT: u8 = 10;
+/// `Syscall::KvGet`.
+pub const SC_KV_GET: u8 = 11;
+/// `Syscall::MemoryStat`.
+pub const SC_MEMORY_STAT: u8 = 12;
+
+/// `SyscallResult` tags.
+pub const RES_OK: u8 = 0;
+/// `SyscallResult::NewCid`.
+pub const RES_NEW_CID: u8 = 1;
+/// `SyscallResult::Err`.
+pub const RES_ERR: u8 = 2;
+/// `SyscallResult::Value`.
+pub const RES_VALUE: u8 = 3;
+/// `SyscallResult::Stat`.
+pub const RES_STAT: u8 = 4;
+
+/// `Arg` tags: immediate payload.
+pub const ARG_IMM: u8 = 0;
+/// `Arg::Cap`.
+pub const ARG_CAP: u8 = 1;
+
+/// Optional-field presence tags (`Option<MemoryDesc>`, `Option<Cid>`,
+/// the verify-path per-step argument, …).
+pub const OPT_NONE: u8 = 0;
+/// The optional field is present.
+pub const OPT_SOME: u8 = 1;
+
+/// `Result<_, FosError>` wrappers in the peer protocol: success arm.
+pub const RESULT_OK: u8 = 0;
+/// Failure arm, followed by an encoded `FosError`.
+pub const RESULT_ERR: u8 = 1;
+
+/// `Location` tags: host CPU.
+pub const LOC_HOST_CPU: u8 = 0;
+/// `Location::SmartNic`.
+pub const LOC_SMART_NIC: u8 = 1;
+/// `Location::Gpu(n)`; the index follows.
+pub const LOC_GPU: u8 = 2;
+/// `Location::Nvme(n)`; the index follows.
+pub const LOC_NVME: u8 = 3;
+
+/// `FosError` codes: capability sub-error (sub-code + object follow).
+pub const FOS_CAP: u8 = 0;
+/// `FosError::WrongObjectKind`.
+pub const FOS_WRONG_OBJECT_KIND: u8 = 1;
+/// `FosError::OutOfBounds`.
+pub const FOS_OUT_OF_BOUNDS: u8 = 2;
+/// `FosError::PermissionDenied`.
+pub const FOS_PERMISSION_DENIED: u8 = 3;
+/// `FosError::SizeMismatch`.
+pub const FOS_SIZE_MISMATCH: u8 = 4;
+/// `FosError::NoSuchKey`.
+pub const FOS_NO_SUCH_KEY: u8 = 5;
+/// `FosError::ControllerUnreachable` (§3.6 typed verdict).
+pub const FOS_CONTROLLER_UNREACHABLE: u8 = 6;
+/// `FosError::ProcessFailed` (§3.6 typed verdict).
+pub const FOS_PROCESS_FAILED: u8 = 7;
+/// `FosError::Topology`.
+pub const FOS_TOPOLOGY: u8 = 8;
+/// `FosError::WindowInvalid`.
+pub const FOS_WINDOW_INVALID: u8 = 9;
+/// `FosError::IntegrityViolation` (end-to-end envelope mismatch).
+pub const FOS_INTEGRITY_VIOLATION: u8 = 10;
+/// `FosError::Verify` (static request-program verifier rejection).
+pub const FOS_VERIFY: u8 = 11;
+
+/// `CapError` sub-codes under [`FOS_CAP`]: no such object.
+pub const CAPE_NO_SUCH_OBJECT: u8 = 0;
+/// `CapError::Revoked`.
+pub const CAPE_REVOKED: u8 = 1;
+/// `CapError::StaleEpoch`.
+pub const CAPE_STALE_EPOCH: u8 = 2;
+/// `CapError::BadCid`.
+pub const CAPE_BAD_CID: u8 = 3;
+/// `CapError::SpaceExhausted`.
+pub const CAPE_SPACE_EXHAUSTED: u8 = 4;
+/// `CapError::PermissionDenied`.
+pub const CAPE_PERMISSION_DENIED: u8 = 5;
+/// `CapError::HasChildren`.
+pub const CAPE_HAS_CHILDREN: u8 = 6;
+/// `CapError::AlreadyMonitored`.
+pub const CAPE_ALREADY_MONITORED: u8 = 7;
+
+/// `VerifyErrorKind` codes under [`FOS_VERIFY`]: dangling capability.
+pub const VK_DANGLING_CAP: u8 = 0;
+/// `VerifyErrorKind::RevokedCap`.
+pub const VK_REVOKED_CAP: u8 = 1;
+/// `VerifyErrorKind::StaleEpoch`.
+pub const VK_STALE_EPOCH: u8 = 2;
+/// `VerifyErrorKind::CyclicContinuation`.
+pub const VK_CYCLIC_CONTINUATION: u8 = 3;
+/// `VerifyErrorKind::PrivilegeEscalation`.
+pub const VK_PRIVILEGE_ESCALATION: u8 = 4;
+/// `VerifyErrorKind::RefinementViolation`.
+pub const VK_REFINEMENT_VIOLATION: u8 = 5;
+/// `VerifyErrorKind::MissingPerm` (perm bits follow).
+pub const VK_MISSING_PERM: u8 = 6;
+/// `VerifyErrorKind::WrongObjectKind`.
+pub const VK_WRONG_OBJECT_KIND: u8 = 7;
+
+/// Peer-protocol opcodes (`PeerOp`): remote Request invocation.
+pub const PEER_INVOKE: u8 = 0;
+/// `PeerOp::InvokeAck`.
+pub const PEER_INVOKE_ACK: u8 = 1;
+/// `PeerOp::Derive`.
+pub const PEER_DERIVE: u8 = 2;
+/// `PeerOp::DeriveAck`.
+pub const PEER_DERIVE_ACK: u8 = 3;
+/// `PeerOp::Delegate`.
+pub const PEER_DELEGATE: u8 = 4;
+/// `PeerOp::DelegateAck`.
+pub const PEER_DELEGATE_ACK: u8 = 5;
+/// `PeerOp::Revoke`.
+pub const PEER_REVOKE: u8 = 6;
+/// `PeerOp::RevokeAck`.
+pub const PEER_REVOKE_ACK: u8 = 7;
+/// `PeerOp::Monitor`.
+pub const PEER_MONITOR: u8 = 8;
+/// `PeerOp::MonitorAck`.
+pub const PEER_MONITOR_ACK: u8 = 9;
+/// `PeerOp::MonitorEvent`.
+pub const PEER_MONITOR_EVENT: u8 = 10;
+/// `PeerOp::Cleanup`.
+pub const PEER_CLEANUP: u8 = 11;
+/// `PeerOp::FailProcess`.
+pub const PEER_FAIL_PROCESS: u8 = 12;
+/// `PeerOp::KvPut`.
+pub const PEER_KV_PUT: u8 = 13;
+/// `PeerOp::KvPutAck`.
+pub const PEER_KV_PUT_ACK: u8 = 14;
+/// `PeerOp::KvGet`.
+pub const PEER_KV_GET: u8 = 15;
+/// `PeerOp::KvGetAck`.
+pub const PEER_KV_GET_ACK: u8 = 16;
+
+/// `MonitorKind` tags: delegate-monitor.
+pub const MON_DELEGATE: u8 = 0;
+/// `MonitorKind::Receive`.
+pub const MON_RECEIVE: u8 = 1;
+
+/// `MonitorCb` tags: delegation tree drained.
+pub const MCB_DELEGATE_DRAINED: u8 = 0;
+/// `MonitorCb::Receive`.
+pub const MCB_RECEIVE: u8 = 1;
+
+/// `DeriveOp` tags: diminish (window/perm shrink).
+pub const DRV_DIMINISH: u8 = 0;
+/// `DeriveOp::Refine` (append-only argument refinement, §3.4).
+pub const DRV_REFINE: u8 = 1;
+/// `DeriveOp::Revtree`.
+pub const DRV_REVTREE: u8 = 2;
+
+/// Device-adaptor error codes (`fractos_devices::proto::DevError`,
+/// carried as the first immediate of an error-continuation reply):
+/// malformed request.
+pub const DEV_BAD_REQUEST: u64 = 1;
+/// `DevError::TooLarge`.
+pub const DEV_TOO_LARGE: u64 = 2;
+/// `DevError::Bounds`.
+pub const DEV_BOUNDS: u64 = 3;
+/// `DevError::Transfer`.
+pub const DEV_TRANSFER: u64 = 4;
+/// `DevError::NoKernel`.
+pub const DEV_NO_KERNEL: u64 = 5;
+/// `DevError::BadBuffer`.
+pub const DEV_BAD_BUFFER: u64 = 6;
+/// `DevError::Media`.
+pub const DEV_MEDIA: u64 = 7;
+/// `DevError::Launch`.
+pub const DEV_LAUNCH: u64 = 8;
+/// `DevError::Integrity`.
+pub const DEV_INTEGRITY: u64 = 9;
+
+/// Internal FS continuation kinds: the first immediate of a
+/// `TAG_FS_INTERNAL` Request, minted by the FS service's `internal_cont`
+/// and dispatched by its own `on_request` (the FS is both ends of this
+/// private tag space): a volume extent finished deriving.
+pub const FSI_EXTENT_READY: u64 = 0;
+/// A block operation completed successfully.
+pub const FSI_BLK_OK: u64 = 1;
+/// A block operation failed; the adaptor's typed `DevError` code rides
+/// at immediate index 2.
+pub const FSI_BLK_ERR: u64 = 2;
+
+// analyze: group FSE mint-only
+/// Storage-stack failure codes (`fractos_services`' `fs_err`, replied as
+/// a bare `[code]` immediate on the client's error continuation; clients
+/// assert on them, no product `match` decodes them): bad range.
+pub const FSE_RANGE: u64 = 1;
+/// `fs_err::COMPOSE`: dynamic composition failed.
+pub const FSE_COMPOSE: u64 = 2;
+/// `fs_err::STAGING`: staging-buffer setup failed.
+pub const FSE_STAGING: u64 = 3;
+/// `fs_err::DEGRADED`: block adaptor unreachable.
+pub const FSE_DEGRADED: u64 = 4;
+/// `fs_err::NO_FILE`.
+pub const FSE_NO_FILE: u64 = 5;
+/// `fs_err::INTERNAL`: internal continuation/handle minting failed.
+pub const FSE_INTERNAL: u64 = 6;
+/// `fs_err::IO`: block-device operation failed.
+pub const FSE_IO: u64 = 9;
+
+#[cfg(test)]
+mod tests {
+    /// The registry's values are frozen protocol surface; spot-check the
+    /// anchors documented throughout the tree so a renumbering attempt
+    /// fails loudly here as well as at the round-trip suites.
+    #[test]
+    fn documented_anchors_hold() {
+        assert_eq!(super::FOS_INTEGRITY_VIOLATION, 10);
+        assert_eq!(super::FOS_VERIFY, 11);
+        assert_eq!(super::SC_MEMORY_STAT, 12);
+        assert_eq!(super::PEER_KV_GET_ACK, 16);
+        assert_eq!(super::DEV_INTEGRITY, 9);
+        assert_eq!(super::FSE_IO, 9);
+    }
+}

@@ -10,19 +10,19 @@ use fractos_cap::{CapRef, ControllerAddr, Perms};
 
 use crate::messages::{DeriveOp, MonitorKind, PeerOp};
 use crate::types::{CapArg, FosError, MonitorCb, ProcId};
-use crate::wire::{DecodeError, Decoder, Encoder, Wire};
+use crate::wire::{codes, DecodeError, Decoder, Encoder, Wire};
 
 impl Wire for MonitorKind {
     fn encode(&self, e: &mut Encoder) {
         e.u8(match self {
-            MonitorKind::Delegate => 0,
-            MonitorKind::Receive => 1,
+            MonitorKind::Delegate => codes::MON_DELEGATE,
+            MonitorKind::Receive => codes::MON_RECEIVE,
         });
     }
     fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         match d.u8()? {
-            0 => Ok(MonitorKind::Delegate),
-            1 => Ok(MonitorKind::Receive),
+            codes::MON_DELEGATE => Ok(MonitorKind::Delegate),
+            codes::MON_RECEIVE => Ok(MonitorKind::Receive),
             t => Err(DecodeError::BadTag(t)),
         }
     }
@@ -32,11 +32,11 @@ impl Wire for MonitorCb {
     fn encode(&self, e: &mut Encoder) {
         match self {
             MonitorCb::DelegateDrained { callback_id } => {
-                e.u8(0);
+                e.u8(codes::MCB_DELEGATE_DRAINED);
                 e.u64(*callback_id);
             }
             MonitorCb::Receive { callback_id } => {
-                e.u8(1);
+                e.u8(codes::MCB_RECEIVE);
                 e.u64(*callback_id);
             }
         }
@@ -45,8 +45,8 @@ impl Wire for MonitorCb {
         let tag = d.u8()?;
         let callback_id = d.u64()?;
         match tag {
-            0 => Ok(MonitorCb::DelegateDrained { callback_id }),
-            1 => Ok(MonitorCb::Receive { callback_id }),
+            codes::MCB_DELEGATE_DRAINED => Ok(MonitorCb::DelegateDrained { callback_id }),
+            codes::MCB_RECEIVE => Ok(MonitorCb::Receive { callback_id }),
             t => Err(DecodeError::BadTag(t)),
         }
     }
@@ -60,13 +60,13 @@ impl Wire for DeriveOp {
                 size,
                 drop_perms,
             } => {
-                e.u8(0);
+                e.u8(codes::DRV_DIMINISH);
                 e.u64(*offset);
                 e.u64(*size);
                 drop_perms.encode(e);
             }
             DeriveOp::Refine { imms, caps } => {
-                e.u8(1);
+                e.u8(codes::DRV_REFINE);
                 e.u32(imms.len() as u32);
                 for imm in imms {
                     e.bytes(imm);
@@ -76,17 +76,17 @@ impl Wire for DeriveOp {
                     c.encode(e);
                 }
             }
-            DeriveOp::Revtree => e.u8(2),
+            DeriveOp::Revtree => e.u8(codes::DRV_REVTREE),
         }
     }
     fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         Ok(match d.u8()? {
-            0 => DeriveOp::Diminish {
+            codes::DRV_DIMINISH => DeriveOp::Diminish {
                 offset: d.u64()?,
                 size: d.u64()?,
                 drop_perms: Perms::decode(d)?,
             },
-            1 => {
+            codes::DRV_REFINE => {
                 let n = d.u32()? as usize;
                 let mut imms = Vec::with_capacity(n.min(1024));
                 for _ in 0..n {
@@ -99,7 +99,7 @@ impl Wire for DeriveOp {
                 }
                 DeriveOp::Refine { imms, caps }
             }
-            2 => DeriveOp::Revtree,
+            codes::DRV_REVTREE => DeriveOp::Revtree,
             t => return Err(DecodeError::BadTag(t)),
         })
     }
@@ -108,11 +108,11 @@ impl Wire for DeriveOp {
 fn encode_result_cap(e: &mut Encoder, r: &Result<CapArg, FosError>) {
     match r {
         Ok(c) => {
-            e.u8(0);
+            e.u8(codes::RESULT_OK);
             c.encode(e);
         }
         Err(err) => {
-            e.u8(1);
+            e.u8(codes::RESULT_ERR);
             err.encode(e);
         }
     }
@@ -120,17 +120,17 @@ fn encode_result_cap(e: &mut Encoder, r: &Result<CapArg, FosError>) {
 
 fn decode_result_cap(d: &mut Decoder<'_>) -> Result<Result<CapArg, FosError>, DecodeError> {
     match d.u8()? {
-        0 => Ok(Ok(CapArg::decode(d)?)),
-        1 => Ok(Err(FosError::decode(d)?)),
+        codes::RESULT_OK => Ok(Ok(CapArg::decode(d)?)),
+        codes::RESULT_ERR => Ok(Err(FosError::decode(d)?)),
         t => Err(DecodeError::BadTag(t)),
     }
 }
 
 fn encode_result_unit(e: &mut Encoder, r: &Result<(), FosError>) {
     match r {
-        Ok(()) => e.u8(0),
+        Ok(()) => e.u8(codes::RESULT_OK),
         Err(err) => {
-            e.u8(1);
+            e.u8(codes::RESULT_ERR);
             err.encode(e);
         }
     }
@@ -138,8 +138,8 @@ fn encode_result_unit(e: &mut Encoder, r: &Result<(), FosError>) {
 
 fn decode_result_unit(d: &mut Decoder<'_>) -> Result<Result<(), FosError>, DecodeError> {
     match d.u8()? {
-        0 => Ok(Ok(())),
-        1 => Ok(Err(FosError::decode(d)?)),
+        codes::RESULT_OK => Ok(Ok(())),
+        codes::RESULT_ERR => Ok(Err(FosError::decode(d)?)),
         t => Err(DecodeError::BadTag(t)),
     }
 }
@@ -152,13 +152,13 @@ impl Wire for PeerOp {
                 reply_to,
                 token,
             } => {
-                e.u8(0);
+                e.u8(codes::PEER_INVOKE);
                 req.encode(e);
                 e.u32(reply_to.0);
                 e.u64(*token);
             }
             PeerOp::InvokeAck { token, result } => {
-                e.u8(1);
+                e.u8(codes::PEER_INVOKE_ACK);
                 e.u64(*token);
                 encode_result_unit(e, result);
             }
@@ -169,7 +169,7 @@ impl Wire for PeerOp {
                 reply_to,
                 token,
             } => {
-                e.u8(2);
+                e.u8(codes::PEER_DERIVE);
                 obj.encode(e);
                 op.encode(e);
                 e.u32(creator.0);
@@ -177,7 +177,7 @@ impl Wire for PeerOp {
                 e.u64(*token);
             }
             PeerOp::DeriveAck { token, result } => {
-                e.u8(3);
+                e.u8(codes::PEER_DERIVE_ACK);
                 e.u64(*token);
                 encode_result_cap(e, result);
             }
@@ -187,14 +187,14 @@ impl Wire for PeerOp {
                 reply_to,
                 token,
             } => {
-                e.u8(4);
+                e.u8(codes::PEER_DELEGATE);
                 obj.encode(e);
                 e.u32(to.0);
                 e.u32(reply_to.0);
                 e.u64(*token);
             }
             PeerOp::DelegateAck { token, result } => {
-                e.u8(5);
+                e.u8(codes::PEER_DELEGATE_ACK);
                 e.u64(*token);
                 encode_result_cap(e, result);
             }
@@ -203,21 +203,21 @@ impl Wire for PeerOp {
                 reply_to,
                 token,
             } => {
-                e.u8(6);
+                e.u8(codes::PEER_REVOKE);
                 obj.encode(e);
                 e.u32(reply_to.0);
                 e.u64(*token);
             }
             PeerOp::RevokeAck { token, result } => {
-                e.u8(7);
+                e.u8(codes::PEER_REVOKE_ACK);
                 e.u64(*token);
                 match result {
                     Ok(n) => {
-                        e.u8(0);
+                        e.u8(codes::PEER_INVOKE);
                         e.u64(*n);
                     }
                     Err(err) => {
-                        e.u8(1);
+                        e.u8(codes::PEER_INVOKE_ACK);
                         err.encode(e);
                     }
                 }
@@ -230,7 +230,7 @@ impl Wire for PeerOp {
                 reply_to,
                 token,
             } => {
-                e.u8(8);
+                e.u8(codes::PEER_MONITOR);
                 obj.encode(e);
                 kind.encode(e);
                 e.u32(watcher.0);
@@ -239,24 +239,24 @@ impl Wire for PeerOp {
                 e.u64(*token);
             }
             PeerOp::MonitorAck { token, result } => {
-                e.u8(9);
+                e.u8(codes::PEER_MONITOR_ACK);
                 e.u64(*token);
                 encode_result_unit(e, result);
             }
             PeerOp::MonitorEvent { proc, cb } => {
-                e.u8(10);
+                e.u8(codes::PEER_MONITOR_EVENT);
                 e.u32(proc.0);
                 cb.encode(e);
             }
             PeerOp::Cleanup { objs } => {
-                e.u8(11);
+                e.u8(codes::PEER_CLEANUP);
                 e.u32(objs.len() as u32);
                 for o in objs {
                     o.encode(e);
                 }
             }
             PeerOp::FailProcess { proc } => {
-                e.u8(12);
+                e.u8(codes::PEER_FAIL_PROCESS);
                 e.u32(proc.0);
             }
             PeerOp::KvPut {
@@ -265,14 +265,14 @@ impl Wire for PeerOp {
                 reply_to,
                 token,
             } => {
-                e.u8(13);
+                e.u8(codes::PEER_KV_PUT);
                 e.str(key);
                 cap.encode(e);
                 e.u32(reply_to.0);
                 e.u64(*token);
             }
             PeerOp::KvPutAck { token, result } => {
-                e.u8(14);
+                e.u8(codes::PEER_KV_PUT_ACK);
                 e.u64(*token);
                 encode_result_unit(e, result);
             }
@@ -282,14 +282,14 @@ impl Wire for PeerOp {
                 reply_to,
                 token,
             } => {
-                e.u8(15);
+                e.u8(codes::PEER_KV_GET);
                 e.str(key);
                 e.u32(to.0);
                 e.u32(reply_to.0);
                 e.u64(*token);
             }
             PeerOp::KvGetAck { token, result } => {
-                e.u8(16);
+                e.u8(codes::PEER_KV_GET_ACK);
                 e.u64(*token);
                 encode_result_cap(e, result);
             }
@@ -298,51 +298,51 @@ impl Wire for PeerOp {
 
     fn decode(d: &mut Decoder<'_>) -> Result<Self, DecodeError> {
         Ok(match d.u8()? {
-            0 => PeerOp::Invoke {
+            codes::PEER_INVOKE => PeerOp::Invoke {
                 req: CapRef::decode(d)?,
                 reply_to: ControllerAddr(d.u32()?),
                 token: d.u64()?,
             },
-            1 => PeerOp::InvokeAck {
+            codes::PEER_INVOKE_ACK => PeerOp::InvokeAck {
                 token: d.u64()?,
                 result: decode_result_unit(d)?,
             },
-            2 => PeerOp::Derive {
+            codes::PEER_DERIVE => PeerOp::Derive {
                 obj: CapRef::decode(d)?,
                 op: DeriveOp::decode(d)?,
                 creator: ProcId(d.u32()?),
                 reply_to: ControllerAddr(d.u32()?),
                 token: d.u64()?,
             },
-            3 => PeerOp::DeriveAck {
+            codes::PEER_DERIVE_ACK => PeerOp::DeriveAck {
                 token: d.u64()?,
                 result: decode_result_cap(d)?,
             },
-            4 => PeerOp::Delegate {
+            codes::PEER_DELEGATE => PeerOp::Delegate {
                 obj: CapRef::decode(d)?,
                 to: ProcId(d.u32()?),
                 reply_to: ControllerAddr(d.u32()?),
                 token: d.u64()?,
             },
-            5 => PeerOp::DelegateAck {
+            codes::PEER_DELEGATE_ACK => PeerOp::DelegateAck {
                 token: d.u64()?,
                 result: decode_result_cap(d)?,
             },
-            6 => PeerOp::Revoke {
+            codes::PEER_REVOKE => PeerOp::Revoke {
                 obj: CapRef::decode(d)?,
                 reply_to: ControllerAddr(d.u32()?),
                 token: d.u64()?,
             },
-            7 => {
+            codes::PEER_REVOKE_ACK => {
                 let token = d.u64()?;
                 let result = match d.u8()? {
-                    0 => Ok(d.u64()?),
-                    1 => Err(FosError::decode(d)?),
+                    codes::RESULT_OK => Ok(d.u64()?),
+                    codes::RESULT_ERR => Err(FosError::decode(d)?),
                     t => return Err(DecodeError::BadTag(t)),
                 };
                 PeerOp::RevokeAck { token, result }
             }
-            8 => PeerOp::Monitor {
+            codes::PEER_MONITOR => PeerOp::Monitor {
                 obj: CapRef::decode(d)?,
                 kind: MonitorKind::decode(d)?,
                 watcher: ProcId(d.u32()?),
@@ -350,15 +350,15 @@ impl Wire for PeerOp {
                 reply_to: ControllerAddr(d.u32()?),
                 token: d.u64()?,
             },
-            9 => PeerOp::MonitorAck {
+            codes::PEER_MONITOR_ACK => PeerOp::MonitorAck {
                 token: d.u64()?,
                 result: decode_result_unit(d)?,
             },
-            10 => PeerOp::MonitorEvent {
+            codes::PEER_MONITOR_EVENT => PeerOp::MonitorEvent {
                 proc: ProcId(d.u32()?),
                 cb: MonitorCb::decode(d)?,
             },
-            11 => {
+            codes::PEER_CLEANUP => {
                 let n = d.u32()? as usize;
                 let mut objs = Vec::with_capacity(n.min(4096));
                 for _ in 0..n {
@@ -366,26 +366,26 @@ impl Wire for PeerOp {
                 }
                 PeerOp::Cleanup { objs }
             }
-            12 => PeerOp::FailProcess {
+            codes::PEER_FAIL_PROCESS => PeerOp::FailProcess {
                 proc: ProcId(d.u32()?),
             },
-            13 => PeerOp::KvPut {
+            codes::PEER_KV_PUT => PeerOp::KvPut {
                 key: d.str()?,
                 cap: CapArg::decode(d)?,
                 reply_to: ControllerAddr(d.u32()?),
                 token: d.u64()?,
             },
-            14 => PeerOp::KvPutAck {
+            codes::PEER_KV_PUT_ACK => PeerOp::KvPutAck {
                 token: d.u64()?,
                 result: decode_result_unit(d)?,
             },
-            15 => PeerOp::KvGet {
+            codes::PEER_KV_GET => PeerOp::KvGet {
                 key: d.str()?,
                 to: ProcId(d.u32()?),
                 reply_to: ControllerAddr(d.u32()?),
                 token: d.u64()?,
             },
-            16 => PeerOp::KvGetAck {
+            codes::PEER_KV_GET_ACK => PeerOp::KvGetAck {
                 token: d.u64()?,
                 result: decode_result_cap(d)?,
             },

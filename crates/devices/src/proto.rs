@@ -8,6 +8,7 @@
 //! them (§3.4, §5).
 
 use fractos_core::prelude::Payload;
+use fractos_core::wire::codes;
 
 /// GPU adaptor (§5 "Accelerator Service: GPU"): context initialization.
 ///
@@ -51,35 +52,38 @@ pub const TAG_BLK_WRITE: u64 = 0x0202;
 /// failures into typed error invocations the caller can act on).
 ///
 /// The discriminant is the wire code: `DevError::Media as u64` is what
-/// `imm_at(&req.imms, N)` yields at the error continuation.
+/// `imm_at(&req.imms, N)` yields at the error continuation. The codes
+/// themselves live in the [`fractos_core::wire::codes`] registry (`DEV_*`
+/// group) so the wire-conformance pass can check mint and decode sites
+/// across crates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u64)]
 pub enum DevError {
     /// The request was malformed: wrong capability count or undecodable
     /// immediates. Not recoverable by retrying the same request.
-    BadRequest = 1,
+    BadRequest = codes::DEV_BAD_REQUEST,
     /// The transfer exceeds the adaptor's staging capacity.
-    TooLarge = 2,
+    TooLarge = codes::DEV_TOO_LARGE,
     /// The volume/offset/size triple falls outside the volume, or the
     /// context/volume does not exist.
-    Bounds = 3,
+    Bounds = codes::DEV_BOUNDS,
     /// A `memory_copy` leg of the operation failed (revoked window,
     /// unreachable peer, or an integrity-envelope mismatch in flight).
     /// Recoverable when the cause is transient.
-    Transfer = 4,
+    Transfer = codes::DEV_TRANSFER,
     /// The requested GPU kernel is not loaded.
-    NoKernel = 5,
+    NoKernel = codes::DEV_NO_KERNEL,
     /// A GPU input/output buffer capability failed to stat or read.
-    BadBuffer = 6,
+    BadBuffer = codes::DEV_BAD_BUFFER,
     /// An injected (or real) NVMe media error. Recoverable: the adaptor's
     /// caller may re-issue the read/write.
-    Media = 7,
+    Media = codes::DEV_MEDIA,
     /// A GPU kernel launch failure. Recoverable by relaunching.
-    Launch = 8,
+    Launch = codes::DEV_LAUNCH,
     /// The payload failed its integrity envelope at a consumption
     /// boundary (torn write, corrupted output). Recoverable: re-running
     /// the producing operation re-stamps the envelope.
-    Integrity = 9,
+    Integrity = codes::DEV_INTEGRITY,
 }
 
 impl DevError {
@@ -96,15 +100,15 @@ impl DevError {
     /// Decodes a wire code.
     pub fn from_code(code: u64) -> Option<Self> {
         Some(match code {
-            1 => DevError::BadRequest,
-            2 => DevError::TooLarge,
-            3 => DevError::Bounds,
-            4 => DevError::Transfer,
-            5 => DevError::NoKernel,
-            6 => DevError::BadBuffer,
-            7 => DevError::Media,
-            8 => DevError::Launch,
-            9 => DevError::Integrity,
+            codes::DEV_BAD_REQUEST => DevError::BadRequest,
+            codes::DEV_TOO_LARGE => DevError::TooLarge,
+            codes::DEV_BOUNDS => DevError::Bounds,
+            codes::DEV_TRANSFER => DevError::Transfer,
+            codes::DEV_NO_KERNEL => DevError::NoKernel,
+            codes::DEV_BAD_BUFFER => DevError::BadBuffer,
+            codes::DEV_MEDIA => DevError::Media,
+            codes::DEV_LAUNCH => DevError::Launch,
+            codes::DEV_INTEGRITY => DevError::Integrity,
             _ => return None,
         })
     }

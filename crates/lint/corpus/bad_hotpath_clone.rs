@@ -1,0 +1,18 @@
+// Known-bad corpus for the hot-path pass: a marked function full of
+// allocation/copy idioms, next to an unmarked one that may allocate
+// freely. Never compiled — the analyzer reads it as text.
+
+// analyze: hot-path
+fn step(&mut self) {
+    let v = self.buf.clone();
+    let mut out = Vec::new();
+    out.extend(v.to_vec());
+    let label = format!("event-{}", out.len());
+    self.last = label;
+}
+
+fn cold(&mut self) {
+    // Not marked: clones here are fine.
+    let _ = self.buf.clone();
+    let _ = vec![1, 2, 3];
+}

@@ -1,0 +1,29 @@
+// Known-bad corpus for the lock-order pass: an ABBA ordering across two
+// functions (a classic deadlock precursor) plus a same-class nesting
+// (which self-deadlocks under Mutex semantics). Never compiled — the
+// analyzer reads it as text.
+
+struct Pair {
+    alpha: Shared<u32>,
+    beta: Shared<u32>,
+}
+
+impl Pair {
+    fn forward(&self) {
+        let ga = self.alpha.borrow();
+        let gb = self.beta.borrow_mut();
+        let _ = (*ga, *gb);
+    }
+
+    fn backward(&self) {
+        let gb = self.beta.borrow();
+        let ga = self.alpha.borrow_mut();
+        let _ = (*ga, *gb);
+    }
+
+    fn reenter(&self) {
+        let g1 = self.alpha.borrow();
+        let g2 = self.alpha.borrow();
+        let _ = (*g1, *g2);
+    }
+}

@@ -1,0 +1,14 @@
+// Known-bad corpus for the wire-conf pass: a miniature registry with a
+// duplicate value in one group, a dead code point, and a mint-only
+// group. Checked against `bad_wire_unhandled.rs`. Never compiled — the
+// analyzer reads it as text.
+
+pub const XX_PING: u8 = 0;
+pub const XX_PONG: u8 = 1;
+/// Duplicate of XX_PONG — the registry hygiene check must flag this.
+pub const XX_DATA: u8 = 1;
+/// Referenced nowhere — the dead-code-point check must flag this.
+pub const XX_DEAD: u8 = 3;
+
+// analyze: group YY mint-only
+pub const YY_MARK: u8 = 9;

@@ -1,0 +1,27 @@
+// Known-bad corpus for the wire-conf pass, paired with
+// `bad_wire_registry.rs`: a decode fn that handles only part of a group,
+// a decode fn with no catch-all rejection, and an encoder call with a
+// literal magic byte. Never compiled — the analyzer reads it as text.
+
+fn encode_all(e: &mut Encoder) {
+    e.u8(codes::XX_PING);
+    e.u8(codes::XX_PONG);
+    e.u8(codes::XX_DATA);
+    e.u8(codes::YY_MARK);
+    e.u8(7); // literal wire value — must be flagged
+}
+
+fn decode_any(d: &mut Decoder) -> Result<Msg, DecodeError> {
+    match d.u8()? {
+        codes::XX_PING => Ok(Msg::Ping),
+        t => Err(DecodeError::BadTag(t)),
+    }
+}
+
+fn decode_loose(d: &mut Decoder) -> Msg {
+    match d.u8() {
+        codes::XX_PONG => Msg::Pong,
+        codes::XX_DATA => Msg::Data,
+        codes::XX_PING => Msg::Ping,
+    }
+}

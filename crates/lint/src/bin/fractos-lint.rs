@@ -1,0 +1,57 @@
+#![forbid(unsafe_code)]
+//! `fractos-lint` — the original hazards-only entry point.
+//!
+//! Runs only the determinism/hazard pass (wallclock, thread-local,
+//! ambient-rand, hash-iter, unwrap) with the shared allowlist; kept so
+//! existing CI invocations and muscle memory continue to work. The full
+//! four-pass tool is `fractos-analyze`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fractos_lint::{analyze, workspace_root, Pass};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut deny = false;
+    let mut root = workspace_root();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("unknown flag `{other}` (usage: fractos-lint [--deny] [--root PATH])");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let analysis = match analyze(&root, &[Pass::Hazards], false) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fractos-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for finding in &analysis.reported {
+        println!("{finding}");
+    }
+    println!(
+        "fractos-lint: {} file(s), {} finding(s), {} allowlisted{}",
+        analysis.files,
+        analysis.reported.len(),
+        analysis.suppressed,
+        if deny { " [--deny]" } else { "" }
+    );
+    if deny && !analysis.reported.is_empty() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,431 @@
+//! Wire-protocol conformance against `fractos_core::wire::codes`.
+//!
+//! Every tag, status and error code that crosses the simulated wire is
+//! minted in one registry (`crates/core/src/wire/codes.rs`); protocol
+//! code refers to registry constants (`codes::SC_INVOKE`), never literal
+//! bytes. This pass checks the contract from both ends:
+//!
+//! * **Registry hygiene** — no duplicate values inside a group (the
+//!   group is the const-name prefix before the first `_`), no dead
+//!   codes (every const referenced at least once outside the registry).
+//! * **Decode completeness** — a decode-role function (name containing
+//!   `decode` or `from_code`, or annotated `// analyze: wire-decode` for
+//!   dispatchers like `on_request` whose names don't say so) that
+//!   handles *any* member of a group must
+//!   handle *all* of them, and must explicitly reject unknown codes
+//!   (a `BadTag`/catch-all arm). Groups annotated
+//!   `// analyze: group <PREFIX> mint-only` in the registry are minted
+//!   for the wire but decoded only by tests (e.g. typed error codes
+//!   surfaced to applications); they are exempt from the decode-side
+//!   checks but still checked for references and duplicates.
+//! * **No literal tags** — in any product file that uses the registry,
+//!   encoder calls with literal bytes (`e.u8(7)`) and literal-integer
+//!   match arms outside tests are denied: a magic number next to
+//!   registry constants is how two ends of the protocol drift apart.
+//!
+//! `#[cfg(test)]` code is exempt from the literal checks (tests
+//! deliberately forge bad tags to exercise rejection paths).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{enclosing_fn, fn_spans, Finding, FnSpan, Rule, SourceFile};
+
+/// Path suffix locating the registry inside the product sources.
+pub const REGISTRY_SUFFIX: &str = "core/src/wire/codes.rs";
+
+/// One registry constant.
+#[derive(Debug, Clone)]
+pub struct CodeConst {
+    pub name: String,
+    pub group: String,
+    /// Value text; numeric for hygiene checks when it parses.
+    pub value: String,
+    pub line: usize,
+}
+
+/// The parsed `wire::codes` registry.
+#[derive(Debug, Default)]
+pub struct Registry {
+    pub consts: Vec<CodeConst>,
+    pub mint_only: BTreeSet<String>,
+}
+
+/// Parses the registry from its raw source: `pub const NAME: <ty> = <v>;`
+/// items plus `// analyze: group <PREFIX> mint-only` annotations.
+pub fn parse_registry(raw: &str) -> Registry {
+    let mut reg = Registry::default();
+    for (i, line) in raw.lines().enumerate() {
+        let t = line.trim();
+        if let Some(rest) = t.strip_prefix("// analyze: group ") {
+            let mut words = rest.split_whitespace();
+            if let (Some(prefix), Some("mint-only")) = (words.next(), words.next()) {
+                reg.mint_only.insert(prefix.to_string());
+            }
+            continue;
+        }
+        let Some(rest) = t.strip_prefix("pub const ") else {
+            continue;
+        };
+        let Some((name, tail)) = rest.split_once(':') else {
+            continue;
+        };
+        let Some((_ty, value)) = tail.split_once('=') else {
+            continue;
+        };
+        let name = name.trim().to_string();
+        let value = value.trim().trim_end_matches(';').trim().to_string();
+        let group = name.split('_').next().unwrap_or(&name).to_string();
+        reg.consts.push(CodeConst {
+            name,
+            group,
+            value,
+            line: i + 1,
+        });
+    }
+    reg
+}
+
+/// Whether `masked[pos..]` starts a standalone `codes::NAME` reference
+/// (not a longer identifier).
+fn is_ref_at(masked: &[u8], pos: usize, name: &str) -> bool {
+    let end = pos + name.len();
+    if masked.len() > end {
+        let c = masked[end];
+        if c.is_ascii_alphanumeric() || c == b'_' {
+            return false;
+        }
+    }
+    true
+}
+
+/// All `codes::NAME` reference positions of `name` in `masked`.
+fn refs_in(masked: &str, name: &str) -> Vec<usize> {
+    let needle = format!("codes::{name}");
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(off) = masked[from..].find(&needle) {
+        let pos = from + off;
+        if is_ref_at(masked.as_bytes(), pos + 7, name) {
+            out.push(pos);
+        }
+        from = pos + needle.len();
+    }
+    out
+}
+
+/// Marker classifying a function as a decode site regardless of name.
+pub const DECODE_MARKER: &str = "analyze: wire-decode";
+
+fn is_decode_role(file: &SourceFile, f: &FnSpan) -> bool {
+    f.name.contains("decode")
+        || f.name.contains("from_code")
+        || file.marker_above(f.sig_line, DECODE_MARKER)
+}
+
+/// Catch-all patterns acceptable as explicit unknown-code rejection.
+const REJECTIONS: &[&str] = &["BadTag", "_ =>", "=> None", "return None"];
+
+/// Runs the conformance checks for an explicit registry file (test
+/// entry point; [`run`] locates the real one by path suffix).
+pub fn check(registry_file: &SourceFile, files: &[SourceFile]) -> Vec<Finding> {
+    let reg = parse_registry(&registry_file.raw);
+    let mut findings = Vec::new();
+
+    // Registry hygiene: duplicate numeric values within a group.
+    let mut by_group: BTreeMap<&str, Vec<&CodeConst>> = BTreeMap::new();
+    for c in &reg.consts {
+        by_group.entry(c.group.as_str()).or_default().push(c);
+    }
+    for (group, members) in &by_group {
+        let mut seen: BTreeMap<u64, &str> = BTreeMap::new();
+        for c in members {
+            let Ok(v) = c.value.parse::<u64>() else {
+                continue; // const expression; the compiler owns its value
+            };
+            if let Some(prev) = seen.insert(v, &c.name) {
+                findings.push(Finding {
+                    rule: Rule::WireConf,
+                    file: registry_file.path.clone(),
+                    line: c.line,
+                    text: format!(
+                        "duplicate value {v} in wire-code group `{group}`: \
+                         `{prev}` and `{}`",
+                        c.name
+                    ),
+                });
+            }
+        }
+    }
+
+    // Reference census: per const, (any ref, decode-role ref); per
+    // decode fn, which members of which groups it references.
+    let mut any_ref: BTreeMap<&str, bool> = BTreeMap::new();
+    let mut decoded: BTreeMap<&str, bool> = BTreeMap::new();
+    // (file idx, fn name, sig line) -> group -> set of member names.
+    #[allow(clippy::type_complexity)]
+    let mut per_decode_fn: BTreeMap<(usize, String, usize), BTreeMap<&str, BTreeSet<&str>>> =
+        BTreeMap::new();
+    let mut decode_fns: BTreeMap<(usize, String, usize), bool> = BTreeMap::new(); // uses codes?
+
+    let spans: Vec<Vec<FnSpan>> = files.iter().map(fn_spans).collect();
+    for (fi, file) in files.iter().enumerate() {
+        if file.path == registry_file.path {
+            continue;
+        }
+        for c in &reg.consts {
+            for pos in refs_in(&file.masked, &c.name) {
+                if file.line_in_test(file.line_of(pos)) {
+                    continue;
+                }
+                *any_ref.entry(c.name.as_str()).or_default() = true;
+                if let Some(f) = enclosing_fn(&spans[fi], pos) {
+                    if is_decode_role(file, f) {
+                        *decoded.entry(c.name.as_str()).or_default() = true;
+                        let key = (fi, f.name.clone(), f.sig_line);
+                        per_decode_fn
+                            .entry(key.clone())
+                            .or_default()
+                            .entry(c.group.as_str())
+                            .or_default()
+                            .insert(c.name.as_str());
+                        decode_fns.insert(key, true);
+                    }
+                }
+            }
+        }
+    }
+
+    for c in &reg.consts {
+        if !any_ref.get(c.name.as_str()).copied().unwrap_or(false) {
+            findings.push(Finding {
+                rule: Rule::WireConf,
+                file: registry_file.path.clone(),
+                line: c.line,
+                text: format!(
+                    "wire code `{}` is never referenced outside the registry (dead code point)",
+                    c.name
+                ),
+            });
+        } else if !reg.mint_only.contains(&c.group)
+            && !decoded.get(c.name.as_str()).copied().unwrap_or(false)
+        {
+            findings.push(Finding {
+                rule: Rule::WireConf,
+                file: registry_file.path.clone(),
+                line: c.line,
+                text: format!(
+                    "wire code `{}` is never handled at any decode site (group `{}` is not \
+                     mint-only)",
+                    c.name, c.group
+                ),
+            });
+        }
+    }
+
+    // Decode completeness + explicit rejection, per decode-role fn.
+    for ((fi, fn_name, sig_line), groups) in &per_decode_fn {
+        let file = &files[*fi];
+        for (group, handled) in groups {
+            if reg.mint_only.contains(*group) {
+                continue;
+            }
+            let missing: Vec<&str> = by_group[group]
+                .iter()
+                .map(|c| c.name.as_str())
+                .filter(|n| !handled.contains(*n))
+                .collect();
+            if !missing.is_empty() {
+                findings.push(Finding {
+                    rule: Rule::WireConf,
+                    file: file.path.clone(),
+                    line: *sig_line,
+                    text: format!(
+                        "decode fn `{fn_name}` handles wire-code group `{group}` but misses: {}",
+                        missing.join(", ")
+                    ),
+                });
+            }
+        }
+        let span = spans[*fi]
+            .iter()
+            .find(|s| s.name == *fn_name && s.sig_line == *sig_line)
+            .expect("span recorded above");
+        let body = &file.masked[span.body_start..span.body_end];
+        if !REJECTIONS.iter().any(|r| body.contains(r)) {
+            findings.push(Finding {
+                rule: Rule::WireConf,
+                file: file.path.clone(),
+                line: *sig_line,
+                text: format!(
+                    "decode fn `{fn_name}` lacks an explicit unknown-code rejection \
+                     (no BadTag / catch-all arm)"
+                ),
+            });
+        }
+    }
+
+    // No literal tags in registry-using files.
+    for file in files {
+        if file.path == registry_file.path || !file.masked.contains("codes::") {
+            continue;
+        }
+        for (n, line) in file.masked.lines().enumerate() {
+            if file.in_test.get(n).copied().unwrap_or(false) {
+                continue;
+            }
+            for enc in [".u8(", ".u16(", ".u32(", ".u64("] {
+                let mut from = 0;
+                while let Some(off) = line[from..].find(enc) {
+                    let pos = from + off + enc.len();
+                    if line.as_bytes().get(pos).is_some_and(u8::is_ascii_digit) {
+                        findings.push(Finding {
+                            rule: Rule::WireConf,
+                            file: file.path.clone(),
+                            line: n + 1,
+                            text: format!(
+                                "literal wire value in encoder call (use a \
+                                 fractos_core::wire::codes constant): {}",
+                                line.trim()
+                            ),
+                        });
+                    }
+                    from = pos;
+                }
+            }
+            let t = line.trim_start();
+            if t.as_bytes().first().is_some_and(u8::is_ascii_digit) && t.contains("=>") {
+                findings.push(Finding {
+                    rule: Rule::WireConf,
+                    file: file.path.clone(),
+                    line: n + 1,
+                    text: format!(
+                        "literal integer match arm in a registry-using file (use a \
+                         fractos_core::wire::codes constant): {}",
+                        line.trim()
+                    ),
+                });
+            }
+        }
+    }
+
+    findings
+}
+
+pub fn run(files: &[SourceFile]) -> Vec<Finding> {
+    let Some(registry) = files
+        .iter()
+        .find(|f| f.path.to_string_lossy().ends_with(REGISTRY_SUFFIX))
+    else {
+        return vec![Finding {
+            rule: Rule::WireConf,
+            file: std::path::PathBuf::from(REGISTRY_SUFFIX),
+            line: 1,
+            text: format!(
+                "wire-code registry not found (expected a file ending {REGISTRY_SUFFIX})"
+            ),
+        }];
+    };
+    check(registry, files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn corpus(name: &str) -> SourceFile {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("corpus")
+            .join(name);
+        SourceFile::load(&path).expect("corpus file readable")
+    }
+
+    #[test]
+    fn corpus_wire_fixture_yields_expected_findings() {
+        let registry = corpus("bad_wire_registry.rs");
+        let decoder = corpus("bad_wire_unhandled.rs");
+        let findings = check(&registry, &[decoder]);
+        let texts: Vec<&str> = findings.iter().map(|f| f.text.as_str()).collect();
+        assert!(
+            texts.iter().any(|t| t.contains("duplicate value 1")),
+            "{texts:?}"
+        );
+        assert!(
+            texts
+                .iter()
+                .any(|t| t.contains("`XX_DEAD` is never referenced")),
+            "{texts:?}"
+        );
+        assert!(
+            texts.iter().any(|t| t.contains("`decode_any`")
+                && t.contains("misses:")
+                && t.contains("XX_PONG")
+                && t.contains("XX_DATA")),
+            "{texts:?}"
+        );
+        assert!(
+            texts
+                .iter()
+                .any(|t| t.contains("`decode_loose`") && t.contains("unknown-code rejection")),
+            "{texts:?}"
+        );
+        assert!(
+            texts.iter().any(|t| t.contains("literal wire value")),
+            "{texts:?}"
+        );
+        // Mint-only group: encoded but never decoded, and that is fine.
+        assert!(
+            !texts.iter().any(|t| t.contains("YY_MARK")),
+            "mint-only group must be exempt from decode checks: {texts:?}"
+        );
+    }
+
+    #[test]
+    fn registry_parse_reads_groups_and_annotations() {
+        let reg = parse_registry(
+            "pub const AB_X: u8 = 0;\n// analyze: group CD mint-only\npub const CD_Y: u64 = 2;\n",
+        );
+        assert_eq!(reg.consts.len(), 2);
+        assert_eq!(reg.consts[0].group, "AB");
+        assert_eq!(reg.consts[1].value, "2");
+        assert!(reg.mint_only.contains("CD"));
+    }
+
+    #[test]
+    fn wire_decode_marker_classifies_dispatchers() {
+        let registry = SourceFile::from_source(
+            "codes.rs",
+            "pub const WW_A: u8 = 0;\npub const WW_B: u8 = 1;\n",
+        );
+        let user = SourceFile::from_source(
+            "svc.rs",
+            "fn mint(e: &mut E) { e.u8(codes::WW_A); e.u8(codes::WW_B); }\n\
+             // analyze: wire-decode\n\
+             fn on_request(&mut self, k: u8) {\n    match k {\n        codes::WW_A => a(),\n        \
+             _ => {}\n    }\n}\n",
+        );
+        let findings = check(&registry, &[user]);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.text.contains("`on_request`") && f.text.contains("misses: WW_B")),
+            "marked dispatcher must be held to decode completeness: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn complete_decode_with_rejection_is_clean() {
+        let registry = SourceFile::from_source(
+            "codes.rs",
+            "pub const ZZ_A: u8 = 0;\npub const ZZ_B: u8 = 1;\n",
+        );
+        let user = SourceFile::from_source(
+            "proto.rs",
+            "use codes;\nfn encode(e: &mut E) { e.u8(codes::ZZ_A); e.u8(codes::ZZ_B); }\n\
+             fn decode(d: &mut D) -> R {\n    match d.u8()? {\n        codes::ZZ_A => a(),\n        \
+             codes::ZZ_B => b(),\n        t => Err(DecodeError::BadTag(t)),\n    }\n}\n",
+        );
+        let findings = check(&registry, &[user]);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+}

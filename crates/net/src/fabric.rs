@@ -31,6 +31,33 @@ enum Edge {
     PcieOut(NodeId, Location),
 }
 
+/// Fixed-capacity edge list for a single route. A route traverses at most
+/// four edges (PCIe out, loopback or net up + net down, PCIe in), so the
+/// per-send path stays free of heap allocation.
+#[derive(Debug, Clone, Copy)]
+struct EdgePath {
+    buf: [Edge; 4],
+    len: usize,
+}
+
+impl EdgePath {
+    fn new() -> Self {
+        EdgePath {
+            buf: [Edge::Loopback(NodeId(0)); 4],
+            len: 0,
+        }
+    }
+
+    fn push(&mut self, e: Edge) {
+        self.buf[self.len] = e;
+        self.len += 1;
+    }
+
+    fn iter(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.buf[..self.len].iter().copied()
+    }
+}
+
 /// Fixed per-message overhead added to every payload on the wire
 /// (headers: Ethernet + IP + UDP + RoCE BTH, roughly).
 pub const WIRE_HEADER_BYTES: u64 = 64;
@@ -347,6 +374,7 @@ impl Fabric {
     /// returns `(total, propagation)` where `propagation` is the base
     /// route latency clamped to `total` and `total - propagation` is the
     /// serialization/queueing share (plus jitter and degradation).
+    // analyze: hot-path
     pub fn send_parts(
         &mut self,
         now: SimTime,
@@ -380,7 +408,7 @@ impl Fabric {
         // [`MTU_BYPASS`]) and skip the queueing entirely.
         let mut head = now + base;
         let mut finish = head;
-        for edge in edges {
+        for edge in edges.iter() {
             let bw = self.edge_bandwidth(edge);
             let occupancy = SimDuration::from_secs_f64(bytes as f64 / bw);
             if bytes <= MTU_BYPASS {
@@ -457,6 +485,7 @@ impl Fabric {
     /// delay as in [`send_parts`](Fabric::send_parts): returns
     /// `Some((total, propagation))`, or `None` when the fault plan dropped
     /// the message.
+    // analyze: hot-path
     pub fn try_send_parts(
         &mut self,
         now: SimTime,
@@ -521,10 +550,11 @@ impl Fabric {
         self.route(src, dst).0
     }
 
-    fn route(&self, src: Endpoint, dst: Endpoint) -> (SimDuration, Vec<Edge>, Medium) {
+    // analyze: hot-path
+    fn route(&self, src: Endpoint, dst: Endpoint) -> (SimDuration, EdgePath, Medium) {
         let p = &self.params;
         let mut base = SimDuration::ZERO;
-        let mut edges = Vec::with_capacity(4);
+        let mut edges = EdgePath::new();
 
         // Source side: components behind PCIe first cross into the NIC
         // domain.

@@ -23,6 +23,7 @@ use std::collections::HashMap;
 use fractos_cap::{Cid, Perms};
 use fractos_core::prelude::*;
 use fractos_core::types::Syscall;
+use fractos_core::wire::codes;
 use fractos_devices::proto::{imm, imm_at, DevError};
 
 /// FS: create a file. Imms: `[size]`. Caps: `[continuation]`.
@@ -62,21 +63,23 @@ const TAG_FS_INTERNAL: u64 = 0x0310;
 /// hanging: a partitioned block adaptor or an exhausted retry budget
 /// surfaces here rather than as a lost continuation.
 pub mod fs_err {
+    use fractos_core::wire::codes;
+
     /// Read/write range straddles extents or exceeds the file.
-    pub const RANGE: u64 = 1;
+    pub const RANGE: u64 = codes::FSE_RANGE;
     /// Dynamic composition failed (block Request unreachable or revoked).
-    pub const COMPOSE: u64 = 2;
+    pub const COMPOSE: u64 = codes::FSE_COMPOSE;
     /// Staging-buffer setup failed.
-    pub const STAGING: u64 = 3;
+    pub const STAGING: u64 = codes::FSE_STAGING;
     /// FS degraded: the block adaptor is unreachable (bootstrap failed or
     /// its Controller is partitioned), so no volumes can be provisioned.
-    pub const DEGRADED: u64 = 4;
+    pub const DEGRADED: u64 = codes::FSE_DEGRADED;
     /// No such file.
-    pub const NO_FILE: u64 = 5;
+    pub const NO_FILE: u64 = codes::FSE_NO_FILE;
     /// Minting an internal continuation or per-file handle failed.
-    pub const INTERNAL: u64 = 6;
+    pub const INTERNAL: u64 = codes::FSE_INTERNAL;
     /// Block-device operation failed.
-    pub const IO: u64 = 9;
+    pub const IO: u64 = codes::FSE_IO;
 }
 
 /// Data-path mode of the storage stack.
@@ -280,7 +283,7 @@ impl FsService {
 
     fn request_extent(&mut self, fos: &Fos<Self>, create_vol: Cid, op: u64) {
         let extent_size = self.extent_size;
-        FsService::internal_cont(fos, 0, op, move |s, cont, fos| {
+        FsService::internal_cont(fos, codes::FSI_EXTENT_READY, op, move |s, cont, fos| {
             let Ok(cont) = cont else {
                 s.fail_create(op, fos);
                 return;
@@ -583,12 +586,12 @@ impl FsService {
     /// Mints fresh internal success/failure continuations and fires the
     /// block operation for op `op`. Re-entered on every retry.
     fn start_blk(op: u64, blk_req: Cid, ext_off: u64, size: u64, view: Cid, fos: &Fos<Self>) {
-        FsService::internal_cont(fos, 1, op, move |s, done, fos| {
+        FsService::internal_cont(fos, codes::FSI_BLK_OK, op, move |s, done, fos| {
             let Ok(done) = done else {
                 s.finish_op(op, false, fos);
                 return;
             };
-            FsService::internal_cont(fos, 2, op, move |s, fail, fos| {
+            FsService::internal_cont(fos, codes::FSI_BLK_ERR, op, move |s, fail, fos| {
                 let Ok(fail) = fail else {
                     s.finish_op(op, false, fos);
                     return;
@@ -773,6 +776,7 @@ impl Service for FsService {
         );
     }
 
+    // analyze: wire-decode
     fn on_request(&mut self, req: IncomingRequest, fos: &Fos<Self>) {
         match req.tag {
             TAG_FS_CREATE => self.on_create(req, fos),
@@ -781,16 +785,15 @@ impl Service for FsService {
             TAG_FS_READ => self.on_read_write(req, fos, true),
             TAG_FS_WRITE => self.on_read_write(req, fos, false),
             TAG_FS_INTERNAL => {
-                // Imms: [kind, op, ...]; kind 0 = extent ready, 1 = blk op
-                // success, 2 = blk op failure (the adaptor's typed
-                // `DevError` code rides at index 2).
+                // Imms: [kind, op, ...]; on failure the adaptor's typed
+                // `DevError` code rides at index 2.
                 let (Some(kind), Some(op)) = (imm_at(&req.imms, 0), imm_at(&req.imms, 1)) else {
                     return;
                 };
                 match kind {
-                    0 => self.on_extent_ready(op, &req, fos),
-                    1 => self.on_blk_done(op, true, None, fos),
-                    2 => self.on_blk_done(op, false, imm_at(&req.imms, 2), fos),
+                    codes::FSI_EXTENT_READY => self.on_extent_ready(op, &req, fos),
+                    codes::FSI_BLK_OK => self.on_blk_done(op, true, None, fos),
+                    codes::FSI_BLK_ERR => self.on_blk_done(op, false, imm_at(&req.imms, 2), fos),
                     _ => {}
                 }
             }

@@ -320,6 +320,10 @@ pub struct Sim {
     tele_window: Option<u64>,
     /// `steps` at the last self-profiling emission (events/window deltas).
     tele_steps: u64,
+    /// Reusable send buffer for [`step`](Sim::step): drained back to empty
+    /// after every event so the per-event cost is a pointer swap, not a
+    /// heap allocation.
+    scratch_outbox: Vec<(SimTime, ActorId, Msg)>,
     stop: bool,
 }
 
@@ -344,6 +348,7 @@ impl Sim {
             telemetry_period: None,
             tele_window: None,
             tele_steps: 0,
+            scratch_outbox: Vec::new(),
             stop: false,
         }
     }
@@ -548,6 +553,7 @@ impl Sim {
     /// Panics if an event addresses an actor slot that was never registered
     /// (a wiring bug) or re-enters an actor currently on the stack (actors
     /// never send to themselves synchronously by construction).
+    // analyze: hot-path
     pub fn step(&mut self) -> bool {
         let Some((time, _seq, (dst, msg))) = self.queue.pop() else {
             return false;
@@ -579,7 +585,7 @@ impl Sim {
         let mut actor = self.actors[dst.index()]
             .take()
             .unwrap_or_else(|| panic!("re-entrant or missing {dst}"));
-        let mut outbox = Vec::new();
+        let mut outbox = std::mem::take(&mut self.scratch_outbox);
         {
             let mut ctx = Ctx {
                 now: self.now,
@@ -595,7 +601,7 @@ impl Sim {
             actor.handle(msg, &mut ctx);
         }
         self.actors[dst.index()] = Some(actor);
-        for (time, dst, msg) in outbox {
+        for (time, dst, msg) in outbox.drain(..) {
             assert!(
                 dst.index() < self.actors.len(),
                 "send to unregistered {dst}"
@@ -603,6 +609,7 @@ impl Sim {
             self.queue.push(time, self.seq, (dst, msg));
             self.seq += 1;
         }
+        self.scratch_outbox = outbox;
         true
     }
 

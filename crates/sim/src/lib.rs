@@ -29,6 +29,8 @@
 //! ```
 
 pub mod engine;
+#[cfg(feature = "lockdep")]
+pub mod lockdep;
 pub mod metrics;
 pub mod payload;
 pub mod queue;
@@ -48,8 +50,8 @@ pub use rng::SimRng;
 pub use runtime::{
     build_runtime, runtime_from_env, Runtime, RuntimeConfig, RuntimeExt, RuntimeKind,
 };
-pub use sharded::ShardedSim;
-pub use shared::Shared;
+pub use sharded::{ScheduleProbe, ShardedSim};
+pub use shared::{Shared, SharedGuard};
 pub use span::{SpanKind, SpanRecord, SpanStore, TraceCtx};
 pub use telemetry::{
     sort_canonical_telemetry, TelemetryConfig, TelemetryEvent, TelemetryKind, TelemetryStore,

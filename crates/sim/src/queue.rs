@@ -134,6 +134,7 @@ impl<T> EventQueue<T> {
     /// Schedules `item` at `(time, seq)`. Sequence numbers must be unique
     /// for the order to be total; the engines guarantee this by assigning
     /// them from a monotone counter.
+    // analyze: hot-path
     pub fn push(&mut self, time: SimTime, seq: u64, item: T) {
         let entry = Entry { time, seq, item };
         // Entries at or before the cursor clamp into the cursor bucket;
@@ -148,6 +149,7 @@ impl<T> EventQueue<T> {
     }
 
     /// The `(time, seq)` key of the earliest entry, without removing it.
+    // analyze: hot-path
     pub fn peek_key(&self) -> Option<(SimTime, u64)> {
         if self.len == 0 {
             return None;
@@ -163,6 +165,7 @@ impl<T> EventQueue<T> {
     }
 
     /// Removes and returns the earliest entry as `(time, seq, item)`.
+    // analyze: hot-path
     pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
         if self.len == 0 {
             return None;

@@ -111,6 +111,10 @@ struct Shard {
     /// (so a violation panics with a diagnostic instead of a bare
     /// "scoped thread panicked").
     cross: Vec<(SimTime, SimTime, ActorId, Msg)>,
+    /// Reusable send buffer for [`run_window`](Shard::run_window): drained
+    /// back to empty after every event so the per-event cost is a pointer
+    /// swap, not a heap allocation.
+    scratch_outbox: Vec<(SimTime, ActorId, Msg)>,
 }
 
 impl Shard {
@@ -118,6 +122,7 @@ impl Shard {
     /// `None`); returns when the window is exhausted or an actor requested
     /// a stop. Cross-shard sends are buffered with their send instant; the
     /// barrier checks them against the per-link lookahead.
+    // analyze: hot-path
     fn run_window(&mut self, horizon: Option<SimTime>, locs: &[Loc], my_index: u32, budget: u64) {
         while self.processed < budget && !self.stop {
             let Some((head_time, _)) = self.queue.peek_key() else {
@@ -151,7 +156,7 @@ impl Shard {
             let mut actor = self.actors[local as usize]
                 .take()
                 .unwrap_or_else(|| panic!("re-entrant or missing {dst}"));
-            let mut outbox = Vec::new();
+            let mut outbox = std::mem::take(&mut self.scratch_outbox);
             {
                 let mut ctx = Ctx::new(
                     self.now,
@@ -167,7 +172,7 @@ impl Shard {
                 actor.handle(msg, &mut ctx);
             }
             self.actors[local as usize] = Some(actor);
-            for (time, dst, msg) in outbox {
+            for (time, dst, msg) in outbox.drain(..) {
                 let loc = locs
                     .get(dst.index())
                     .unwrap_or_else(|| panic!("send to unregistered {dst}"));
@@ -177,6 +182,7 @@ impl Shard {
                     self.cross.push((self.now, time, dst, msg));
                 }
             }
+            self.scratch_outbox = outbox;
         }
     }
 
@@ -267,6 +273,26 @@ pub struct ShardedSim {
     telemetry_period: Option<SimDuration>,
 }
 
+/// Scheduling hook for the bounded schedule explorer
+/// (`crates/sim/tests/schedule_explorer.rs`).
+///
+/// In explorer mode the engine runs each round's shards *sequentially*,
+/// in the order [`pick`](ScheduleProbe::pick) chooses, instead of fanning
+/// out over workers — so a test can enumerate every interleaving of a
+/// round's shard executions and assert the conservative barrier makes
+/// them all equivalent.
+pub struct ScheduleProbe<'a> {
+    /// Chooses the execution order for one round: receives the round
+    /// index and the *active* shards (those whose next event lies inside
+    /// their horizon — the only ones that will process events), returns
+    /// a permutation of that slice.
+    pub pick: &'a mut dyn FnMut(u64, &[usize]) -> Vec<usize>,
+    /// Per-round log of the active shard sets, in round order. Identical
+    /// across schedules when the barrier is correct; the explorer asserts
+    /// it and uses the sizes to bound its enumeration.
+    pub log: Vec<Vec<usize>>,
+}
+
 impl ShardedSim {
     /// Builds an engine with one shard per node.
     ///
@@ -320,6 +346,7 @@ impl ShardedSim {
                 outages: Vec::new(),
                 processed: 0,
                 cross: Vec::new(),
+                scratch_outbox: Vec::new(),
             })
             .collect::<Vec<_>>();
         let workers = resolve_workers(config, shards.len());
@@ -437,9 +464,40 @@ impl ShardedSim {
         (horizons, sweeps)
     }
 
+    /// Runs the workload to completion with every round's shard order
+    /// chosen by `probe` (see [`ScheduleProbe`]); returns the outcome and
+    /// the per-round active-shard log.
+    ///
+    /// Single-threaded by construction: each round executes its shards
+    /// back-to-back in the picked order, which is exactly the
+    /// interleaving freedom the worker pool has at runtime (cross-shard
+    /// messages only move at the barrier either way).
+    pub fn run_scheduled(
+        &mut self,
+        pick: &mut dyn FnMut(u64, &[usize]) -> Vec<usize>,
+    ) -> (RunOutcome, Vec<Vec<usize>>) {
+        let mut probe = ScheduleProbe {
+            pick,
+            log: Vec::new(),
+        };
+        let outcome = self.run_rounds_probed(u64::MAX, None, Some(&mut probe));
+        (outcome, probe.log)
+    }
+
     /// Drives synchronization rounds until drained, stopped, out of
     /// budget, or past the deadline.
     fn run_rounds(&mut self, max_steps: u64, deadline: Option<SimTime>) -> RunOutcome {
+        self.run_rounds_probed(max_steps, deadline, None)
+    }
+
+    /// [`run_rounds`](Self::run_rounds), optionally under a schedule
+    /// probe that sequentializes each round in a chosen order.
+    fn run_rounds_probed(
+        &mut self,
+        max_steps: u64,
+        deadline: Option<SimTime>,
+        mut probe: Option<&mut ScheduleProbe<'_>>,
+    ) -> RunOutcome {
         for s in &mut self.shards {
             s.stop = false;
             s.processed = 0;
@@ -462,6 +520,7 @@ impl ShardedSim {
         }
         let profile = self.telemetry_period.is_some();
         let start_steps = self.steps;
+        let mut round = 0u64;
         let outcome = loop {
             let nexts: Vec<Option<SimTime>> =
                 self.shards.iter().map(Shard::next_event_time).collect();
@@ -488,7 +547,11 @@ impl ShardedSim {
                 self.metrics.add("runtime.sharded.cc_sweeps", sweeps);
             }
 
-            self.run_round(&horizons, budget);
+            match probe.as_deref_mut() {
+                None => self.run_round(&horizons, budget),
+                Some(p) => self.run_round_ordered(&nexts, &horizons, budget, round, p),
+            }
+            round += 1;
 
             // Deterministic exchange: shards in index order, each shard's
             // sends in production order. Each message is checked against
@@ -552,6 +615,38 @@ impl ShardedSim {
         outcome
     }
 
+    /// Explorer-mode round: runs the active shards sequentially in the
+    /// order the probe picks, then the idle shards (whose windows are
+    /// empty by construction) in index order.
+    fn run_round_ordered(
+        &mut self,
+        nexts: &[Option<SimTime>],
+        horizons: &[Option<SimTime>],
+        budget: u64,
+        round: u64,
+        probe: &mut ScheduleProbe<'_>,
+    ) {
+        let active: Vec<usize> = (0..self.shards.len())
+            .filter(|&i| match (nexts[i], horizons[i]) {
+                (Some(t), Some(h)) => t < h,
+                (Some(_), None) => true,
+                (None, _) => false,
+            })
+            .collect();
+        let order = (probe.pick)(round, &active);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted, active,
+            "round {round}: schedule must be a permutation of the active shards"
+        );
+        let idle = (0..self.shards.len()).filter(|i| !active.contains(i));
+        for i in order.iter().copied().chain(idle) {
+            self.shards[i].run_window(horizons[i], &self.locs, i as u32, budget);
+        }
+        probe.log.push(active);
+    }
+
     /// Runs one window across all shards on the worker pool.
     fn run_round(&mut self, horizons: &[Option<SimTime>], budget: u64) {
         let locs = &self.locs;
@@ -575,7 +670,13 @@ impl ShardedSim {
                         if i % workers != w {
                             continue;
                         }
-                        let mut shard = slot.lock().expect("shard mutex poisoned");
+                        // Poison recovery mirrors Shared<T>: a panicking
+                        // worker already aborts the run; cascading
+                        // "poisoned" panics on the other workers would
+                        // bury the original diagnostic.
+                        let mut shard = slot
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
                         shard.run_window(horizons[i], locs, i as u32, budget);
                         did_work |= shard.processed > 0;
                     }
